@@ -1,0 +1,209 @@
+//! Baseline accelerator models for the iso-accuracy comparisons of
+//! Fig. 12 and the density comparison of Table 5: OliVe, GOBO, OLAccel,
+//! AdaptivFloat, and ANT, each reduced to the parameters that drive
+//! latency and energy — operating precision mix, effective bit width
+//! (memory traffic), per-MAC energy, and outlier-machinery stalls.
+
+use crate::energy::{EnergyBreakdown, EnergyConstants};
+use crate::perf::AccelConfig;
+use crate::workload::GemmShape;
+
+/// An analytic baseline accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineAccel {
+    /// Design name.
+    pub name: &'static str,
+    /// Weight bits the design needs for iso-accuracy with W4A4
+    /// MicroScopiQ (Fig. 12(a) precision assignment, averaged).
+    pub iso_weight_bits: f64,
+    /// Effective bit width of its weight memory format.
+    pub ebw: f64,
+    /// Per-MAC energy (pJ) at its operating precision.
+    pub mac_pj: f64,
+    /// MACs per cycle on a 64×64 array at the iso precision (bit-serial /
+    /// fused designs lose columns at higher widths).
+    pub macs_per_cycle: f64,
+    /// Multiplier ≥ 1 for outlier encode/decode or outlier-PE
+    /// serialization stalls.
+    pub stall: f64,
+}
+
+/// The baseline set of Fig. 12, with the iso-accuracy precision
+/// assignments described in §7.5 and per-MAC energies from the shared
+/// constant table.
+pub fn iso_accuracy_baselines(k: &EnergyConstants) -> Vec<BaselineAccel> {
+    vec![
+        BaselineAccel {
+            // OliVe at iso-accuracy needs 4-bit everywhere plus 8-bit on
+            // the outlier-heavy layers (Table 2 shows W4 degradation).
+            name: "OliVe",
+            iso_weight_bits: 5.0,
+            ebw: 5.0,
+            mac_pj: k.mac_int4_pj * 1.20, // enc/dec adders on every access
+            macs_per_cycle: 4096.0 * 4.0 / 5.0,
+            stall: 1.08,
+        },
+        BaselineAccel {
+            // GOBO: 3-bit centroids + FP32 side-band outliers; large PEs.
+            name: "GOBO",
+            iso_weight_bits: 3.0,
+            ebw: 15.6,
+            mac_pj: k.mac_int8_pj, // wide group PEs
+            macs_per_cycle: 4096.0,
+            stall: 1.15, // outlier-PE serialization + unaligned access
+        },
+        BaselineAccel {
+            // OLAccel: 4-bit dense + 16-bit outlier PEs.
+            name: "OLAccel",
+            iso_weight_bits: 4.5,
+            ebw: 4.7,
+            mac_pj: k.mac_int4_pj * 1.35,
+            macs_per_cycle: 4096.0 * 4.0 / 4.5,
+            stall: 1.10,
+        },
+        BaselineAccel {
+            // AdaptivFloat: FP8 PEs throughout.
+            name: "AdaptivFloat",
+            iso_weight_bits: 8.0,
+            ebw: 8.0,
+            mac_pj: k.mac_fp16_pj * 0.5,
+            macs_per_cycle: 4096.0 * 4.0 / 8.0,
+            stall: 1.0,
+        },
+        BaselineAccel {
+            // ANT: 4-bit flint with some 8-bit layers.
+            name: "ANT",
+            iso_weight_bits: 4.8,
+            ebw: 4.8,
+            mac_pj: k.mac_int4_pj * 1.15,
+            macs_per_cycle: 4096.0 * 4.0 / 4.8,
+            stall: 1.05,
+        },
+    ]
+}
+
+/// Latency (cycles) of a baseline accelerator on a workload, mirroring the
+/// MicroScopiQ tiling model with the baseline's throughput, EBW, and
+/// stalls.
+pub fn baseline_latency(workload: &[GemmShape], b: &BaselineAccel, cfg: &AccelConfig) -> f64 {
+    let bytes_per_cycle = cfg.hbm_gbps.min(cfg.sram_gbps * 4.0) / cfg.freq_ghz;
+    let mut total = 0.0;
+    for shape in workload {
+        let cols_eff = (b.macs_per_cycle / cfg.rows as f64).max(1.0);
+        let row_tiles = shape.k.div_ceil(cfg.rows) as f64;
+        let col_tiles = (shape.m as f64 / cols_eff).ceil();
+        let tiles = row_tiles * col_tiles;
+        // Same model as perf::gemm_latency: tiles double-buffered, one
+        // fill/drain per shape.
+        let compute = shape.n as f64 * b.stall;
+        let fill = cfg.rows as f64 + cols_eff;
+        let tile_weight_bytes = cfg.rows as f64 * cols_eff * b.ebw / 8.0;
+        let mem = tile_weight_bytes / bytes_per_cycle;
+        total += (tiles * compute.max(mem) + fill) * shape.repeats as f64;
+    }
+    total
+}
+
+/// Energy (mJ breakdown) of a baseline accelerator on a workload.
+pub fn baseline_energy(
+    workload: &[GemmShape],
+    b: &BaselineAccel,
+    act_bits: u32,
+    k: &EnergyConstants,
+) -> EnergyBreakdown {
+    let macs: f64 = workload.iter().map(|g| g.macs() as f64).sum();
+    let weight_elems: f64 = workload.iter().map(|g| g.weight_elements() as f64).sum();
+    let act_elems: f64 = workload
+        .iter()
+        .map(|g| ((g.k + g.m) * g.n * g.repeats) as f64)
+        .sum();
+    let compute_mj = macs * b.mac_pj * b.stall * 1e-9;
+    let weight_bytes = weight_elems * b.ebw / 8.0;
+    let act_bytes = act_elems * act_bits as f64 / 8.0;
+    let dram_mj = (weight_bytes + act_bytes) * k.dram_pj_per_byte * 1e-9;
+    let sram_mj = (weight_bytes * 2.0 + act_bytes * 2.0) * k.sram_pj_per_byte * 1e-9;
+    let dynamic = compute_mj + dram_mj + sram_mj;
+    EnergyBreakdown {
+        compute_mj,
+        recon_mj: 0.0,
+        sram_mj,
+        dram_mj,
+        static_mj: dynamic * k.static_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::microscopiq_energy;
+    use crate::perf::workload_latency;
+    use crate::workload::{model_workload, Phase};
+    use microscopiq_fm::zoo::model;
+
+    fn workload() -> Vec<GemmShape> {
+        model_workload(&model("LLaMA-3-8B"), Phase::Prefill(256))
+    }
+
+    #[test]
+    fn microscopiq_v2_outpaces_every_baseline() {
+        // Fig. 12(b): MS-v2 (bb=2 dominant) wins against all baselines.
+        let k = EnergyConstants::default();
+        let wl = workload();
+        let cfg = AccelConfig::paper_64x64(2, 1);
+        let ms = workload_latency(&wl, &cfg, 2.4, 0.05).total_cycles;
+        for b in iso_accuracy_baselines(&k) {
+            let bl = baseline_latency(&wl, &b, &cfg);
+            assert!(
+                ms < bl,
+                "MicroScopiQ v2 ({ms}) must beat {} ({bl})",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_magnitudes_are_in_paper_range() {
+        // Paper: v2 averages ≈2.47× over the baseline pool; allow a broad
+        // band since our workload mixes differ.
+        let k = EnergyConstants::default();
+        let wl = workload();
+        let cfg = AccelConfig::paper_64x64(2, 1);
+        let ms = workload_latency(&wl, &cfg, 2.4, 0.05).total_cycles;
+        let mean_baseline: f64 = iso_accuracy_baselines(&k)
+            .iter()
+            .map(|b| baseline_latency(&wl, b, &cfg))
+            .sum::<f64>()
+            / 5.0;
+        let speedup = mean_baseline / ms;
+        assert!(
+            speedup > 1.5 && speedup < 5.0,
+            "v2 average speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn microscopiq_energy_beats_baselines() {
+        // Fig. 12(c): MS-v2 has the lowest energy.
+        let k = EnergyConstants::default();
+        let wl = workload();
+        let cfg = AccelConfig::paper_64x64(2, 1);
+        let lat = workload_latency(&wl, &cfg, 2.4, 0.05);
+        let ms = microscopiq_energy(&wl, &cfg, &lat, 2.4, 0.05, 4, &k).total_mj();
+        for b in iso_accuracy_baselines(&k) {
+            let be = baseline_energy(&wl, &b, 4, &k).total_mj();
+            assert!(ms < be, "MS {ms} mJ must beat {} {be} mJ", b.name);
+        }
+    }
+
+    #[test]
+    fn gobo_pays_for_its_ebw_in_memory_energy() {
+        let k = EnergyConstants::default();
+        let wl = workload();
+        let all = iso_accuracy_baselines(&k);
+        let gobo = all.iter().find(|b| b.name == "GOBO").unwrap();
+        let olive = all.iter().find(|b| b.name == "OliVe").unwrap();
+        let eg = baseline_energy(&wl, gobo, 4, &k);
+        let eo = baseline_energy(&wl, olive, 4, &k);
+        assert!(eg.dram_mj > eo.dram_mj * 2.0, "{} vs {}", eg.dram_mj, eo.dram_mj);
+    }
+}

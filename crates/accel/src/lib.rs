@@ -1,0 +1,38 @@
+//! The MicroScopiQ accelerator simulator (§5–§7 of the paper).
+//!
+//! Two levels of fidelity:
+//!
+//! * **Functional** — [`pe`] (Eq. 5 multi-precision multiplier tree),
+//!   [`recon`] (butterfly Pass/Swap/Merge with exact FP-outlier partial
+//!   sums), and [`array`] (a packed GEMM executed through those
+//!   primitives, bit-exact against the dequantized reference).
+//! * **Analytic** — [`perf`] (tiling + memory-overlap + ReCoN-contention
+//!   latency), [`energy`] (per-op energy composition), [`area`] (Table 5
+//!   component areas, array scaling, NoC-integration overheads), and
+//!   [`baselines`] (OliVe/GOBO/OLAccel/AdaptivFloat/ANT models for the
+//!   iso-accuracy comparisons).
+//!
+//! [`workload`] converts model specs into real-dimension GEMM lists
+//! (prefill and decode phases).
+
+pub mod area;
+pub mod array;
+pub mod controller;
+pub mod baselines;
+pub mod energy;
+pub mod memory;
+pub mod pe;
+pub mod perf;
+pub mod recon;
+pub mod recon_switch_level;
+pub mod workload;
+
+pub use area::{gobo_area, microscopiq_area, olive_area, AreaBreakdown};
+pub use array::{execute_gemm, GemmExecution, QuantizedActs};
+pub use controller::{generate_control, ControlProgram, PsumRoute};
+pub use energy::{microscopiq_energy, EnergyBreakdown, EnergyConstants};
+pub use memory::{layer_traffic, schedule_layer, MemoryConfig, TrafficBreakdown};
+pub use perf::{gemm_latency, workload_latency, AccelConfig, LatencyBreakdown};
+pub use recon::{ColumnInput, ReCoN, RouteResult};
+pub use recon_switch_level::{route_switch_level, SwitchLevelResult, SwitchOp};
+pub use workload::{model_workload, GemmShape, Phase};

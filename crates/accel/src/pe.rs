@@ -1,0 +1,225 @@
+//! The multi-precision INT processing element (§5.3, Fig. 7(a)).
+//!
+//! Each PE holds an 8-bit weight register carrying either one 4-bit weight
+//! (MODE_4b) or two packed 2-bit weights (MODE_2b), and multiplies against
+//! an 8-bit iAct through a tree of four 4-bit × 2-bit multipliers whose
+//! partial products are recombined with shifters (Eq. 5).
+//!
+//! Note on Eq. 5: the shift amounts as printed in the paper do not
+//! reconstruct the arithmetic product (e.g. `P11≪2 + P10` cannot equal
+//! `w_hi·iAct`, which needs `≪4` between iAct halves). We implement the
+//! standard radix recomposition — `P11≪6 + (P10)≪4 + (P01)≪2 + P00` in
+//! 4-bit mode and `{P11≪4 + P01, P10≪4 + P00}` in 2-bit mode — and verify
+//! bit-exactness against plain multiplication over the full input space.
+//!
+//! Weight slots are interpreted per their micro-block role: two's
+//! complement for inliers, sign-magnitude for outlier halves (§4.3).
+
+use microscopiq_mx::halves::unpack_sign_mag;
+
+/// PE precision mode, selected by the controller's MODE signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeMode {
+    /// One 4-bit weight per PE.
+    FourBit,
+    /// Two packed 2-bit weights per PE (doubled throughput).
+    TwoBit,
+}
+
+/// How a weight slot's bits are decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightKind {
+    /// Two's-complement inlier code.
+    TwosComplement,
+    /// Sign-magnitude outlier half (`{s, m}`).
+    SignMagnitude,
+}
+
+/// Result of the multiplication stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MulResult {
+    /// MODE_4b: one product.
+    Single(i32),
+    /// MODE_2b: products of the high and low packed weights.
+    Pair {
+        /// Product of the weight in bits `[3:2]`.
+        high: i32,
+        /// Product of the weight in bits `[1:0]`.
+        low: i32,
+    },
+}
+
+/// Decodes a weight slot of `bits` width under the given interpretation.
+pub fn decode_weight(raw: u8, bits: u32, kind: WeightKind) -> i32 {
+    match kind {
+        WeightKind::TwosComplement => {
+            let shift = 8 - bits;
+            ((raw << shift) as i8 >> shift) as i32
+        }
+        WeightKind::SignMagnitude => unpack_sign_mag(raw, bits),
+    }
+}
+
+/// The four 4b×2b partial products of the multiplier tree, on magnitudes.
+fn partial_products(a_mag: u32, w_mag: u32) -> [u32; 4] {
+    let a1 = (a_mag >> 4) & 0xF;
+    let a0 = a_mag & 0xF;
+    let w1 = (w_mag >> 2) & 0x3;
+    let w0 = w_mag & 0x3;
+    // [P00, P01, P10, P11] with Pij = A_i · W_j.
+    [a0 * w0, a0 * w1, a1 * w0, a1 * w1]
+}
+
+/// The multiplication stage: multiplies the weight register against an
+/// 8-bit signed iAct through the partial-product tree.
+///
+/// In 4-bit mode `weight_reg[3:0]` is one weight; in 2-bit mode
+/// `weight_reg[3:2]` and `weight_reg[1:0]` are two weights sharing the
+/// iAct. Signs are handled by magnitude multiplication + sign correction
+/// (the hardware's Baugh-Wooley equivalent).
+///
+/// # Panics
+///
+/// Panics if `iact` is outside the signed 8-bit range.
+pub fn multiply(weight_reg: u8, iact: i32, mode: PeMode, kind: WeightKind) -> MulResult {
+    assert!((-128..=127).contains(&iact), "iAct must be signed 8-bit");
+    let a_mag = iact.unsigned_abs();
+    let a_neg = iact < 0;
+    match mode {
+        PeMode::FourBit => {
+            let w = decode_weight(weight_reg & 0xF, 4, kind);
+            let w_mag = w.unsigned_abs();
+            let p = partial_products(a_mag, w_mag);
+            // Radix recomposition: A = A1≪4 + A0, W = W1≪2 + W0 →
+            // A·W = P11≪6 + P10≪4 + P01≪2 + P00.
+            let mag = (p[3] << 6) + (p[2] << 4) + (p[1] << 2) + p[0];
+            let neg = a_neg ^ (w < 0);
+            MulResult::Single(if neg { -(mag as i32) } else { mag as i32 })
+        }
+        PeMode::TwoBit => {
+            let w_hi = decode_weight((weight_reg >> 2) & 0x3, 2, kind);
+            let w_lo = decode_weight(weight_reg & 0x3, 2, kind);
+            let p_hi = partial_products(a_mag, w_hi.unsigned_abs());
+            let p_lo = partial_products(a_mag, w_lo.unsigned_abs());
+            // With a 2-bit weight only the low weight slice is populated,
+            // so each packed product recomposes as A1·w≪4 + A0·w.
+            let mag_of = |p: [u32; 4]| (p[2] << 4) + p[0];
+            let hi_mag = mag_of(p_hi);
+            let lo_mag = mag_of(p_lo);
+            let hi = if a_neg ^ (w_hi < 0) {
+                -(hi_mag as i32)
+            } else {
+                hi_mag as i32
+            };
+            let lo = if a_neg ^ (w_lo < 0) {
+                -(lo_mag as i32)
+            } else {
+                lo_mag as i32
+            };
+            MulResult::Pair { high: hi, low: lo }
+        }
+    }
+}
+
+/// Accumulation-stage output for one PE (§5.3): inlier results accumulate
+/// locally; outlier halves are concatenated with the incoming iAcc and
+/// offloaded to ReCoN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccOutput {
+    /// Inlier: `res + iAcc`, forwarded to the next PE row.
+    Forward(i64),
+    /// Outlier half: `{res, iAcc}` pair offloaded to ReCoN unmodified.
+    Offload {
+        /// The raw INT product of the half.
+        res: i64,
+        /// The incoming accumulation, passed through for ReCoN.
+        iacc: i64,
+    },
+}
+
+/// The accumulation stage.
+pub fn accumulate(res: i64, iacc: i64, outlier_present: bool) -> AccOutput {
+    if outlier_present {
+        AccOutput::Offload { res, iacc }
+    } else {
+        AccOutput::Forward(res + iacc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_bit_mode_matches_plain_multiplication_exhaustively() {
+        for raw in 0..16u8 {
+            for iact in -128..=127i32 {
+                let w = decode_weight(raw, 4, WeightKind::TwosComplement);
+                let got = multiply(raw, iact, PeMode::FourBit, WeightKind::TwosComplement);
+                assert_eq!(got, MulResult::Single(w * iact), "raw={raw} iact={iact}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_bit_mode_matches_plain_multiplication_exhaustively() {
+        for raw in 0..16u8 {
+            for iact in -128..=127i32 {
+                let w_hi = decode_weight((raw >> 2) & 3, 2, WeightKind::TwosComplement);
+                let w_lo = decode_weight(raw & 3, 2, WeightKind::TwosComplement);
+                let got = multiply(raw, iact, PeMode::TwoBit, WeightKind::TwosComplement);
+                assert_eq!(
+                    got,
+                    MulResult::Pair {
+                        high: w_hi * iact,
+                        low: w_lo * iact
+                    },
+                    "raw={raw} iact={iact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sign_magnitude_decode_matches_plain_multiplication() {
+        for raw in 0..16u8 {
+            for iact in [-100, -1, 0, 7, 127] {
+                let w = decode_weight(raw, 4, WeightKind::SignMagnitude);
+                let got = multiply(raw, iact, PeMode::FourBit, WeightKind::SignMagnitude);
+                assert_eq!(got, MulResult::Single(w * iact), "raw={raw} iact={iact}");
+            }
+        }
+    }
+
+    #[test]
+    fn sign_magnitude_negative_zero_is_zero() {
+        // {s=1, m=0} must multiply to 0 — the case two's complement breaks.
+        let got = multiply(0b10, 50, PeMode::TwoBit, WeightKind::SignMagnitude);
+        match got {
+            MulResult::Pair { low, .. } => assert_eq!(low, 0),
+            _ => panic!("expected pair"),
+        }
+    }
+
+    #[test]
+    fn accumulate_forwards_inliers() {
+        assert_eq!(accumulate(30, 12, false), AccOutput::Forward(42));
+    }
+
+    #[test]
+    fn accumulate_offloads_outliers_unmodified() {
+        assert_eq!(
+            accumulate(30, 12, true),
+            AccOutput::Offload { res: 30, iacc: 12 }
+        );
+    }
+
+    #[test]
+    fn two_bit_mode_doubles_throughput_semantics() {
+        // The two packed weights are exactly those that would occupy two
+        // neighbouring columns at 4-bit mode (§5.3).
+        let raw = 0b0111; // w_hi = +1, w_lo = −1 (two's complement 2-bit 11 = −1)
+        let got = multiply(raw, 10, PeMode::TwoBit, WeightKind::TwosComplement);
+        assert_eq!(got, MulResult::Pair { high: 10, low: -10 });
+    }
+}

@@ -1,0 +1,327 @@
+//! Analytic performance model for the MicroScopiQ accelerator (§5, §7.5).
+//!
+//! Latency per GEMM combines: weight-stationary tiling over the PE array
+//! (2-bit mode packs two output channels per PE column, doubling effective
+//! columns), pipeline fill/drain, double-buffered weight fetch from HBM2
+//! through the L2/OCP path, and ReCoN contention. ReCoN demand follows the
+//! direct-wire observation of Fig. 15: only outlier-bearing μB column
+//! groups detour through the NoC, so expected demand per cycle is
+//! `rows · x` full-width accesses against `units` capacity; contention is
+//! evaluated from the Binomial occupancy distribution (the Fig. 16(b)
+//! conflict metric) and stalls throttle streaming when demand exceeds
+//! capacity (the controller's handshake backpressure, §5.2).
+
+use crate::workload::GemmShape;
+
+/// MicroScopiQ accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelConfig {
+    /// PE rows.
+    pub rows: usize,
+    /// PE columns.
+    pub cols: usize,
+    /// Time-multiplexed ReCoN units.
+    pub recon_units: usize,
+    /// Per-element bit budget (2 or 4).
+    pub bb: u32,
+    /// Micro-block size mapped across a PE row.
+    pub micro_block: usize,
+    /// Clock (GHz).
+    pub freq_ghz: f64,
+    /// Off-chip bandwidth (GB/s), HBM2 per §5.1.
+    pub hbm_gbps: f64,
+    /// L2→buffer bandwidth (GB/s), OCP-SRAM interface per §5.1.
+    pub sram_gbps: f64,
+}
+
+impl AccelConfig {
+    /// The paper's 64×64 design at 1 GHz.
+    pub fn paper_64x64(bb: u32, recon_units: usize) -> Self {
+        Self {
+            rows: 64,
+            cols: 64,
+            recon_units,
+            bb,
+            micro_block: 8,
+            freq_ghz: 1.0,
+            hbm_gbps: 256.0,
+            sram_gbps: 64.0,
+        }
+    }
+
+    /// Effective output columns per pass (2-bit mode packs two weights that
+    /// share an iAct into one PE, §5.3).
+    pub fn effective_cols(&self) -> usize {
+        if self.bb == 2 {
+            self.cols * 2
+        } else {
+            self.cols
+        }
+    }
+
+    /// Peak MACs per cycle.
+    pub fn peak_macs_per_cycle(&self) -> usize {
+        self.rows * self.effective_cols()
+    }
+
+    /// Peak throughput in TOPS (2 ops per MAC).
+    pub fn peak_tops(&self) -> f64 {
+        self.peak_macs_per_cycle() as f64 * 2.0 * self.freq_ghz / 1000.0
+    }
+}
+
+/// Latency breakdown for one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyBreakdown {
+    /// Compute-bound cycles (including fill/drain).
+    pub compute_cycles: f64,
+    /// Memory-bound cycles (weight + activation traffic, overlapped).
+    pub memory_cycles: f64,
+    /// Extra cycles lost to ReCoN contention.
+    pub recon_stall_cycles: f64,
+    /// Final latency in cycles (max of compute/memory per tile + stalls).
+    pub total_cycles: f64,
+    /// Achieved / peak MAC utilization.
+    pub utilization: f64,
+    /// Fraction of ReCoN accesses that conflicted (Fig. 16(b) metric).
+    pub conflict_fraction: f64,
+}
+
+impl LatencyBreakdown {
+    /// Latency in milliseconds at the given clock.
+    pub fn ms(&self, freq_ghz: f64) -> f64 {
+        self.total_cycles / (freq_ghz * 1e9) * 1e3
+    }
+}
+
+/// Binomial-occupancy ReCoN conflict model: with `rows` independent
+/// requesters each active with probability `x` per cycle and `units`
+/// single-cycle servers, returns `(conflict_fraction, stall_factor)`.
+///
+/// `conflict_fraction` = E[max(0, r − units)] / E[r] (share of accesses
+/// that must wait); `stall_factor` = max(1, E[r]/units) (sustained
+/// throughput throttle when oversubscribed).
+pub fn recon_contention(rows: usize, x: f64, units: usize) -> (f64, f64) {
+    assert!(units >= 1, "at least one ReCoN unit");
+    let x = x.clamp(0.0, 1.0);
+    let n = rows;
+    let mean = n as f64 * x;
+    if mean == 0.0 {
+        return (0.0, 1.0);
+    }
+    // Binomial pmf walk (n ≤ 128 in practice).
+    let mut pmf = vec![0.0f64; n + 1];
+    let mut log_c = 0.0f64; // log C(n, k)
+    for (k, p) in pmf.iter_mut().enumerate() {
+        if k > 0 {
+            log_c += ((n - k + 1) as f64).ln() - (k as f64).ln();
+        }
+        let logp = log_c + k as f64 * x.ln() + (n - k) as f64 * (1.0 - x).max(1e-300).ln();
+        *p = logp.exp();
+    }
+    let excess: f64 = pmf
+        .iter()
+        .enumerate()
+        .map(|(k, p)| p * (k as f64 - units as f64).max(0.0))
+        .sum();
+    let conflict_fraction = (excess / mean).clamp(0.0, 1.0);
+    // Sustained throttle when oversubscribed, plus a sub-saturation
+    // waiting penalty for conflicting accesses (sync-buffer N−1 latency).
+    let stall_factor = (mean / units as f64).max(1.0) + 0.3 * conflict_fraction;
+    (conflict_fraction, stall_factor)
+}
+
+/// Computes latency for one GEMM shape.
+///
+/// `ebw` is the effective bit width of the weight tensor (drives off-chip
+/// traffic) and `outlier_mb_fraction` the share of μBs with outliers
+/// (drives ReCoN demand).
+pub fn gemm_latency(
+    shape: &GemmShape,
+    cfg: &AccelConfig,
+    ebw: f64,
+    outlier_mb_fraction: f64,
+) -> LatencyBreakdown {
+    let col_eff = cfg.effective_cols();
+    let row_tiles = shape.k.div_ceil(cfg.rows);
+    let col_tiles = shape.m.div_ceil(col_eff);
+    let tiles = (row_tiles * col_tiles) as f64;
+
+    // Streaming: one iAct wave per batch column. Pipeline fill/drain is
+    // paid once per shape — tiles are double-buffered back to back.
+    let stream = shape.n as f64;
+    let fill = (cfg.rows + cfg.cols) as f64;
+
+    // ReCoN contention (§7.8): a row requests the NoC when one of its
+    // outlier μBs' psums crosses to the next row; amortized over the
+    // cols/Bμ μB groups a row holds, the per-row per-cycle request
+    // probability is x·Bμ/cols. The column-wise arbiters serialize
+    // simultaneous requesters (sync-buffer N−1 penalty, §5.4).
+    let mbs_per_row = (cfg.cols / cfg.micro_block).max(1) as f64;
+    let request_p = (outlier_mb_fraction / mbs_per_row).clamp(0.0, 1.0);
+    let (conflict_fraction, stall_factor) =
+        recon_contention(cfg.rows, request_p, cfg.recon_units);
+    let compute_per_tile = stream * stall_factor;
+
+    // Weight fetch per tile (double buffered against compute): EBW bits per
+    // element over the HBM2 + OCP-SRAM path (the slower stage bounds).
+    let bytes_per_cycle = cfg.hbm_gbps.min(cfg.sram_gbps * 4.0) / cfg.freq_ghz; // GB/s ÷ Gcycle/s
+    let tile_weight_bytes = (cfg.rows * col_eff) as f64 * ebw / 8.0;
+    let mem_per_tile = tile_weight_bytes / bytes_per_cycle;
+
+    let per_tile = compute_per_tile.max(mem_per_tile);
+    let total = (tiles * per_tile + fill) * shape.repeats as f64;
+
+    let ideal_macs = shape.macs() as f64;
+    let utilization = (ideal_macs / (total * cfg.peak_macs_per_cycle() as f64)).min(1.0);
+
+    LatencyBreakdown {
+        compute_cycles: (tiles * compute_per_tile + fill) * shape.repeats as f64,
+        memory_cycles: tiles * mem_per_tile * shape.repeats as f64,
+        recon_stall_cycles: tiles * stream * (stall_factor - 1.0) * shape.repeats as f64,
+        total_cycles: total,
+        utilization,
+        conflict_fraction,
+    }
+}
+
+/// Latency for a whole workload (sum over shapes).
+pub fn workload_latency(
+    workload: &[GemmShape],
+    cfg: &AccelConfig,
+    ebw: f64,
+    outlier_mb_fraction: f64,
+) -> LatencyBreakdown {
+    let mut total = LatencyBreakdown::default();
+    let mut macs = 0f64;
+    let mut conflict_acc = 0.0;
+    for shape in workload {
+        let l = gemm_latency(shape, cfg, ebw, outlier_mb_fraction);
+        total.compute_cycles += l.compute_cycles;
+        total.memory_cycles += l.memory_cycles;
+        total.recon_stall_cycles += l.recon_stall_cycles;
+        total.total_cycles += l.total_cycles;
+        conflict_acc += l.conflict_fraction * l.total_cycles;
+        macs += shape.macs() as f64;
+    }
+    total.utilization = (macs / (total.total_cycles * cfg.peak_macs_per_cycle() as f64)).min(1.0);
+    total.conflict_fraction = if total.total_cycles > 0.0 {
+        conflict_acc / total.total_cycles
+    } else {
+        0.0
+    };
+    total
+}
+
+/// Effective throughput in TOPS for a workload.
+pub fn effective_tops(workload: &[GemmShape], cfg: &AccelConfig, latency: &LatencyBreakdown) -> f64 {
+    let macs: f64 = workload.iter().map(|g| g.macs() as f64).sum();
+    let seconds = latency.total_cycles / (cfg.freq_ghz * 1e9);
+    2.0 * macs / seconds / 1e12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(m: usize, k: usize, n: usize) -> GemmShape {
+        GemmShape {
+            name: "test".to_string(),
+            m,
+            k,
+            n,
+            repeats: 1,
+        }
+    }
+
+    #[test]
+    fn two_bit_mode_doubles_effective_columns() {
+        let c2 = AccelConfig::paper_64x64(2, 1);
+        let c4 = AccelConfig::paper_64x64(4, 1);
+        assert_eq!(c2.effective_cols(), 128);
+        assert_eq!(c4.effective_cols(), 64);
+        assert!(c2.peak_tops() > c4.peak_tops() * 1.9);
+    }
+
+    #[test]
+    fn two_bit_mode_is_faster_on_compute_bound_gemm() {
+        let s = shape(4096, 4096, 512);
+        let l2 = gemm_latency(&s, &AccelConfig::paper_64x64(2, 8), 2.4, 0.0);
+        let l4 = gemm_latency(&s, &AccelConfig::paper_64x64(4, 8), 4.4, 0.0);
+        assert!(
+            l2.total_cycles < l4.total_cycles * 0.6,
+            "2-bit {} vs 4-bit {}",
+            l2.total_cycles,
+            l4.total_cycles
+        );
+    }
+
+    #[test]
+    fn decode_is_memory_bound() {
+        let s = shape(4096, 4096, 1);
+        let l = gemm_latency(&s, &AccelConfig::paper_64x64(2, 1), 2.4, 0.02);
+        assert!(l.memory_cycles > l.compute_cycles);
+    }
+
+    #[test]
+    fn conflicts_decrease_with_more_units() {
+        let mut last = f64::INFINITY;
+        for units in [1usize, 2, 4, 8] {
+            let (c, _) = recon_contention(64, 0.05, units);
+            assert!(c <= last, "units {units}: {c} vs {last}");
+            last = c;
+        }
+        // With 8 units, conflicts are essentially gone (Fig. 16(b)).
+        let (c8, _) = recon_contention(64, 0.05, 8);
+        assert!(c8 < 0.01, "8-unit conflicts {c8}");
+    }
+
+    #[test]
+    fn no_outliers_no_stall() {
+        let (c, s) = recon_contention(64, 0.0, 1);
+        assert_eq!(c, 0.0);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn oversubscription_throttles() {
+        let (_, s) = recon_contention(64, 0.05, 1); // mean demand 3.2 rows
+        assert!(s > 3.0 && s < 3.6, "stall factor {s}");
+        let (_, s8) = recon_contention(64, 0.05, 8);
+        assert!(s8 < 1.01, "8-unit stall {s8}");
+    }
+
+    #[test]
+    fn latency_improves_then_saturates_with_recon_units() {
+        // LLaMA-3-8B-class occupancy: ~13% of μBs carry outliers.
+        let s = shape(4096, 4096, 512);
+        let lat = |units| {
+            gemm_latency(&s, &AccelConfig::paper_64x64(2, units), 2.4, 0.135).total_cycles
+        };
+        let l1 = lat(1);
+        let l2 = lat(2);
+        let l4 = lat(4);
+        let l8 = lat(8);
+        assert!(l1 > l2 && l2 > l4, "monotone improvement: {l1} {l2} {l4}");
+        // Saturation: 4 → 8 gains little once demand < capacity (Fig. 18a).
+        assert!((l4 - l8) / l4 < 0.05, "l4 {l4} l8 {l8}");
+        // Overall 1 → 8 improvement in the ballpark of the paper's 21%.
+        let gain = (l1 - l8) / l1;
+        assert!(gain > 0.05 && gain < 0.35, "1→8 unit gain {gain}");
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let s = shape(1000, 1000, 100);
+        let l = gemm_latency(&s, &AccelConfig::paper_64x64(4, 8), 4.2, 0.03);
+        assert!(l.utilization > 0.0 && l.utilization <= 1.0);
+    }
+
+    #[test]
+    fn higher_ebw_costs_memory_cycles() {
+        let s = shape(4096, 4096, 1);
+        let cheap = gemm_latency(&s, &AccelConfig::paper_64x64(4, 8), 4.0, 0.0);
+        let costly = gemm_latency(&s, &AccelConfig::paper_64x64(4, 8), 16.0, 0.0);
+        assert!(costly.memory_cycles > cheap.memory_cycles * 3.5);
+    }
+}

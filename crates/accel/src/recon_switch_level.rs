@@ -1,0 +1,360 @@
+//! Switch-level ReCoN simulation: an explicit multistage butterfly where
+//! every 2×2 switch executes Pass/Swap/Merge per its configuration
+//! (§5.4, Fig. 7(c)).
+//!
+//! Per the Fig. 15 wiring, inlier partial sums use the direct PE-to-PE
+//! wires; only outlier-half columns enter the network. A Lower half
+//! corrects its column address LSB-first toward the Upper half's column;
+//! the stage of the highest differing address bit is where both halves
+//! meet in one switch and Merge executes. The vacated pruned column emits
+//! its pass-through iAcc down the straight path at the first Swap.
+//!
+//! Two pairs whose paths demand the same switch port cannot route in the
+//! same pass — the column-wise arbiters defer one pair to the next
+//! network pass (the sync-buffer N−1 serialization of §5.4). The number
+//! of extra passes is the structural-conflict count this model exposes;
+//! the direct model in [`crate::recon`] remains the functional reference
+//! and the two are equivalence-tested over every legal merge pattern.
+
+use crate::recon::{ColumnInput, ReCoN, RouteResult};
+use microscopiq_core::microblock::PermEntry;
+
+/// A switch operation, as configured by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchOp {
+    /// Left→left, right→right.
+    Pass,
+    /// Left→right, right→left.
+    Swap,
+    /// Combine an Upper/Lower half pair into the FP outlier partial sum.
+    Merge,
+}
+
+/// In-flight value inside one network pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flit {
+    Empty,
+    /// A half of outlier `pair`; `upper` distinguishes the two.
+    Half { pair: usize, upper: bool },
+    /// A merged partial sum travelling to the Upper column.
+    Merged { pair: usize },
+}
+
+/// Result of a switch-level pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchLevelResult {
+    /// Per-column outputs (fixed point).
+    pub outputs: Vec<i64>,
+    /// Switch operations executed (pass ops on live ports + swaps + merges).
+    pub switch_ops: usize,
+    /// Network passes needed (1 = conflict-free).
+    pub passes: usize,
+    /// Pairs deferred at least once (structural port conflicts).
+    pub conflicts: usize,
+}
+
+/// Routes one row's outputs through an explicit butterfly.
+///
+/// Semantics match [`ReCoN::route`] (equivalence is property-tested).
+///
+/// # Panics
+///
+/// Panics on malformed inputs (wrong width, merges on non-offload
+/// columns, non-power-of-two width).
+pub fn route_switch_level(
+    n: usize,
+    inputs: &[ColumnInput],
+    perm: &[PermEntry],
+    signed_iact: &[i64],
+    mantissa_bits: u32,
+) -> SwitchLevelResult {
+    assert!(n.is_power_of_two() && n >= 2, "width must be a power of two");
+    assert_eq!(inputs.len(), n, "input width mismatch");
+    assert_eq!(perm.len(), signed_iact.len(), "one iAct per outlier");
+    let stages = (n as u32).ilog2() as usize;
+    let half_shift = mantissa_bits / 2;
+
+    // Straight columns and pruned columns resolve without the network.
+    let mut outputs = vec![0i64; n];
+    for (c, inp) in inputs.iter().enumerate() {
+        if let ColumnInput::Psum(v) = inp {
+            outputs[c] = *v;
+        }
+    }
+    let offload = |c: usize| -> (i64, i64) {
+        match inputs[c] {
+            ColumnInput::Offload { res, iacc } => (res, iacc),
+            other => panic!("column {c} is not an offload: {other:?}"),
+        }
+    };
+    for e in perm {
+        // The pruned (Lower) column passes its own iAcc through.
+        outputs[e.lower_loc as usize] = offload(e.lower_loc as usize).1;
+    }
+
+    let merge_value = |k: usize| -> i64 {
+        let e = &perm[k];
+        let (u_res, u_iacc) = offload(e.upper_loc as usize);
+        let (l_res, _) = offload(e.lower_loc as usize);
+        u_iacc + (signed_iact[k] << mantissa_bits) + (u_res << half_shift) + l_res
+    };
+
+    let mut pending: Vec<usize> = (0..perm.len()).collect();
+    let mut passes = 0usize;
+    let mut conflicts = 0usize;
+    let mut switch_ops = 0usize;
+
+    while !pending.is_empty() {
+        passes += 1;
+        if passes > n {
+            // Safety valve: serialize whatever remains, one per pass.
+            for &k in &pending {
+                outputs[perm[k].upper_loc as usize] = merge_value(k);
+                switch_ops += stages + 1;
+            }
+            break;
+        }
+        // Inject this pass's halves.
+        let mut wires = vec![Flit::Empty; n];
+        for &k in &pending {
+            wires[perm[k].upper_loc as usize] = Flit::Half { pair: k, upper: true };
+            wires[perm[k].lower_loc as usize] = Flit::Half { pair: k, upper: false };
+        }
+        let mut deferred: Vec<usize> = Vec::new();
+        let mut merged_this_pass: Vec<usize> = Vec::new();
+
+        for s in 0..stages {
+            let bit = 1usize << s;
+            let mut next = vec![Flit::Empty; n];
+            for p in (0..n).filter(|p| p & bit == 0) {
+                let q = p | bit;
+                let a = wires[p];
+                let b = wires[q];
+                // Does a flit at `pos` want to cross this stage?
+                let wants = |f: Flit, pos: usize| match f {
+                    Flit::Half { pair, upper: false } => {
+                        (pos ^ perm[pair].upper_loc as usize) & bit != 0
+                    }
+                    // Uppers hold position; merged values hold position.
+                    _ => false,
+                };
+                // Merge: both halves of one pair in one switch.
+                if let (Flit::Half { pair: ka, .. }, Flit::Half { pair: kb, .. }) = (a, b) {
+                    if ka == kb {
+                        let dest = perm[ka].upper_loc as usize;
+                        let out = if dest == p { p } else { q };
+                        next[out] = Flit::Merged { pair: ka };
+                        merged_this_pass.push(ka);
+                        switch_ops += 1;
+                        continue;
+                    }
+                }
+                let a_cross = wants(a, p);
+                let b_cross = wants(b, q);
+                match (a_cross, b_cross) {
+                    (false, false) => {
+                        next[p] = a;
+                        next[q] = b;
+                        if a != Flit::Empty || b != Flit::Empty {
+                            switch_ops += 1; // pass on a live switch
+                        }
+                    }
+                    (true, false) => {
+                        if b == Flit::Empty {
+                            next[q] = a; // swap into the free port
+                            switch_ops += 1;
+                        } else {
+                            // Port occupied by another pair: defer `a`'s pair.
+                            if let Flit::Half { pair, .. } = a {
+                                if !deferred.contains(&pair) {
+                                    deferred.push(pair);
+                                }
+                            }
+                            next[q] = b;
+                            switch_ops += 1;
+                        }
+                    }
+                    (false, true) => {
+                        if a == Flit::Empty {
+                            next[p] = b;
+                            switch_ops += 1;
+                        } else {
+                            if let Flit::Half { pair, .. } = b {
+                                if !deferred.contains(&pair) {
+                                    deferred.push(pair);
+                                }
+                            }
+                            next[p] = a;
+                            switch_ops += 1;
+                        }
+                    }
+                    (true, true) => {
+                        // Two lowers of different pairs both want to cross:
+                        // the swap serves both simultaneously.
+                        next[q] = a;
+                        next[p] = b;
+                        switch_ops += 1;
+                    }
+                }
+            }
+            // Drop halves of deferred pairs from the wires (their switches
+            // pass them to the sync buffer for the next round).
+            for w in next.iter_mut() {
+                if let Flit::Half { pair, .. } = *w {
+                    if deferred.contains(&pair) {
+                        *w = Flit::Empty;
+                    }
+                }
+            }
+            wires = next;
+        }
+
+        // Output stage: merged flits land at their Upper columns.
+        for w in &wires {
+            if let Flit::Merged { pair } = *w {
+                outputs[perm[pair].upper_loc as usize] = merge_value(pair);
+                switch_ops += 1;
+            }
+        }
+        // Any pair that neither merged nor was explicitly deferred is
+        // stuck (its halves separated mid-network) — retry it.
+        let mut next_pending: Vec<usize> = Vec::new();
+        for &k in &pending {
+            if !merged_this_pass.contains(&k) {
+                if !next_pending.contains(&k) {
+                    next_pending.push(k);
+                }
+            }
+        }
+        conflicts += next_pending.len();
+        // Guarantee progress: if nothing merged, force the first pair
+        // through alone next pass.
+        if merged_this_pass.is_empty() && !next_pending.is_empty() && next_pending.len() == pending.len()
+        {
+            let k = next_pending.remove(0);
+            outputs[perm[k].upper_loc as usize] = merge_value(k);
+            switch_ops += stages + 1;
+        }
+        pending = next_pending;
+    }
+
+    SwitchLevelResult {
+        outputs,
+        switch_ops,
+        passes,
+        conflicts,
+    }
+}
+
+/// Convenience wrapper returning the same shape as [`ReCoN::route`].
+pub fn route_switch_level_as_result(
+    recon: &ReCoN,
+    inputs: &[ColumnInput],
+    perm: &[PermEntry],
+    signed_iact: &[i64],
+    mantissa_bits: u32,
+) -> RouteResult {
+    let r = route_switch_level(recon.width(), inputs, perm, signed_iact, mantissa_bits);
+    RouteResult {
+        outputs: r.outputs,
+        switch_ops: r.switch_ops,
+        merges: perm.len(),
+        stages: recon.stages(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offload(res: i64, iacc: i64) -> ColumnInput {
+        ColumnInput::Offload { res, iacc }
+    }
+
+    #[test]
+    fn walkthrough_matches_reference() {
+        let inputs = [
+            ColumnInput::Psum(40),
+            ColumnInput::Psum(40),
+            offload(32, 32),
+            offload(0, 32),
+        ];
+        let perm = [PermEntry { upper_loc: 2, lower_loc: 3 }];
+        let direct = ReCoN::new(4).route(&inputs, &perm, &[32], 2);
+        let switched = route_switch_level(4, &inputs, &perm, &[32], 2);
+        assert_eq!(switched.outputs, direct.outputs);
+        assert_eq!(switched.passes, 1);
+        assert_eq!(switched.conflicts, 0);
+    }
+
+    #[test]
+    fn exhaustive_single_pairs_match_reference_n8() {
+        for u in 0..8usize {
+            for l in 0..8usize {
+                if u == l {
+                    continue;
+                }
+                let mut inputs = vec![ColumnInput::Psum(100); 8];
+                inputs[u] = offload(3, 44);
+                inputs[l] = offload(1, 0);
+                let perm = [PermEntry { upper_loc: u as u8, lower_loc: l as u8 }];
+                let direct = ReCoN::new(8).route(&inputs, &perm, &[7], 2);
+                let switched = route_switch_level(8, &inputs, &perm, &[7], 2);
+                assert_eq!(switched.outputs, direct.outputs, "pair ({u},{l})");
+                assert_eq!(switched.passes, 1, "single pair must be conflict-free");
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_pairs_serialize_but_stay_correct() {
+        // Pair 1's lower path (6→…→3) crosses pair 0's territory — the
+        // case that defeats single-pass routing.
+        let mut inputs = vec![ColumnInput::Psum(9); 8];
+        inputs[1] = offload(2, 1);
+        inputs[2] = offload(1, 0);
+        inputs[3] = offload(-3, 5);
+        inputs[6] = offload(-1, 0);
+        let perm = [
+            PermEntry { upper_loc: 1, lower_loc: 2 },
+            PermEntry { upper_loc: 3, lower_loc: 6 },
+        ];
+        let direct = ReCoN::new(8).route(&inputs, &perm, &[3, -3], 2);
+        let switched = route_switch_level(8, &inputs, &perm, &[3, -3], 2);
+        assert_eq!(switched.outputs, direct.outputs);
+    }
+
+    #[test]
+    fn disjoint_subtree_pairs_route_in_one_pass() {
+        let mut inputs = vec![ColumnInput::Psum(9); 8];
+        inputs[0] = offload(2, 1);
+        inputs[1] = offload(1, 0);
+        inputs[4] = offload(-3, 5);
+        inputs[5] = offload(-1, 0);
+        let perm = [
+            PermEntry { upper_loc: 0, lower_loc: 1 },
+            PermEntry { upper_loc: 4, lower_loc: 5 },
+        ];
+        let direct = ReCoN::new(8).route(&inputs, &perm, &[3, -3], 2);
+        let switched = route_switch_level(8, &inputs, &perm, &[3, -3], 2);
+        assert_eq!(switched.outputs, direct.outputs);
+        assert_eq!(switched.passes, 1);
+    }
+
+    #[test]
+    fn max_occupancy_four_pairs_n8() {
+        // A full μB: 4 outliers in 8 columns (every inlier pruned).
+        let inputs: Vec<ColumnInput> = (0..8).map(|c| offload(c as i64, 10)).collect();
+        let perm = [
+            PermEntry { upper_loc: 0, lower_loc: 1 },
+            PermEntry { upper_loc: 2, lower_loc: 3 },
+            PermEntry { upper_loc: 4, lower_loc: 5 },
+            PermEntry { upper_loc: 6, lower_loc: 7 },
+        ];
+        let iacts = [5i64, -5, 9, -9];
+        let direct = ReCoN::new(8).route(&inputs, &perm, &iacts, 2);
+        let switched = route_switch_level(8, &inputs, &perm, &iacts, 2);
+        assert_eq!(switched.outputs, direct.outputs);
+        assert_eq!(switched.passes, 1, "adjacent pairs occupy disjoint switches");
+    }
+}

@@ -1,0 +1,102 @@
+//! Workload extraction: foundational-model specs → GEMM shape lists for
+//! the accelerator and GPU performance models.
+
+use microscopiq_fm::zoo::ModelSpec;
+
+/// One GEMM to execute: `Y(M×N) = W(M×K) · X(K×N)`, repeated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GemmShape {
+    /// Layer role.
+    pub name: String,
+    /// Output channels.
+    pub m: usize,
+    /// Input features (dot-product dimension).
+    pub k: usize,
+    /// Batch/tokens.
+    pub n: usize,
+    /// Repetitions across the model.
+    pub repeats: usize,
+}
+
+impl GemmShape {
+    /// Multiply-accumulate count for all repetitions.
+    pub fn macs(&self) -> u64 {
+        (self.m * self.k * self.n) as u64 * self.repeats as u64
+    }
+
+    /// Weight element count for all repetitions.
+    pub fn weight_elements(&self) -> u64 {
+        (self.m * self.k) as u64 * self.repeats as u64
+    }
+}
+
+/// Inference phase, fixing the GEMM batch dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Prompt processing with the given sequence length.
+    Prefill(usize),
+    /// Single-token generation (GEMV-like, memory bound).
+    Decode,
+}
+
+/// Extracts the full-model GEMM workload at real (unscaled) dimensions.
+pub fn model_workload(spec: &ModelSpec, phase: Phase) -> Vec<GemmShape> {
+    let n = match phase {
+        Phase::Prefill(seq) => seq,
+        Phase::Decode => 1,
+    };
+    spec.real_gemm_shapes()
+        .into_iter()
+        .map(|(name, m, k, repeats)| GemmShape {
+            name,
+            m,
+            k,
+            n,
+            repeats,
+        })
+        .collect()
+}
+
+/// Total MACs for a workload.
+pub fn total_macs(workload: &[GemmShape]) -> u64 {
+    workload.iter().map(|g| g.macs()).sum()
+}
+
+/// Total weight elements for a workload.
+pub fn total_weights(workload: &[GemmShape]) -> u64 {
+    workload.iter().map(|g| g.weight_elements()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microscopiq_fm::zoo::model;
+
+    #[test]
+    fn llama3_workload_has_real_dimensions() {
+        let w = model_workload(&model("LLaMA-3-8B"), Phase::Prefill(512));
+        assert!(w.iter().any(|g| g.m == 14336 && g.k == 4096));
+        assert!(w.iter().all(|g| g.n == 512));
+    }
+
+    #[test]
+    fn decode_is_gemv() {
+        let w = model_workload(&model("LLaMA-3-8B"), Phase::Decode);
+        assert!(w.iter().all(|g| g.n == 1));
+    }
+
+    #[test]
+    fn macs_scale_with_sequence_length() {
+        let spec = model("Phi-3-3.8B");
+        let short = total_macs(&model_workload(&spec, Phase::Prefill(128)));
+        let long = total_macs(&model_workload(&spec, Phase::Prefill(512)));
+        assert_eq!(long, short * 4);
+    }
+
+    #[test]
+    fn weight_count_tracks_model_size_ordering() {
+        let small = total_weights(&model_workload(&model("Phi-3-3.8B"), Phase::Decode));
+        let large = total_weights(&model_workload(&model("LLaMA-2-70B"), Phase::Decode));
+        assert!(large > small * 5);
+    }
+}

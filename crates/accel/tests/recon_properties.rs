@@ -1,0 +1,93 @@
+//! Property tests: the switch-level butterfly and the direct functional
+//! ReCoN model must agree on every legal merge pattern, and the functional
+//! array must stay exact under random quantized layers.
+
+use microscopiq_accel::array::{execute_gemm, QuantizedActs};
+use microscopiq_accel::recon::{ColumnInput, ReCoN};
+use microscopiq_accel::recon_switch_level::route_switch_level;
+use microscopiq_core::config::{GroupAxis, QuantConfig};
+use microscopiq_core::microblock::PermEntry;
+use microscopiq_core::solver::solve;
+use microscopiq_core::traits::LayerTensors;
+use microscopiq_linalg::{Matrix, SeededRng};
+use proptest::prelude::*;
+
+/// Strategy: up to `n/2` disjoint (upper, lower) pairs over `n` columns.
+fn merge_pattern(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec(any::<u64>(), 0..=n / 2).prop_map(move |seeds| {
+        let mut free: Vec<usize> = (0..n).collect();
+        let mut pairs = Vec::new();
+        for seed in seeds {
+            if free.len() < 2 {
+                break;
+            }
+            let u = free.remove((seed as usize) % free.len());
+            let l = free.remove((seed as usize >> 16) % free.len());
+            pairs.push((u, l));
+        }
+        pairs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn switch_level_equals_direct_model(
+        pairs in merge_pattern(8),
+        res_seed in any::<u64>(),
+        mb in prop_oneof![Just(2u32), Just(4u32)],
+    ) {
+        let mut rng = SeededRng::new(res_seed);
+        let mut inputs = vec![ColumnInput::Psum(0); 8];
+        for c in 0..8 {
+            inputs[c] = ColumnInput::Psum(rng.below(1000) as i64 - 500);
+        }
+        let mut perm = Vec::new();
+        let mut iacts = Vec::new();
+        for &(u, l) in &pairs {
+            inputs[u] = ColumnInput::Offload {
+                res: rng.below(64) as i64 - 32,
+                iacc: rng.below(1000) as i64 - 500,
+            };
+            inputs[l] = ColumnInput::Offload {
+                res: rng.below(64) as i64 - 32,
+                iacc: 0,
+            };
+            perm.push(PermEntry { upper_loc: u as u8, lower_loc: l as u8 });
+            iacts.push(rng.below(255) as i64 - 127);
+        }
+        let direct = ReCoN::new(8).route(&inputs, &perm, &iacts, mb);
+        let switched = route_switch_level(8, &inputs, &perm, &iacts, mb);
+        prop_assert_eq!(switched.outputs, direct.outputs);
+    }
+
+    #[test]
+    fn functional_gemm_always_matches_reference(
+        seed in 0u64..500,
+        rows in 8usize..32,
+        bits in prop_oneof![Just(2u32), Just(4u32)],
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let cols = 16;
+        let mut w = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 0.02));
+        for _ in 0..(rows * cols / 30) {
+            let r = rng.below(rows);
+            let c = rng.below(cols);
+            w[(r, c)] = rng.sign() * rng.uniform_range(0.15, 0.5);
+        }
+        let x = Matrix::from_fn(cols, 24, |_, _| rng.normal(0.0, 1.0));
+        let layer = LayerTensors::new(w, x).unwrap();
+        let cfg = QuantConfig::builder(bits)
+            .macro_block(16)
+            .row_block(16)
+            .group_axis(GroupAxis::OutputChannel)
+            .build()
+            .unwrap();
+        let packed = solve(&layer, &cfg).unwrap().packed.unwrap();
+        let acts = QuantizedActs::from_f64(&Matrix::from_fn(cols, 3, |_, _| rng.normal(0.0, 1.0)));
+        let exec = execute_gemm(&packed, &acts);
+        let reference = packed.dequantize().matmul(&acts.dequantize());
+        prop_assert!(exec.outputs.frobenius_distance(&reference) < 1e-9);
+    }
+}

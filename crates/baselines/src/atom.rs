@@ -1,0 +1,124 @@
+//! Atom (Zhao et al., MLSys'24) — mixed-precision channel reordering: the
+//! activation-hottest input channels keep a higher width (INT8 in the
+//! paper), the rest are quantized at the base width with group scales.
+
+use crate::util::{channel_activation_magnitude, rtn_group};
+use microscopiq_core::error::QuantError;
+use microscopiq_core::traits::{LayerTensors, QuantStats, QuantizedLayer, WeightQuantizer};
+use microscopiq_linalg::Matrix;
+
+/// Atom quantizer.
+#[derive(Debug, Clone)]
+pub struct Atom {
+    bits: u32,
+    keep_bits: u32,
+    group: usize,
+    /// Fraction of input channels kept at `keep_bits` (the paper keeps 128
+    /// of 4096 ≈ 1/32).
+    keep_fraction: f64,
+}
+
+impl Atom {
+    /// Atom with base width `bits`, hot channels at `keep_bits`.
+    pub fn new(bits: u32, keep_bits: u32, group: usize) -> Self {
+        Self {
+            bits,
+            keep_bits,
+            group,
+            keep_fraction: 1.0 / 32.0,
+        }
+    }
+}
+
+impl WeightQuantizer for Atom {
+    fn name(&self) -> &str {
+        "Atom"
+    }
+
+    fn quantize_layer(&self, layer: &LayerTensors) -> Result<QuantizedLayer, QuantError> {
+        let d_col = layer.d_col();
+        let n_keep = ((d_col as f64 * self.keep_fraction).round() as usize).clamp(1, d_col);
+        let mags = channel_activation_magnitude(&layer.calibration);
+        let mut order: Vec<usize> = (0..d_col).collect();
+        order.sort_by(|&a, &b| mags[b].partial_cmp(&mags[a]).expect("finite"));
+        let keep: Vec<bool> = {
+            let mut k = vec![false; d_col];
+            for &c in order.iter().take(n_keep) {
+                k[c] = true;
+            }
+            k
+        };
+
+        // Quantize the full tensor at both widths, then select per channel
+        // (equivalent to Atom's reorder-then-quantize with fused kernels).
+        let low = rtn_group(&layer.weights, self.bits, self.group, 1.0);
+        let high = rtn_group(&layer.weights, self.keep_bits, self.group, 1.0);
+        let mut deq = Matrix::zeros(layer.d_row(), d_col);
+        for r in 0..layer.d_row() {
+            for c in 0..d_col {
+                deq[(r, c)] = if keep[c] { high[(r, c)] } else { low[(r, c)] };
+            }
+        }
+        let ebw = (n_keep as f64 * self.keep_bits as f64
+            + (d_col - n_keep) as f64 * self.bits as f64)
+            / d_col as f64;
+        Ok(QuantizedLayer {
+            dequantized: deq,
+            packed: None,
+            stats: QuantStats {
+                effective_bit_width: ebw,
+                outlier_fraction: n_keep as f64 / d_col as f64,
+                ..QuantStats::default()
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtn::Rtn;
+    use microscopiq_linalg::SeededRng;
+
+    fn layer_with_hot_channels(seed: u64) -> LayerTensors {
+        let mut rng = SeededRng::new(seed);
+        let w = Matrix::from_fn(8, 64, |_, _| rng.normal(0.0, 0.02));
+        let mut x = Matrix::from_fn(64, 32, |_, _| rng.normal(0.0, 0.3));
+        for s in 0..32 {
+            x[(9, s)] = rng.normal(0.0, 10.0);
+            x[(33, s)] = rng.normal(0.0, 8.0);
+        }
+        LayerTensors::new(w, x).unwrap()
+    }
+
+    #[test]
+    fn atom_beats_uniform_low_bits_on_output_error() {
+        let l = layer_with_hot_channels(1);
+        let a = Atom::new(4, 8, 16)
+            .quantize_layer(&l)
+            .unwrap()
+            .output_error(&l);
+        let r = Rtn::group(4, 16).quantize_layer(&l).unwrap().output_error(&l);
+        assert!(a < r, "Atom {a} vs RTN {r}");
+    }
+
+    #[test]
+    fn ebw_between_base_and_keep() {
+        let l = layer_with_hot_channels(2);
+        let out = Atom::new(4, 8, 16).quantize_layer(&l).unwrap();
+        let ebw = out.stats.effective_bit_width;
+        assert!(ebw > 4.0 && ebw < 8.0, "ebw {ebw}");
+    }
+
+    #[test]
+    fn hot_channels_are_kept_high_precision() {
+        let l = layer_with_hot_channels(3);
+        let a = Atom::new(2, 8, 16).quantize_layer(&l).unwrap();
+        // Channel 9 is hottest: its weights must be finer-grained than a
+        // 2-bit lattice (which has ≤ 3 magnitude levels per group).
+        let distinct: std::collections::BTreeSet<u64> = (0..8)
+            .map(|r| a.dequantized[(r, 9)].abs().to_bits())
+            .collect();
+        assert!(distinct.len() > 3, "channel 9 looks 2-bit: {distinct:?}");
+    }
+}

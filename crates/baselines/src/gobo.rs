@@ -1,0 +1,192 @@
+//! GOBO (Zadeh et al., MICRO'20) — the paper's principal group-A
+//! comparison: outliers kept at full precision in side-band sparse storage,
+//! inliers clustered to 2^b centroids (1-D k-means). High accuracy, high
+//! effective bit width, unaligned memory.
+
+use microscopiq_core::error::QuantError;
+use microscopiq_core::outlier::classify_outliers;
+use microscopiq_core::traits::{LayerTensors, QuantStats, QuantizedLayer, WeightQuantizer};
+use microscopiq_linalg::Matrix;
+
+/// GOBO quantizer.
+#[derive(Debug, Clone)]
+pub struct Gobo {
+    bits: u32,
+    sigma: f64,
+    lloyd_iters: usize,
+}
+
+impl Gobo {
+    /// GOBO with 2^bits inlier centroids.
+    pub fn new(bits: u32) -> Self {
+        Self {
+            bits,
+            sigma: 3.0,
+            lloyd_iters: 12,
+        }
+    }
+}
+
+/// One-dimensional k-means with quantile initialization.
+fn kmeans_1d(values: &[f64], k: usize, iters: usize) -> Vec<f64> {
+    assert!(k >= 1, "need at least one centroid");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    if sorted.is_empty() {
+        return vec![0.0; k];
+    }
+    // Quantile init.
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| {
+            let pos = (i as f64 + 0.5) / k as f64 * (sorted.len() - 1) as f64;
+            sorted[pos.round() as usize]
+        })
+        .collect();
+    for _ in 0..iters {
+        let mut sums = vec![0.0; k];
+        let mut counts = vec![0usize; k];
+        for &v in &sorted {
+            let c = nearest_index(&centroids, v);
+            sums[c] += v;
+            counts[c] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                centroids[c] = sums[c] / counts[c] as f64;
+            }
+        }
+    }
+    centroids
+}
+
+fn nearest_index(centroids: &[f64], v: f64) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, &c) in centroids.iter().enumerate() {
+        let d = (v - c).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+impl WeightQuantizer for Gobo {
+    fn name(&self) -> &str {
+        "GOBO"
+    }
+
+    fn quantize_layer(&self, layer: &LayerTensors) -> Result<QuantizedLayer, QuantError> {
+        let w = &layer.weights;
+        let all: Vec<f64> = w.as_slice().to_vec();
+        let flagged = classify_outliers(&all, self.sigma);
+        let inliers: Vec<f64> = all
+            .iter()
+            .zip(flagged.iter())
+            .filter(|(_, &f)| !f)
+            .map(|(&v, _)| v)
+            .collect();
+        // Subsample for k-means speed (GOBO fits on a sample too).
+        let sample: Vec<f64> = if inliers.len() > 8192 {
+            let stride = inliers.len() / 8192;
+            inliers.iter().step_by(stride.max(1)).cloned().collect()
+        } else {
+            inliers.clone()
+        };
+        let centroids = kmeans_1d(&sample, 1 << self.bits, self.lloyd_iters);
+
+        let mut deq = Matrix::zeros(w.rows(), w.cols());
+        let mut n_outliers = 0usize;
+        for r in 0..w.rows() {
+            for c in 0..w.cols() {
+                let idx = r * w.cols() + c;
+                if flagged[idx] {
+                    // Outliers stored at full precision, side-band.
+                    deq[(r, c)] = w[(r, c)];
+                    n_outliers += 1;
+                } else {
+                    deq[(r, c)] = centroids[nearest_index(&centroids, w[(r, c)])];
+                }
+            }
+        }
+        let total = (w.rows() * w.cols()) as f64;
+        let frac = n_outliers as f64 / total;
+        // Side-band cost per outlier: 32-bit value + 16-bit position, the
+        // sparse encoding of Fig. 3(b).
+        let ebw = self.bits as f64 + frac * (32.0 + 16.0);
+        Ok(QuantizedLayer {
+            dequantized: deq,
+            packed: None,
+            stats: QuantStats {
+                effective_bit_width: ebw,
+                outlier_fraction: frac,
+                ..QuantStats::default()
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtn::Rtn;
+    use microscopiq_linalg::SeededRng;
+
+    fn layer(seed: u64) -> LayerTensors {
+        let mut rng = SeededRng::new(seed);
+        let mut w = Matrix::from_fn(8, 64, |_, _| rng.normal(0.0, 0.02));
+        for i in 0..6 {
+            w[(i, i * 9 + 1)] = rng.sign() * rng.uniform_range(0.2, 0.5);
+        }
+        let x = Matrix::from_fn(64, 32, |_, _| rng.normal(0.0, 1.0));
+        LayerTensors::new(w, x).unwrap()
+    }
+
+    #[test]
+    fn outliers_are_exact() {
+        let l = layer(1);
+        let out = Gobo::new(3).quantize_layer(&l).unwrap();
+        assert_eq!(out.dequantized[(1, 10)], l.weights[(1, 10)]);
+        assert!(out.stats.outlier_fraction > 0.0);
+    }
+
+    #[test]
+    fn gobo_accuracy_beats_same_width_rtn() {
+        let l = layer(2);
+        let g = Gobo::new(3).quantize_layer(&l).unwrap().weight_error(&l);
+        let r = Rtn::per_tensor(3).quantize_layer(&l).unwrap().weight_error(&l);
+        assert!(g < r, "GOBO {g} vs RTN {r}");
+    }
+
+    #[test]
+    fn ebw_reflects_sideband_cost() {
+        let l = layer(3);
+        let out = Gobo::new(3).quantize_layer(&l).unwrap();
+        assert!(
+            out.stats.effective_bit_width > 3.0,
+            "EBW {} must exceed the base bits",
+            out.stats.effective_bit_width
+        );
+    }
+
+    #[test]
+    fn kmeans_centroids_are_ordered_reasonably() {
+        let vals: Vec<f64> = (0..1000).map(|i| ((i % 97) as f64 - 48.0) / 100.0).collect();
+        let cents = kmeans_1d(&vals, 8, 10);
+        assert_eq!(cents.len(), 8);
+        // Centroids span the sample range.
+        let min = cents.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = cents.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < -0.3 && max > 0.3);
+    }
+
+    #[test]
+    fn centroid_count_matches_bits() {
+        let l = layer(4);
+        // 2-bit GOBO has only 4 centroids → visibly coarser than 4-bit.
+        let e2 = Gobo::new(2).quantize_layer(&l).unwrap().weight_error(&l);
+        let e4 = Gobo::new(4).quantize_layer(&l).unwrap().weight_error(&l);
+        assert!(e4 < e2);
+    }
+}

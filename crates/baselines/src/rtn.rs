@@ -1,0 +1,139 @@
+//! Round-to-nearest baselines: plain group RTN, per-channel RTN
+//! (SmoothQuant's weight path), and per-tensor RTN (the "INT-b scalar
+//! quantization" row of Table 7 and the QMamba-like SSM baseline).
+
+use crate::util::{rtn_group, rtn_per_channel, rtn_per_tensor};
+use microscopiq_core::error::QuantError;
+use microscopiq_core::traits::{LayerTensors, QuantStats, QuantizedLayer, WeightQuantizer};
+
+/// Scale granularity for [`Rtn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtnGranularity {
+    /// One scale for the entire tensor.
+    PerTensor,
+    /// One scale per output channel.
+    PerChannel,
+    /// One scale per `usize` contiguous input elements.
+    Group(usize),
+}
+
+/// Round-to-nearest quantizer with no calibration awareness.
+#[derive(Debug, Clone)]
+pub struct Rtn {
+    name: String,
+    bits: u32,
+    granularity: RtnGranularity,
+}
+
+impl Rtn {
+    /// Group-`g` RTN at the given width.
+    pub fn group(bits: u32, group: usize) -> Self {
+        Self {
+            name: format!("RTN-g{group}"),
+            bits,
+            granularity: RtnGranularity::Group(group),
+        }
+    }
+
+    /// Per-output-channel RTN (SmoothQuant's weight quantizer).
+    pub fn per_channel(bits: u32) -> Self {
+        Self {
+            name: "RTN-channel".to_string(),
+            bits,
+            granularity: RtnGranularity::PerChannel,
+        }
+    }
+
+    /// Per-tensor RTN.
+    pub fn per_tensor(bits: u32) -> Self {
+        Self {
+            name: "RTN-tensor".to_string(),
+            bits,
+            granularity: RtnGranularity::PerTensor,
+        }
+    }
+
+    /// Overrides the display name (used when RTN stands in for a named
+    /// method, e.g. "SmoothQuant" or "QMamba-like").
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+}
+
+impl WeightQuantizer for Rtn {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn quantize_layer(&self, layer: &LayerTensors) -> Result<QuantizedLayer, QuantError> {
+        let dequantized = match self.granularity {
+            RtnGranularity::PerTensor => rtn_per_tensor(&layer.weights, self.bits),
+            RtnGranularity::PerChannel => rtn_per_channel(&layer.weights, self.bits),
+            RtnGranularity::Group(g) => rtn_group(&layer.weights, self.bits, g, 1.0),
+        };
+        Ok(QuantizedLayer {
+            dequantized,
+            packed: None,
+            stats: QuantStats {
+                effective_bit_width: self.bits as f64,
+                ..QuantStats::default()
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microscopiq_linalg::{Matrix, SeededRng};
+
+    fn layer(seed: u64) -> LayerTensors {
+        let mut rng = SeededRng::new(seed);
+        let mut w = Matrix::from_fn(8, 32, |_, _| rng.normal(0.0, 0.02));
+        w[(1, 3)] = 0.4;
+        let x = Matrix::from_fn(32, 16, |_, _| rng.normal(0.0, 1.0));
+        LayerTensors::new(w, x).unwrap()
+    }
+
+    #[test]
+    fn finer_granularity_is_more_accurate() {
+        let l = layer(1);
+        let errs: Vec<f64> = [
+            Rtn::per_tensor(4),
+            Rtn::per_channel(4),
+            Rtn::group(4, 8),
+        ]
+        .iter()
+        .map(|q| q.quantize_layer(&l).unwrap().weight_error(&l))
+        .collect();
+        assert!(errs[2] < errs[1], "group {} vs channel {}", errs[2], errs[1]);
+        assert!(errs[1] < errs[0], "channel {} vs tensor {}", errs[1], errs[0]);
+    }
+
+    #[test]
+    fn outlier_poisons_rtn_groups() {
+        // The motivating failure: a 0.4 outlier in a 2-bit group flattens
+        // every inlier in the group to zero.
+        let l = layer(2);
+        let q = Rtn::group(2, 32);
+        let out = q.quantize_layer(&l).unwrap();
+        let body_zeroed = (0..32)
+            .filter(|&c| c != 3 && out.dequantized[(1, c)] == 0.0)
+            .count();
+        assert!(body_zeroed > 24, "only {body_zeroed} zeroed");
+    }
+
+    #[test]
+    fn named_override() {
+        let q = Rtn::per_tensor(4).named("QMamba-like");
+        assert_eq!(q.name(), "QMamba-like");
+    }
+
+    #[test]
+    fn ebw_equals_bits() {
+        let l = layer(3);
+        let out = Rtn::group(4, 16).quantize_layer(&l).unwrap();
+        assert_eq!(out.stats.effective_bit_width, 4.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Shared quantization primitives for the baseline methods: plain
+//! round-to-nearest with float (non-power-of-two) scales at per-tensor,
+//! per-channel, and per-group granularity.
+
+use microscopiq_linalg::Matrix;
+
+/// Symmetric RTN of a slice with a float scale derived from the slice
+/// maximum (optionally clipped). Returns dequantized values.
+pub fn rtn_slice(values: &[f64], bits: u32, clip_ratio: f64) -> Vec<f64> {
+    let qmax = ((1i64 << (bits - 1)) - 1) as f64;
+    let max_abs = values.iter().fold(0.0_f64, |m, v| m.max(v.abs())) * clip_ratio;
+    if max_abs == 0.0 {
+        return vec![0.0; values.len()];
+    }
+    let scale = max_abs / qmax;
+    values
+        .iter()
+        .map(|&v| (v / scale).round().clamp(-qmax, qmax) * scale)
+        .collect()
+}
+
+/// Per-group RTN along the input (column) dimension of each row.
+///
+/// # Panics
+///
+/// Panics if `group` is zero.
+pub fn rtn_group(weights: &Matrix, bits: u32, group: usize, clip_ratio: f64) -> Matrix {
+    assert!(group > 0, "group size must be positive");
+    let mut out = Matrix::zeros(weights.rows(), weights.cols());
+    for r in 0..weights.rows() {
+        let row = weights.row(r);
+        for (g, chunk) in row.chunks(group).enumerate() {
+            for (i, v) in rtn_slice(chunk, bits, clip_ratio).into_iter().enumerate() {
+                out[(r, g * group + i)] = v;
+            }
+        }
+    }
+    out
+}
+
+/// Per-tensor RTN (one scale for the whole matrix).
+pub fn rtn_per_tensor(weights: &Matrix, bits: u32) -> Matrix {
+    let qmax = ((1i64 << (bits - 1)) - 1) as f64;
+    let max_abs = weights.max_abs();
+    if max_abs == 0.0 {
+        return Matrix::zeros(weights.rows(), weights.cols());
+    }
+    let scale = max_abs / qmax;
+    let mut out = weights.clone();
+    for v in out.as_mut_slice() {
+        *v = (*v / scale).round().clamp(-qmax, qmax) * scale;
+    }
+    out
+}
+
+/// Per-output-channel RTN (one scale per row).
+pub fn rtn_per_channel(weights: &Matrix, bits: u32) -> Matrix {
+    let mut out = Matrix::zeros(weights.rows(), weights.cols());
+    for r in 0..weights.rows() {
+        for (c, v) in rtn_slice(weights.row(r), bits, 1.0).into_iter().enumerate() {
+            out[(r, c)] = v;
+        }
+    }
+    out
+}
+
+/// Mean per-channel absolute activation magnitude (`d_col` entries) from a
+/// `d_col × n_samples` calibration matrix.
+pub fn channel_activation_magnitude(calibration: &Matrix) -> Vec<f64> {
+    (0..calibration.rows())
+        .map(|c| {
+            (0..calibration.cols())
+                .map(|s| calibration[(c, s)].abs())
+                .sum::<f64>()
+                / calibration.cols() as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtn_slice_error_within_half_step() {
+        let vals: Vec<f64> = (0..32).map(|i| (i as f64 - 16.0) * 0.01).collect();
+        let deq = rtn_slice(&vals, 4, 1.0);
+        let max_abs = vals.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let scale = max_abs / 7.0;
+        for (v, d) in vals.iter().zip(deq.iter()) {
+            assert!((v - d).abs() <= scale / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn per_tensor_is_coarser_than_per_group() {
+        // A matrix with one large row: per-tensor scale wastes range on the
+        // small rows.
+        let mut w = Matrix::from_fn(4, 32, |_, c| ((c as f64) * 0.7).sin() * 0.01);
+        for c in 0..32 {
+            w[(3, c)] *= 50.0;
+        }
+        let e_tensor = w.frobenius_distance(&rtn_per_tensor(&w, 4));
+        let e_group = w.frobenius_distance(&rtn_group(&w, 4, 16, 1.0));
+        assert!(e_group < e_tensor);
+    }
+
+    #[test]
+    fn clipping_trades_clip_error_for_resolution() {
+        // With one far outlier, clipping the scale hard enough to bring the
+        // lattice step below the body magnitude improves body accuracy.
+        let mut vals = vec![0.01; 63];
+        vals[10] = -0.015;
+        vals.push(1.0);
+        let deq_noclip = rtn_slice(&vals, 4, 1.0);
+        let deq_clip = rtn_slice(&vals, 4, 0.02);
+        let body_err = |deq: &[f64]| {
+            vals[..63]
+                .iter()
+                .zip(deq[..63].iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+        };
+        assert!(body_err(&deq_clip) < body_err(&deq_noclip));
+    }
+
+    #[test]
+    fn zero_input_stays_zero() {
+        assert!(rtn_slice(&[0.0; 8], 4, 1.0).iter().all(|&v| v == 0.0));
+        let z = Matrix::zeros(2, 8);
+        assert_eq!(rtn_per_tensor(&z, 4), z);
+    }
+
+    #[test]
+    fn channel_magnitude_ranks_hot_channels() {
+        let mut x = Matrix::from_fn(8, 16, |_, _| 0.1);
+        for s in 0..16 {
+            x[(3, s)] = 5.0;
+        }
+        let mags = channel_activation_magnitude(&x);
+        assert!(mags[3] > mags[0] * 10.0);
+    }
+}

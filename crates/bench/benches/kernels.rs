@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for the performance-critical kernels:
+//! quantization solve, ReCoN routing, multi-precision PE, functional GEMM,
+//! and packed (de)serialization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use microscopiq_accel::array::{execute_gemm, QuantizedActs};
+use microscopiq_accel::pe::{multiply, PeMode, WeightKind};
+use microscopiq_accel::recon::{ColumnInput, ReCoN};
+use microscopiq_core::config::{GroupAxis, QuantConfig};
+use microscopiq_core::microblock::PermEntry;
+use microscopiq_core::packed::PackedLayer;
+use microscopiq_core::solver::solve;
+use microscopiq_core::traits::LayerTensors;
+use microscopiq_linalg::{Matrix, SeededRng};
+use std::hint::black_box;
+
+fn test_layer(d_row: usize, d_col: usize, seed: u64) -> LayerTensors {
+    let mut rng = SeededRng::new(seed);
+    let mut w = Matrix::from_fn(d_row, d_col, |_, _| rng.normal(0.0, 0.02));
+    for _ in 0..(d_row * d_col / 50) {
+        let r = rng.below(d_row);
+        let c = rng.below(d_col);
+        w[(r, c)] = rng.sign() * rng.uniform_range(0.15, 0.4);
+    }
+    let x = Matrix::from_fn(d_col, d_col / 2, |_, _| rng.normal(0.0, 1.0));
+    LayerTensors::new(w, x).unwrap()
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let layer = test_layer(128, 256, 1);
+    let cfg = QuantConfig::w2().build().unwrap();
+    c.bench_function("microscopiq_solve_128x256_w2", |b| {
+        b.iter(|| solve(black_box(&layer), black_box(&cfg)).unwrap())
+    });
+    let cfg4 = QuantConfig::w4().build().unwrap();
+    c.bench_function("microscopiq_solve_128x256_w4", |b| {
+        b.iter(|| solve(black_box(&layer), black_box(&cfg4)).unwrap())
+    });
+}
+
+fn bench_recon(c: &mut Criterion) {
+    let recon = ReCoN::new(64);
+    let mut inputs = vec![ColumnInput::Psum(100); 64];
+    inputs[3] = ColumnInput::Offload { res: 31, iacc: 12 };
+    inputs[17] = ColumnInput::Offload { res: 0, iacc: 0 };
+    inputs[40] = ColumnInput::Offload { res: -9, iacc: 4 };
+    inputs[41] = ColumnInput::Offload { res: -3, iacc: 0 };
+    let perm = [
+        PermEntry {
+            upper_loc: 3,
+            lower_loc: 17,
+        },
+        PermEntry {
+            upper_loc: 40,
+            lower_loc: 41,
+        },
+    ];
+    c.bench_function("recon_route_64wide_2merges", |b| {
+        b.iter(|| recon.route(black_box(&inputs), black_box(&perm), &[7, -7], 2))
+    });
+}
+
+fn bench_pe(c: &mut Criterion) {
+    c.bench_function("pe_multiply_4b", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for w in 0..16u8 {
+                for a in -64..64i32 {
+                    if let microscopiq_accel::pe::MulResult::Single(v) = multiply(
+                        black_box(w),
+                        black_box(a),
+                        PeMode::FourBit,
+                        WeightKind::TwosComplement,
+                    ) {
+                        acc += v as i64;
+                    }
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_functional_gemm(c: &mut Criterion) {
+    let layer = test_layer(64, 64, 3);
+    let cfg = QuantConfig::w2()
+        .macro_block(64)
+        .row_block(64)
+        .group_axis(GroupAxis::OutputChannel)
+        .build()
+        .unwrap();
+    let packed = solve(&layer, &cfg).unwrap().packed.unwrap();
+    let mut rng = SeededRng::new(4);
+    let acts = QuantizedActs::from_f64(&Matrix::from_fn(64, 16, |_, _| rng.normal(0.0, 1.0)));
+    c.bench_function("functional_gemm_64x64x16", |b| {
+        b.iter(|| execute_gemm(black_box(&packed), black_box(&acts)))
+    });
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let layer = test_layer(64, 128, 5);
+    let cfg = QuantConfig::w2().build().unwrap();
+    let packed = solve(&layer, &cfg).unwrap().packed.unwrap();
+    let bytes = packed.to_bytes();
+    c.bench_function("packed_serialize_64x128", |b| {
+        b.iter(|| black_box(&packed).to_bytes())
+    });
+    c.bench_function("packed_deserialize_64x128", |b| {
+        b.iter(|| PackedLayer::from_bytes(black_box(&bytes)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_quantize, bench_recon, bench_pe, bench_functional_gemm, bench_serialization
+}
+criterion_main!(benches);

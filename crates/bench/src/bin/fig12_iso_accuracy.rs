@@ -1,0 +1,78 @@
+//! Fig. 12 — iso-accuracy latency (b) and energy (c) comparison of
+//! MicroScopiQ-v1 (W4A4), MicroScopiQ-v2 (WxA4, bb=2-dominant) and the
+//! baseline accelerators (OliVe, GOBO, OLAccel, AdaptivFloat, ANT) across
+//! six foundational models.
+
+use microscopiq_accel::baselines::{baseline_energy, baseline_latency, iso_accuracy_baselines};
+use microscopiq_accel::energy::{microscopiq_energy, EnergyConstants};
+use microscopiq_accel::perf::{workload_latency, AccelConfig};
+use microscopiq_accel::workload::{model_workload, Phase};
+use microscopiq_bench::{f2, Table};
+use microscopiq_fm::model;
+
+fn main() {
+    let k = EnergyConstants::default();
+    let models = [
+        "LLaMA-2-7B",
+        "LLaMA-2-13B",
+        "LLaMA-3-8B",
+        "Phi-3-3.8B",
+        "VILA-7B",
+        "LLaVA-1.5-7B",
+    ];
+    let mut lat_table = Table::new(
+        "Fig. 12(b): iso-accuracy latency, normalized to MicroScopiQ-v2 (lower is better)",
+        &["Model", "MS-v2", "MS-v1", "OliVe", "GOBO", "OLAccel", "AdaptivFloat", "ANT"],
+    );
+    let mut en_table = Table::new(
+        "Fig. 12(c): iso-accuracy energy, normalized to MicroScopiQ-v2",
+        &["Model", "MS-v2", "MS-v1", "OliVe", "GOBO", "OLAccel", "AdaptivFloat", "ANT"],
+    );
+    let mut v1_speedups = Vec::new();
+    let mut v2_speedups = Vec::new();
+
+    for name in models {
+        let spec = model(name);
+        let wl = model_workload(&spec, Phase::Prefill(512));
+        // Outlier occupancy drives ReCoN traffic; VLMs are heavier.
+        let x = (1.0 - (1.0 - spec.outlier_profile.rate).powi(8)).min(0.5);
+
+        // MS-v2: 80% of layers at bb=2 (EBW 2.36), 20% at bb=4 (Fig. 12(a)).
+        let cfg2 = AccelConfig::paper_64x64(2, 1);
+        let cfg4 = AccelConfig::paper_64x64(4, 1);
+        let l2 = workload_latency(&wl, &cfg2, 2.36, x).total_cycles;
+        let l4 = workload_latency(&wl, &cfg4, 4.15, x).total_cycles;
+        let ms_v2 = 0.8 * l2 + 0.2 * l4;
+        let ms_v1 = l4;
+        let e2 = microscopiq_energy(&wl, &cfg2, &workload_latency(&wl, &cfg2, 2.36, x), 2.36, x, 4, &k)
+            .total_mj();
+        let e4 = microscopiq_energy(&wl, &cfg4, &workload_latency(&wl, &cfg4, 4.15, x), 4.15, x, 4, &k)
+            .total_mj();
+        let ems_v2 = 0.8 * e2 + 0.2 * e4;
+        let ems_v1 = e4;
+
+        let mut lat_row = vec![name.to_string(), f2(1.0), f2(ms_v1 / ms_v2)];
+        let mut en_row = vec![name.to_string(), f2(1.0), f2(ems_v1 / ems_v2)];
+        for b in iso_accuracy_baselines(&k) {
+            let bl = baseline_latency(&wl, &b, &cfg4);
+            let be = baseline_energy(&wl, &b, 4, &k).total_mj();
+            lat_row.push(f2(bl / ms_v2));
+            en_row.push(f2(be / ems_v2));
+            v2_speedups.push(bl / ms_v2);
+            v1_speedups.push(bl / ms_v1);
+        }
+        lat_table.row(lat_row);
+        en_table.row(en_row);
+    }
+    lat_table.print();
+    lat_table.write_csv("fig12b_latency");
+    en_table.print();
+    en_table.write_csv("fig12c_energy");
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\naverage speedup vs baselines — MS-v1: {:.2}x (paper 1.50x), MS-v2: {:.2}x (paper 2.47x)",
+        mean(&v1_speedups),
+        mean(&v2_speedups)
+    );
+}

@@ -1,0 +1,89 @@
+//! Fig. 13 — A100 (W4A4 MicroScopiQ kernels) vs the MicroScopiQ
+//! accelerator v1/v2 under iso-bandwidth (2 TB/s) and iso-compute
+//! conditions: (a) normalized latency, (b) normalized energy.
+//!
+//! Token-generation (decode) regime: both sides are bandwidth-bound, so
+//! the accelerator's wins come from avoiding the GPU's dequantization and
+//! register-reordering overheads — the paper's §7.6 argument.
+
+use microscopiq_accel::energy::{microscopiq_energy, EnergyConstants};
+use microscopiq_accel::perf::{workload_latency, AccelConfig};
+use microscopiq_accel::workload::{model_workload, Phase};
+use microscopiq_bench::{f2, Table};
+use microscopiq_fm::model;
+use microscopiq_gpu::{workload_energy_mj, workload_time, GpuPath, GpuSpec, MsGpuParams};
+
+fn main() {
+    let k = EnergyConstants::default();
+    let models = ["LLaMA-2-7B", "LLaMA-2-13B", "LLaMA-3-8B", "Phi-3-3.8B"];
+    // Iso-bandwidth: both sides at 2 TB/s off-chip; iso-compute: the
+    // accelerator is scaled to the A100's 55,296 multipliers (235×235-ish
+    // array ≈ 8× the 64×64 reference; we scale rows/cols by √8 each... the
+    // paper's comparison point). We model it as a 256×216 array.
+    let gpu = GpuSpec::a100();
+    let ms_params = MsGpuParams::default();
+    let mk_cfg = |bb: u32| AccelConfig {
+        rows: 256,
+        cols: 216,
+        recon_units: 8,
+        bb,
+        micro_block: 8,
+        freq_ghz: 1.0,
+        hbm_gbps: 2000.0,
+        sram_gbps: 500.0,
+    };
+
+    let mut lat = Table::new(
+        "Fig. 13(a): normalized latency vs A100-W4A4 (lower is better)",
+        &["Model", "A100 W4A4", "MS accel v1 (W4A4)", "MS accel v2 (WxA4)"],
+    );
+    let mut en = Table::new(
+        "Fig. 13(b): normalized energy vs A100-W4A4",
+        &["Model", "A100 W4A4", "MS accel v1", "MS accel v2"],
+    );
+    let mut v1_speed = Vec::new();
+    let mut v2_speed = Vec::new();
+    for name in models {
+        let spec = model(name);
+        let wl = model_workload(&spec, Phase::Decode);
+        let x = (1.0 - (1.0 - spec.outlier_profile.rate).powi(8)).min(0.5);
+
+        let gpu_us = workload_time(&wl, GpuPath::MsOptim, &gpu, &ms_params);
+        let gpu_mj = workload_energy_mj(&wl, GpuPath::MsOptim, &gpu, &ms_params);
+
+        let cfg4 = mk_cfg(4);
+        let cfg2 = mk_cfg(2);
+        let l4 = workload_latency(&wl, &cfg4, 4.15, x);
+        let l2 = workload_latency(&wl, &cfg2, 2.36, x);
+        let v1_us = l4.total_cycles / (cfg4.freq_ghz * 1e9) * 1e6;
+        let v2_us = (0.8 * l2.total_cycles + 0.2 * l4.total_cycles) / 1e9 * 1e6;
+        let e4 = microscopiq_energy(&wl, &cfg4, &l4, 4.15, x, 4, &k).total_mj();
+        let e2 = microscopiq_energy(&wl, &cfg2, &l2, 2.36, x, 4, &k).total_mj();
+        let v2_mj = 0.8 * e2 + 0.2 * e4;
+
+        lat.row(vec![
+            name.to_string(),
+            f2(1.0),
+            f2(v1_us / gpu_us),
+            f2(v2_us / gpu_us),
+        ]);
+        en.row(vec![
+            name.to_string(),
+            f2(1.0),
+            f2(e4 / gpu_mj),
+            f2(v2_mj / gpu_mj),
+        ]);
+        v1_speed.push(gpu_us / v1_us);
+        v2_speed.push(gpu_us / v2_us);
+    }
+    lat.print();
+    lat.write_csv("fig13a_latency");
+    en.print();
+    en.write_csv("fig13b_energy");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\nmean speedup over A100 — v1: {:.2}x (paper 1.2x), v2: {:.2}x (paper 1.7x)",
+        mean(&v1_speed),
+        mean(&v2_speed)
+    );
+}

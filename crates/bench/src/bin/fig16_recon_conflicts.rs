@@ -1,0 +1,25 @@
+//! Fig. 16(b) — ReCoN access-conflict percentage vs number of ReCoN units
+//! on a 64×64 array, across outlier occupancies.
+
+use microscopiq_accel::perf::recon_contention;
+use microscopiq_bench::{pct, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "Fig. 16(b): % of ReCoN accesses that conflict (64×64 array)",
+        &["μB outlier occupancy", "1 unit", "2 units", "4 units", "8 units"],
+    );
+    // Per-row request probability = occupancy / (cols/Bμ) = x/8 (perf.rs).
+    for x in [0.02_f64, 0.05, 0.09, 0.135, 0.20] {
+        let request_p = x / 8.0;
+        let mut row = vec![format!("{:.1}%", x * 100.0)];
+        for units in [1usize, 2, 4, 8] {
+            let (c, _) = recon_contention(64, request_p, units);
+            row.push(pct(c));
+        }
+        table.row(row);
+    }
+    table.print();
+    table.write_csv("fig16b_recon_conflicts");
+    println!("\npaper shape: <3% at 1 unit for its workload occupancy, → 0% by 8 units");
+}

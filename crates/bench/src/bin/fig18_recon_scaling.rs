@@ -1,0 +1,55 @@
+//! Fig. 18 — (a) compute area and inference latency vs number of
+//! time-multiplexed ReCoN units (LLaMA-3-8B); (b) integration overhead of
+//! MicroScopiQ on NoC-based accelerators (MTIA-like, Eyeriss-v2-like).
+//! Also covers the Fig. 15 design variants (A = 1 unit, B = 2, C = per-row).
+
+use microscopiq_accel::area::{microscopiq_area, noc_integration};
+use microscopiq_accel::perf::{workload_latency, AccelConfig};
+use microscopiq_accel::workload::{model_workload, Phase};
+use microscopiq_bench::{f2, f3, Table};
+use microscopiq_fm::model;
+
+fn main() {
+    let spec = model("LLaMA-3-8B");
+    let wl = model_workload(&spec, Phase::Prefill(512));
+    let x = 1.0 - (1.0 - spec.outlier_profile.rate).powi(8);
+
+    let base_area = microscopiq_area(64, 64, 1).total_mm2();
+    let base_lat = workload_latency(&wl, &AccelConfig::paper_64x64(2, 1), 2.36, x).total_cycles;
+
+    let mut table = Table::new(
+        "Fig. 18(a): ReCoN replication — normalized compute area and latency (LLaMA-3-8B)",
+        &["# ReCoN units", "Design (Fig. 15)", "Norm. compute area", "Norm. latency"],
+    );
+    for (units, design) in [(1usize, "A: shared by all rows"), (2, "B: shared by half"), (4, "—"), (8, "—"), (64, "C: per PE row")] {
+        let area = microscopiq_area(64, 64, units).total_mm2();
+        let lat = workload_latency(&wl, &AccelConfig::paper_64x64(2, units), 2.36, x).total_cycles;
+        table.row(vec![
+            units.to_string(),
+            design.to_string(),
+            f3(area / base_area),
+            f3(lat / base_lat),
+        ]);
+    }
+    table.print();
+    table.write_csv("fig18a_recon_scaling");
+    println!("paper: 8 units → 1.58x compute area, 0.79x latency (21% faster)");
+
+    let mut noc = Table::new(
+        "Fig. 18(b): MicroScopiQ integration overhead on NoC-based accelerators",
+        &["Design", "PE share", "NoC share", "Area w/ MicroScopiQ", "Overhead"],
+    );
+    for design in ["MTIA-like", "Eyeriss-v2-like"] {
+        let (pe, noc_share, with_ms) = noc_integration(design);
+        noc.row(vec![
+            design.to_string(),
+            f2(pe),
+            f2(noc_share),
+            f3(with_ms),
+            format!("{:+.1}%", (with_ms - 1.0) * 100.0),
+        ]);
+    }
+    noc.print();
+    noc.write_csv("fig18b_noc_integration");
+    println!("paper: +3% (MTIA), +2.3% (Eyeriss-v2)");
+}

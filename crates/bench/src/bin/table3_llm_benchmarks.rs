@@ -1,0 +1,60 @@
+//! Table 3 — LLaMA-2-70B benchmark accuracy at W2A16 (proxy):
+//! OliVe vs OmniQuant vs MicroScopiQ on ARC-c / HellaSwag / MMLU /
+//! WinoGrande.
+
+use microscopiq_bench::methods::microscopiq;
+use microscopiq_bench::{f2, Table};
+use microscopiq_baselines::{Olive, OmniQuantGs};
+use microscopiq_core::traits::WeightQuantizer;
+use microscopiq_fm::metrics::AccuracyMap;
+use microscopiq_fm::{evaluate_weight_only, model};
+
+fn main() {
+    let spec = model("LLaMA-2-70B");
+    let samples = 48;
+    // Benchmarks with paper FP16 scores and chance levels.
+    let benchmarks = [
+        ("ARC-c", 60.50_f64, 25.0_f64),
+        ("HellaSwag", 84.30, 25.0),
+        ("MMLU", 68.90, 25.0),
+        ("WinoGrande", 80.60, 50.0),
+    ];
+    // Anchor: the paper's OmniQuant-W2A16 MMLU score (58.20 of 68.90).
+    let omni = OmniQuantGs::new(2, 128);
+    let anchor_err = evaluate_weight_only(&spec, &omni, samples)
+        .expect("anchor")
+        .mean_output_error();
+    let kappa = AccuracyMap::calibrate(anchor_err, 68.90, 58.20, 25.0).kappa;
+
+    let methods: Vec<(&str, Box<dyn WeightQuantizer>)> = vec![
+        ("OliVe", Box::new(Olive::new(2))),
+        ("OmniQuant", Box::new(OmniQuantGs::new(2, 128))),
+        ("MicroScopiQ", Box::new(microscopiq(2))),
+    ];
+
+    let mut table = Table::new(
+        "Table 3: LLaMA-2-70B W2A16 benchmark accuracy (proxy)",
+        &["Method", "ARC-c", "HellaSwag", "MMLU", "WinoGrande"],
+    );
+    table.row(
+        std::iter::once("Baseline FP16".to_string())
+            .chain(benchmarks.iter().map(|(_, fp, _)| f2(*fp)))
+            .collect(),
+    );
+    for (name, q) in &methods {
+        let err = evaluate_weight_only(&spec, q.as_ref(), samples)
+            .expect("evaluation")
+            .mean_output_error();
+        let mut row = vec![name.to_string()];
+        for (_, fp, chance) in &benchmarks {
+            let map = AccuracyMap {
+                kappa,
+                chance: *chance,
+            };
+            row.push(f2(map.accuracy(*fp, err)));
+        }
+        table.row(row);
+    }
+    table.print();
+    table.write_csv("table3_llm_benchmarks");
+}

@@ -1,0 +1,85 @@
+//! Table 5 — compute area breakdown, outlier-handling overhead, and
+//! compute density (TOPS/mm²) for GOBO, OliVe, and MicroScopiQ at 64×64.
+
+use microscopiq_accel::area::{gobo_area, microscopiq_area, olive_area};
+use microscopiq_accel::baselines::{baseline_latency, iso_accuracy_baselines};
+use microscopiq_accel::energy::EnergyConstants;
+use microscopiq_accel::perf::{effective_tops, workload_latency, AccelConfig};
+use microscopiq_accel::workload::{model_workload, Phase};
+use microscopiq_bench::{f2, pct, Table};
+use microscopiq_fm::model;
+
+fn main() {
+    let workload = model_workload(&model("LLaMA-3-8B"), Phase::Prefill(512));
+    let k = EnergyConstants::default();
+
+    let mut table = Table::new(
+        "Table 5: compute area, overhead, and density (64×64, 7 nm)",
+        &[
+            "Architecture",
+            "Compute area (mm²)",
+            "Outlier overhead",
+            "Compute density (TOPS/mm²)",
+        ],
+    );
+
+    // MicroScopiQ at bb=2 (peak density configuration, §7.5).
+    let ms_area = microscopiq_area(64, 64, 1);
+    let cfg2 = AccelConfig::paper_64x64(2, 1);
+    let lat = workload_latency(&workload, &cfg2, 2.36, 0.10);
+    let ms_tops = effective_tops(&workload, &cfg2, &lat);
+    table.row(vec![
+        "MicroScopiQ (bb=2)".into(),
+        format!("{:.4}", ms_area.total_mm2()),
+        pct(ms_area.outlier_overhead_fraction()),
+        f2(ms_tops / ms_area.total_mm2()),
+    ]);
+
+    // OliVe at 4-bit.
+    let olive = olive_area(64, 64);
+    let baselines = iso_accuracy_baselines(&k);
+    let cfg4 = AccelConfig::paper_64x64(4, 1);
+    let olive_model = baselines.iter().find(|b| b.name == "OliVe").expect("olive");
+    let olive_cycles = baseline_latency(&workload, olive_model, &cfg4);
+    let macs: f64 = workload.iter().map(|g| g.macs() as f64).sum();
+    let olive_tops = 2.0 * macs / (olive_cycles / (cfg4.freq_ghz * 1e9)) / 1e12;
+    table.row(vec![
+        "OliVe".into(),
+        format!("{:.4}", olive.total_mm2()),
+        pct(olive.outlier_overhead_fraction()),
+        f2(olive_tops / olive.total_mm2()),
+    ]);
+
+    // GOBO.
+    let gobo = gobo_area(64, 64);
+    let gobo_model = baselines.iter().find(|b| b.name == "GOBO").expect("gobo");
+    let gobo_cycles = baseline_latency(&workload, gobo_model, &cfg4);
+    let gobo_tops = 2.0 * macs / (gobo_cycles / (cfg4.freq_ghz * 1e9)) / 1e12;
+    table.row(vec![
+        "GOBO".into(),
+        format!("{:.4}", gobo.total_mm2()),
+        pct(gobo.outlier_overhead_fraction()),
+        f2(gobo_tops / gobo.total_mm2()),
+    ]);
+    table.print();
+    table.write_csv("table5_area");
+
+    // Component detail.
+    let mut detail = Table::new(
+        "Table 5 detail: per-component areas",
+        &["Architecture", "Component", "Unit area (μm²)", "Count", "Total (μm²)"],
+    );
+    for breakdown in [&ms_area, &olive, &gobo] {
+        for c in &breakdown.components {
+            detail.row(vec![
+                breakdown.name.to_string(),
+                c.name.to_string(),
+                f2(c.unit_um2),
+                c.count.to_string(),
+                f2(c.total_um2()),
+            ]);
+        }
+    }
+    detail.print();
+    detail.write_csv("table5_components");
+}

@@ -1,0 +1,8 @@
+//! Experiment harness for the MicroScopiQ reproduction: shared reporting
+//! and the method line-ups used by the table/figure binaries in
+//! `src/bin/` (see DESIGN.md §5 for the per-experiment index).
+
+pub mod methods;
+pub mod report;
+
+pub use report::{f2, f3, pct, Table};

@@ -1,0 +1,98 @@
+//! Method factories: the quantizer line-ups for each table's settings.
+
+use microscopiq_baselines::{Atom, Awq, Gobo, Gptq, Olive, OmniQuantGs, Rtn, Sdq};
+use microscopiq_core::traits::WeightQuantizer;
+use microscopiq_core::{MicroScopiQ, QuantConfig};
+
+/// A named quantizer with the α-migration strength its W/A evaluation uses.
+pub struct Method {
+    /// Display name (matches the paper's tables).
+    pub name: String,
+    /// The quantizer.
+    pub quantizer: Box<dyn WeightQuantizer>,
+    /// Migration strength for weight–activation settings (§7.2: 0.7 for
+    /// MicroScopiQ, 0.5 for SmoothQuant, method defaults otherwise).
+    pub alpha: f64,
+}
+
+impl Method {
+    fn new(name: &str, q: Box<dyn WeightQuantizer>, alpha: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            quantizer: q,
+            alpha,
+        }
+    }
+}
+
+/// MicroScopiQ at the given budget with paper-default blocks.
+pub fn microscopiq(bb: u32) -> MicroScopiQ {
+    MicroScopiQ::new(QuantConfig::builder(bb).build().expect("valid"))
+}
+
+/// Table 2 weight-only line-up at the given width (W4A16 / W2A16 rows).
+pub fn weight_only_methods(bits: u32) -> Vec<Method> {
+    let mut v = Vec::new();
+    if bits == 4 {
+        v.push(Method::new("OliVe", Box::new(Olive::new(4)), 0.0));
+        v.push(Method::new("GOBO", Box::new(Gobo::new(4)), 0.0));
+        v.push(Method::new("GPTQ", Box::new(Gptq::new(4, 128)), 0.0));
+        v.push(Method::new("AWQ", Box::new(Awq::new(4, 128)), 0.0));
+        v.push(Method::new(
+            "OmniQuant",
+            Box::new(OmniQuantGs::new(4, 128)),
+            0.0,
+        ));
+        v.push(Method::new(
+            "MicroScopiQ",
+            Box::new(microscopiq(4)),
+            0.0,
+        ));
+    } else {
+        v.push(Method::new(
+            "OmniQuant",
+            Box::new(OmniQuantGs::new(2, 128)),
+            0.0,
+        ));
+        v.push(Method::new("SDQ", Box::new(Sdq::new(2, 2, 8)), 0.0));
+        v.push(Method::new(
+            "MicroScopiQ",
+            Box::new(microscopiq(2)),
+            0.0,
+        ));
+    }
+    v
+}
+
+/// Table 2 weight–activation line-up: returns `(methods, act_bits)`.
+pub fn weight_activation_methods(weight_bits: u32) -> (Vec<Method>, u32) {
+    if weight_bits == 4 {
+        let v = vec![
+            Method::new("OliVe", Box::new(Olive::new(4)), 0.0),
+            Method::new(
+                "OmniQuant",
+                Box::new(OmniQuantGs::new(4, 128)),
+                0.6,
+            ),
+            Method::new(
+                "SmoothQuant",
+                Box::new(Rtn::per_channel(4).named("SmoothQuant")),
+                0.5,
+            ),
+            Method::new("Atom", Box::new(Atom::new(4, 8, 128)), 0.0),
+            Method::new("MicroScopiQ", Box::new(microscopiq(4)), 0.7),
+        ];
+        (v, 4)
+    } else {
+        let v = vec![
+            Method::new(
+                "OmniQuant",
+                Box::new(OmniQuantGs::new(2, 128)),
+                0.6,
+            ),
+            Method::new("Atom", Box::new(Atom::new(2, 4, 128)), 0.0),
+            Method::new("MicroScopiQ", Box::new(microscopiq(2)), 0.7),
+        ];
+        (v, 8)
+    }
+}

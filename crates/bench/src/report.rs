@@ -1,0 +1,140 @@
+//! Shared experiment reporting: aligned stdout tables plus CSV artifacts
+//! under `results/` so EXPERIMENTS.md can cite exact measured values.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A printable/exportable result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (printed and used for the CSV filename).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Prints the table with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+
+    /// Writes the table as CSV under `results/<slug>.csv`, returning the
+    /// path. Errors are reported but not fatal (experiments still print).
+    pub fn write_csv(&self, slug: &str) -> Option<PathBuf> {
+        let dir = results_dir();
+        if fs::create_dir_all(&dir).is_err() {
+            eprintln!("warning: cannot create {}", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("{slug}.csv"));
+        let mut out = match fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                return None;
+            }
+        };
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        println!("[csv] {}", path.display());
+        Some(path)
+    }
+}
+
+/// The results directory: `$MICROSCOPIQ_RESULTS` or `./results`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("MICROSCOPIQ_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Formats a float to 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float to 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a percentage to 2 decimals.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "x,y".into()]);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.headers.len(), 2);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(1.2345), "1.234"); // round-half-even is fine either way
+        assert_eq!(pct(0.0863), "8.63%");
+    }
+}

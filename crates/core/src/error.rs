@@ -1,0 +1,87 @@
+//! Error types for the quantization framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the quantization pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// A weight or calibration tensor contained NaN or infinity.
+    NonFiniteInput {
+        /// Which tensor was malformed.
+        tensor: &'static str,
+    },
+    /// Weight and calibration shapes disagree.
+    ShapeMismatch {
+        /// Weight columns (input features).
+        weight_cols: usize,
+        /// Calibration rows (input features).
+        calib_rows: usize,
+    },
+    /// The (damped) Hessian could not be factorized.
+    HessianNotPositiveDefinite {
+        /// Pivot at which Cholesky broke down.
+        pivot: usize,
+    },
+    /// A configuration constraint was violated.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Packed-layer bytes failed validation during deserialization.
+    CorruptMetadata {
+        /// Byte offset (approximate) of the inconsistency.
+        offset: usize,
+        /// What failed to validate.
+        reason: String,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::NonFiniteInput { tensor } => {
+                write!(f, "non-finite values in {tensor} tensor")
+            }
+            QuantError::ShapeMismatch {
+                weight_cols,
+                calib_rows,
+            } => write!(
+                f,
+                "weight columns ({weight_cols}) do not match calibration rows ({calib_rows})"
+            ),
+            QuantError::HessianNotPositiveDefinite { pivot } => write!(
+                f,
+                "damped hessian is not positive definite (pivot {pivot}); increase percdamp"
+            ),
+            QuantError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            QuantError::CorruptMetadata { offset, reason } => {
+                write!(f, "corrupt packed metadata near byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = QuantError::ShapeMismatch {
+            weight_cols: 128,
+            calib_rows: 64,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("128") && msg.contains("64"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuantError>();
+    }
+}

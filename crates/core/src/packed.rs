@@ -1,0 +1,638 @@
+//! The packed MicroScopiQ tensor: fixed-budget weight slots plus per-block
+//! metadata, matching the off-chip layout of Fig. 5, with the effective
+//! bit width of Eq. 4.
+//!
+//! Layout (per macro-block): an 8-bit `Isf` scale, then per micro-block a
+//! 1-bit outlier identifier and — only for outlier-bearing blocks — the
+//! 8-bit MXScale and the permutation list. Weight slots always hold exactly
+//! `bb` bits: inlier codes in two's complement, outlier Upper/Lower halves
+//! in sign-magnitude.
+
+use crate::config::GroupAxis;
+use crate::error::QuantError;
+use crate::microblock::PermutationList;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use microscopiq_linalg::Matrix;
+use microscopiq_mx::fp::TinyFloat;
+use microscopiq_mx::halves::unpack_sign_mag;
+use microscopiq_mx::mxfp::MxScale;
+use microscopiq_mx::scale::Pow2Scale;
+
+const MAGIC: &[u8; 4] = b"MSPQ";
+const VERSION: u8 = 1;
+
+/// Metadata attached to an outlier-bearing micro-block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroBlockMeta {
+    /// Shared MXScale (level-1 scale ‖ μX).
+    pub mxscale: MxScale,
+    /// Permutation list locating the outlier halves.
+    pub perm: PermutationList,
+}
+
+/// One packed micro-block: `B_μ` fixed-width slots plus optional metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedMicroBlock {
+    /// Raw slot bit patterns (`bb` significant bits each).
+    pub codes: Vec<u8>,
+    /// Present iff the block contains outliers.
+    pub meta: Option<MicroBlockMeta>,
+}
+
+/// One packed macro-block: shared inlier scale plus its micro-blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedMacroBlock {
+    /// Shared inlier scale `2^Isf`.
+    pub isf: Pow2Scale,
+    /// Micro-blocks in order.
+    pub micro_blocks: Vec<PackedMicroBlock>,
+}
+
+/// A complete packed layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedLayer {
+    axis: GroupAxis,
+    d_row: usize,
+    d_col: usize,
+    inlier_bits: u32,
+    micro_block: usize,
+    macro_block: usize,
+    groups: Vec<PackedMacroBlock>,
+}
+
+impl PackedLayer {
+    /// Assembles a packed layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group/micro-block structure does not tile the tensor
+    /// dimensions (groups per line, blocks per group, slots per block).
+    pub fn new(
+        axis: GroupAxis,
+        d_row: usize,
+        d_col: usize,
+        inlier_bits: u32,
+        micro_block: usize,
+        macro_block: usize,
+        groups: Vec<PackedMacroBlock>,
+    ) -> Self {
+        let (lines, line_len) = match axis {
+            GroupAxis::DotProduct => (d_row, d_col),
+            GroupAxis::OutputChannel => (d_col, d_row),
+        };
+        let mabs_per_line = line_len.div_ceil(macro_block);
+        assert_eq!(
+            groups.len(),
+            lines * mabs_per_line,
+            "group count does not tile the tensor"
+        );
+        for (g, group) in groups.iter().enumerate() {
+            let mab_index = g % mabs_per_line;
+            let mab_len = (line_len - mab_index * macro_block).min(macro_block);
+            assert_eq!(
+                group.micro_blocks.len(),
+                mab_len.div_ceil(micro_block),
+                "micro-block count mismatch in group {g}"
+            );
+            let mut remaining = mab_len;
+            for mb in &group.micro_blocks {
+                let expect = remaining.min(micro_block);
+                assert_eq!(mb.codes.len(), expect, "slot count mismatch in group {g}");
+                remaining -= expect;
+            }
+        }
+        Self {
+            axis,
+            d_row,
+            d_col,
+            inlier_bits,
+            micro_block,
+            macro_block,
+            groups,
+        }
+    }
+
+    /// Grouping axis.
+    pub fn axis(&self) -> GroupAxis {
+        self.axis
+    }
+
+    /// Output-channel count.
+    pub fn d_row(&self) -> usize {
+        self.d_row
+    }
+
+    /// Input-feature count.
+    pub fn d_col(&self) -> usize {
+        self.d_col
+    }
+
+    /// Per-element bit budget `bb`.
+    pub fn inlier_bits(&self) -> u32 {
+        self.inlier_bits
+    }
+
+    /// Micro-block size.
+    pub fn micro_block(&self) -> usize {
+        self.micro_block
+    }
+
+    /// Macro-block size.
+    pub fn macro_block(&self) -> usize {
+        self.macro_block
+    }
+
+    /// The packed macro-blocks in layout order.
+    pub fn groups(&self) -> &[PackedMacroBlock] {
+        &self.groups
+    }
+
+    /// The outlier element format implied by `bb` (e1m2 at 2-bit budget,
+    /// e3m4 at 4-bit).
+    pub fn outlier_format(&self) -> TinyFloat {
+        TinyFloat::for_outlier_bits(self.inlier_bits * 2)
+    }
+
+    /// Fraction of micro-blocks carrying outlier metadata.
+    pub fn outlier_micro_block_fraction(&self) -> f64 {
+        let mut total = 0usize;
+        let mut with = 0usize;
+        for g in &self.groups {
+            for mb in &g.micro_blocks {
+                total += 1;
+                if mb.meta.is_some() {
+                    with += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            with as f64 / total as f64
+        }
+    }
+
+    /// Effective bit width per Eq. 4: micro-blocks without outliers cost
+    /// `bb` bits/element; outlier-bearing blocks add the permutation list
+    /// and the 8-bit MXScale. The shared `Isf` and the 1-bit identifier
+    /// are excluded, as in the paper.
+    pub fn effective_bit_width(&self) -> f64 {
+        let bb = self.inlier_bits as f64;
+        let mut bits = 0.0;
+        let mut elems = 0usize;
+        for g in &self.groups {
+            for mb in &g.micro_blocks {
+                let n = mb.codes.len();
+                elems += n;
+                bits += bb * n as f64;
+                if mb.meta.is_some() {
+                    let loc_bits = (self.micro_block as u32).ilog2() as f64;
+                    let perm_bits = (self.micro_block as f64 / 2.0) * 2.0 * loc_bits;
+                    bits += perm_bits + 8.0;
+                }
+            }
+        }
+        if elems == 0 {
+            bb
+        } else {
+            bits / elems as f64
+        }
+    }
+
+    /// Effective bit width including every stored bit (Isf amortized over
+    /// the macro-block and the 1-bit identifier) — the "honest" variant the
+    /// paper argues contributes only 0.05–0.09 extra bits.
+    pub fn effective_bit_width_exact(&self) -> f64 {
+        let mut bits = 0.0;
+        let mut elems = 0usize;
+        for g in &self.groups {
+            let group_elems: usize = g.micro_blocks.iter().map(|m| m.codes.len()).sum();
+            bits += 8.0; // Isf
+            elems += group_elems;
+            for mb in &g.micro_blocks {
+                bits += 1.0 + self.inlier_bits as f64 * mb.codes.len() as f64;
+                if mb.meta.is_some() {
+                    let loc_bits = (self.micro_block as u32).ilog2() as f64;
+                    bits += (self.micro_block as f64 / 2.0) * 2.0 * loc_bits + 8.0;
+                }
+            }
+        }
+        if elems == 0 {
+            self.inlier_bits as f64
+        } else {
+            bits / elems as f64
+        }
+    }
+
+    /// Decodes one micro-block into weight values.
+    fn decode_micro_block(&self, mb: &PackedMicroBlock, isf: Pow2Scale) -> Vec<f64> {
+        let bb = self.inlier_bits;
+        let mut out: Vec<f64> = mb
+            .codes
+            .iter()
+            .map(|&c| {
+                // Default: inlier two's-complement decode.
+                let shift = 8 - bb;
+                let signed = ((c << shift) as i8 >> shift) as i32;
+                isf.unapply(signed as f64)
+            })
+            .collect();
+        if let Some(meta) = &mb.meta {
+            let fmt = self.outlier_format();
+            let mb_bits = fmt.mantissa_bits();
+            // Dequantized outlier exponent: MXScale total − Isf (§4.2).
+            let exp = meta.mxscale.total_exponent() - isf.exponent();
+            for e in meta.perm.entries() {
+                let up = mb.codes[e.upper_loc as usize];
+                let lo = mb.codes[e.lower_loc as usize];
+                let upper = unpack_sign_mag(up, bb);
+                let lower = unpack_sign_mag(lo, bb);
+                // The sign is duplicated into both halves; read it from the
+                // Upper slot's raw sign bit.
+                let sign = (up >> (bb - 1)) & 1 == 1;
+                let mantissa = (upper.unsigned_abs() << (mb_bits / 2)) | lower.unsigned_abs();
+                let frac = 1.0 + mantissa as f64 / fmt.mantissa_levels() as f64;
+                let mag = frac * (exp as f64).exp2();
+                out[e.upper_loc as usize] = if sign { -mag } else { mag };
+                out[e.lower_loc as usize] = 0.0; // pruned slot
+            }
+        }
+        out
+    }
+
+    /// Reconstructs the full dequantized weight matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let line_len = match self.axis {
+            GroupAxis::DotProduct => self.d_col,
+            GroupAxis::OutputChannel => self.d_row,
+        };
+        let mabs_per_line = line_len.div_ceil(self.macro_block);
+        let mut w = Matrix::zeros(self.d_row, self.d_col);
+        for (g, group) in self.groups.iter().enumerate() {
+            let line = g / mabs_per_line;
+            let mab = g % mabs_per_line;
+            let mut offset = mab * self.macro_block;
+            for mb in &group.micro_blocks {
+                let vals = self.decode_micro_block(mb, group.isf);
+                for (i, v) in vals.into_iter().enumerate() {
+                    match self.axis {
+                        GroupAxis::DotProduct => w[(line, offset + i)] = v,
+                        GroupAxis::OutputChannel => w[(offset + i, line)] = v,
+                    }
+                }
+                offset += mb.codes.len();
+            }
+        }
+        w
+    }
+
+    /// Serializes to the byte layout of Fig. 5 (weights + hardware-managed
+    /// metadata).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(match self.axis {
+            GroupAxis::DotProduct => 0,
+            GroupAxis::OutputChannel => 1,
+        });
+        buf.put_u8(self.inlier_bits as u8);
+        buf.put_u16(self.micro_block as u16);
+        buf.put_u16(self.macro_block as u16);
+        buf.put_u32(self.d_row as u32);
+        buf.put_u32(self.d_col as u32);
+        buf.put_u32(self.groups.len() as u32);
+        for g in &self.groups {
+            buf.put_u8(g.isf.to_e8m0_byte());
+            buf.put_u16(g.micro_blocks.len() as u16);
+            for mb in &g.micro_blocks {
+                buf.put_u8(mb.codes.len() as u8);
+                match &mb.meta {
+                    None => buf.put_u8(0),
+                    Some(meta) => {
+                        buf.put_u8(1 | ((meta.perm.len() as u8) << 4));
+                        buf.put_u8(meta.mxscale.to_byte());
+                        // Permutation payload: Bμ/2 entries × 2·log2(Bμ)
+                        // bits, byte-padded (3 bytes at Bμ = 8).
+                        let payload = meta.perm.to_bits(self.micro_block) & ((1 << 56) - 1);
+                        let loc_bits = (self.micro_block as u32).ilog2();
+                        let payload_bytes =
+                            ((self.micro_block as u32 / 2) * 2 * loc_bits).div_ceil(8);
+                        for b in 0..payload_bytes {
+                            buf.put_u8((payload >> (8 * b)) as u8);
+                        }
+                    }
+                }
+                // Slot codes, bb bits each, packed little-endian into bytes.
+                let mut acc = 0u32;
+                let mut nbits = 0u32;
+                for &c in &mb.codes {
+                    acc |= ((c as u32) & ((1 << self.inlier_bits) - 1)) << nbits;
+                    nbits += self.inlier_bits;
+                    while nbits >= 8 {
+                        buf.put_u8(acc as u8);
+                        acc >>= 8;
+                        nbits -= 8;
+                    }
+                }
+                if nbits > 0 {
+                    buf.put_u8(acc as u8);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from [`PackedLayer::to_bytes`] output, validating all
+    /// structural metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::CorruptMetadata`] on truncation, bad magic,
+    /// or out-of-range fields.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, QuantError> {
+        let corrupt = |offset: usize, reason: &str| QuantError::CorruptMetadata {
+            offset,
+            reason: reason.to_string(),
+        };
+        let mut buf = data;
+        let total = data.len();
+        let off = |buf: &[u8]| total - buf.len();
+        if buf.remaining() < 23 {
+            return Err(corrupt(0, "truncated header"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(corrupt(0, "bad magic"));
+        }
+        if buf.get_u8() != VERSION {
+            return Err(corrupt(4, "unsupported version"));
+        }
+        let axis = match buf.get_u8() {
+            0 => GroupAxis::DotProduct,
+            1 => GroupAxis::OutputChannel,
+            _ => return Err(corrupt(5, "bad axis")),
+        };
+        let inlier_bits = buf.get_u8() as u32;
+        if inlier_bits != 2 && inlier_bits != 4 {
+            return Err(corrupt(6, "bad inlier bits"));
+        }
+        let micro_block = buf.get_u16() as usize;
+        let macro_block = buf.get_u16() as usize;
+        if micro_block < 2 || !micro_block.is_power_of_two() || macro_block % micro_block != 0 {
+            return Err(corrupt(7, "bad block geometry"));
+        }
+        let d_row = buf.get_u32() as usize;
+        let d_col = buf.get_u32() as usize;
+        let n_groups = buf.get_u32() as usize;
+        let fmt = TinyFloat::for_outlier_bits(inlier_bits * 2);
+        let mut groups = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            if buf.remaining() < 3 {
+                return Err(corrupt(off(buf), "truncated group header"));
+            }
+            let isf = Pow2Scale::from_e8m0_byte(buf.get_u8());
+            let n_micro = buf.get_u16() as usize;
+            let mut micro_blocks = Vec::with_capacity(n_micro);
+            for _ in 0..n_micro {
+                if buf.remaining() < 2 {
+                    return Err(corrupt(off(buf), "truncated micro-block header"));
+                }
+                let n_codes = buf.get_u8() as usize;
+                if n_codes == 0 || n_codes > micro_block {
+                    return Err(corrupt(off(buf), "bad slot count"));
+                }
+                let flag = buf.get_u8();
+                let meta = if flag & 1 == 1 {
+                    let count = (flag >> 4) as usize;
+                    if count > micro_block / 2 {
+                        return Err(corrupt(off(buf), "permutation count exceeds Bμ/2"));
+                    }
+                    if buf.remaining() < 1 {
+                        return Err(corrupt(off(buf), "truncated mxscale"));
+                    }
+                    let mxscale = MxScale::from_byte(buf.get_u8(), fmt);
+                    let loc_bits = (micro_block as u32).ilog2();
+                    let payload_bytes =
+                        (((micro_block as u32 / 2) * 2 * loc_bits).div_ceil(8)) as usize;
+                    if buf.remaining() < payload_bytes {
+                        return Err(corrupt(off(buf), "truncated permutation list"));
+                    }
+                    let mut payload = 0u64;
+                    for b in 0..payload_bytes {
+                        payload |= (buf.get_u8() as u64) << (8 * b);
+                    }
+                    let perm = PermutationList::from_bits(
+                        payload | ((count as u64) << 56),
+                        micro_block,
+                    )?;
+                    for e in perm.entries() {
+                        if e.upper_loc as usize >= n_codes || e.lower_loc as usize >= n_codes {
+                            return Err(corrupt(off(buf), "permutation location out of range"));
+                        }
+                    }
+                    Some(MicroBlockMeta { mxscale, perm })
+                } else {
+                    None
+                };
+                let code_bytes = (n_codes * inlier_bits as usize).div_ceil(8);
+                if buf.remaining() < code_bytes {
+                    return Err(corrupt(off(buf), "truncated slot codes"));
+                }
+                let mut codes = Vec::with_capacity(n_codes);
+                let mut acc = 0u32;
+                let mut nbits = 0u32;
+                for _ in 0..n_codes {
+                    if nbits < inlier_bits {
+                        acc |= (buf.get_u8() as u32) << nbits;
+                        nbits += 8;
+                    }
+                    codes.push((acc & ((1 << inlier_bits) - 1)) as u8);
+                    acc >>= inlier_bits;
+                    nbits -= inlier_bits;
+                }
+                micro_blocks.push(PackedMicroBlock { codes, meta });
+            }
+            groups.push(PackedMacroBlock { isf, micro_blocks });
+        }
+        // Structural validation of group tiling also happens in `new`, but
+        // a corrupt count must surface as an error rather than a panic.
+        let (lines, line_len) = match axis {
+            GroupAxis::DotProduct => (d_row, d_col),
+            GroupAxis::OutputChannel => (d_col, d_row),
+        };
+        if groups.len() != lines * line_len.div_ceil(macro_block) {
+            return Err(corrupt(total, "group count does not tile tensor"));
+        }
+        Ok(Self {
+            axis,
+            d_row,
+            d_col,
+            inlier_bits,
+            micro_block,
+            macro_block,
+            groups,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microblock::PermEntry;
+
+    fn sample_layer() -> PackedLayer {
+        // 2 rows × 16 cols, macro=16, micro=8, bb=2.
+        let mk_plain = || PackedMicroBlock {
+            codes: vec![0b01, 0b11, 0b00, 0b01, 0b11, 0b00, 0b01, 0b00],
+            meta: None,
+        };
+        let mk_outlier = || PackedMicroBlock {
+            // Slot 2 = Upper {s=0, m1=1} → 0b01; slot 5 = Lower {s=0, m0=0} → 0b00.
+            codes: vec![0b01, 0b11, 0b01, 0b01, 0b11, 0b00, 0b01, 0b00],
+            meta: Some(MicroBlockMeta {
+                mxscale: MxScale::new(2, 0, TinyFloat::E1M2),
+                perm: PermutationList::new(
+                    vec![PermEntry {
+                        upper_loc: 2,
+                        lower_loc: 5,
+                    }],
+                    8,
+                ),
+            }),
+        };
+        let group = |outlier: bool| PackedMacroBlock {
+            isf: Pow2Scale::new(-3),
+            micro_blocks: vec![
+                if outlier { mk_outlier() } else { mk_plain() },
+                mk_plain(),
+            ],
+        };
+        PackedLayer::new(
+            GroupAxis::DotProduct,
+            2,
+            16,
+            2,
+            8,
+            16,
+            vec![group(true), group(false)],
+        )
+    }
+
+    #[test]
+    fn ebw_matches_eq4_by_hand() {
+        let layer = sample_layer();
+        // 4 μBs, 1 with outliers: EBW = (3·2 + 1·6)/4 = 3.0
+        // (EBW_O = (24 + 16 + 8)/8 = 6 at bb=2, Bμ=8 — the paper's number).
+        assert!((layer.effective_bit_width() - 3.0).abs() < 1e-12);
+        assert!((layer.outlier_micro_block_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_ebw_adds_small_overhead() {
+        let layer = sample_layer();
+        let eq4 = layer.effective_bit_width();
+        let exact = layer.effective_bit_width_exact();
+        assert!(exact > eq4);
+        // Paper: identifier + Isf ≈ 0.05–0.7 extra bits depending on Bμ/BM.
+        assert!(exact - eq4 < 1.0, "overhead {}", exact - eq4);
+    }
+
+    #[test]
+    fn inlier_decode_is_twos_complement_times_scale() {
+        let layer = sample_layer();
+        let w = layer.dequantize();
+        // Group 1 (row 0, cols 8..16) first μB: codes 01,11,00,… at 2^-3:
+        // +1→0.125, −1→−0.125, 0→0.
+        assert_eq!(w[(0, 8)], 0.125);
+        assert_eq!(w[(0, 9)], -0.125);
+        assert_eq!(w[(0, 10)], 0.0);
+    }
+
+    #[test]
+    fn outlier_decode_reconstructs_merged_value() {
+        let layer = sample_layer();
+        let w = layer.dequantize();
+        // μB 0 of row 0: upper at slot 2 {s0,m1=1}, lower at slot 5 {s0,m0=0}
+        // → mantissa 10₂, value 1.5 × 2^(total −Isf) = 1.5 × 2^(2−(−3)) = 48.
+        assert_eq!(w[(0, 2)], 48.0);
+        assert_eq!(w[(0, 5)], 0.0, "pruned slot decodes to zero");
+    }
+
+    #[test]
+    fn bytes_roundtrip_preserves_layer() {
+        let layer = sample_layer();
+        let bytes = layer.to_bytes();
+        let back = PackedLayer::from_bytes(&bytes).unwrap();
+        assert_eq!(back, layer);
+        assert_eq!(back.dequantize(), layer.dequantize());
+    }
+
+    #[test]
+    fn truncated_bytes_are_rejected() {
+        let bytes = sample_layer().to_bytes();
+        for cut in [0, 4, 10, bytes.len() / 2, bytes.len() - 1] {
+            let err = PackedLayer::from_bytes(&bytes[..cut]);
+            assert!(err.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample_layer().to_bytes().to_vec();
+        bytes[0] = b'X';
+        let err = PackedLayer::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn corrupt_perm_count_is_rejected() {
+        let bytes = sample_layer().to_bytes().to_vec();
+        // Find the flagged micro-block byte (flag = 1 | count<<4) and bump
+        // its count beyond Bμ/2.
+        let mut mutated = bytes.clone();
+        for i in 23..bytes.len() {
+            if bytes[i] == 0x11 {
+                mutated[i] = 0x71; // count 7 > 4
+                break;
+            }
+        }
+        assert!(PackedLayer::from_bytes(&mutated).is_err());
+    }
+
+    #[test]
+    fn serialized_size_tracks_ebw() {
+        let layer = sample_layer();
+        let bytes = layer.to_bytes();
+        // 32 weights at ~3 bits ≈ 12 bytes payload + headers; the container
+        // must stay within a small constant of the information content.
+        assert!(bytes.len() < 80, "serialized {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn output_channel_axis_roundtrip() {
+        // 16 rows × 1 col, grouped along output channels.
+        let group = PackedMacroBlock {
+            isf: Pow2Scale::new(-2),
+            micro_blocks: vec![
+                PackedMicroBlock {
+                    codes: vec![1, 0, 3, 1, 0, 0, 1, 3],
+                    meta: None,
+                },
+                PackedMicroBlock {
+                    codes: vec![0, 1, 0, 0, 1, 0, 0, 0],
+                    meta: None,
+                },
+            ],
+        };
+        let layer = PackedLayer::new(GroupAxis::OutputChannel, 16, 1, 2, 8, 16, vec![group]);
+        let w = layer.dequantize();
+        assert_eq!(w.rows(), 16);
+        assert_eq!(w.cols(), 1);
+        assert_eq!(w[(0, 0)], 0.25); // code 1 × 2^-2
+        assert_eq!(w[(2, 0)], -0.25); // code 3 = −1 in 2-bit two's complement
+        let back = PackedLayer::from_bytes(&layer.to_bytes()).unwrap();
+        assert_eq!(back, layer);
+    }
+}

@@ -1,0 +1,100 @@
+//! The public MicroScopiQ quantizer.
+
+use crate::config::QuantConfig;
+use crate::error::QuantError;
+use crate::solver;
+use crate::traits::{LayerTensors, QuantizedLayer, WeightQuantizer};
+
+/// The MicroScopiQ post-training quantizer (§4): MX-INT inliers, MX-FP
+/// outliers at 2× precision, Hessian-guided pruning, and outlier-bit
+/// redistribution into the pruned slots.
+///
+/// # Examples
+///
+/// ```
+/// use microscopiq_core::{MicroScopiQ, QuantConfig};
+/// use microscopiq_core::traits::{LayerTensors, WeightQuantizer};
+/// use microscopiq_linalg::{Matrix, SeededRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = SeededRng::new(1);
+/// let w = Matrix::from_fn(8, 32, |_, _| rng.normal(0.0, 0.02));
+/// let x = Matrix::from_fn(32, 48, |_, _| rng.normal(0.0, 1.0));
+/// let layer = LayerTensors::new(w, x)?;
+///
+/// let quantizer = MicroScopiQ::new(QuantConfig::w2().macro_block(16).row_block(16).build()?);
+/// let result = quantizer.quantize_layer(&layer)?;
+/// assert!(result.stats.effective_bit_width >= 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MicroScopiQ {
+    config: QuantConfig,
+}
+
+impl MicroScopiQ {
+    /// Creates a quantizer with the given configuration.
+    pub fn new(config: QuantConfig) -> Self {
+        Self { config }
+    }
+
+    /// The paper's W2 configuration (MX-INT-2_128 / MX-FP-4_{8,8}).
+    pub fn w2() -> Self {
+        Self::new(QuantConfig::w2().build().expect("valid"))
+    }
+
+    /// The paper's W4 configuration (MX-INT-4_128 / MX-FP-8_{8,8}).
+    pub fn w4() -> Self {
+        Self::new(QuantConfig::w4().build().expect("valid"))
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &QuantConfig {
+        &self.config
+    }
+}
+
+impl WeightQuantizer for MicroScopiQ {
+    fn name(&self) -> &str {
+        "MicroScopiQ"
+    }
+
+    fn quantize_layer(&self, layer: &LayerTensors) -> Result<QuantizedLayer, QuantError> {
+        let out = solver::solve(layer, &self.config)?;
+        Ok(QuantizedLayer {
+            dequantized: out.dequantized,
+            packed: out.packed,
+            stats: out.stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microscopiq_linalg::{Matrix, SeededRng};
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(MicroScopiQ::w2().name(), "MicroScopiQ");
+    }
+
+    #[test]
+    fn end_to_end_quantization_produces_packed_layer() {
+        let mut rng = SeededRng::new(3);
+        let mut w = Matrix::from_fn(8, 32, |_, _| rng.normal(0.0, 0.02));
+        w[(2, 5)] = 0.3; // guaranteed outlier
+        let x = Matrix::from_fn(32, 40, |_, _| rng.normal(0.0, 1.0));
+        let layer = LayerTensors::new(w, x).unwrap();
+        let q = MicroScopiQ::new(
+            QuantConfig::w2().macro_block(16).row_block(16).build().unwrap(),
+        );
+        let out = q.quantize_layer(&layer).unwrap();
+        let packed = out.packed.expect("packed layout");
+        assert!(packed.outlier_micro_block_fraction() > 0.0);
+        assert!(out.stats.outlier_fraction > 0.0);
+        // Outlier reconstructed at high precision.
+        assert!((out.dequantized[(2, 5)] - 0.3).abs() < 0.08);
+    }
+}

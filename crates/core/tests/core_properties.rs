@@ -1,0 +1,140 @@
+//! Property-based tests over the MicroScopiQ quantization invariants.
+
+use microscopiq_core::config::{GroupAxis, QuantConfig};
+use microscopiq_core::microblock::{MicroBlockPlan, PermutationList};
+use microscopiq_core::packed::PackedLayer;
+use microscopiq_core::solver::solve;
+use microscopiq_core::traits::LayerTensors;
+use microscopiq_linalg::{Matrix, SeededRng};
+use proptest::prelude::*;
+
+/// Builds a reproducible synthetic layer from a seed and geometry.
+fn build_layer(d_row: usize, d_col: usize, outlier_rate: f64, seed: u64) -> LayerTensors {
+    let mut rng = SeededRng::new(seed);
+    let mut w = Matrix::from_fn(d_row, d_col, |_, _| rng.normal(0.0, 0.02));
+    let n_out = ((d_row * d_col) as f64 * outlier_rate).round() as usize;
+    for _ in 0..n_out {
+        let r = rng.below(d_row);
+        let c = rng.below(d_col);
+        w[(r, c)] = rng.sign() * rng.uniform_range(0.15, 0.5);
+    }
+    let x = Matrix::from_fn(d_col, d_col + 8, |_, _| rng.normal(0.0, 1.0));
+    LayerTensors::new(w, x).unwrap()
+}
+
+fn small_cfg(axis: GroupAxis, bits: u32) -> QuantConfig {
+    QuantConfig::builder(bits)
+        .macro_block(16)
+        .row_block(16)
+        .group_axis(axis)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The central invariant: pack → bytes → unpack → dequantize is
+    /// identical to the solver's dequantized view.
+    #[test]
+    fn pack_serialize_roundtrip(
+        seed in 0u64..1000,
+        rows in 4usize..24,
+        cols_blocks in 1usize..4,
+        bits in prop_oneof![Just(2u32), Just(4u32)],
+        axis in prop_oneof![Just(GroupAxis::DotProduct), Just(GroupAxis::OutputChannel)],
+    ) {
+        let cols = cols_blocks * 16;
+        let layer = build_layer(rows, cols, 0.02, seed);
+        let out = solve(&layer, &small_cfg(axis, bits)).unwrap();
+        let packed = out.packed.expect("packable");
+        let bytes = packed.to_bytes();
+        let back = PackedLayer::from_bytes(&bytes).unwrap();
+        prop_assert!(back.dequantize().frobenius_distance(&out.dequantized) < 1e-9);
+        prop_assert_eq!(back.effective_bit_width().to_bits(),
+                        packed.effective_bit_width().to_bits());
+    }
+
+    /// N:M structured-sparsity invariant: exactly one pruned slot per kept
+    /// outlier, and EBW stays within the Eq. 4 envelope [bb, EBW_O].
+    #[test]
+    fn nm_pattern_and_ebw_envelope(seed in 0u64..1000, rate in 0.0f64..0.06) {
+        let layer = build_layer(8, 64, rate, seed);
+        let cfg = small_cfg(GroupAxis::DotProduct, 2);
+        let out = solve(&layer, &cfg).unwrap();
+        prop_assert!((out.stats.pruned_fraction - out.stats.outlier_fraction).abs() < 1e-12);
+        let ebw = out.stats.effective_bit_width;
+        prop_assert!((2.0..=6.0).contains(&ebw), "ebw {}", ebw);
+        // Eq. 4 cross-check from the micro-block occupancy.
+        let x = out.stats.outlier_micro_block_fraction;
+        let expect = 2.0 * (1.0 - x) + 6.0 * x;
+        prop_assert!((ebw - expect).abs() < 1e-9, "ebw {} vs eq4 {}", ebw, expect);
+    }
+
+    /// Quantization is deterministic.
+    #[test]
+    fn quantization_is_deterministic(seed in 0u64..500) {
+        let layer = build_layer(6, 32, 0.02, seed);
+        let cfg = small_cfg(GroupAxis::DotProduct, 2);
+        let a = solve(&layer, &cfg).unwrap();
+        let b = solve(&layer, &cfg).unwrap();
+        prop_assert_eq!(a.dequantized, b.dequantized);
+    }
+
+    /// Dequantized inliers never exceed the representable inlier range of
+    /// their block scale, and reconstruction error of the whole tensor is
+    /// bounded relative to the clean-signal norm.
+    #[test]
+    fn reconstruction_is_sane(seed in 0u64..500) {
+        let layer = build_layer(8, 32, 0.03, seed);
+        let cfg = small_cfg(GroupAxis::DotProduct, 4);
+        let out = solve(&layer, &cfg).unwrap();
+        let rel = out.dequantized.frobenius_distance(&layer.weights)
+            / layer.weights.frobenius_norm();
+        prop_assert!(rel < 0.8, "relative reconstruction error {}", rel);
+        prop_assert!(out.dequantized.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Permutation lists survive the bit encoding for every legal shape.
+    #[test]
+    fn perm_list_roundtrip(
+        count in 0usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let mut slots: Vec<usize> = (0..8).collect();
+        // Shuffle via random draws.
+        for i in (1..slots.len()).rev() {
+            let j = rng.below(i + 1);
+            slots.swap(i, j);
+        }
+        let entries: Vec<_> = (0..count)
+            .map(|k| microscopiq_core::microblock::PermEntry {
+                upper_loc: slots[2 * k] as u8,
+                lower_loc: slots[2 * k + 1] as u8,
+            })
+            .collect();
+        let list = PermutationList::new(entries.clone(), 8);
+        let back = PermutationList::from_bits(list.to_bits(8), 8).unwrap();
+        prop_assert_eq!(back.entries(), entries.as_slice());
+    }
+
+    /// Micro-block plans always satisfy their structural invariants.
+    #[test]
+    fn plan_invariants(
+        flagged_bits in 0u8..=255,
+        seed in 0u64..1000,
+    ) {
+        let flagged: Vec<bool> = (0..8).map(|i| (flagged_bits >> i) & 1 == 1).collect();
+        let mut rng = SeededRng::new(seed);
+        let weights: Vec<f64> = (0..8)
+            .map(|i| if flagged[i] { rng.sign() * rng.uniform_range(0.2, 0.9) } else { rng.normal(0.0, 0.02) })
+            .collect();
+        let saliency: Vec<f64> = weights.iter().map(|w| w * w).collect();
+        let plan = MicroBlockPlan::build(&flagged, &weights, &saliency, true);
+        prop_assert!(plan.check_invariants());
+        prop_assert!(plan.n_outliers() <= 4);
+        prop_assert_eq!(plan.n_outliers() + plan.demoted,
+                        flagged.iter().filter(|&&f| f).count());
+    }
+}

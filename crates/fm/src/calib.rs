@@ -1,0 +1,81 @@
+//! Synthetic calibration activations.
+//!
+//! The paper calibrates on 256 random PILE samples; here activations are
+//! synthesized with the two properties that matter to the algorithms under
+//! test: per-channel scale diversity (drives the Hessian diagonal, hence
+//! GPTQ/saliency behaviour) and a small set of high-magnitude outlier
+//! channels (drives SmoothQuant-style migration and AWQ channel scaling).
+
+use crate::zoo::{LayerSpec, ModelSpec};
+use microscopiq_linalg::{Matrix, SeededRng};
+
+/// Fraction of channels that are activation-outlier channels.
+pub const HOT_CHANNEL_FRACTION: f64 = 0.02;
+/// Magnitude multiplier of hot channels.
+pub const HOT_CHANNEL_GAIN: f64 = 20.0;
+
+/// Generates calibration activations (`d_col × n_samples`) for a layer.
+pub fn calibration_for_layer(spec: &ModelSpec, layer: &LayerSpec, n_samples: usize) -> Matrix {
+    let mut rng = SeededRng::new(spec.seed ^ 0xCA11B).fork(layer.name);
+    calibration(layer.d_col, n_samples, &mut rng)
+}
+
+/// Generates calibration activations with lognormal channel scales plus a
+/// few hot channels.
+pub fn calibration(d_col: usize, n_samples: usize, rng: &mut SeededRng) -> Matrix {
+    let n_hot = ((d_col as f64 * HOT_CHANNEL_FRACTION).round() as usize).max(1);
+    let hot = rng.choose_distinct(d_col, n_hot);
+    let channel_scale: Vec<f64> = (0..d_col)
+        .map(|c| {
+            let base = rng.lognormal(0.0, 0.4);
+            if hot.contains(&c) {
+                base * HOT_CHANNEL_GAIN
+            } else {
+                base
+            }
+        })
+        .collect();
+    Matrix::from_fn(d_col, n_samples, |c, _| rng.normal(0.0, channel_scale[c]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::model;
+
+    #[test]
+    fn calibration_is_deterministic_per_layer() {
+        let spec = model("LLaMA-3-8B");
+        let a = calibration_for_layer(&spec, &spec.layers[0], 32);
+        let b = calibration_for_layer(&spec, &spec.layers[0], 32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hot_channels_exist() {
+        let mut rng = SeededRng::new(9);
+        let x = calibration(128, 64, &mut rng);
+        let channel_max: Vec<f64> = (0..128)
+            .map(|c| (0..64).map(|s| x[(c, s)].abs()).fold(0.0, f64::max))
+            .collect();
+        let global_median = {
+            let mut v = channel_max.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let hot = channel_max
+            .iter()
+            .filter(|&&m| m > global_median * 8.0)
+            .count();
+        assert!(hot >= 1, "no hot channels found");
+        assert!(hot <= 12, "too many hot channels: {hot}");
+    }
+
+    #[test]
+    fn shape_matches_request() {
+        let spec = model("Phi-3-3.8B");
+        let x = calibration_for_layer(&spec, &spec.layers[2], 40);
+        assert_eq!(x.rows(), spec.layers[2].d_col);
+        assert_eq!(x.cols(), 40);
+    }
+}

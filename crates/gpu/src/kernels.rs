@@ -1,0 +1,265 @@
+//! GPU execution-path models for MicroScopiQ GEMMs (§6, Table 6).
+//!
+//! Token generation (decode) is modelled roofline-style per layer:
+//! `t = max(traffic/BW, MACs/rate) + overheads`, where each path differs in
+//! (a) the weight format crossing DRAM, (b) which tensor-core precision
+//! executes which tiles, and (c) dequantization / outlier-merge overheads:
+//!
+//! * **FP16 (TensorRT-LLM)** — 16-bit weights, FP16 tensor cores.
+//! * **Atom W4A4** — 4-bit + outlier-channel INT8, INT4/INT8 tensor cores.
+//! * **MicroScopiQ no-optim** — outliers merged in shared memory: the
+//!   dequantized FP16 weights make a full smem round trip, erasing the
+//!   compression win (the paper measures 0.98× of FP16).
+//! * **MicroScopiQ optim** — register caching (`shfl_sync`) + dynamic tile
+//!   dispatch: inlier-only tiles on INT4 TCs, mixed tiles dequantized.
+//! * **MicroScopiQ + modified TC** — INT+FP co-issue with the variable
+//!   right shifter (§6.2): no dequantization at all.
+
+use crate::spec::GpuSpec;
+use microscopiq_accel::workload::GemmShape;
+
+/// A GPU execution path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuPath {
+    /// TensorRT-LLM FP16 baseline.
+    Fp16Baseline,
+    /// Atom W4A4 kernel.
+    AtomW4A4,
+    /// MicroScopiQ W4A4 without kernel optimizations.
+    MsNoOptim,
+    /// MicroScopiQ W4A4 with register caching + dynamic dispatch.
+    MsOptim,
+    /// MicroScopiQ W4A4 on the modified tensor core (simulated).
+    MsModifiedTc,
+}
+
+impl GpuPath {
+    /// Display name as in Table 6.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GpuPath::Fp16Baseline => "TRT-LLM FP16",
+            GpuPath::AtomW4A4 => "W4A4 Atom",
+            GpuPath::MsNoOptim => "W4A4 MS no-optim.",
+            GpuPath::MsOptim => "W4A4 MS optim.",
+            GpuPath::MsModifiedTc => "W4A4 MS w/ New MTC",
+        }
+    }
+}
+
+/// Per-layer timing for one path (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GpuTiming {
+    /// DRAM traffic time.
+    pub memory_us: f64,
+    /// Tensor-core compute time.
+    pub compute_us: f64,
+    /// Dequantization / merge / launch overheads.
+    pub overhead_us: f64,
+}
+
+impl GpuTiming {
+    /// Total time, with memory and compute overlapped.
+    pub fn total_us(&self) -> f64 {
+        self.memory_us.max(self.compute_us) + self.overhead_us
+    }
+}
+
+/// Parameters of a MicroScopiQ-quantized model on the GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsGpuParams {
+    /// Effective bit width of the packed weights (W4: ≈4.15).
+    pub ebw: f64,
+    /// Fraction of GEMM tiles containing at least one outlier μB (these
+    /// dequantize to FP16 in the unmodified paths).
+    pub mixed_tile_fraction: f64,
+}
+
+impl Default for MsGpuParams {
+    fn default() -> Self {
+        Self {
+            ebw: 4.15,
+            mixed_tile_fraction: 0.35,
+        }
+    }
+}
+
+/// Times one GEMM on the given path.
+pub fn gemm_time(shape: &GemmShape, path: GpuPath, spec: &GpuSpec, ms: &MsGpuParams) -> GpuTiming {
+    let macs = shape.macs() as f64;
+    let weights = shape.weight_elements() as f64;
+    let act_bytes = ((shape.k + shape.m) * shape.n * shape.repeats) as f64 * 2.0;
+    let bw = spec.hbm_gbps * 1e9 / 1e6; // bytes per microsecond
+    let fp16_rate = spec.fp16_tc_tflops * 1e12 / 1e6; // flops per microsecond
+    let int4_rate = spec.int4_tc_tops * 1e12 / 1e6;
+    let launch = spec.kernel_launch_us * shape.repeats as f64;
+
+    match path {
+        GpuPath::Fp16Baseline => GpuTiming {
+            memory_us: (weights * 2.0 + act_bytes) / bw,
+            compute_us: 2.0 * macs / fp16_rate,
+            overhead_us: launch,
+        },
+        GpuPath::AtomW4A4 => {
+            // 4-bit groups + 1/32 channels at INT8 → ≈4.2 bits/element;
+            // INT4 TCs with INT32→FP16 accumulation conversion overhead.
+            let wbytes = weights * 4.2 / 8.0;
+            let convert = 0.12 * wbytes / bw;
+            GpuTiming {
+                memory_us: (wbytes + act_bytes * 0.5) / bw,
+                compute_us: 2.0 * macs / int4_rate,
+                overhead_us: launch + convert,
+            }
+        }
+        GpuPath::MsNoOptim => {
+            // Outlier merge in shared memory: dequantized FP16 weights make
+            // a full store+load round trip through smem, and the GEMM runs
+            // at FP16 rate. The effective smem bandwidth factor (3× DRAM,
+            // i.e. bank-conflicted merging) is calibrated so this path
+            // lands at the paper's measured ≈0.98× of the FP16 baseline.
+            let wbytes = weights * ms.ebw / 8.0;
+            let smem_roundtrip = weights * 2.0 * 2.0 / (bw * 3.0);
+            GpuTiming {
+                memory_us: (wbytes + act_bytes * 0.5) / bw,
+                compute_us: 2.0 * macs / fp16_rate,
+                overhead_us: launch + smem_roundtrip + 0.25 * wbytes / bw,
+            }
+        }
+        GpuPath::MsOptim => {
+            // Register caching: no smem trip; inlier tiles on INT4 TCs,
+            // mixed tiles dequantized to FP16; shfl_sync per outlier μB.
+            let wbytes = weights * ms.ebw / 8.0;
+            let f = ms.mixed_tile_fraction;
+            let compute =
+                2.0 * macs * (1.0 - f) / int4_rate + 2.0 * macs * f / fp16_rate;
+            let shfl = 0.08 * wbytes / bw;
+            GpuTiming {
+                memory_us: (wbytes + act_bytes * 0.5) / bw,
+                compute_us: compute,
+                overhead_us: launch + shfl,
+            }
+        }
+        GpuPath::MsModifiedTc => {
+            // INT+FP co-issue: every tile at INT4-TC rate, no dequant.
+            let wbytes = weights * ms.ebw / 8.0;
+            GpuTiming {
+                memory_us: (wbytes + act_bytes * 0.5) / bw,
+                compute_us: 2.0 * macs / int4_rate,
+                overhead_us: launch,
+            }
+        }
+    }
+}
+
+/// Total workload time (microseconds).
+pub fn workload_time(
+    workload: &[GemmShape],
+    path: GpuPath,
+    spec: &GpuSpec,
+    ms: &MsGpuParams,
+) -> f64 {
+    workload
+        .iter()
+        .map(|s| gemm_time(s, path, spec, ms).total_us())
+        .sum()
+}
+
+/// Token-generation throughput normalized to the FP16 baseline (Table 6).
+pub fn normalized_throughput(
+    workload: &[GemmShape],
+    path: GpuPath,
+    spec: &GpuSpec,
+    ms: &MsGpuParams,
+) -> f64 {
+    let base = workload_time(workload, GpuPath::Fp16Baseline, spec, ms);
+    base / workload_time(workload, path, spec, ms)
+}
+
+/// GPU energy for a workload (millijoules): DRAM traffic + compute at the
+/// path's precision + overhead traffic, with published per-op constants.
+pub fn workload_energy_mj(
+    workload: &[GemmShape],
+    path: GpuPath,
+    _spec: &GpuSpec,
+    ms: &MsGpuParams,
+) -> f64 {
+    let macs: f64 = workload.iter().map(|g| g.macs() as f64).sum();
+    let weights: f64 = workload.iter().map(|g| g.weight_elements() as f64).sum();
+    let dram_pj_byte = 31.2;
+    let (wbits, mac_pj, extra) = match path {
+        GpuPath::Fp16Baseline => (16.0, 0.9, 0.0),
+        GpuPath::AtomW4A4 => (4.2, 0.35, 0.05),
+        GpuPath::MsNoOptim => (ms.ebw, 0.9, 0.40), // FP16 compute + smem churn
+        GpuPath::MsOptim => (ms.ebw, 0.45, 0.10),  // mixed INT4/FP16 + shfl
+        GpuPath::MsModifiedTc => (ms.ebw, 0.30, 0.0),
+    };
+    let dram_mj = weights * wbits / 8.0 * dram_pj_byte * 1e-9;
+    let compute_mj = macs * mac_pj * 1e-9;
+    (dram_mj + compute_mj) * (1.0 + extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microscopiq_accel::workload::{model_workload, Phase};
+    use microscopiq_fm::zoo::model;
+
+    fn decode_workload(name: &str) -> Vec<GemmShape> {
+        model_workload(&model(name), Phase::Decode)
+    }
+
+    #[test]
+    fn table6_ordering_holds_for_llama2_13b() {
+        let spec = GpuSpec::a100();
+        let ms = MsGpuParams::default();
+        let wl = decode_workload("LLaMA-2-13B");
+        let t = |p| normalized_throughput(&wl, p, &spec, &ms);
+        let no_optim = t(GpuPath::MsNoOptim);
+        let optim = t(GpuPath::MsOptim);
+        let atom = t(GpuPath::AtomW4A4);
+        let mtc = t(GpuPath::MsModifiedTc);
+        // Paper row: 0.98 < 1.00 ≤ 2.06 ≈ 2.25 < 4.31.
+        assert!(no_optim > 0.8 && no_optim < 1.15, "no-optim {no_optim}");
+        assert!(optim > 1.5, "optim {optim}");
+        assert!(atom > 1.5, "atom {atom}");
+        assert!(mtc > optim && mtc > atom, "modified TC {mtc} must lead");
+    }
+
+    #[test]
+    fn no_optim_loses_its_compression_win() {
+        // The smem round trip makes MS-no-optim comparable to FP16 even
+        // though its weights are 4× smaller.
+        let spec = GpuSpec::a100();
+        let ms = MsGpuParams::default();
+        let wl = decode_workload("LLaMA-3-8B");
+        let r = normalized_throughput(&wl, GpuPath::MsNoOptim, &spec, &ms);
+        assert!(r > 0.6 && r < 1.2, "no-optim normalized {r}");
+    }
+
+    #[test]
+    fn decode_is_memory_bound_on_gpu() {
+        let spec = GpuSpec::a100();
+        let ms = MsGpuParams::default();
+        let wl = decode_workload("LLaMA-2-13B");
+        for s in &wl {
+            let t = gemm_time(s, GpuPath::Fp16Baseline, &spec, &ms);
+            assert!(t.memory_us > t.compute_us, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn modified_tc_energy_is_lowest_ms_path() {
+        let spec = GpuSpec::a100();
+        let ms = MsGpuParams::default();
+        let wl = decode_workload("LLaMA-2-13B");
+        let e = |p| workload_energy_mj(&wl, p, &spec, &ms);
+        assert!(e(GpuPath::MsModifiedTc) < e(GpuPath::MsOptim));
+        assert!(e(GpuPath::MsOptim) < e(GpuPath::MsNoOptim));
+        assert!(e(GpuPath::MsModifiedTc) < e(GpuPath::Fp16Baseline));
+    }
+
+    #[test]
+    fn path_names_match_table6() {
+        assert_eq!(GpuPath::Fp16Baseline.name(), "TRT-LLM FP16");
+        assert_eq!(GpuPath::MsModifiedTc.name(), "W4A4 MS w/ New MTC");
+    }
+}

@@ -1,0 +1,16 @@
+//! A100-class GPU performance model for MicroScopiQ (§6, Table 6, Fig. 13).
+//!
+//! Models the four execution paths of the paper's GPU evaluation — FP16
+//! baseline, Atom W4A4, MicroScopiQ W4A4 with and without kernel
+//! optimizations — plus the modified-tensor-core variant (INT+FP co-issue
+//! with a variable right shifter). Timing is roofline-style per layer;
+//! see module docs in [`kernels`] for each path's cost structure.
+
+pub mod kernels;
+pub mod spec;
+
+pub use kernels::{
+    gemm_time, normalized_throughput, workload_energy_mj, workload_time, GpuPath, GpuTiming,
+    MsGpuParams,
+};
+pub use spec::GpuSpec;

@@ -1,0 +1,48 @@
+//! GPU hardware constants for the A100-class model of §6/§7.6.
+
+/// A100-class GPU specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// HBM bandwidth (GB/s). The paper's iso-bandwidth scenario uses 2 TB/s.
+    pub hbm_gbps: f64,
+    /// Dense FP16 tensor-core throughput (TFLOPS).
+    pub fp16_tc_tflops: f64,
+    /// INT8 tensor-core throughput (TOPS).
+    pub int8_tc_tops: f64,
+    /// INT4 tensor-core throughput (TOPS).
+    pub int4_tc_tops: f64,
+    /// Total multiplier count (the paper's iso-compute anchor: 55,296).
+    pub multipliers: usize,
+    /// Per-kernel launch overhead (microseconds).
+    pub kernel_launch_us: f64,
+}
+
+impl GpuSpec {
+    /// The A100 used throughout §7.6.
+    pub fn a100() -> Self {
+        Self {
+            sms: 108,
+            hbm_gbps: 2000.0,
+            fp16_tc_tflops: 312.0,
+            int8_tc_tops: 624.0,
+            int4_tc_tops: 1248.0,
+            multipliers: 55_296,
+            kernel_launch_us: 4.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_rates_are_consistent() {
+        let g = GpuSpec::a100();
+        // Tensor-core rates double per precision halving.
+        assert_eq!(g.int8_tc_tops, g.fp16_tc_tflops * 2.0);
+        assert_eq!(g.int4_tc_tops, g.int8_tc_tops * 2.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Cholesky factorization and SPD inversion for the GPTQ Hessian.
+//!
+//! GPTQ-style solvers (Algorithm 1 of the paper, following Frantar et al.)
+//! need `H⁻¹ = (2XXᵀ + λI)⁻¹` and, for the numerically stable column
+//! recurrence, the *upper* Cholesky factor of `H⁻¹`. Both are provided here
+//! on top of a plain lower-triangular Cholesky factorization.
+
+use crate::matrix::Matrix;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a matrix is not symmetric positive definite enough
+/// to factorize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CholeskyError {
+    /// Pivot index at which factorization broke down.
+    pub pivot: usize,
+}
+
+impl fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (non-positive pivot at index {})",
+            self.pivot
+        )
+    }
+}
+
+impl Error for CholeskyError {}
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+///
+/// # Errors
+///
+/// Returns [`CholeskyError`] if a pivot is non-positive (matrix is not SPD).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, CholeskyError> {
+    assert_eq!(a.rows(), a.cols(), "cholesky requires a square matrix");
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut diag = a[(j, j)];
+        for k in 0..j {
+            diag -= l[(j, k)] * l[(j, k)];
+        }
+        if diag <= 0.0 || !diag.is_finite() {
+            return Err(CholeskyError { pivot: j });
+        }
+        let djj = diag.sqrt();
+        l[(j, j)] = djj;
+        for i in (j + 1)..n {
+            let mut v = a[(i, j)];
+            for k in 0..j {
+                v -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = v / djj;
+        }
+    }
+    Ok(l)
+}
+
+/// Inverts a lower-triangular matrix by forward substitution.
+///
+/// # Panics
+///
+/// Panics if `l` is not square or has a zero diagonal entry.
+fn invert_lower_triangular(l: &Matrix) -> Matrix {
+    let n = l.rows();
+    assert_eq!(n, l.cols(), "triangular inverse requires a square matrix");
+    let mut inv = Matrix::zeros(n, n);
+    for j in 0..n {
+        assert!(l[(j, j)] != 0.0, "singular triangular matrix");
+        inv[(j, j)] = 1.0 / l[(j, j)];
+        for i in (j + 1)..n {
+            let mut s = 0.0;
+            for k in j..i {
+                s += l[(i, k)] * inv[(k, j)];
+            }
+            inv[(i, j)] = -s / l[(i, i)];
+        }
+    }
+    inv
+}
+
+/// Inverts a symmetric positive definite matrix via Cholesky:
+/// `A⁻¹ = L⁻ᵀ·L⁻¹`.
+///
+/// # Errors
+///
+/// Returns [`CholeskyError`] if `a` is not SPD.
+pub fn spd_inverse(a: &Matrix) -> Result<Matrix, CholeskyError> {
+    let l = cholesky(a)?;
+    let linv = invert_lower_triangular(&l);
+    // A⁻¹ = (L·Lᵀ)⁻¹ = L⁻ᵀ·L⁻¹; compute as linvᵀ · linv.
+    Ok(linv.transpose().matmul(&linv))
+}
+
+/// Computes the upper Cholesky factor `U` of `A⁻¹` (so `A⁻¹ = Uᵀ·U` with `U`
+/// upper-triangular), the form GPTQ's column recurrence consumes.
+///
+/// # Errors
+///
+/// Returns [`CholeskyError`] if `a` is not SPD.
+pub fn upper_cholesky_of_inverse(a: &Matrix) -> Result<Matrix, CholeskyError> {
+    let inv = spd_inverse(a)?;
+    // A⁻¹ = L'·L'ᵀ (lower factor of the inverse). GPTQ uses the transposed
+    // (upper) factor so that row j carries the couplings of column j to all
+    // later columns.
+    let l = cholesky(&inv)?;
+    Ok(l.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example(n: usize) -> Matrix {
+        // B·Bᵀ + n·I is comfortably SPD.
+        let b = Matrix::from_fn(n, n, |r, c| ((r * 3 + c * 5) % 7) as f64 / 7.0 + 0.1);
+        let mut a = b.gram();
+        a.add_diagonal(n as f64);
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        let a = spd_example(8);
+        let l = cholesky(&a).expect("SPD");
+        let recon = l.matmul(&l.transpose());
+        assert!(a.frobenius_distance(&recon) < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_factor_is_lower_triangular() {
+        let a = spd_example(6);
+        let l = cholesky(&a).expect("SPD");
+        for r in 0..6 {
+            for c in (r + 1)..6 {
+                assert_eq!(l[(r, c)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        let err = cholesky(&a).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(err.to_string().contains("not positive definite"));
+    }
+
+    #[test]
+    fn spd_inverse_gives_identity() {
+        let a = spd_example(10);
+        let inv = spd_inverse(&a).expect("SPD");
+        let eye = a.matmul(&inv);
+        assert!(eye.frobenius_distance(&Matrix::identity(10)) < 1e-8);
+    }
+
+    #[test]
+    fn upper_factor_reconstructs_inverse() {
+        let a = spd_example(7);
+        let u = upper_cholesky_of_inverse(&a).expect("SPD");
+        // U is upper triangular.
+        for r in 0..7 {
+            for c in 0..r {
+                assert_eq!(u[(r, c)], 0.0);
+            }
+        }
+        let inv = spd_inverse(&a).expect("SPD");
+        let recon = u.transpose().matmul(&u);
+        assert!(inv.frobenius_distance(&recon) < 1e-8);
+    }
+
+    #[test]
+    fn triangular_inverse_matches_direct() {
+        let a = spd_example(5);
+        let l = cholesky(&a).expect("SPD");
+        let linv = invert_lower_triangular(&l);
+        let eye = l.matmul(&linv);
+        assert!(eye.frobenius_distance(&Matrix::identity(5)) < 1e-10);
+    }
+}

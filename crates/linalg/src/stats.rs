@@ -1,0 +1,119 @@
+//! Summary statistics used by the 3σ outlier rule and the experiment
+//! harness (box plots of Fig. 2(a), outlier diversity of Fig. 14).
+
+/// Arithmetic mean of a slice. Returns 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation. Returns 0 for slices shorter than 2.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Five-number-style summary of a sample (used for the paper's box plots).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Minimum value.
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Mean value.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "summary of empty slice");
+        Self {
+            min: percentile(values, 0.0),
+            q1: percentile(values, 25.0),
+            median: percentile(values, 50.0),
+            q3: percentile(values, 75.0),
+            max: percentile(values, 100.0),
+            mean: mean(values),
+            std_dev: std_dev(values),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_sample() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_endpoints_are_min_max() {
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert!((percentile(&v, 25.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_ordered() {
+        let v: Vec<f64> = (0..100).map(|i| (i as f64 * 37.0) % 13.0).collect();
+        let s = Summary::of(&v);
+        assert!(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 && s.q3 <= s.max);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Microscaling (MX) data formats for the MicroScopiQ reproduction.
+//!
+//! Implements the block data representations of §2.2 of the paper:
+//!
+//! * [`mxint`] — MX-INT-b_k: two's-complement integers sharing an 8-bit
+//!   power-of-two scale per block (inlier format).
+//! * [`fp`] — tiny floating-point element formats e1m2 (4-bit) and e3m4
+//!   (8-bit) used for outliers before exponent sharing.
+//! * [`mxfp`] — MX-FP-b_{k1,k2}: level-1 power-of-two scale plus a level-2
+//!   shared microexponent (μX) extracted from the element exponents; after
+//!   sharing, every element is `±1.m × 2^μX` (sign + mantissa only).
+//! * [`halves`] — the Upper/Lower mantissa-half split with duplicated sign
+//!   that lets outlier bits ride in pruned inlier slots (§4.3), including
+//!   the ≫-shift merge semantics ReCoN applies.
+//! * [`scale`] — shared power-of-two scale arithmetic (E8M0-style
+//!   exponents).
+//!
+//! # Examples
+//!
+//! ```
+//! use microscopiq_mx::mxint::MxIntBlock;
+//!
+//! let weights = [0.02_f64, -0.01, 0.005, -0.03];
+//! let block = MxIntBlock::quantize(&weights, 2);
+//! let restored = block.dequantize();
+//! assert_eq!(restored.len(), weights.len());
+//! ```
+
+pub mod fp;
+pub mod halves;
+pub mod mxfp;
+pub mod mxint;
+pub mod scale;
+
+pub use fp::TinyFloat;
+pub use halves::{merge_halves_fixed_point, split_into_halves, OutlierHalves};
+pub use mxfp::{MxFpBlock, MxScale};
+pub use mxint::MxIntBlock;
+pub use scale::Pow2Scale;

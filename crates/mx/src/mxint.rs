@@ -1,0 +1,210 @@
+//! MX-INT-b_k — the inlier format: symmetric two's-complement integers
+//! sharing one 8-bit power-of-two scale per block (§2.2, §4.2).
+//!
+//! "MX-INT-b_k inlier quantization can be viewed as analogous to INT group
+//! quantization utilizing an E8M0 scale factor" — the block scale is
+//! computed per Eq. 1 and elements follow the symmetric mapping of Eq. 2.
+
+use crate::scale::Pow2Scale;
+
+/// Largest magnitude representable by a symmetric `bits`-bit two's-complement
+/// integer (`2^(b−1) − 1`).
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `1..=16`.
+pub fn int_format_max(bits: u32) -> i32 {
+    assert!((1..=16).contains(&bits), "unsupported integer width {bits}");
+    (1 << (bits - 1)) - 1
+}
+
+/// A block of MX-INT-quantized values: integer codes plus the shared scale.
+///
+/// # Examples
+///
+/// ```
+/// use microscopiq_mx::mxint::MxIntBlock;
+///
+/// let block = MxIntBlock::quantize(&[0.05, -0.02, 0.01, 0.0], 4);
+/// assert_eq!(block.codes().len(), 4);
+/// let err: f64 = block
+///     .dequantize()
+///     .iter()
+///     .zip([0.05, -0.02, 0.01, 0.0])
+///     .map(|(a, b)| (a - b).abs())
+///     .sum();
+/// assert!(err < 0.02);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MxIntBlock {
+    codes: Vec<i32>,
+    scale: Pow2Scale,
+    bits: u32,
+}
+
+impl MxIntBlock {
+    /// Quantizes a block of values to `bits`-bit MX-INT with a shared
+    /// power-of-two scale derived from the block maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `2..=8`.
+    pub fn quantize(values: &[f64], bits: u32) -> Self {
+        assert!((2..=8).contains(&bits), "inlier bits must be in 2..=8");
+        let max_abs = values.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let scale = Pow2Scale::from_max(max_abs, int_format_max(bits) as f64);
+        Self::quantize_with_scale(values, bits, scale)
+    }
+
+    /// Quantizes with an externally supplied scale (used when the scale is
+    /// snapshotted before GPTQ error compensation mutates the block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `2..=8`.
+    pub fn quantize_with_scale(values: &[f64], bits: u32, scale: Pow2Scale) -> Self {
+        assert!((2..=8).contains(&bits), "inlier bits must be in 2..=8");
+        let fmax = int_format_max(bits);
+        let codes = values
+            .iter()
+            .map(|&v| {
+                let q = scale.apply(v).round();
+                (q as i64).clamp(-(fmax as i64), fmax as i64) as i32
+            })
+            .collect();
+        Self { codes, scale, bits }
+    }
+
+    /// Quantizes one scalar with a given scale, returning the integer code.
+    pub fn quantize_scalar(value: f64, bits: u32, scale: Pow2Scale) -> i32 {
+        let fmax = int_format_max(bits);
+        let q = scale.apply(value).round();
+        (q as i64).clamp(-(fmax as i64), fmax as i64) as i32
+    }
+
+    /// Dequantizes one code with a given scale.
+    pub fn dequantize_scalar(code: i32, scale: Pow2Scale) -> f64 {
+        scale.unapply(code as f64)
+    }
+
+    /// The integer codes.
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// The shared block scale.
+    pub fn scale(&self) -> Pow2Scale {
+        self.scale
+    }
+
+    /// The element bit-width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Reconstructs real values.
+    pub fn dequantize(&self) -> Vec<f64> {
+        self.codes
+            .iter()
+            .map(|&c| self.scale.unapply(c as f64))
+            .collect()
+    }
+
+    /// The worst-case absolute quantization error for in-range inputs:
+    /// half a quantization step.
+    pub fn half_step(&self) -> f64 {
+        self.scale.value() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_max_values() {
+        assert_eq!(int_format_max(2), 1);
+        assert_eq!(int_format_max(4), 7);
+        assert_eq!(int_format_max(8), 127);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let values: Vec<f64> = (0..64).map(|i| ((i * 37 % 41) as f64 - 20.0) / 400.0).collect();
+        for bits in [2, 4, 8] {
+            let block = MxIntBlock::quantize(&values, bits);
+            let deq = block.dequantize();
+            for (v, d) in values.iter().zip(deq.iter()) {
+                assert!(
+                    (v - d).abs() <= block.half_step() + 1e-12,
+                    "bits={bits} v={v} d={d} step/2={}",
+                    block.half_step()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codes_stay_in_symmetric_range() {
+        let values: Vec<f64> = (0..32).map(|i| (i as f64 - 16.0) * 0.013).collect();
+        for bits in [2, 4, 8] {
+            let block = MxIntBlock::quantize(&values, bits);
+            let fmax = int_format_max(bits);
+            for &c in block.codes() {
+                assert!((-fmax..=fmax).contains(&c), "bits={bits} code={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_bit_codes_are_ternary_or_less() {
+        let block = MxIntBlock::quantize(&[0.9, -0.9, 0.1, 0.0], 2);
+        for &c in block.codes() {
+            assert!((-1..=1).contains(&c));
+        }
+    }
+
+    #[test]
+    fn zero_block_quantizes_to_zero() {
+        let block = MxIntBlock::quantize(&[0.0; 8], 4);
+        assert!(block.codes().iter().all(|&c| c == 0));
+        assert!(block.dequantize().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn max_element_reaches_format_max() {
+        // With a tight power-of-two scale the block max lands in the top
+        // half of the integer range.
+        let block = MxIntBlock::quantize(&[0.07, 0.01, -0.03, 0.0], 4);
+        let top = block.codes().iter().map(|c| c.abs()).max().unwrap();
+        assert!(top >= int_format_max(4) / 2, "top code {top}");
+    }
+
+    #[test]
+    fn external_scale_is_respected() {
+        let scale = Pow2Scale::new(-3);
+        let block = MxIntBlock::quantize_with_scale(&[0.5, -0.25], 4, scale);
+        assert_eq!(block.scale(), scale);
+        assert_eq!(block.codes(), &[4, -2]); // 0.5/0.125 = 4, −0.25/0.125 = −2
+    }
+
+    #[test]
+    fn scalar_helpers_match_block_path() {
+        let scale = Pow2Scale::new(-4);
+        let v = 0.3;
+        let code = MxIntBlock::quantize_scalar(v, 4, scale);
+        let block = MxIntBlock::quantize_with_scale(&[v], 4, scale);
+        assert_eq!(code, block.codes()[0]);
+        assert_eq!(
+            MxIntBlock::dequantize_scalar(code, scale),
+            block.dequantize()[0]
+        );
+    }
+
+    #[test]
+    fn clipping_applies_to_out_of_range_values() {
+        let scale = Pow2Scale::new(0); // step 1, 4-bit max 7
+        let block = MxIntBlock::quantize_with_scale(&[100.0, -100.0], 4, scale);
+        assert_eq!(block.codes(), &[7, -7]);
+    }
+}

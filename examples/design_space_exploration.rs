@@ -1,0 +1,50 @@
+//! Design-space exploration: sweep the outlier group size B_μ (Fig. 14)
+//! and the number of ReCoN units (Fig. 18a) to find the paper's balance
+//! points — B_μ = 8 and time-multiplexed ReCoN.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use microscopiq_accel::area::microscopiq_area;
+use microscopiq_accel::perf::{workload_latency, AccelConfig};
+use microscopiq_accel::workload::{model_workload, Phase};
+use microscopiq_core::{MicroScopiQ, QuantConfig};
+use microscopiq_fm::{evaluate_weight_only, model};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = model("LLaMA-3-8B");
+
+    println!("== B_μ sweep (algorithm side, Fig. 14) ==");
+    println!("{:>5} {:>9} {:>7}", "B_μ", "error", "EBW");
+    let mut best: Option<(usize, f64)> = None;
+    for bmu in [2usize, 4, 8, 16, 32, 64] {
+        let q = MicroScopiQ::new(QuantConfig::w2().micro_block(bmu).build()?);
+        let eval = evaluate_weight_only(&spec, &q, 32)?;
+        let err = eval.mean_output_error();
+        println!("{bmu:>5} {err:>9.4} {:>7.2}", eval.mean_ebw());
+        if best.as_ref().is_none_or(|(_, e)| err < *e) {
+            best = Some((bmu, err));
+        }
+    }
+    let (best_bmu, _) = best.unwrap();
+    println!("→ best accuracy at B_μ = {best_bmu} (paper: 8, balancing error vs EBW)");
+
+    println!("\n== ReCoN unit sweep (hardware side, Fig. 18a) ==");
+    let wl = model_workload(&spec, Phase::Prefill(512));
+    let occupancy = 1.0 - (1.0 - spec.outlier_profile.rate).powi(8);
+    let base_cfg = AccelConfig::paper_64x64(2, 1);
+    let base = workload_latency(&wl, &base_cfg, 2.36, occupancy).total_cycles;
+    let base_area = microscopiq_area(64, 64, 1).total_mm2();
+    println!("{:>6} {:>10} {:>10}", "units", "latency×", "area×");
+    for units in [1usize, 2, 4, 8, 16, 64] {
+        let cfg = AccelConfig::paper_64x64(2, units);
+        let lat = workload_latency(&wl, &cfg, 2.36, occupancy).total_cycles;
+        let area = microscopiq_area(64, 64, units).total_mm2();
+        println!(
+            "{units:>6} {:>10.3} {:>10.3}",
+            lat / base,
+            area / base_area
+        );
+    }
+    println!("→ latency saturates once capacity covers demand; area keeps climbing —\n  the paper picks few shared units (design A/B of Fig. 15)");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Weight–activation quantization with α-migration (§7.2) and 2-bit
+//! KV-cache quantization (Table 7's final row).
+//!
+//! Run with: `cargo run --release --example kv_cache_and_activations`
+
+use microscopiq_core::activation::{migrate_difficulty, quantize_activations};
+use microscopiq_core::kv_cache::{attention_output_error, quantize_kv_cache, KvCacheConfig};
+use microscopiq_core::traits::{LayerTensors, WeightQuantizer};
+use microscopiq_core::MicroScopiQ;
+use microscopiq_linalg::{Matrix, SeededRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SeededRng::new(21);
+
+    // A layer whose activations carry hot outlier channels.
+    let w = Matrix::from_fn(64, 128, |_, _| rng.normal(0.0, 0.02));
+    let mut x = Matrix::from_fn(128, 96, |_, _| rng.normal(0.0, 0.8));
+    for s in 0..96 {
+        x[(7, s)] *= 25.0;
+        x[(63, s)] *= 18.0;
+    }
+    let layer = LayerTensors::new(w, x)?;
+    let reference = layer.weights.matmul(&layer.calibration);
+    let rel = |m: &Matrix| reference.frobenius_distance(m) / reference.frobenius_norm();
+
+    println!("== W4A4 with and without α-migration ==");
+    let q = MicroScopiQ::w4();
+    for alpha in [0.0, 0.5, 0.7] {
+        let migrated = migrate_difficulty(&layer, alpha)?;
+        let qw = q.quantize_layer(&migrated)?;
+        let qx = quantize_activations(&migrated.calibration, 4, 128);
+        let out = qw.dequantized.matmul(&qx);
+        println!("α = {alpha:.1}: combined output error {:.4}", rel(&out));
+    }
+    println!("(the paper migrates at α = 0.7 — MicroScopiQ's weight path absorbs the outliers)");
+
+    println!("\n== 2-bit KV-cache quantization (KIVI-style) ==");
+    let tokens = 512;
+    let channels = 128;
+    let keys = Matrix::from_fn(tokens, channels, |_, c| {
+        rng.normal(0.0, if c % 13 == 0 { 2.2 } else { 0.5 })
+    });
+    let values = Matrix::from_fn(tokens, channels, |_, _| rng.normal(0.0, 0.8));
+    let queries = Matrix::from_fn(16, channels, |_, _| rng.normal(0.0, 0.5));
+    for (label, cfg) in [
+        ("2-bit, residual 128", KvCacheConfig::default()),
+        (
+            "2-bit, no residual",
+            KvCacheConfig {
+                residual: 0,
+                ..KvCacheConfig::default()
+            },
+        ),
+        (
+            "4-bit, residual 128",
+            KvCacheConfig {
+                bits: 4,
+                ..KvCacheConfig::default()
+            },
+        ),
+    ] {
+        let qkv = quantize_kv_cache(&keys, &values, cfg)?;
+        let err = attention_output_error(&queries, &keys, &values, &qkv);
+        println!("{label}: attention output error {err:.4}");
+    }
+    println!("(the FP residual window absorbs most of the recency-weighted damage)");
+    Ok(())
+}

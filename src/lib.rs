@@ -1,0 +1,39 @@
+//! MicroScopiQ — outlier-aware microscaling quantization for foundational
+//! models, with a functional + analytic accelerator simulator.
+//!
+//! This façade crate re-exports the workspace members; see each crate for
+//! its own documentation:
+//!
+//! * [`core`] — the quantization framework (the paper's contribution);
+//! * [`mx`] — MX-INT / MX-FP data formats;
+//! * [`linalg`] — dense matrix / Cholesky / stats substrate;
+//! * [`fm`] — synthetic foundational-model zoo and evaluation;
+//! * [`baselines`] — GPTQ, AWQ, OliVe, GOBO, OmniQuant-GS, Atom, SDQ, …;
+//! * [`accel`] — PE array, ReCoN NoC, perf/energy/area models;
+//! * [`gpu`] — A100-class execution-path models.
+//!
+//! # Examples
+//!
+//! ```
+//! use microscopiq::core::{MicroScopiQ, QuantConfig};
+//! use microscopiq::core::traits::{LayerTensors, WeightQuantizer};
+//! use microscopiq::linalg::{Matrix, SeededRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = SeededRng::new(1);
+//! let w = Matrix::from_fn(16, 128, |_, _| rng.normal(0.0, 0.02));
+//! let x = Matrix::from_fn(128, 64, |_, _| rng.normal(0.0, 1.0));
+//! let layer = LayerTensors::new(w, x)?;
+//! let result = MicroScopiQ::w2().quantize_layer(&layer)?;
+//! assert!(result.stats.effective_bit_width >= 2.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use microscopiq_accel as accel;
+pub use microscopiq_baselines as baselines;
+pub use microscopiq_core as core;
+pub use microscopiq_fm as fm;
+pub use microscopiq_gpu as gpu;
+pub use microscopiq_linalg as linalg;
+pub use microscopiq_mx as mx;

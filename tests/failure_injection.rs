@@ -1,0 +1,125 @@
+//! Failure-injection integration tests: malformed inputs, corrupted
+//! metadata, and degenerate tensors must fail loudly (or degrade
+//! gracefully), never silently corrupt results.
+
+use microscopiq::core::config::QuantConfig;
+use microscopiq::core::packed::PackedLayer;
+use microscopiq::core::solver::solve;
+use microscopiq::core::traits::{LayerTensors, WeightQuantizer};
+use microscopiq::core::{MicroScopiQ, QuantError};
+use microscopiq::linalg::{Matrix, SeededRng};
+
+fn clean_layer(seed: u64) -> LayerTensors {
+    let mut rng = SeededRng::new(seed);
+    let w = Matrix::from_fn(8, 32, |_, _| rng.normal(0.0, 0.02));
+    let x = Matrix::from_fn(32, 40, |_, _| rng.normal(0.0, 1.0));
+    LayerTensors::new(w, x).unwrap()
+}
+
+#[test]
+fn nan_weights_are_rejected_at_construction() {
+    let mut rng = SeededRng::new(1);
+    let mut w = Matrix::from_fn(4, 16, |_, _| rng.normal(0.0, 0.02));
+    w[(2, 3)] = f64::NAN;
+    let x = Matrix::from_fn(16, 8, |_, _| rng.normal(0.0, 1.0));
+    assert!(matches!(
+        LayerTensors::new(w, x),
+        Err(QuantError::NonFiniteInput { tensor: "weights" })
+    ));
+}
+
+#[test]
+fn infinite_calibration_is_rejected() {
+    let mut rng = SeededRng::new(2);
+    let w = Matrix::from_fn(4, 16, |_, _| rng.normal(0.0, 0.02));
+    let mut x = Matrix::from_fn(16, 8, |_, _| rng.normal(0.0, 1.0));
+    x[(0, 0)] = f64::INFINITY;
+    assert!(LayerTensors::new(w, x).is_err());
+}
+
+#[test]
+fn every_truncation_point_is_detected() {
+    let layer = clean_layer(3);
+    let cfg = QuantConfig::w2().macro_block(16).row_block(16).build().unwrap();
+    let packed = solve(&layer, &cfg).unwrap().packed.unwrap();
+    let bytes = packed.to_bytes();
+    for cut in 0..bytes.len() {
+        let r = PackedLayer::from_bytes(&bytes[..cut]);
+        assert!(r.is_err(), "truncation at {cut} went undetected");
+    }
+}
+
+#[test]
+fn random_byte_corruption_never_panics() {
+    let layer = clean_layer(4);
+    let cfg = QuantConfig::w2().macro_block(16).row_block(16).build().unwrap();
+    let packed = solve(&layer, &cfg).unwrap().packed.unwrap();
+    let bytes = packed.to_bytes().to_vec();
+    let mut rng = SeededRng::new(5);
+    for _ in 0..200 {
+        let mut corrupted = bytes.clone();
+        let pos = rng.below(corrupted.len());
+        corrupted[pos] ^= 1 << rng.below(8);
+        // Must either fail cleanly or decode to *something* — never panic.
+        if let Ok(layer) = PackedLayer::from_bytes(&corrupted) {
+            let _ = layer.effective_bit_width();
+        }
+    }
+}
+
+#[test]
+fn zero_calibration_data_still_quantizes() {
+    // All-zero calibration makes the Hessian pure damping — quantization
+    // must still succeed (weights remain quantizable without curvature).
+    let mut rng = SeededRng::new(6);
+    let w = Matrix::from_fn(8, 32, |_, _| rng.normal(0.0, 0.02));
+    let x = Matrix::zeros(32, 16);
+    let layer = LayerTensors::new(w, x).unwrap();
+    let out = MicroScopiQ::new(
+        QuantConfig::w2().macro_block(16).row_block(16).build().unwrap(),
+    )
+    .quantize_layer(&layer);
+    assert!(out.is_ok(), "degenerate calibration must not fail: {out:?}");
+}
+
+#[test]
+fn constant_weight_rows_are_handled() {
+    let mut rng = SeededRng::new(7);
+    let mut w = Matrix::from_fn(8, 32, |_, _| 0.01);
+    w[(0, 0)] = 0.011; // barely non-constant
+    let x = Matrix::from_fn(32, 40, |_, _| rng.normal(0.0, 1.0));
+    let layer = LayerTensors::new(w, x).unwrap();
+    let out = MicroScopiQ::new(
+        QuantConfig::w2().macro_block(16).row_block(16).build().unwrap(),
+    )
+    .quantize_layer(&layer)
+    .unwrap();
+    assert!(out.dequantized.as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn extreme_outlier_magnitudes_stay_finite() {
+    let mut rng = SeededRng::new(8);
+    let mut w = Matrix::from_fn(8, 32, |_, _| rng.normal(0.0, 0.02));
+    w[(1, 1)] = 1e6;
+    w[(2, 2)] = -1e6;
+    let x = Matrix::from_fn(32, 40, |_, _| rng.normal(0.0, 1.0));
+    let layer = LayerTensors::new(w, x).unwrap();
+    let out = MicroScopiQ::new(
+        QuantConfig::w2().macro_block(16).row_block(16).build().unwrap(),
+    )
+    .quantize_layer(&layer)
+    .unwrap();
+    assert!(out.dequantized.as_slice().iter().all(|v| v.is_finite()));
+    // The giant outliers must be represented with bounded relative error.
+    let rel = (out.dequantized[(1, 1)] - 1e6).abs() / 1e6;
+    assert!(rel < 0.5, "extreme outlier error {rel}");
+}
+
+#[test]
+fn invalid_configs_cannot_be_constructed() {
+    assert!(QuantConfig::builder(3).build().is_err());
+    assert!(QuantConfig::w2().micro_block(7).build().is_err());
+    assert!(QuantConfig::w2().sigma_threshold(-1.0).build().is_err());
+    assert!(QuantConfig::w2().clip_ratio(0.0).build().is_err());
+}
