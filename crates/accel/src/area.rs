@@ -45,7 +45,11 @@ impl AreaBreakdown {
             .filter(|c| {
                 matches!(
                     c.name,
-                    "recon" | "sync_buffer" | "multi_precision" | "decoder_4b" | "decoder_8b"
+                    "recon"
+                        | "sync_buffer"
+                        | "multi_precision"
+                        | "decoder_4b"
+                        | "decoder_8b"
                         | "outlier_pe"
                 )
             })
@@ -171,9 +175,8 @@ pub fn gobo_area(rows: usize, cols: usize) -> AreaBreakdown {
         + table5::GOBO_OUTLIER_PE * rows as f64
         + table5::GOBO_CONTROL;
     // Residual fraction derived from the 64×64 printed total.
-    let residual_fraction = (0.216e6 - (table5::GOBO_GROUP_PE * 4096.0
-        + table5::GOBO_OUTLIER_PE * 64.0
-        + table5::GOBO_CONTROL))
+    let residual_fraction = (0.216e6
+        - (table5::GOBO_GROUP_PE * 4096.0 + table5::GOBO_OUTLIER_PE * 64.0 + table5::GOBO_CONTROL))
         / 0.216e6;
     let residual = listed * residual_fraction / (1.0 - residual_fraction);
     AreaBreakdown {
@@ -253,13 +256,21 @@ mod tests {
     fn table5_olive_total_matches_paper() {
         let a = olive_area(64, 64);
         // Paper: 0.011 mm².
-        assert!((a.total_mm2() - 0.011).abs() < 0.002, "OliVe {}", a.total_mm2());
+        assert!(
+            (a.total_mm2() - 0.011).abs() < 0.002,
+            "OliVe {}",
+            a.total_mm2()
+        );
     }
 
     #[test]
     fn table5_gobo_total_matches_paper() {
         let a = gobo_area(64, 64);
-        assert!((a.total_mm2() - 0.216).abs() < 0.01, "GOBO {}", a.total_mm2());
+        assert!(
+            (a.total_mm2() - 0.216).abs() < 0.01,
+            "GOBO {}",
+            a.total_mm2()
+        );
     }
 
     #[test]
@@ -274,7 +285,7 @@ mod tests {
     }
 
     #[test]
-    fn recon_units_trade_area(){
+    fn recon_units_trade_area() {
         let a1 = microscopiq_area(64, 64, 1).total_mm2();
         let a8 = microscopiq_area(64, 64, 8).total_mm2();
         // Fig. 18(a): 8 units ≈ 1.58× compute area.

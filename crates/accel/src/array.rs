@@ -13,13 +13,13 @@
 //! The packed layer must use `GroupAxis::OutputChannel` so that one μB maps
 //! across one PE row, as in Fig. 6/8 (DESIGN.md §2).
 
+use crate::recon::{ColumnInput, ReCoN};
 use microscopiq_core::config::GroupAxis;
 use microscopiq_core::microblock::PermEntry;
 use microscopiq_core::packed::PackedLayer;
 use microscopiq_linalg::Matrix;
 use microscopiq_mx::halves::unpack_sign_mag;
 use microscopiq_mx::scale::Pow2Scale;
-use crate::recon::{ColumnInput, ReCoN};
 
 /// Quantized input activations: integer codes with one shared
 /// power-of-two scale.
@@ -85,7 +85,11 @@ pub fn execute_gemm(packed: &PackedLayer, acts: &QuantizedActs) -> GemmExecution
         GroupAxis::OutputChannel,
         "hardware mapping requires OutputChannel packing (DESIGN.md §2)"
     );
-    assert_eq!(acts.codes.rows(), packed.d_col(), "activation shape mismatch");
+    assert_eq!(
+        acts.codes.rows(),
+        packed.d_col(),
+        "activation shape mismatch"
+    );
     let d_row = packed.d_row();
     let d_col = packed.d_col();
     let batch = acts.codes.cols();
@@ -103,7 +107,8 @@ pub fn execute_gemm(packed: &PackedLayer, acts: &QuantizedActs) -> GemmExecution
         e_min = e_min.min(g.isf.exponent() + xsf);
         for mbk in &g.micro_blocks {
             if let Some(meta) = &mbk.meta {
-                e_min = e_min.min(meta.mxscale.total_exponent() - g.isf.exponent() + xsf - mb as i32);
+                e_min =
+                    e_min.min(meta.mxscale.total_exponent() - g.isf.exponent() + xsf - mb as i32);
             }
         }
     }
@@ -128,6 +133,7 @@ pub fn execute_gemm(packed: &PackedLayer, acts: &QuantizedActs) -> GemmExecution
                     None => {
                         // Pure inlier μB: straight PE-row MACs.
                         let shift = (isf + xsf - e_min) as u32;
+                        #[allow(clippy::needless_range_loop)] // b indexes acts and acc together
                         for b in 0..batch {
                             let x = acts.codes[(k, b)] as i128;
                             for (i, &code) in mbk.codes.iter().enumerate() {
@@ -154,6 +160,7 @@ pub fn execute_gemm(packed: &PackedLayer, acts: &QuantizedActs) -> GemmExecution
                             }
                             v
                         };
+                        #[allow(clippy::needless_range_loop)] // b indexes acts and acc together
                         for b in 0..batch {
                             let x = acts.codes[(k, b)] as i64;
                             let mut inputs = Vec::with_capacity(recon.width());
@@ -283,8 +290,7 @@ mod tests {
         let x = Matrix::from_fn(32, 4, |_, _| rng.normal(0.0, 1.0));
         let acts = QuantizedActs::from_f64(&x);
         let exec = execute_gemm(&packed, &acts);
-        let access_frac =
-            exec.counters.recon_accesses as f64 / exec.counters.total_waves as f64;
+        let access_frac = exec.counters.recon_accesses as f64 / exec.counters.total_waves as f64;
         let mb_frac = packed.outlier_micro_block_fraction();
         assert!(
             (access_frac - mb_frac).abs() < 1e-9,

@@ -153,11 +153,7 @@ mod tests {
         let ms = workload_latency(&wl, &cfg, 2.4, 0.05).total_cycles;
         for b in iso_accuracy_baselines(&k) {
             let bl = baseline_latency(&wl, &b, &cfg);
-            assert!(
-                ms < bl,
-                "MicroScopiQ v2 ({ms}) must beat {} ({bl})",
-                b.name
-            );
+            assert!(ms < bl, "MicroScopiQ v2 ({ms}) must beat {} ({bl})", b.name);
         }
     }
 
@@ -204,6 +200,11 @@ mod tests {
         let olive = all.iter().find(|b| b.name == "OliVe").unwrap();
         let eg = baseline_energy(&wl, gobo, 4, &k);
         let eo = baseline_energy(&wl, olive, 4, &k);
-        assert!(eg.dram_mj > eo.dram_mj * 2.0, "{} vs {}", eg.dram_mj, eo.dram_mj);
+        assert!(
+            eg.dram_mj > eo.dram_mj * 2.0,
+            "{} vs {}",
+            eg.dram_mj,
+            eo.dram_mj
+        );
     }
 }

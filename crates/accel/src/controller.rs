@@ -104,8 +104,8 @@ pub fn generate_control(packed: &PackedLayer) -> ControlProgram {
             let route = match &blk.meta {
                 None => PsumRoute::NextRow,
                 Some(meta) => {
-                    let out_shift = meta.mxscale.total_exponent() - g.isf.exponent() - mb
-                        - reference;
+                    let out_shift =
+                        meta.mxscale.total_exponent() - g.isf.exponent() - mb - reference;
                     for e in meta.perm.entries() {
                         outlier_present[e.upper_loc as usize] = true;
                         outlier_present[e.lower_loc as usize] = true;
@@ -164,8 +164,14 @@ mod tests {
 
     #[test]
     fn mode_follows_bit_budget() {
-        assert_eq!(generate_control(&packed(2, false)).rows[0].mode, PeMode::TwoBit);
-        assert_eq!(generate_control(&packed(4, false)).rows[0].mode, PeMode::FourBit);
+        assert_eq!(
+            generate_control(&packed(2, false)).rows[0].mode,
+            PeMode::TwoBit
+        );
+        assert_eq!(
+            generate_control(&packed(4, false)).rows[0].mode,
+            PeMode::FourBit
+        );
     }
 
     #[test]
@@ -184,9 +190,7 @@ mod tests {
         let ctl = generate_control(&p);
         assert!(ctl.recon_fraction() > 0.0);
         // ReCoN fraction equals the packed μB occupancy.
-        assert!(
-            (ctl.recon_fraction() - p.outlier_micro_block_fraction()).abs() < 1e-12
-        );
+        assert!((ctl.recon_fraction() - p.outlier_micro_block_fraction()).abs() < 1e-12);
         // Exactly the upper/lower slots of routed rows carry the flag.
         for row in ctl.rows.iter().filter(|r| r.route == PsumRoute::ReCoN) {
             let flagged = row.outlier_present.iter().filter(|&&b| b).count();
@@ -223,7 +227,11 @@ mod tests {
         let w = Matrix::from_fn(16, 16, |_, _| rng.normal(0.0, 0.02));
         let x = Matrix::from_fn(16, 8, |_, _| rng.normal(0.0, 1.0));
         let layer = LayerTensors::new(w, x).unwrap();
-        let cfg = QuantConfig::w2().macro_block(16).row_block(16).build().unwrap();
+        let cfg = QuantConfig::w2()
+            .macro_block(16)
+            .row_block(16)
+            .build()
+            .unwrap();
         let p = solve(&layer, &cfg).unwrap().packed.unwrap();
         let _ = generate_control(&p);
     }

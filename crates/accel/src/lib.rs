@@ -17,8 +17,8 @@
 
 pub mod area;
 pub mod array;
-pub mod controller;
 pub mod baselines;
+pub mod controller;
 pub mod energy;
 pub mod memory;
 pub mod pe;

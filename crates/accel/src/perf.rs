@@ -159,8 +159,7 @@ pub fn gemm_latency(
     // simultaneous requesters (sync-buffer N−1 penalty, §5.4).
     let mbs_per_row = (cfg.cols / cfg.micro_block).max(1) as f64;
     let request_p = (outlier_mb_fraction / mbs_per_row).clamp(0.0, 1.0);
-    let (conflict_fraction, stall_factor) =
-        recon_contention(cfg.rows, request_p, cfg.recon_units);
+    let (conflict_fraction, stall_factor) = recon_contention(cfg.rows, request_p, cfg.recon_units);
     let compute_per_tile = stream * stall_factor;
 
     // Weight fetch per tile (double buffered against compute): EBW bits per
@@ -214,7 +213,11 @@ pub fn workload_latency(
 }
 
 /// Effective throughput in TOPS for a workload.
-pub fn effective_tops(workload: &[GemmShape], cfg: &AccelConfig, latency: &LatencyBreakdown) -> f64 {
+pub fn effective_tops(
+    workload: &[GemmShape],
+    cfg: &AccelConfig,
+    latency: &LatencyBreakdown,
+) -> f64 {
     let macs: f64 = workload.iter().map(|g| g.macs() as f64).sum();
     let seconds = latency.total_cycles / (cfg.freq_ghz * 1e9);
     2.0 * macs / seconds / 1e12
@@ -295,9 +298,8 @@ mod tests {
     fn latency_improves_then_saturates_with_recon_units() {
         // LLaMA-3-8B-class occupancy: ~13% of μBs carry outliers.
         let s = shape(4096, 4096, 512);
-        let lat = |units| {
-            gemm_latency(&s, &AccelConfig::paper_64x64(2, units), 2.4, 0.135).total_cycles
-        };
+        let lat =
+            |units| gemm_latency(&s, &AccelConfig::paper_64x64(2, units), 2.4, 0.135).total_cycles;
         let l1 = lat(1);
         let l2 = lat(2);
         let l4 = lat(4);

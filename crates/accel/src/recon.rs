@@ -58,7 +58,10 @@ impl ReCoN {
     ///
     /// Panics unless `n` is a power of two ≥ 2.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "ReCoN width must be a power of two");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "ReCoN width must be a power of two"
+        );
         Self { n }
     }
 
@@ -132,10 +135,7 @@ impl ReCoN {
             // mantissa halves into place, add the hidden bit. At mb
             // fractional bits: hidden ≪ mb, upper half ≪ mb/2, lower ≪ 0 —
             // the lossless form of the paper's ≫mb/2 / ≫mb shifts.
-            let merged = u_iacc
-                + (signed_iact[k] << mantissa_bits)
-                + (u_res << half)
-                + l_res;
+            let merged = u_iacc + (signed_iact[k] << mantissa_bits) + (u_res << half) + l_res;
             outputs[u] = merged;
             // The pruned column passes its own iAcc (already set above).
             // Swap ops: one per corrected address bit of l→u, plus the
@@ -171,10 +171,19 @@ mod tests {
         let inputs = [
             ColumnInput::Psum(fp(10)),
             ColumnInput::Psum(fp(10)),
-            ColumnInput::Offload { res: 1 * 32, iacc: fp(8) }, // upper {0,1}·32
-            ColumnInput::Offload { res: 0, iacc: fp(8) },      // lower {0,0}
+            ColumnInput::Offload {
+                res: 32,
+                iacc: fp(8),
+            }, // upper {0,1}·32
+            ColumnInput::Offload {
+                res: 0,
+                iacc: fp(8),
+            }, // lower {0,0}
         ];
-        let perm = [PermEntry { upper_loc: 2, lower_loc: 3 }];
+        let perm = [PermEntry {
+            upper_loc: 2,
+            lower_loc: 3,
+        }];
         let got = recon.route(&inputs, &perm, &[32], mb);
         assert_eq!(got.outputs[2], fp(56), "merged outlier psum");
         assert_eq!(got.outputs[3], fp(8), "pruned column passes iAcc");
@@ -190,11 +199,20 @@ mod tests {
         let fp = |v: i64| v << mb;
         let inputs = [
             ColumnInput::Psum(fp(0)),
-            ColumnInput::Offload { res: -32, iacc: fp(8) },
-            ColumnInput::Offload { res: 0, iacc: fp(8) },
+            ColumnInput::Offload {
+                res: -32,
+                iacc: fp(8),
+            },
+            ColumnInput::Offload {
+                res: 0,
+                iacc: fp(8),
+            },
             ColumnInput::Psum(fp(0)),
         ];
-        let perm = [PermEntry { upper_loc: 1, lower_loc: 2 }];
+        let perm = [PermEntry {
+            upper_loc: 1,
+            lower_loc: 2,
+        }];
         let got = recon.route(&inputs, &perm, &[-32], mb);
         assert_eq!(got.outputs[1], fp(8 - 48)); // 8 − 1.5·32
         assert_eq!(got.outputs[2], fp(8));
@@ -211,13 +229,25 @@ mod tests {
                     let lo = (mant & 3) as i64 * sign;
                     let iacc = 1000i64 << mb;
                     let mut inputs = vec![ColumnInput::Psum(0); 8];
-                    inputs[5] = ColumnInput::Offload { res: hi * iact, iacc };
-                    inputs[2] = ColumnInput::Offload { res: lo * iact, iacc: 0 };
-                    let perm = [PermEntry { upper_loc: 5, lower_loc: 2 }];
+                    inputs[5] = ColumnInput::Offload {
+                        res: hi * iact,
+                        iacc,
+                    };
+                    inputs[2] = ColumnInput::Offload {
+                        res: lo * iact,
+                        iacc: 0,
+                    };
+                    let perm = [PermEntry {
+                        upper_loc: 5,
+                        lower_loc: 2,
+                    }];
                     let got = recon.route(&inputs, &perm, &[sign * iact], mb);
                     let value = sign as f64 * (1.0 + mant as f64 / 16.0);
                     let expect = 1000 * 16 + (value * iact as f64 * 16.0).round() as i64;
-                    assert_eq!(got.outputs[5], expect, "mant={mant} sign={sign} iact={iact}");
+                    assert_eq!(
+                        got.outputs[5], expect,
+                        "mant={mant} sign={sign} iact={iact}"
+                    );
                 }
             }
         }
@@ -229,13 +259,31 @@ mod tests {
         let mb = 2u32;
         let fp = |v: i64| v << mb;
         let mut inputs = vec![ColumnInput::Psum(fp(1)); 8];
-        inputs[0] = ColumnInput::Offload { res: 1 * 10, iacc: fp(2) };
-        inputs[3] = ColumnInput::Offload { res: 1 * 10, iacc: fp(0) };
-        inputs[4] = ColumnInput::Offload { res: -1 * 20, iacc: fp(5) };
-        inputs[6] = ColumnInput::Offload { res: 0, iacc: fp(0) };
+        inputs[0] = ColumnInput::Offload {
+            res: 10,
+            iacc: fp(2),
+        };
+        inputs[3] = ColumnInput::Offload {
+            res: 10,
+            iacc: fp(0),
+        };
+        inputs[4] = ColumnInput::Offload {
+            res: -20,
+            iacc: fp(5),
+        };
+        inputs[6] = ColumnInput::Offload {
+            res: 0,
+            iacc: fp(0),
+        };
         let perm = [
-            PermEntry { upper_loc: 0, lower_loc: 3 },
-            PermEntry { upper_loc: 4, lower_loc: 6 },
+            PermEntry {
+                upper_loc: 0,
+                lower_loc: 3,
+            },
+            PermEntry {
+                upper_loc: 4,
+                lower_loc: 6,
+            },
         ];
         let got = recon.route(&inputs, &perm, &[10, -20], mb);
         // Outlier 0: m={1,1} → 1.75·10 + 2 = 19.5 → fp 78.
@@ -261,7 +309,15 @@ mod tests {
             inputs[u as usize] = ColumnInput::Offload { res: 0, iacc: 0 };
             inputs[l as usize] = ColumnInput::Offload { res: 0, iacc: 0 };
             recon
-                .route(&inputs, &[PermEntry { upper_loc: u, lower_loc: l }], &[0], mb)
+                .route(
+                    &inputs,
+                    &[PermEntry {
+                        upper_loc: u,
+                        lower_loc: l,
+                    }],
+                    &[0],
+                    mb,
+                )
                 .switch_ops
         };
         // Distance 1 (adjacent) vs distance 3 (0b000 ↔ 0b111).
@@ -275,7 +331,10 @@ mod tests {
         let inputs = vec![ColumnInput::Psum(0); 4];
         let _ = recon.route(
             &inputs,
-            &[PermEntry { upper_loc: 0, lower_loc: 1 }],
+            &[PermEntry {
+                upper_loc: 0,
+                lower_loc: 1,
+            }],
             &[0],
             2,
         );

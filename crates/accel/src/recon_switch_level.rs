@@ -35,9 +35,14 @@ pub enum SwitchOp {
 enum Flit {
     Empty,
     /// A half of outlier `pair`; `upper` distinguishes the two.
-    Half { pair: usize, upper: bool },
+    Half {
+        pair: usize,
+        upper: bool,
+    },
     /// A merged partial sum travelling to the Upper column.
-    Merged { pair: usize },
+    Merged {
+        pair: usize,
+    },
 }
 
 /// Result of a switch-level pass.
@@ -68,7 +73,10 @@ pub fn route_switch_level(
     signed_iact: &[i64],
     mantissa_bits: u32,
 ) -> SwitchLevelResult {
-    assert!(n.is_power_of_two() && n >= 2, "width must be a power of two");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "width must be a power of two"
+    );
     assert_eq!(inputs.len(), n, "input width mismatch");
     assert_eq!(perm.len(), signed_iact.len(), "one iAct per outlier");
     let stages = (n as u32).ilog2() as usize;
@@ -117,8 +125,14 @@ pub fn route_switch_level(
         // Inject this pass's halves.
         let mut wires = vec![Flit::Empty; n];
         for &k in &pending {
-            wires[perm[k].upper_loc as usize] = Flit::Half { pair: k, upper: true };
-            wires[perm[k].lower_loc as usize] = Flit::Half { pair: k, upper: false };
+            wires[perm[k].upper_loc as usize] = Flit::Half {
+                pair: k,
+                upper: true,
+            };
+            wires[perm[k].lower_loc as usize] = Flit::Half {
+                pair: k,
+                upper: false,
+            };
         }
         let mut deferred: Vec<usize> = Vec::new();
         let mut merged_this_pass: Vec<usize> = Vec::new();
@@ -220,16 +234,16 @@ pub fn route_switch_level(
         // stuck (its halves separated mid-network) — retry it.
         let mut next_pending: Vec<usize> = Vec::new();
         for &k in &pending {
-            if !merged_this_pass.contains(&k) {
-                if !next_pending.contains(&k) {
-                    next_pending.push(k);
-                }
+            if !merged_this_pass.contains(&k) && !next_pending.contains(&k) {
+                next_pending.push(k);
             }
         }
         conflicts += next_pending.len();
         // Guarantee progress: if nothing merged, force the first pair
         // through alone next pass.
-        if merged_this_pass.is_empty() && !next_pending.is_empty() && next_pending.len() == pending.len()
+        if merged_this_pass.is_empty()
+            && !next_pending.is_empty()
+            && next_pending.len() == pending.len()
         {
             let k = next_pending.remove(0);
             outputs[perm[k].upper_loc as usize] = merge_value(k);
@@ -279,7 +293,10 @@ mod tests {
             offload(32, 32),
             offload(0, 32),
         ];
-        let perm = [PermEntry { upper_loc: 2, lower_loc: 3 }];
+        let perm = [PermEntry {
+            upper_loc: 2,
+            lower_loc: 3,
+        }];
         let direct = ReCoN::new(4).route(&inputs, &perm, &[32], 2);
         let switched = route_switch_level(4, &inputs, &perm, &[32], 2);
         assert_eq!(switched.outputs, direct.outputs);
@@ -297,7 +314,10 @@ mod tests {
                 let mut inputs = vec![ColumnInput::Psum(100); 8];
                 inputs[u] = offload(3, 44);
                 inputs[l] = offload(1, 0);
-                let perm = [PermEntry { upper_loc: u as u8, lower_loc: l as u8 }];
+                let perm = [PermEntry {
+                    upper_loc: u as u8,
+                    lower_loc: l as u8,
+                }];
                 let direct = ReCoN::new(8).route(&inputs, &perm, &[7], 2);
                 let switched = route_switch_level(8, &inputs, &perm, &[7], 2);
                 assert_eq!(switched.outputs, direct.outputs, "pair ({u},{l})");
@@ -316,8 +336,14 @@ mod tests {
         inputs[3] = offload(-3, 5);
         inputs[6] = offload(-1, 0);
         let perm = [
-            PermEntry { upper_loc: 1, lower_loc: 2 },
-            PermEntry { upper_loc: 3, lower_loc: 6 },
+            PermEntry {
+                upper_loc: 1,
+                lower_loc: 2,
+            },
+            PermEntry {
+                upper_loc: 3,
+                lower_loc: 6,
+            },
         ];
         let direct = ReCoN::new(8).route(&inputs, &perm, &[3, -3], 2);
         let switched = route_switch_level(8, &inputs, &perm, &[3, -3], 2);
@@ -332,8 +358,14 @@ mod tests {
         inputs[4] = offload(-3, 5);
         inputs[5] = offload(-1, 0);
         let perm = [
-            PermEntry { upper_loc: 0, lower_loc: 1 },
-            PermEntry { upper_loc: 4, lower_loc: 5 },
+            PermEntry {
+                upper_loc: 0,
+                lower_loc: 1,
+            },
+            PermEntry {
+                upper_loc: 4,
+                lower_loc: 5,
+            },
         ];
         let direct = ReCoN::new(8).route(&inputs, &perm, &[3, -3], 2);
         let switched = route_switch_level(8, &inputs, &perm, &[3, -3], 2);
@@ -346,15 +378,30 @@ mod tests {
         // A full μB: 4 outliers in 8 columns (every inlier pruned).
         let inputs: Vec<ColumnInput> = (0..8).map(|c| offload(c as i64, 10)).collect();
         let perm = [
-            PermEntry { upper_loc: 0, lower_loc: 1 },
-            PermEntry { upper_loc: 2, lower_loc: 3 },
-            PermEntry { upper_loc: 4, lower_loc: 5 },
-            PermEntry { upper_loc: 6, lower_loc: 7 },
+            PermEntry {
+                upper_loc: 0,
+                lower_loc: 1,
+            },
+            PermEntry {
+                upper_loc: 2,
+                lower_loc: 3,
+            },
+            PermEntry {
+                upper_loc: 4,
+                lower_loc: 5,
+            },
+            PermEntry {
+                upper_loc: 6,
+                lower_loc: 7,
+            },
         ];
         let iacts = [5i64, -5, 9, -9];
         let direct = ReCoN::new(8).route(&inputs, &perm, &iacts, 2);
         let switched = route_switch_level(8, &inputs, &perm, &iacts, 2);
         assert_eq!(switched.outputs, direct.outputs);
-        assert_eq!(switched.passes, 1, "adjacent pairs occupy disjoint switches");
+        assert_eq!(
+            switched.passes, 1,
+            "adjacent pairs occupy disjoint switches"
+        );
     }
 }

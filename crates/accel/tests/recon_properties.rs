@@ -40,8 +40,8 @@ proptest! {
     ) {
         let mut rng = SeededRng::new(res_seed);
         let mut inputs = vec![ColumnInput::Psum(0); 8];
-        for c in 0..8 {
-            inputs[c] = ColumnInput::Psum(rng.below(1000) as i64 - 500);
+        for slot in inputs.iter_mut() {
+            *slot = ColumnInput::Psum(rng.below(1000) as i64 - 500);
         }
         let mut perm = Vec::new();
         let mut iacts = Vec::new();

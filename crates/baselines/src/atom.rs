@@ -98,7 +98,10 @@ mod tests {
             .quantize_layer(&l)
             .unwrap()
             .output_error(&l);
-        let r = Rtn::group(4, 16).quantize_layer(&l).unwrap().output_error(&l);
+        let r = Rtn::group(4, 16)
+            .quantize_layer(&l)
+            .unwrap()
+            .output_error(&l);
         assert!(a < r, "Atom {a} vs RTN {r}");
     }
 

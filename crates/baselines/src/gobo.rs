@@ -155,7 +155,10 @@ mod tests {
     fn gobo_accuracy_beats_same_width_rtn() {
         let l = layer(2);
         let g = Gobo::new(3).quantize_layer(&l).unwrap().weight_error(&l);
-        let r = Rtn::per_tensor(3).quantize_layer(&l).unwrap().weight_error(&l);
+        let r = Rtn::per_tensor(3)
+            .quantize_layer(&l)
+            .unwrap()
+            .weight_error(&l);
         assert!(g < r, "GOBO {g} vs RTN {r}");
     }
 
@@ -172,7 +175,9 @@ mod tests {
 
     #[test]
     fn kmeans_centroids_are_ordered_reasonably() {
-        let vals: Vec<f64> = (0..1000).map(|i| ((i % 97) as f64 - 48.0) / 100.0).collect();
+        let vals: Vec<f64> = (0..1000)
+            .map(|i| ((i % 97) as f64 - 48.0) / 100.0)
+            .collect();
         let cents = kmeans_1d(&vals, 8, 10);
         assert_eq!(cents.len(), 8);
         // Centroids span the sample range.

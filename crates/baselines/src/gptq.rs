@@ -155,8 +155,16 @@ mod tests {
     #[test]
     fn more_bits_less_error() {
         let l = layer(3);
-        let e2 = Gptq::new(2, 16).block(16).quantize_layer(&l).unwrap().output_error(&l);
-        let e4 = Gptq::new(4, 16).block(16).quantize_layer(&l).unwrap().output_error(&l);
+        let e2 = Gptq::new(2, 16)
+            .block(16)
+            .quantize_layer(&l)
+            .unwrap()
+            .output_error(&l);
+        let e4 = Gptq::new(4, 16)
+            .block(16)
+            .quantize_layer(&l)
+            .unwrap()
+            .output_error(&l);
         assert!(e4 < e2);
     }
 

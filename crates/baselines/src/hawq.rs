@@ -44,14 +44,12 @@ impl WeightQuantizer for HawqLike {
             .sum::<f64>()
             / layer.calibration.cols() as f64;
         let sensitivity: Vec<f64> = (0..layer.d_row())
-            .map(|r| {
-                layer.weights.row(r).iter().map(|w| w * w).sum::<f64>() * act_energy
-            })
+            .map(|r| layer.weights.row(r).iter().map(|w| w * w).sum::<f64>() * act_energy)
             .collect();
         let mut order: Vec<usize> = (0..layer.d_row()).collect();
         order.sort_by(|&a, &b| sensitivity[b].partial_cmp(&sensitivity[a]).expect("finite"));
-        let n_high = ((layer.d_row() as f64 * self.high_fraction).round() as usize)
-            .clamp(0, layer.d_row());
+        let n_high =
+            ((layer.d_row() as f64 * self.high_fraction).round() as usize).clamp(0, layer.d_row());
         let mut bits = vec![self.low_bits; layer.d_row()];
         for &r in order.iter().take(n_high) {
             bits[r] = self.high_bits;
@@ -100,7 +98,10 @@ mod tests {
             .quantize_layer(&l)
             .unwrap()
             .weight_error(&l);
-        let r = Rtn::per_channel(2).quantize_layer(&l).unwrap().weight_error(&l);
+        let r = Rtn::per_channel(2)
+            .quantize_layer(&l)
+            .unwrap()
+            .weight_error(&l);
         assert!(h < r, "HAWQ {h} vs uniform 2-bit {r}");
     }
 
@@ -126,6 +127,11 @@ mod tests {
                 .sum::<f64>()
                 / l.weights.row(r).iter().map(|v| v.abs()).sum::<f64>()
         };
-        assert!(row_err(0) < row_err(10), "{} vs {}", row_err(0), row_err(10));
+        assert!(
+            row_err(0) < row_err(10),
+            "{} vs {}",
+            row_err(0),
+            row_err(10)
+        );
     }
 }

@@ -96,8 +96,8 @@ impl WeightQuantizer for Olive {
                 // Victim selection: the slot after each outlier (before it
                 // at the block edge) is sacrificed as the identifier.
                 let mut victim = vec![false; chunk.len()];
-                for i in 0..chunk.len() {
-                    if flagged[i] {
+                for (i, &is_outlier) in flagged.iter().enumerate() {
+                    if is_outlier {
                         let v = if i + 1 < chunk.len() { i + 1 } else { i - 1 };
                         if !victim[v] {
                             victim[v] = true;

@@ -94,7 +94,10 @@ mod tests {
             .quantize_layer(&l)
             .unwrap()
             .weight_error(&l);
-        let r = Rtn::group(2, 16).quantize_layer(&l).unwrap().weight_error(&l);
+        let r = Rtn::group(2, 16)
+            .quantize_layer(&l)
+            .unwrap()
+            .weight_error(&l);
         assert!(o <= r + 1e-12, "OmniQuant-GS {o} vs RTN {r}");
     }
 
@@ -107,7 +110,10 @@ mod tests {
             .quantize_layer(&l)
             .unwrap()
             .weight_error(&l);
-        let r = Rtn::group(2, 32).quantize_layer(&l).unwrap().weight_error(&l);
+        let r = Rtn::group(2, 32)
+            .quantize_layer(&l)
+            .unwrap()
+            .weight_error(&l);
         assert!(o < r, "OmniQuant-GS {o} must strictly beat RTN {r}");
     }
 

@@ -99,16 +99,22 @@ mod tests {
     #[test]
     fn finer_granularity_is_more_accurate() {
         let l = layer(1);
-        let errs: Vec<f64> = [
-            Rtn::per_tensor(4),
-            Rtn::per_channel(4),
-            Rtn::group(4, 8),
-        ]
-        .iter()
-        .map(|q| q.quantize_layer(&l).unwrap().weight_error(&l))
-        .collect();
-        assert!(errs[2] < errs[1], "group {} vs channel {}", errs[2], errs[1]);
-        assert!(errs[1] < errs[0], "channel {} vs tensor {}", errs[1], errs[0]);
+        let errs: Vec<f64> = [Rtn::per_tensor(4), Rtn::per_channel(4), Rtn::group(4, 8)]
+            .iter()
+            .map(|q| q.quantize_layer(&l).unwrap().weight_error(&l))
+            .collect();
+        assert!(
+            errs[2] < errs[1],
+            "group {} vs channel {}",
+            errs[2],
+            errs[1]
+        );
+        assert!(
+            errs[1] < errs[0],
+            "channel {} vs tensor {}",
+            errs[1],
+            errs[0]
+        );
     }
 
     #[test]

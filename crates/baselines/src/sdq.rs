@@ -41,12 +41,8 @@ impl WeightQuantizer for Sdq {
                 // Rigid selection: exactly n_high largest magnitudes go to
                 // the high-precision vector — no flexibility.
                 let mut order: Vec<usize> = (0..chunk.len()).collect();
-                order.sort_by(|&a, &c| {
-                    chunk[c]
-                        .abs()
-                        .partial_cmp(&chunk[a].abs())
-                        .expect("finite")
-                });
+                order
+                    .sort_by(|&a, &c| chunk[c].abs().partial_cmp(&chunk[a].abs()).expect("finite"));
                 let n_high = self.n_high.min(chunk.len());
                 let high_set: Vec<usize> = order[..n_high].to_vec();
                 let high_vals: Vec<f64> = high_set.iter().map(|&i| chunk[i]).collect();
@@ -105,8 +101,14 @@ mod tests {
     #[test]
     fn sdq_beats_plain_rtn() {
         let l = layer(1);
-        let s = Sdq::new(2, 2, 8).quantize_layer(&l).unwrap().weight_error(&l);
-        let r = Rtn::group(2, 8).quantize_layer(&l).unwrap().weight_error(&l);
+        let s = Sdq::new(2, 2, 8)
+            .quantize_layer(&l)
+            .unwrap()
+            .weight_error(&l);
+        let r = Rtn::group(2, 8)
+            .quantize_layer(&l)
+            .unwrap()
+            .weight_error(&l);
         assert!(s < r, "SDQ {s} vs RTN {r}");
     }
 

@@ -5,9 +5,9 @@
 //! examples → higher ceiling); quantization damage is the measured layer
 //! error mapped through the calibrated accuracy decay.
 
+use microscopiq_baselines::{Awq, Gptq, Olive};
 use microscopiq_bench::methods::microscopiq;
 use microscopiq_bench::{f2, Table};
-use microscopiq_baselines::{Awq, Gptq, Olive};
 use microscopiq_core::traits::WeightQuantizer;
 use microscopiq_fm::metrics::AccuracyMap;
 use microscopiq_fm::{evaluate_weight_only, model};
@@ -38,7 +38,9 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 10: VLM multi-shot accuracy under weight-only quantization (proxy)",
-        &["Task", "Method", "0-shot", "4-shot", "8-shot", "16-shot", "32-shot"],
+        &[
+            "Task", "Method", "0-shot", "4-shot", "8-shot", "16-shot", "32-shot",
+        ],
     );
     for (task, model_name, base_fp) in tasks {
         let spec = model(model_name);

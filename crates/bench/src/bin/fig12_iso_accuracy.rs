@@ -22,11 +22,29 @@ fn main() {
     ];
     let mut lat_table = Table::new(
         "Fig. 12(b): iso-accuracy latency, normalized to MicroScopiQ-v2 (lower is better)",
-        &["Model", "MS-v2", "MS-v1", "OliVe", "GOBO", "OLAccel", "AdaptivFloat", "ANT"],
+        &[
+            "Model",
+            "MS-v2",
+            "MS-v1",
+            "OliVe",
+            "GOBO",
+            "OLAccel",
+            "AdaptivFloat",
+            "ANT",
+        ],
     );
     let mut en_table = Table::new(
         "Fig. 12(c): iso-accuracy energy, normalized to MicroScopiQ-v2",
-        &["Model", "MS-v2", "MS-v1", "OliVe", "GOBO", "OLAccel", "AdaptivFloat", "ANT"],
+        &[
+            "Model",
+            "MS-v2",
+            "MS-v1",
+            "OliVe",
+            "GOBO",
+            "OLAccel",
+            "AdaptivFloat",
+            "ANT",
+        ],
     );
     let mut v1_speedups = Vec::new();
     let mut v2_speedups = Vec::new();
@@ -44,10 +62,26 @@ fn main() {
         let l4 = workload_latency(&wl, &cfg4, 4.15, x).total_cycles;
         let ms_v2 = 0.8 * l2 + 0.2 * l4;
         let ms_v1 = l4;
-        let e2 = microscopiq_energy(&wl, &cfg2, &workload_latency(&wl, &cfg2, 2.36, x), 2.36, x, 4, &k)
-            .total_mj();
-        let e4 = microscopiq_energy(&wl, &cfg4, &workload_latency(&wl, &cfg4, 4.15, x), 4.15, x, 4, &k)
-            .total_mj();
+        let e2 = microscopiq_energy(
+            &wl,
+            &cfg2,
+            &workload_latency(&wl, &cfg2, 2.36, x),
+            2.36,
+            x,
+            4,
+            &k,
+        )
+        .total_mj();
+        let e4 = microscopiq_energy(
+            &wl,
+            &cfg4,
+            &workload_latency(&wl, &cfg4, 4.15, x),
+            4.15,
+            x,
+            4,
+            &k,
+        )
+        .total_mj();
         let ems_v2 = 0.8 * e2 + 0.2 * e4;
         let ems_v1 = e4;
 

@@ -35,7 +35,12 @@ fn main() {
 
     let mut lat = Table::new(
         "Fig. 13(a): normalized latency vs A100-W4A4 (lower is better)",
-        &["Model", "A100 W4A4", "MS accel v1 (W4A4)", "MS accel v2 (WxA4)"],
+        &[
+            "Model",
+            "A100 W4A4",
+            "MS accel v1 (W4A4)",
+            "MS accel v2 (WxA4)",
+        ],
     );
     let mut en = Table::new(
         "Fig. 13(b): normalized energy vs A100-W4A4",

@@ -54,9 +54,7 @@ fn main() {
         &["B_μ", "Error", "Proxy PPL", "EBW", "Outlier σ (within μB)"],
     );
     for bmu in [2usize, 4, 8, 16, 32, 64, 128] {
-        let q = MicroScopiQ::new(
-            QuantConfig::w2().micro_block(bmu).build().expect("valid"),
-        );
+        let q = MicroScopiQ::new(QuantConfig::w2().micro_block(bmu).build().expect("valid"));
         let eval = evaluate_weight_only(&spec, &q, samples).expect("evaluation");
         table.row(vec![
             bmu.to_string(),

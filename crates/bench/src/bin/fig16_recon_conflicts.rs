@@ -7,7 +7,13 @@ use microscopiq_bench::{pct, Table};
 fn main() {
     let mut table = Table::new(
         "Fig. 16(b): % of ReCoN accesses that conflict (64×64 array)",
-        &["μB outlier occupancy", "1 unit", "2 units", "4 units", "8 units"],
+        &[
+            "μB outlier occupancy",
+            "1 unit",
+            "2 units",
+            "4 units",
+            "8 units",
+        ],
     );
     // Per-row request probability = occupancy / (cols/Bμ) = x/8 (perf.rs).
     for x in [0.02_f64, 0.05, 0.09, 0.135, 0.20] {

@@ -19,9 +19,20 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 18(a): ReCoN replication — normalized compute area and latency (LLaMA-3-8B)",
-        &["# ReCoN units", "Design (Fig. 15)", "Norm. compute area", "Norm. latency"],
+        &[
+            "# ReCoN units",
+            "Design (Fig. 15)",
+            "Norm. compute area",
+            "Norm. latency",
+        ],
     );
-    for (units, design) in [(1usize, "A: shared by all rows"), (2, "B: shared by half"), (4, "—"), (8, "—"), (64, "C: per PE row")] {
+    for (units, design) in [
+        (1usize, "A: shared by all rows"),
+        (2, "B: shared by half"),
+        (4, "—"),
+        (8, "—"),
+        (64, "C: per PE row"),
+    ] {
         let area = microscopiq_area(64, 64, units).total_mm2();
         let lat = workload_latency(&wl, &AccelConfig::paper_64x64(2, units), 2.36, x).total_cycles;
         table.row(vec![
@@ -37,7 +48,13 @@ fn main() {
 
     let mut noc = Table::new(
         "Fig. 18(b): MicroScopiQ integration overhead on NoC-based accelerators",
-        &["Design", "PE share", "NoC share", "Area w/ MicroScopiQ", "Overhead"],
+        &[
+            "Design",
+            "PE share",
+            "NoC share",
+            "Area w/ MicroScopiQ",
+            "Overhead",
+        ],
     );
     for design in ["MTIA-like", "Eyeriss-v2-like"] {
         let (pe, noc_share, with_ms) = noc_integration(design);

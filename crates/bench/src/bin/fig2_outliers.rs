@@ -1,9 +1,9 @@
 //! Fig. 2 — (a) layer-wise outlier and adjacent-outlier distribution
 //! across FMs; (b) OliVe-W4A16 vs MicroScopiQ-W2A16 benchmark accuracy.
 
+use microscopiq_baselines::Olive;
 use microscopiq_bench::methods::microscopiq;
 use microscopiq_bench::{f2, f3, Table};
-use microscopiq_baselines::Olive;
 use microscopiq_core::outlier::layer_outlier_stats;
 use microscopiq_fm::metrics::AccuracyMap;
 use microscopiq_fm::synth::synthesize_layer;
@@ -15,7 +15,11 @@ fn main() {
     let mut stats_table = Table::new(
         "Fig. 2(a): outlier / adjacent-outlier % of weights (3σ rule)",
         &[
-            "Model", "Outlier% med", "Outlier% max", "Adjacent% med", "Adjacent% max",
+            "Model",
+            "Outlier% med",
+            "Outlier% max",
+            "Adjacent% med",
+            "Adjacent% max",
         ],
     );
     let mut zoo = llm_zoo();

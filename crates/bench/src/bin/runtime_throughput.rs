@@ -1,0 +1,279 @@
+//! Runtime throughput: the fused packed-weight engine against the
+//! dequantize-then-matmul dense path, plus end-to-end batched TinyFM
+//! serving tokens/s.
+//!
+//! Two sections:
+//!
+//! 1. **Layer GEMM** — a 512×2048 packed layer (bb = 2, Bμ = 8, BM = 64,
+//!    ~3% outlier micro-blocks, synthesized directly in packed form so the
+//!    bench measures the runtime, not the quantizer) multiplied by a
+//!    2048×8 activation batch. Paths: dense reference (dequantize + dense
+//!    matmul per pass, what every caller did before the runtime existed),
+//!    fused scalar, fused parallel, and fused parallel with a warm
+//!    decoded-block cache. The acceptance bar is parallel ≥ 2× dense.
+//! 2. **TinyFM serving** — 8 concurrent generation requests through
+//!    [`Session`] batched at 8 on a d=192 TinyFM, comparing the dense
+//!    engine against the runtime engine end to end.
+//!
+//! Emits `results/BENCH_runtime_throughput.json` in the shared report
+//! shape so the perf trajectory can track tokens/s across PRs.
+
+use microscopiq_bench::{f2, Table};
+use microscopiq_core::config::GroupAxis;
+use microscopiq_core::packed::{MicroBlockMeta, PackedLayer, PackedMacroBlock, PackedMicroBlock};
+use microscopiq_core::{MicroScopiQ, QuantConfig};
+use microscopiq_fm::{DequantGemm, PackedGemm, PackedTinyFm, TinyFm, TinyFmConfig};
+use microscopiq_linalg::{Matrix, SeededRng};
+use microscopiq_mx::fp::TinyFloat;
+use microscopiq_mx::mxfp::MxScale;
+use microscopiq_mx::scale::Pow2Scale;
+use microscopiq_runtime::{EngineConfig, GenRequest, RuntimeEngine, Session};
+use std::time::Instant;
+
+/// Synthesizes a packed layer directly in packed form: random 2-bit inlier
+/// codes, shared scales spread over a realistic range, and `outlier_rate`
+/// of micro-blocks carrying one Upper/Lower outlier pair.
+fn synth_packed(d_row: usize, d_col: usize, outlier_rate: f64, seed: u64) -> PackedLayer {
+    const MICRO: usize = 8;
+    const MACRO: usize = 64;
+    let mut rng = SeededRng::new(seed);
+    let per_line = d_col.div_ceil(MACRO);
+    let mut groups = Vec::with_capacity(d_row * per_line);
+    for _ in 0..d_row {
+        for mab in 0..per_line {
+            let len = (d_col - mab * MACRO).min(MACRO);
+            let mut micro_blocks = Vec::with_capacity(len.div_ceil(MICRO));
+            let mut remaining = len;
+            while remaining > 0 {
+                let n = remaining.min(MICRO);
+                let codes: Vec<u8> = (0..n).map(|_| rng.below(4) as u8).collect();
+                let meta = (n == MICRO && rng.chance(outlier_rate)).then(|| {
+                    let upper = rng.below(MICRO) as u8;
+                    let lower = (upper as usize + 1 + rng.below(MICRO - 1)) % MICRO;
+                    MicroBlockMeta {
+                        mxscale: MxScale::new(
+                            rng.below(4) as i32 - 2,
+                            rng.below(2) as u32,
+                            TinyFloat::E1M2,
+                        ),
+                        perm: microscopiq_core::microblock::PermutationList::new(
+                            vec![microscopiq_core::microblock::PermEntry {
+                                upper_loc: upper,
+                                lower_loc: lower as u8,
+                            }],
+                            MICRO,
+                        ),
+                    }
+                });
+                micro_blocks.push(PackedMicroBlock { codes, meta });
+                remaining -= n;
+            }
+            groups.push(PackedMacroBlock {
+                isf: Pow2Scale::new(-(rng.below(4) as i32) - 4),
+                micro_blocks,
+            });
+        }
+    }
+    PackedLayer::new(GroupAxis::DotProduct, d_row, d_col, 2, MICRO, MACRO, groups)
+}
+
+/// Median wall time of `iters` runs of `f` (after one warmup), in seconds.
+fn time_median<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f(); // warmup
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let (d_row, d_col, batch) = (512, 2048, 8);
+    let layer = synth_packed(d_row, d_col, 0.03, 7);
+    let mut rng = SeededRng::new(11);
+    let acts = Matrix::from_fn(d_col, batch, |_, _| rng.normal(0.0, 1.0));
+    let packed_gb = layer.to_bytes().len() as f64 / 1e9;
+    let dense_gb = (d_row * d_col * 8) as f64 / 1e9;
+
+    let scalar = RuntimeEngine::scalar();
+    let parallel = RuntimeEngine::new(EngineConfig {
+        cache_bytes: 0,
+        ..EngineConfig::default()
+    });
+    let cached = RuntimeEngine::parallel();
+
+    // Correctness gate before timing anything.
+    let dense_out = layer.dequantize().matmul(&acts);
+    for (name, out) in [
+        ("scalar", scalar.gemm(&layer, &acts)),
+        ("parallel", parallel.gemm(&layer, &acts)),
+        ("cached", cached.gemm(&layer, &acts)),
+    ] {
+        let max_diff = out
+            .as_slice()
+            .iter()
+            .zip(dense_out.as_slice().iter())
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()));
+        assert!(max_diff < 1e-9, "{name} diverged from dense by {max_diff}");
+    }
+
+    let t_dense = time_median(5, || {
+        std::hint::black_box(layer.dequantize().matmul(&acts));
+    });
+    let t_scalar = time_median(5, || {
+        std::hint::black_box(scalar.gemm(&layer, &acts));
+    });
+    let t_parallel = time_median(9, || {
+        std::hint::black_box(parallel.gemm(&layer, &acts));
+    });
+    let t_cached = time_median(9, || {
+        std::hint::black_box(cached.gemm(&layer, &acts));
+    });
+
+    let mut table = Table::new(
+        &format!("Packed GEMM {d_row}x{d_col} @ batch {batch} (bb=2, ~3% outlier blocks)"),
+        &[
+            "Path",
+            "ms/pass",
+            "tokens/s",
+            "weight GB/s",
+            "speedup vs dense",
+        ],
+    );
+    let mut row = |name: &str, t: f64, gb: f64| {
+        table.row(vec![
+            name.to_string(),
+            format!("{:.3}", t * 1e3),
+            format!("{:.0}", batch as f64 / t),
+            f2(gb / t),
+            f2(t_dense / t),
+        ]);
+    };
+    row("dense dequantize+matmul", t_dense, dense_gb);
+    row(
+        &format!("fused scalar bit-exact ({})", scalar.name()),
+        t_scalar,
+        packed_gb,
+    );
+    row(
+        &format!("fused parallel uncached x{}", parallel.threads()),
+        t_parallel,
+        packed_gb,
+    );
+    row(
+        &format!(
+            "fused parallel + tile cache x{} (default)",
+            cached.threads()
+        ),
+        t_cached,
+        packed_gb,
+    );
+    table.print();
+
+    // Acceptance gauge: the runtime's default parallel engine (work-stealing
+    // tiles + bucketed decoded-block cache) against the pre-runtime world.
+    let speedup_uncached = t_dense / t_parallel;
+    let speedup = t_dense / t_cached;
+    println!(
+        "\nacceptance: parallel fused (default engine) vs dense = {:.2}x ({})",
+        speedup,
+        if speedup >= 2.0 {
+            "PASS >= 2x"
+        } else {
+            "FAIL < 2x"
+        }
+    );
+
+    // Section 2: end-to-end batched TinyFM serving. A wider-than-default
+    // TinyFM so linear layers (not softmax bookkeeping) carry the cost,
+    // as they do at real model sizes.
+    let teacher = TinyFm::teacher(
+        TinyFmConfig {
+            d_model: 192,
+            n_heads: 4,
+            d_ff: 384,
+            n_layers: 2,
+            vocab: 128,
+        },
+        2026,
+    );
+    let mut rng = SeededRng::new(5);
+    let calib: Vec<Vec<usize>> = (0..2)
+        .map(|_| teacher.generate(10, 1.0, &mut rng))
+        .collect();
+    let q = MicroScopiQ::new(
+        QuantConfig::w4()
+            .macro_block(64)
+            .row_block(64)
+            .percdamp(5.0)
+            .build()
+            .expect("valid"),
+    );
+    let packed_fm = PackedTinyFm::quantize_from(&teacher, &q, &calib).expect("quantizes");
+
+    fn serve<E: PackedGemm>(model: &PackedTinyFm, engine: E) -> (f64, usize) {
+        let mut session = Session::new(model.clone(), engine, 8);
+        let submit_wave = |session: &mut Session<E>, seed0: u64| {
+            for i in 0..8 {
+                session.submit(GenRequest {
+                    prompt: vec![1 + i, 2, 3],
+                    max_new_tokens: 12,
+                    temperature: 0.9,
+                    seed: seed0 + i as u64,
+                });
+            }
+        };
+        // Warmup wave: populates decoded-tile caches so the measurement is
+        // steady-state serving, not first-touch decode.
+        submit_wave(&mut session, 400);
+        session.run_to_completion();
+        let warm_tokens = session.stats().tokens_generated;
+        submit_wave(&mut session, 40);
+        let t0 = Instant::now();
+        let results = session.run_to_completion();
+        let dt = t0.elapsed().as_secs_f64();
+        let tokens = session.stats().tokens_generated - warm_tokens;
+        assert_eq!(results.len(), 8);
+        (dt, tokens)
+    }
+
+    let (dt_dense, tok_dense) = serve(&packed_fm, DequantGemm);
+    let (dt_rt, tok_rt) = serve(&packed_fm, RuntimeEngine::parallel());
+    assert_eq!(tok_dense, tok_rt);
+    let serve_dense = tok_dense as f64 / dt_dense;
+    let serve_rt = tok_rt as f64 / dt_rt;
+    let mut serving = Table::new(
+        "TinyFM batched serving (8 requests, batch 8, 12 new tokens each)",
+        &["Engine", "tokens/s", "speedup"],
+    );
+    serving.row(vec![
+        "dense dequantize+matmul".into(),
+        format!("{serve_dense:.1}"),
+        f2(1.0),
+    ]);
+    serving.row(vec![
+        "microscopiq-runtime".into(),
+        format!("{serve_rt:.1}"),
+        f2(serve_rt / serve_dense),
+    ]);
+    serving.print();
+
+    table.write_csv("runtime_throughput");
+    table.write_json(
+        "runtime_throughput",
+        &[
+            ("gemm_tokens_per_s_parallel", batch as f64 / t_cached),
+            ("gemm_tokens_per_s_uncached", batch as f64 / t_parallel),
+            ("gemm_weight_gb_per_s", packed_gb / t_cached),
+            ("speedup_parallel_vs_dense", speedup),
+            ("speedup_uncached_vs_dense", speedup_uncached),
+            ("serving_tokens_per_s_dense", serve_dense),
+            ("serving_tokens_per_s_runtime", serve_rt),
+            ("serving_speedup", serve_rt / serve_dense),
+        ],
+    );
+}

@@ -2,9 +2,9 @@
 //! quantities: EBW from actual packed tensors, accuracy rank from measured
 //! errors, and the structural properties of each method.
 
+use microscopiq_baselines::{Gobo, Olive};
 use microscopiq_bench::methods::microscopiq;
 use microscopiq_bench::{f2, f3, Table};
-use microscopiq_baselines::{Gobo, Olive};
 use microscopiq_fm::{evaluate_weight_only, model};
 
 fn main() {
@@ -21,7 +21,12 @@ fn main() {
 
     let mut table = Table::new(
         "Table 1: group-A (GOBO) vs group-B (OliVe) vs MicroScopiQ — measured",
-        &["Property", "Group A (GOBO)", "Group B (OliVe, 2-bit)", "MicroScopiQ (2-bit)"],
+        &[
+            "Property",
+            "Group A (GOBO)",
+            "Group B (OliVe, 2-bit)",
+            "MicroScopiQ (2-bit)",
+        ],
     );
     table.row(vec![
         "Output error (LLaMA-3-8B-like)".into(),

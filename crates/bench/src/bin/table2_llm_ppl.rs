@@ -36,7 +36,15 @@ fn main() {
 
     let mut table = Table::new(
         "Table 2: proxy WikiText-2 perplexity (lower is better)",
-        &["Setting", "Method", "Model", "Error", "EBW", "Proxy PPL", "FP16 PPL"],
+        &[
+            "Setting",
+            "Method",
+            "Model",
+            "Error",
+            "EBW",
+            "Proxy PPL",
+            "FP16 PPL",
+        ],
     );
 
     for (setting, weight_bits, wa) in [
@@ -50,7 +58,11 @@ fn main() {
         } else {
             weight_only_methods(weight_bits)
         };
-        let act_bits = if wa { weight_activation_methods(weight_bits).1 } else { 16 };
+        let act_bits = if wa {
+            weight_activation_methods(weight_bits).1
+        } else {
+            16
+        };
         for m in &methods {
             for spec in &zoo {
                 let eval = if wa {
@@ -76,7 +88,11 @@ fn main() {
                 let fp = spec.fp_ppl.unwrap_or(f64::NAN);
                 println!(
                     "{setting} {} {}: err {:.4} ebw {:.2} ppl {:.2}",
-                    m.name, spec.name, err, eval.mean_ebw(), map.ppl(fp, err)
+                    m.name,
+                    spec.name,
+                    err,
+                    eval.mean_ebw(),
+                    map.ppl(fp, err)
                 );
                 table.row(vec![
                     setting.to_string(),

@@ -2,9 +2,9 @@
 //! OliVe vs OmniQuant vs MicroScopiQ on ARC-c / HellaSwag / MMLU /
 //! WinoGrande.
 
+use microscopiq_baselines::{Olive, OmniQuantGs};
 use microscopiq_bench::methods::microscopiq;
 use microscopiq_bench::{f2, Table};
-use microscopiq_baselines::{Olive, OmniQuantGs};
 use microscopiq_core::traits::WeightQuantizer;
 use microscopiq_fm::metrics::AccuracyMap;
 use microscopiq_fm::{evaluate_weight_only, model};

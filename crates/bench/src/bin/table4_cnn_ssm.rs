@@ -1,9 +1,9 @@
 //! Table 4 — CNN and SSM quantization (ImageNet Top-1 proxy):
 //! HAWQ / QMamba baselines vs MicroScopiQ at W4A4, W2A8, W2A4.
 
+use microscopiq_baselines::{HawqLike, Rtn};
 use microscopiq_bench::methods::microscopiq;
 use microscopiq_bench::{f2, Table};
-use microscopiq_baselines::{HawqLike, Rtn};
 use microscopiq_fm::metrics::AccuracyMap;
 use microscopiq_fm::{cnn_ssm_zoo, evaluate_weight_activation, evaluate_weight_only};
 

@@ -67,7 +67,13 @@ fn main() {
     // Component detail.
     let mut detail = Table::new(
         "Table 5 detail: per-component areas",
-        &["Architecture", "Component", "Unit area (μm²)", "Count", "Total (μm²)"],
+        &[
+            "Architecture",
+            "Component",
+            "Unit area (μm²)",
+            "Count",
+            "Total (μm²)",
+        ],
     );
     for breakdown in [&ms_area, &olive, &gobo] {
         for c in &breakdown.components {

@@ -4,8 +4,8 @@
 //! proxy map. The KV-cache row uses the attention-output error of the
 //! 2-bit KIVI-style scheme.
 
-use microscopiq_bench::{f2, f3, Table};
 use microscopiq_baselines::Rtn;
+use microscopiq_bench::{f2, f3, Table};
 use microscopiq_core::kv_cache::{attention_output_error, quantize_kv_cache, KvCacheConfig};
 use microscopiq_core::{MicroScopiQ, OutlierMode, QuantConfig};
 use microscopiq_fm::metrics::PerplexityMap;
@@ -40,73 +40,125 @@ fn main() {
         *prev = ppl;
     };
 
-    table.row(vec!["Baseline W16A16".into(), "0.000".into(), f2(fp), "—".into()]);
+    table.row(vec![
+        "Baseline W16A16".into(),
+        "0.000".into(),
+        f2(fp),
+        "—".into(),
+    ]);
 
     // Row 2: plain per-tensor INT-4.
     let rtn = Rtn::per_tensor(4);
-    let err = evaluate_weight_only(&spec, &rtn, samples).unwrap().mean_output_error();
+    let err = evaluate_weight_only(&spec, &rtn, samples)
+        .unwrap()
+        .mean_output_error();
     push(&mut table, "+ INT-4 scalar quantization", err, &mut prev);
 
     // Row 3: MX-INT-4_128 (group pow2 scales), outliers clipped.
     let cfg = |bits: u32| QuantConfig::builder(bits);
     let q = MicroScopiQ::new(
-        cfg(4).outlier_mode(OutlierMode::Ignore).prune_redistribute(false)
-            .error_compensation(false).build().unwrap(),
+        cfg(4)
+            .outlier_mode(OutlierMode::Ignore)
+            .prune_redistribute(false)
+            .error_compensation(false)
+            .build()
+            .unwrap(),
     );
-    let err = evaluate_weight_only(&spec, &q, samples).unwrap().mean_output_error();
+    let err = evaluate_weight_only(&spec, &q, samples)
+        .unwrap()
+        .mean_output_error();
     push(&mut table, "+ MX-INT-4_128", err, &mut prev);
 
     // Row 4: MX-INT-2_128 (the PPL spike).
     let q = MicroScopiQ::new(
-        cfg(2).outlier_mode(OutlierMode::Ignore).prune_redistribute(false)
-            .error_compensation(false).build().unwrap(),
+        cfg(2)
+            .outlier_mode(OutlierMode::Ignore)
+            .prune_redistribute(false)
+            .error_compensation(false)
+            .build()
+            .unwrap(),
     );
-    let err = evaluate_weight_only(&spec, &q, samples).unwrap().mean_output_error();
+    let err = evaluate_weight_only(&spec, &q, samples)
+        .unwrap()
+        .mean_output_error();
     push(&mut table, "+ MX-INT-2_128", err, &mut prev);
 
     // Row 5: outliers to MX-FP-4_{128,128} (macro-block scale sharing).
     let q = MicroScopiQ::new(
-        cfg(2).outlier_mode(OutlierMode::MxFpMacroBlock).prune_redistribute(false)
-            .error_compensation(false).build().unwrap(),
+        cfg(2)
+            .outlier_mode(OutlierMode::MxFpMacroBlock)
+            .prune_redistribute(false)
+            .error_compensation(false)
+            .build()
+            .unwrap(),
     );
-    let err = evaluate_weight_only(&spec, &q, samples).unwrap().mean_output_error();
+    let err = evaluate_weight_only(&spec, &q, samples)
+        .unwrap()
+        .mean_output_error();
     push(&mut table, "+ Outliers → MX-FP-4_{128,128}", err, &mut prev);
 
     // Row 6: outliers to MX-FP-4_{8,8} (micro-block scales).
     let q = MicroScopiQ::new(
-        cfg(2).outlier_mode(OutlierMode::MxFpMicroBlock).prune_redistribute(false)
-            .error_compensation(false).prescale_outliers(false).build().unwrap(),
+        cfg(2)
+            .outlier_mode(OutlierMode::MxFpMicroBlock)
+            .prune_redistribute(false)
+            .error_compensation(false)
+            .prescale_outliers(false)
+            .build()
+            .unwrap(),
     );
-    let err = evaluate_weight_only(&spec, &q, samples).unwrap().mean_output_error();
+    let err = evaluate_weight_only(&spec, &q, samples)
+        .unwrap()
+        .mean_output_error();
     push(&mut table, "+ Outliers → MX-FP-4_{8,8}", err, &mut prev);
 
     // Row 7: ×2^Isf outlier magnitude pre-reduction.
     let q = MicroScopiQ::new(
-        cfg(2).outlier_mode(OutlierMode::MxFpMicroBlock).prune_redistribute(false)
-            .error_compensation(false).prescale_outliers(true).build().unwrap(),
+        cfg(2)
+            .outlier_mode(OutlierMode::MxFpMicroBlock)
+            .prune_redistribute(false)
+            .error_compensation(false)
+            .prescale_outliers(true)
+            .build()
+            .unwrap(),
     );
-    let err = evaluate_weight_only(&spec, &q, samples).unwrap().mean_output_error();
+    let err = evaluate_weight_only(&spec, &q, samples)
+        .unwrap()
+        .mean_output_error();
     push(&mut table, "+ Reduce outlier mag. ×2^Isf", err, &mut prev);
 
     // Row 8: prune least-important inliers per μB (aligned memory; the
     // paper sees a small PPL increase here).
     let q = MicroScopiQ::new(
-        cfg(2).outlier_mode(OutlierMode::MxFpMicroBlock).prune_redistribute(true)
-            .error_compensation(false).build().unwrap(),
+        cfg(2)
+            .outlier_mode(OutlierMode::MxFpMicroBlock)
+            .prune_redistribute(true)
+            .error_compensation(false)
+            .build()
+            .unwrap(),
     );
-    let err = evaluate_weight_only(&spec, &q, samples).unwrap().mean_output_error();
+    let err = evaluate_weight_only(&spec, &q, samples)
+        .unwrap()
+        .mean_output_error();
     push(&mut table, "+ Prune least-imp. inliers/μB", err, &mut prev);
 
     // Row 9: Hessian error compensation per row block.
     let q = MicroScopiQ::new(cfg(2).build().unwrap());
-    let err = evaluate_weight_only(&spec, &q, samples).unwrap().mean_output_error();
+    let err = evaluate_weight_only(&spec, &q, samples)
+        .unwrap()
+        .mean_output_error();
     push(&mut table, "+ Compensate quant. errors/rB", err, &mut prev);
 
     // Row 10: activations to MX-INT-8_128 with α = 0.7.
     let err = evaluate_weight_activation(&spec, &q, 8, 128, 0.7, samples)
         .unwrap()
         .mean_output_error();
-    push(&mut table, "+ Activations MX-INT-8_128, α=0.7", err, &mut prev);
+    push(
+        &mut table,
+        "+ Activations MX-INT-8_128, α=0.7",
+        err,
+        &mut prev,
+    );
 
     // Row 11: 2-bit KV-cache quantization — measured attention error folded
     // into the layer error budget.
@@ -123,7 +175,12 @@ fn main() {
     };
     // Attention blocks are roughly a third of the layer budget.
     let combined = weight_err + kv_err / 3.0 * 0.25;
-    push(&mut table, "+ 2-bit KV-cache quantization", combined, &mut prev);
+    push(
+        &mut table,
+        "+ 2-bit KV-cache quantization",
+        combined,
+        &mut prev,
+    );
 
     table.print();
     table.write_csv("table7_ablation");

@@ -5,8 +5,8 @@
 //! derivation); the best ratio is grid-searched per model on the measured
 //! output error, mirroring OmniQuant's learned optimum.
 
-use microscopiq_bench::{f2, f3, Table};
 use microscopiq_baselines::OmniQuantGs;
+use microscopiq_bench::{f2, f3, Table};
 use microscopiq_core::{MicroScopiQ, QuantConfig};
 use microscopiq_fm::metrics::PerplexityMap;
 use microscopiq_fm::{evaluate_weight_activation, evaluate_weight_only, model};
@@ -19,9 +19,7 @@ fn omni_microscopiq_error(
 ) -> f64 {
     let mut best = f64::INFINITY;
     for clip in [0.85, 0.90, 0.95, 1.0] {
-        let q = MicroScopiQ::new(
-            QuantConfig::builder(bits).clip_ratio(clip).build().unwrap(),
-        );
+        let q = MicroScopiQ::new(QuantConfig::builder(bits).clip_ratio(clip).build().unwrap());
         let err = match act_bits {
             None => evaluate_weight_only(spec, &q, samples),
             Some(a) => evaluate_weight_activation(spec, &q, a, 128, 0.7, samples),

@@ -5,8 +5,8 @@
 //! quantization damage — this validates the Table 2 method ordering with
 //! no proxy map in the loop.
 
-use microscopiq_bench::{f2, Table};
 use microscopiq_baselines::{Gptq, Olive, Rtn, Sdq};
+use microscopiq_bench::{f2, Table};
 use microscopiq_core::traits::WeightQuantizer;
 use microscopiq_core::{MicroScopiQ, QuantConfig};
 use microscopiq_fm::tinyfm::{TinyFm, TinyFmConfig};
@@ -15,10 +15,17 @@ use microscopiq_linalg::SeededRng;
 fn main() {
     let teacher = TinyFm::teacher(TinyFmConfig::default(), 2026);
     let mut rng = SeededRng::new(99);
-    let calib: Vec<Vec<usize>> = (0..8).map(|_| teacher.generate(24, 2.0, &mut rng)).collect();
-    let eval: Vec<Vec<usize>> = (0..16).map(|_| teacher.generate(32, 2.0, &mut rng)).collect();
+    let calib: Vec<Vec<usize>> = (0..8)
+        .map(|_| teacher.generate(24, 2.0, &mut rng))
+        .collect();
+    let eval: Vec<Vec<usize>> = (0..16)
+        .map(|_| teacher.generate(32, 2.0, &mut rng))
+        .collect();
     let teacher_ppl = teacher.perplexity(&eval);
-    println!("teacher PPL on its own data: {teacher_ppl:.3} (vocab {})", 128);
+    println!(
+        "teacher PPL on its own data: {teacher_ppl:.3} (vocab {})",
+        128
+    );
 
     // TinyFM's calibration Hessians are small and highly correlated;
     // low-bit error compensation needs much heavier damping than the LLM
@@ -34,7 +41,10 @@ fn main() {
     };
     let methods: Vec<(&str, Box<dyn WeightQuantizer>)> = vec![
         ("RTN W4 (g64)", Box::new(Rtn::group(4, 64))),
-        ("GPTQ W4", Box::new(Gptq::new(4, 64).block(64).percdamp(5.0))),
+        (
+            "GPTQ W4",
+            Box::new(Gptq::new(4, 64).block(64).percdamp(5.0)),
+        ),
         ("OliVe W4", Box::new(Olive::new(4).block(64))),
         ("MicroScopiQ W4", Box::new(MicroScopiQ::new(cfg(4)))),
         ("RTN W2 (g64)", Box::new(Rtn::group(2, 64))),

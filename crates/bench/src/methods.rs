@@ -43,11 +43,7 @@ pub fn weight_only_methods(bits: u32) -> Vec<Method> {
             Box::new(OmniQuantGs::new(4, 128)),
             0.0,
         ));
-        v.push(Method::new(
-            "MicroScopiQ",
-            Box::new(microscopiq(4)),
-            0.0,
-        ));
+        v.push(Method::new("MicroScopiQ", Box::new(microscopiq(4)), 0.0));
     } else {
         v.push(Method::new(
             "OmniQuant",
@@ -55,11 +51,7 @@ pub fn weight_only_methods(bits: u32) -> Vec<Method> {
             0.0,
         ));
         v.push(Method::new("SDQ", Box::new(Sdq::new(2, 2, 8)), 0.0));
-        v.push(Method::new(
-            "MicroScopiQ",
-            Box::new(microscopiq(2)),
-            0.0,
-        ));
+        v.push(Method::new("MicroScopiQ", Box::new(microscopiq(2)), 0.0));
     }
     v
 }
@@ -69,11 +61,7 @@ pub fn weight_activation_methods(weight_bits: u32) -> (Vec<Method>, u32) {
     if weight_bits == 4 {
         let v = vec![
             Method::new("OliVe", Box::new(Olive::new(4)), 0.0),
-            Method::new(
-                "OmniQuant",
-                Box::new(OmniQuantGs::new(4, 128)),
-                0.6,
-            ),
+            Method::new("OmniQuant", Box::new(OmniQuantGs::new(4, 128)), 0.6),
             Method::new(
                 "SmoothQuant",
                 Box::new(Rtn::per_channel(4).named("SmoothQuant")),
@@ -85,11 +73,7 @@ pub fn weight_activation_methods(weight_bits: u32) -> (Vec<Method>, u32) {
         (v, 4)
     } else {
         let v = vec![
-            Method::new(
-                "OmniQuant",
-                Box::new(OmniQuantGs::new(2, 128)),
-                0.6,
-            ),
+            Method::new("OmniQuant", Box::new(OmniQuantGs::new(2, 128)), 0.6),
             Method::new("Atom", Box::new(Atom::new(2, 4, 128)), 0.0),
             Method::new("MicroScopiQ", Box::new(microscopiq(2)), 0.7),
         ];

@@ -51,7 +51,10 @@ impl Table {
                 .join("  ")
         };
         println!("{}", fmt_row(&self.headers));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             println!("{}", fmt_row(row));
         }
@@ -83,7 +86,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -94,6 +101,84 @@ impl Table {
         }
         println!("[csv] {}", path.display());
         Some(path)
+    }
+
+    /// Serializes the table to the canonical bench-report JSON shape:
+    /// `{"title", "headers", "rows", "metrics"}`. `metrics` carries named
+    /// scalar headline numbers (e.g. tokens/s) so trend tooling can read
+    /// one number without parsing the table.
+    pub fn to_json(&self, metrics: &[(&str, f64)]) -> String {
+        let esc = |s: &str| {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        };
+        let str_list = |items: &[String]| {
+            items
+                .iter()
+                .map(|s| format!("\"{}\"", esc(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| format!("    [{}]", str_list(r)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let metrics_body = metrics
+            .iter()
+            .map(|(k, v)| format!("    \"{}\": {}", esc(k), fmt_json_number(*v)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"title\": \"{}\",\n  \"headers\": [{}],\n  \"rows\": [\n{}\n  ],\n  \"metrics\": {{\n{}\n  }}\n}}\n",
+            esc(&self.title),
+            str_list(&self.headers),
+            rows,
+            metrics_body
+        )
+    }
+
+    /// Writes the table as `BENCH_<slug>.json` under the results directory
+    /// (the shape read by the perf-trajectory tooling), returning the
+    /// path. Errors are reported but not fatal.
+    pub fn write_json(&self, slug: &str, metrics: &[(&str, f64)]) -> Option<PathBuf> {
+        let dir = results_dir();
+        if fs::create_dir_all(&dir).is_err() {
+            eprintln!("warning: cannot create {}", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("BENCH_{slug}.json"));
+        match fs::write(&path, self.to_json(metrics)) {
+            Ok(()) => {
+                println!("[json] {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// JSON-safe float formatting: finite values print plainly, non-finite
+/// become null.
+fn fmt_json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -129,6 +214,18 @@ mod tests {
         t.row(vec!["1".into(), "x,y".into()]);
         assert_eq!(t.rows.len(), 1);
         assert_eq!(t.headers.len(), 2);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut t = Table::new("runtime demo", &["path", "ms"]);
+        t.row(vec!["dense \"ref\"".into(), "12.5".into()]);
+        let json = t.to_json(&[("tokens_per_s", 123.5), ("bad", f64::NAN)]);
+        assert!(json.contains("\"title\": \"runtime demo\""));
+        assert!(json.contains("\"headers\": [\"path\", \"ms\"]"));
+        assert!(json.contains("\"dense \\\"ref\\\"\""));
+        assert!(json.contains("\"tokens_per_s\": 123.5"));
+        assert!(json.contains("\"bad\": null"));
     }
 
     #[test]

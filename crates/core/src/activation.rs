@@ -145,7 +145,9 @@ mod tests {
     fn migration_tames_activation_outliers() {
         let layer = layer_with_hot_channel(8);
         let migrated = migrate_difficulty(&layer, 0.7).unwrap();
-        let hot_before = (0..24).map(|s| layer.calibration[(7, s)].abs()).fold(0.0, f64::max);
+        let hot_before = (0..24)
+            .map(|s| layer.calibration[(7, s)].abs())
+            .fold(0.0, f64::max);
         let hot_after = (0..24)
             .map(|s| migrated.calibration[(7, s)].abs())
             .fold(0.0, f64::max);

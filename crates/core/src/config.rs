@@ -246,13 +246,13 @@ impl QuantConfigBuilder {
                 c.micro_block
             ));
         }
-        if c.macro_block % c.micro_block != 0 {
+        if !c.macro_block.is_multiple_of(c.micro_block) {
             return fail(format!(
                 "macro_block ({}) must be a multiple of micro_block ({})",
                 c.macro_block, c.micro_block
             ));
         }
-        if c.row_block == 0 || c.row_block % c.macro_block != 0 {
+        if c.row_block == 0 || !c.row_block.is_multiple_of(c.macro_block) {
             return fail(format!(
                 "row_block ({}) must be a positive multiple of macro_block ({})",
                 c.row_block, c.macro_block

@@ -27,8 +27,7 @@ impl HessianState {
     pub fn from_calibration(calibration: &Matrix, percdamp: f64) -> Result<Self, QuantError> {
         let mut h = calibration.gram();
         h.scale(2.0);
-        let mean_diag: f64 =
-            h.diagonal().iter().sum::<f64>() / h.rows() as f64;
+        let mean_diag: f64 = h.diagonal().iter().sum::<f64>() / h.rows() as f64;
         // Guard fully-degenerate calibration with an absolute floor.
         let damp = (percdamp * mean_diag).max(1e-8);
         h.add_diagonal(damp);

@@ -157,12 +157,7 @@ impl MicroBlockPlan {
     /// # Panics
     ///
     /// Panics if slice lengths disagree.
-    pub fn build(
-        flagged: &[bool],
-        weights: &[f64],
-        saliency: &[f64],
-        redistribute: bool,
-    ) -> Self {
+    pub fn build(flagged: &[bool], weights: &[f64], saliency: &[f64], redistribute: bool) -> Self {
         let len = flagged.len();
         assert_eq!(weights.len(), len, "weights length mismatch");
         assert_eq!(saliency.len(), len, "saliency length mismatch");
@@ -280,7 +275,13 @@ mod tests {
         let plan = MicroBlockPlan::build(&flagged, &weights, &sal, true);
         assert_eq!(plan.outlier_positions, vec![2]);
         assert_eq!(plan.pruned_positions, vec![6]);
-        assert_eq!(plan.perm.entries()[0], PermEntry { upper_loc: 2, lower_loc: 6 });
+        assert_eq!(
+            plan.perm.entries()[0],
+            PermEntry {
+                upper_loc: 2,
+                lower_loc: 6
+            }
+        );
         assert!(matches!(plan.roles[2], SlotRole::OutlierUpper(0)));
         assert!(matches!(plan.roles[6], SlotRole::PrunedLower(0)));
         assert!(plan.check_invariants());
@@ -340,9 +341,18 @@ mod tests {
     #[test]
     fn perm_list_bit_roundtrip() {
         let entries = vec![
-            PermEntry { upper_loc: 0, lower_loc: 2 },
-            PermEntry { upper_loc: 3, lower_loc: 6 },
-            PermEntry { upper_loc: 5, lower_loc: 7 },
+            PermEntry {
+                upper_loc: 0,
+                lower_loc: 2,
+            },
+            PermEntry {
+                upper_loc: 3,
+                lower_loc: 6,
+            },
+            PermEntry {
+                upper_loc: 5,
+                lower_loc: 7,
+            },
         ];
         let list = PermutationList::new(entries.clone(), 8);
         let bits = list.to_bits(8);
@@ -353,7 +363,13 @@ mod tests {
     #[test]
     fn perm_list_roundtrip_all_zero_entry() {
         // Entry {0,0} must survive thanks to the occupancy count.
-        let list = PermutationList::new(vec![PermEntry { upper_loc: 0, lower_loc: 0 }], 8);
+        let list = PermutationList::new(
+            vec![PermEntry {
+                upper_loc: 0,
+                lower_loc: 0,
+            }],
+            8,
+        );
         let back = PermutationList::from_bits(list.to_bits(8), 8).unwrap();
         assert_eq!(back.len(), 1);
     }
@@ -369,9 +385,18 @@ mod tests {
     fn paper_fig3_step3_pattern() {
         // Fig. 3(a) Step 3 row 2: permutation (0,3)(1,5)(4,7) for Bμ=8.
         let entries = vec![
-            PermEntry { upper_loc: 0, lower_loc: 3 },
-            PermEntry { upper_loc: 1, lower_loc: 5 },
-            PermEntry { upper_loc: 4, lower_loc: 7 },
+            PermEntry {
+                upper_loc: 0,
+                lower_loc: 3,
+            },
+            PermEntry {
+                upper_loc: 1,
+                lower_loc: 5,
+            },
+            PermEntry {
+                upper_loc: 4,
+                lower_loc: 7,
+            },
         ];
         let list = PermutationList::new(entries, 8);
         // 3 entries × 6 bits = 18 payload bits — fits the 24-bit budget.

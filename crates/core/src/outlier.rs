@@ -108,7 +108,9 @@ mod tests {
 
     #[test]
     fn lower_threshold_flags_more() {
-        let vals: Vec<f64> = (0..128).map(|i| ((i * 37 % 97) as f64 - 48.0) / 10.0).collect();
+        let vals: Vec<f64> = (0..128)
+            .map(|i| ((i * 37 % 97) as f64 - 48.0) / 10.0)
+            .collect();
         let strict = classify_outliers(&vals, 3.0).iter().filter(|&&b| b).count();
         let loose = classify_outliers(&vals, 1.5).iter().filter(|&&b| b).count();
         assert!(loose >= strict);

@@ -17,6 +17,7 @@ use microscopiq_mx::fp::TinyFloat;
 use microscopiq_mx::halves::unpack_sign_mag;
 use microscopiq_mx::mxfp::MxScale;
 use microscopiq_mx::scale::Pow2Scale;
+use std::sync::OnceLock;
 
 const MAGIC: &[u8; 4] = b"MSPQ";
 const VERSION: u8 = 1;
@@ -48,8 +49,21 @@ pub struct PackedMacroBlock {
     pub micro_blocks: Vec<PackedMicroBlock>,
 }
 
+/// Placement of one macro-block group within the weight matrix (see
+/// [`PackedLayer::group_span`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupSpan {
+    /// Line index: row for [`GroupAxis::DotProduct`], column for
+    /// [`GroupAxis::OutputChannel`].
+    pub line: usize,
+    /// Starting element offset within the line.
+    pub offset: usize,
+    /// Number of elements the group covers.
+    pub len: usize,
+}
+
 /// A complete packed layer.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct PackedLayer {
     axis: GroupAxis,
     d_row: usize,
@@ -58,6 +72,21 @@ pub struct PackedLayer {
     micro_block: usize,
     macro_block: usize,
     groups: Vec<PackedMacroBlock>,
+    /// Lazily computed content fingerprint (see
+    /// [`PackedLayer::content_fingerprint`]); excluded from equality.
+    fingerprint: OnceLock<u64>,
+}
+
+impl PartialEq for PackedLayer {
+    fn eq(&self, other: &Self) -> bool {
+        self.axis == other.axis
+            && self.d_row == other.d_row
+            && self.d_col == other.d_col
+            && self.inlier_bits == other.inlier_bits
+            && self.micro_block == other.micro_block
+            && self.macro_block == other.macro_block
+            && self.groups == other.groups
+    }
 }
 
 impl PackedLayer {
@@ -109,6 +138,7 @@ impl PackedLayer {
             micro_block,
             macro_block,
             groups,
+            fingerprint: OnceLock::new(),
         }
     }
 
@@ -224,19 +254,121 @@ impl PackedLayer {
         }
     }
 
-    /// Decodes one micro-block into weight values.
-    fn decode_micro_block(&self, mb: &PackedMicroBlock, isf: Pow2Scale) -> Vec<f64> {
+    /// Number of lines the grouping axis walks: rows for
+    /// [`GroupAxis::DotProduct`], columns for [`GroupAxis::OutputChannel`].
+    pub fn lines(&self) -> usize {
+        match self.axis {
+            GroupAxis::DotProduct => self.d_row,
+            GroupAxis::OutputChannel => self.d_col,
+        }
+    }
+
+    /// Elements per line along the grouping axis.
+    pub fn line_len(&self) -> usize {
+        match self.axis {
+            GroupAxis::DotProduct => self.d_col,
+            GroupAxis::OutputChannel => self.d_row,
+        }
+    }
+
+    /// Macro-block groups per line.
+    pub fn groups_per_line(&self) -> usize {
+        self.line_len().div_ceil(self.macro_block)
+    }
+
+    /// Number of macro-block groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Placement of group `g` within the weight matrix: the line it lives
+    /// on, its starting element offset within that line, and its element
+    /// count. Runtimes use this to walk packed blocks without materializing
+    /// the dense matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn group_span(&self, g: usize) -> GroupSpan {
+        assert!(g < self.groups.len(), "group index out of range");
+        let per_line = self.groups_per_line();
+        let line = g / per_line;
+        let offset = (g % per_line) * self.macro_block;
+        let len = (self.line_len() - offset).min(self.macro_block);
+        GroupSpan { line, offset, len }
+    }
+
+    /// Content fingerprint: a 64-bit hash of the geometry, every group's
+    /// scale bytes and permutation words, and every slot code — any
+    /// content change changes the fingerprint, and equal content hashes
+    /// equally, so it is a sound content-addressed cache key (runtimes key
+    /// decoded-block caches on it). Computed once and memoized; the memo
+    /// is ignored by `PartialEq`/serialization.
+    pub fn content_fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut mix64 = |w: u64| {
+                h = (h ^ w).wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(27);
+            };
+            for v in [
+                self.d_row as u64,
+                self.d_col as u64,
+                self.inlier_bits as u64,
+                ((self.micro_block as u64) << 32) | self.macro_block as u64,
+                self.groups.len() as u64,
+            ] {
+                mix64(v);
+            }
+            for g in &self.groups {
+                mix64(g.isf.to_e8m0_byte() as u64);
+                for mb in &g.micro_blocks {
+                    if let Some(meta) = &mb.meta {
+                        mix64(
+                            ((meta.mxscale.to_byte() as u64) << 56)
+                                ^ meta.perm.to_bits(self.micro_block),
+                        );
+                    }
+                    let mut chunks = mb.codes.chunks_exact(8);
+                    for c in &mut chunks {
+                        mix64(u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+                    }
+                    // Remainder bytes fold at 9-bit stride: the 0x100
+                    // marker per byte keeps [2,5] and [3,5] (and any
+                    // length/value confusion) distinct.
+                    let mut tail = 0u64;
+                    for &b in chunks.remainder() {
+                        tail = (tail << 9) | (0x100 | b as u64);
+                    }
+                    if tail != 0 {
+                        mix64(tail);
+                    }
+                }
+            }
+            // Final avalanche so nearby inputs spread across the key space.
+            h ^= h >> 31;
+            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^ (h >> 29)
+        })
+    }
+
+    /// Decodes one micro-block into `out` (one value per slot; `out` must
+    /// hold at least `mb.codes.len()` elements). Inlier slots decode as
+    /// two's complement × `2^Isf`; outlier-bearing blocks reassemble the
+    /// Upper/Lower sign-magnitude halves through the permutation list and
+    /// zero the pruned host slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the micro-block.
+    pub fn decode_micro_block_into(&self, mb: &PackedMicroBlock, isf: Pow2Scale, out: &mut [f64]) {
         let bb = self.inlier_bits;
-        let mut out: Vec<f64> = mb
-            .codes
-            .iter()
-            .map(|&c| {
-                // Default: inlier two's-complement decode.
-                let shift = 8 - bb;
-                let signed = ((c << shift) as i8 >> shift) as i32;
-                isf.unapply(signed as f64)
-            })
-            .collect();
+        assert!(out.len() >= mb.codes.len(), "decode buffer too small");
+        for (o, &c) in out.iter_mut().zip(mb.codes.iter()) {
+            // Default: inlier two's-complement decode.
+            let shift = 8 - bb;
+            let signed = ((c << shift) as i8 >> shift) as i32;
+            *o = isf.unapply(signed as f64);
+        }
         if let Some(meta) = &mb.meta {
             let fmt = self.outlier_format();
             let mb_bits = fmt.mantissa_bits();
@@ -257,30 +389,34 @@ impl PackedLayer {
                 out[e.lower_loc as usize] = 0.0; // pruned slot
             }
         }
-        out
+    }
+
+    /// Decodes every slot of group `g` into `out` (at least
+    /// [`GroupSpan::len`] elements), in line order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range or `out` is too short.
+    pub fn decode_group_into(&self, g: usize, out: &mut [f64]) {
+        let group = &self.groups[g];
+        let mut offset = 0;
+        for mb in &group.micro_blocks {
+            self.decode_micro_block_into(mb, group.isf, &mut out[offset..]);
+            offset += mb.codes.len();
+        }
     }
 
     /// Reconstructs the full dequantized weight matrix.
     pub fn dequantize(&self) -> Matrix {
-        let line_len = match self.axis {
-            GroupAxis::DotProduct => self.d_col,
-            GroupAxis::OutputChannel => self.d_row,
-        };
-        let mabs_per_line = line_len.div_ceil(self.macro_block);
         let mut w = Matrix::zeros(self.d_row, self.d_col);
-        for (g, group) in self.groups.iter().enumerate() {
-            let line = g / mabs_per_line;
-            let mab = g % mabs_per_line;
-            let mut offset = mab * self.macro_block;
-            for mb in &group.micro_blocks {
-                let vals = self.decode_micro_block(mb, group.isf);
-                for (i, v) in vals.into_iter().enumerate() {
-                    match self.axis {
-                        GroupAxis::DotProduct => w[(line, offset + i)] = v,
-                        GroupAxis::OutputChannel => w[(offset + i, line)] = v,
-                    }
+        let mut buf = vec![0.0; self.macro_block];
+        for (g, span) in (0..self.groups.len()).map(|g| (g, self.group_span(g))) {
+            self.decode_group_into(g, &mut buf);
+            for (i, &v) in buf[..span.len].iter().enumerate() {
+                match self.axis {
+                    GroupAxis::DotProduct => w[(span.line, span.offset + i)] = v,
+                    GroupAxis::OutputChannel => w[(span.offset + i, span.line)] = v,
                 }
-                offset += mb.codes.len();
             }
         }
         w
@@ -380,7 +516,10 @@ impl PackedLayer {
         }
         let micro_block = buf.get_u16() as usize;
         let macro_block = buf.get_u16() as usize;
-        if micro_block < 2 || !micro_block.is_power_of_two() || macro_block % micro_block != 0 {
+        if micro_block < 2
+            || !micro_block.is_power_of_two()
+            || !macro_block.is_multiple_of(micro_block)
+        {
             return Err(corrupt(7, "bad block geometry"));
         }
         let d_row = buf.get_u32() as usize;
@@ -423,10 +562,8 @@ impl PackedLayer {
                     for b in 0..payload_bytes {
                         payload |= (buf.get_u8() as u64) << (8 * b);
                     }
-                    let perm = PermutationList::from_bits(
-                        payload | ((count as u64) << 56),
-                        micro_block,
-                    )?;
+                    let perm =
+                        PermutationList::from_bits(payload | ((count as u64) << 56), micro_block)?;
                     for e in perm.entries() {
                         if e.upper_loc as usize >= n_codes || e.lower_loc as usize >= n_codes {
                             return Err(corrupt(off(buf), "permutation location out of range"));
@@ -473,6 +610,7 @@ impl PackedLayer {
             micro_block,
             macro_block,
             groups,
+            fingerprint: OnceLock::new(),
         })
     }
 }
@@ -504,10 +642,7 @@ mod tests {
         };
         let group = |outlier: bool| PackedMacroBlock {
             isf: Pow2Scale::new(-3),
-            micro_blocks: vec![
-                if outlier { mk_outlier() } else { mk_plain() },
-                mk_plain(),
-            ],
+            micro_blocks: vec![if outlier { mk_outlier() } else { mk_plain() }, mk_plain()],
         };
         PackedLayer::new(
             GroupAxis::DotProduct,
@@ -608,6 +743,34 @@ mod tests {
         // 32 weights at ~3 bits ≈ 12 bytes payload + headers; the container
         // must stay within a small constant of the information content.
         assert!(bytes.len() < 80, "serialized {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_remainder_code_low_bits() {
+        // Regression: micro-blocks shorter than 8 slots fold their codes
+        // into a tail word; codes [2,5,0,1] and [3,5,0,1] (differing only
+        // in the low bit of a non-final byte) must not collide.
+        let mk = |c0: u8| {
+            let group = PackedMacroBlock {
+                isf: Pow2Scale::new(-3),
+                micro_blocks: vec![PackedMicroBlock {
+                    codes: vec![c0, 1, 0, 1],
+                    meta: None,
+                }],
+            };
+            PackedLayer::new(GroupAxis::DotProduct, 1, 4, 2, 4, 4, vec![group])
+        };
+        assert_ne!(mk(2).content_fingerprint(), mk(3).content_fingerprint());
+        assert_eq!(mk(2).content_fingerprint(), mk(2).content_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_survives_byte_roundtrip_and_ignores_memo() {
+        let layer = sample_layer();
+        let back = PackedLayer::from_bytes(&layer.to_bytes()).unwrap();
+        // Equality ignores the memo cell; fingerprints agree on content.
+        assert_eq!(back, layer);
+        assert_eq!(back.content_fingerprint(), layer.content_fingerprint());
     }
 
     #[test]

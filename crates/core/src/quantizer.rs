@@ -88,7 +88,11 @@ mod tests {
         let x = Matrix::from_fn(32, 40, |_, _| rng.normal(0.0, 1.0));
         let layer = LayerTensors::new(w, x).unwrap();
         let q = MicroScopiQ::new(
-            QuantConfig::w2().macro_block(16).row_block(16).build().unwrap(),
+            QuantConfig::w2()
+                .macro_block(16)
+                .row_block(16)
+                .build()
+                .unwrap(),
         );
         let out = q.quantize_layer(&layer).unwrap();
         let packed = out.packed.expect("packed layout");

@@ -2,11 +2,11 @@
 
 use crate::calib::{calibration, calibration_for_layer};
 use crate::synth::synthesize_layer;
-use microscopiq_linalg::{Matrix, SeededRng};
 use crate::zoo::ModelSpec;
 use microscopiq_core::activation::{migrate_difficulty, quantize_activations};
 use microscopiq_core::error::QuantError;
 use microscopiq_core::traits::{LayerTensors, WeightQuantizer};
+use microscopiq_linalg::{Matrix, SeededRng};
 
 /// Per-layer evaluation record.
 #[derive(Debug, Clone, PartialEq)]
@@ -193,7 +193,13 @@ mod tests {
     #[test]
     fn weight_only_evaluation_runs() {
         let spec = shrunk(&model("LLaMA-3-8B"));
-        let q = MicroScopiQ::new(QuantConfig::w4().macro_block(32).row_block(32).build().unwrap());
+        let q = MicroScopiQ::new(
+            QuantConfig::w4()
+                .macro_block(32)
+                .row_block(32)
+                .build()
+                .unwrap(),
+        );
         let eval = evaluate_weight_only(&spec, &q, 48).unwrap();
         assert_eq!(eval.layers.len(), 3);
         assert!(eval.mean_output_error() > 0.0);
@@ -204,18 +210,42 @@ mod tests {
     #[test]
     fn w2_errs_more_than_w4() {
         let spec = shrunk(&model("LLaMA-3-8B"));
-        let q2 = MicroScopiQ::new(QuantConfig::w2().macro_block(32).row_block(32).build().unwrap());
-        let q4 = MicroScopiQ::new(QuantConfig::w4().macro_block(32).row_block(32).build().unwrap());
-        let e2 = evaluate_weight_only(&spec, &q2, 48).unwrap().mean_output_error();
-        let e4 = evaluate_weight_only(&spec, &q4, 48).unwrap().mean_output_error();
+        let q2 = MicroScopiQ::new(
+            QuantConfig::w2()
+                .macro_block(32)
+                .row_block(32)
+                .build()
+                .unwrap(),
+        );
+        let q4 = MicroScopiQ::new(
+            QuantConfig::w4()
+                .macro_block(32)
+                .row_block(32)
+                .build()
+                .unwrap(),
+        );
+        let e2 = evaluate_weight_only(&spec, &q2, 48)
+            .unwrap()
+            .mean_output_error();
+        let e4 = evaluate_weight_only(&spec, &q4, 48)
+            .unwrap()
+            .mean_output_error();
         assert!(e2 > e4, "W2 {e2} should exceed W4 {e4}");
     }
 
     #[test]
     fn weight_activation_adds_error() {
         let spec = shrunk(&model("LLaMA-3-8B"));
-        let q = MicroScopiQ::new(QuantConfig::w4().macro_block(32).row_block(32).build().unwrap());
-        let wo = evaluate_weight_only(&spec, &q, 48).unwrap().mean_output_error();
+        let q = MicroScopiQ::new(
+            QuantConfig::w4()
+                .macro_block(32)
+                .row_block(32)
+                .build()
+                .unwrap(),
+        );
+        let wo = evaluate_weight_only(&spec, &q, 48)
+            .unwrap()
+            .mean_output_error();
         let wa = evaluate_weight_activation(&spec, &q, 4, 32, 0.7, 48)
             .unwrap()
             .mean_output_error();
@@ -225,7 +255,13 @@ mod tests {
     #[test]
     fn evaluation_is_deterministic() {
         let spec = shrunk(&model("Phi-3-3.8B"));
-        let q = MicroScopiQ::new(QuantConfig::w4().macro_block(32).row_block(32).build().unwrap());
+        let q = MicroScopiQ::new(
+            QuantConfig::w4()
+                .macro_block(32)
+                .row_block(32)
+                .build()
+                .unwrap(),
+        );
         let a = evaluate_weight_only(&spec, &q, 32).unwrap();
         let b = evaluate_weight_only(&spec, &q, 32).unwrap();
         assert_eq!(a, b);

@@ -12,6 +12,8 @@
 //! * [`eval`] — the synthesize→quantize→measure driver;
 //! * [`metrics`] — monotone proxy maps from measured error to paper-style
 //!   perplexity/accuracy;
+//! * [`packed`] — packed-weight TinyFM: [`PackedGemm`] engines and the
+//!   segment-packed batched forward used by `microscopiq-runtime`;
 //! * [`tinyfm`] — a real, runnable tiny transformer for proxy-free
 //!   end-to-end perplexity checks.
 //!
@@ -27,11 +29,13 @@
 pub mod calib;
 pub mod eval;
 pub mod metrics;
+pub mod packed;
 pub mod synth;
 pub mod tinyfm;
 pub mod zoo;
 
 pub use eval::{evaluate_weight_activation, evaluate_weight_only, ModelEvaluation};
 pub use metrics::{AccuracyMap, PerplexityMap};
+pub use packed::{sample_token, DequantGemm, PackedGemm, PackedTinyFm};
 pub use tinyfm::{TinyFm, TinyFmConfig};
 pub use zoo::{all_models, cnn_ssm_zoo, llm_zoo, model, vlm_zoo, ModelClass, ModelSpec};

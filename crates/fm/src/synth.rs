@@ -45,11 +45,13 @@ pub fn synthesize(
     // its full swing. Two incommensurate sinusoids with seeded phases give
     // a smooth log-magnitude field over [lo, hi] σ.
     let (lo, hi) = profile.magnitude_sigma;
-    let (l1, p1) = (rng.uniform_range(48.0, 96.0), rng.uniform_range(0.0, 6.28));
-    let (l2, p2) = (rng.uniform_range(160.0, 320.0), rng.uniform_range(0.0, 6.28));
+    let tau = std::f64::consts::TAU;
+    let (l1, p1) = (rng.uniform_range(48.0, 96.0), rng.uniform_range(0.0, tau));
+    let (l2, p2) = (rng.uniform_range(160.0, 320.0), rng.uniform_range(0.0, tau));
     let profile_u = move |c: usize| {
         let c = c as f64;
-        let s = 0.5 + 0.25 * (c * std::f64::consts::TAU / l1 + p1).sin()
+        let s = 0.5
+            + 0.25 * (c * std::f64::consts::TAU / l1 + p1).sin()
             + 0.25 * (c * std::f64::consts::TAU / l2 + p2).sin();
         s.clamp(0.0, 1.0)
     };
@@ -142,7 +144,10 @@ mod tests {
         let mut mags: Vec<f64> = w.as_slice().iter().map(|v| v.abs()).collect();
         mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = mags[mags.len() / 2];
-        assert!((median - 0.6745 * BODY_SIGMA).abs() < 0.005, "median {median}");
+        assert!(
+            (median - 0.6745 * BODY_SIGMA).abs() < 0.005,
+            "median {median}"
+        );
     }
 
     #[test]

@@ -41,15 +41,15 @@ impl Default for TinyFmConfig {
 
 /// One transformer block's weights.
 #[derive(Debug, Clone)]
-struct Block {
-    ln1: Vec<f64>,
-    wq: Matrix,
-    wk: Matrix,
-    wv: Matrix,
-    wo: Matrix,
-    ln2: Vec<f64>,
-    w_up: Matrix,
-    w_down: Matrix,
+pub(crate) struct Block {
+    pub(crate) ln1: Vec<f64>,
+    pub(crate) wq: Matrix,
+    pub(crate) wk: Matrix,
+    pub(crate) wv: Matrix,
+    pub(crate) wo: Matrix,
+    pub(crate) ln2: Vec<f64>,
+    pub(crate) w_up: Matrix,
+    pub(crate) w_down: Matrix,
 }
 
 /// The linear layers of a TinyFM, addressable for quantization.
@@ -72,13 +72,13 @@ pub enum LinearId {
 /// A functional tiny transformer LM.
 #[derive(Debug, Clone)]
 pub struct TinyFm {
-    cfg: TinyFmConfig,
-    embed: Matrix, // vocab × d_model (tied with the LM head)
-    blocks: Vec<Block>,
-    ln_f: Vec<f64>,
+    pub(crate) cfg: TinyFmConfig,
+    pub(crate) embed: Matrix, // vocab × d_model (tied with the LM head)
+    pub(crate) blocks: Vec<Block>,
+    pub(crate) ln_f: Vec<f64>,
 }
 
-fn rmsnorm_col(h: &mut [f64], gains: &[f64]) {
+pub(crate) fn rmsnorm_col(h: &mut [f64], gains: &[f64]) {
     let ms = h.iter().map(|v| v * v).sum::<f64>() / h.len() as f64;
     let inv = 1.0 / (ms + 1e-6).sqrt();
     for (v, g) in h.iter_mut().zip(gains.iter()) {
@@ -86,14 +86,17 @@ fn rmsnorm_col(h: &mut [f64], gains: &[f64]) {
     }
 }
 
-fn silu(x: f64) -> f64 {
+pub(crate) fn silu(x: f64) -> f64 {
     x / (1.0 + (-x).exp())
 }
 
 impl TinyFm {
     /// Creates a randomly initialized teacher with FM-style outliers.
     pub fn teacher(cfg: TinyFmConfig, seed: u64) -> Self {
-        assert!(cfg.d_model % cfg.n_heads == 0, "heads must divide d_model");
+        assert!(
+            cfg.d_model.is_multiple_of(cfg.n_heads),
+            "heads must divide d_model"
+        );
         let mut rng = SeededRng::new(seed);
         let sigma = 1.0 / (cfg.d_model as f64).sqrt();
         let mk = |rows: usize, cols: usize, outliers: usize, rng: &mut SeededRng| {
@@ -281,22 +284,7 @@ impl TinyFm {
         while tokens.len() < len {
             let logits = self.forward(&tokens);
             let t = tokens.len() - 1;
-            let col: Vec<f64> = (0..self.cfg.vocab)
-                .map(|v| logits[(v, t)] / temperature)
-                .collect();
-            let max = col.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
-            let weights: Vec<f64> = col.iter().map(|&v| (v - max).exp()).collect();
-            let sum: f64 = weights.iter().sum();
-            let mut draw = rng.uniform() * sum;
-            let mut choice = self.cfg.vocab - 1;
-            for (v, &w) in weights.iter().enumerate() {
-                if draw < w {
-                    choice = v;
-                    break;
-                }
-                draw -= w;
-            }
-            tokens.push(choice);
+            tokens.push(crate::packed::sample_token(&logits, t, temperature, rng));
         }
         tokens
     }
@@ -374,7 +362,7 @@ impl TinyFm {
     ) -> Result<TinyFm, QuantError> {
         let calib = self.collect_calibration(calib_sequences);
         let mut out = self.clone();
-        for (id, x) in self.linear_ids().into_iter().zip(calib.into_iter()) {
+        for (id, x) in self.linear_ids().into_iter().zip(calib) {
             let layer = LayerTensors::new(self.weights(id).clone(), x)?;
             let q = quantizer.quantize_layer(&layer)?;
             let target = match id {
@@ -464,12 +452,26 @@ mod tests {
         let mut rng = SeededRng::new(13);
         let calib: Vec<Vec<usize>> = (0..4).map(|_| fm.generate(12, 0.8, &mut rng)).collect();
         let eval: Vec<Vec<usize>> = (0..6).map(|_| fm.generate(16, 0.8, &mut rng)).collect();
-        let q = MicroScopiQ::new(QuantConfig::w4().macro_block(32).row_block(32).build().unwrap());
+        let q = MicroScopiQ::new(
+            QuantConfig::w4()
+                .macro_block(32)
+                .row_block(32)
+                .build()
+                .unwrap(),
+        );
         let student = fm.quantize_with(&q, &calib).unwrap();
         let ce_t = fm.cross_entropy(&eval);
         let ce_s = student.cross_entropy(&eval);
         // W4 quantization should cost little; the ratio isolates KL damage.
-        assert!(ce_s >= ce_t - 0.05, "student can't beat its teacher meaningfully");
-        assert!(ce_s - ce_t < 1.0, "W4 damage too large: {} vs {}", ce_s, ce_t);
+        assert!(
+            ce_s >= ce_t - 0.05,
+            "student can't beat its teacher meaningfully"
+        );
+        assert!(
+            ce_s - ce_t < 1.0,
+            "W4 damage too large: {} vs {}",
+            ce_s,
+            ce_t
+        );
     }
 }

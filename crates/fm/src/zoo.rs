@@ -4,9 +4,9 @@
 //! Real checkpoints cannot be loaded here (DESIGN.md §2); each spec instead
 //! records the model's true architecture dimensions, a proxy scale divisor
 //! that keeps pure-Rust GPTQ tractable, and an *outlier profile* calibrated
-//! to the statistics in Fig. 2(a): modern FMs carry up to ~5% outliers with
-//! > 0.5% adjacent outliers per layer, while OPT/BERT-era models have two
-//! orders of magnitude fewer adjacent outliers.
+//! to the statistics in Fig. 2(a): modern FMs carry up to ~5% outliers
+//! (over 0.5% adjacent outliers per layer), while OPT/BERT-era models have
+//! two orders of magnitude fewer adjacent outliers.
 
 /// Broad model class, driving workload selection in the benches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -326,9 +326,24 @@ pub fn cnn_ssm_zoo() -> Vec<ModelSpec> {
             n_blocks: 16,
             layers: vec![
                 // Conv layers as im2col GEMMs (Cout × Cin·k²), proxy scale.
-                LayerSpec { name: "conv3x3.s2", d_row: 128, d_col: 144, repeats: 8 },
-                LayerSpec { name: "conv1x1.s4", d_row: 128, d_col: 64, repeats: 8 },
-                LayerSpec { name: "fc", d_row: 64, d_col: 128, repeats: 1 },
+                LayerSpec {
+                    name: "conv3x3.s2",
+                    d_row: 128,
+                    d_col: 144,
+                    repeats: 8,
+                },
+                LayerSpec {
+                    name: "conv1x1.s4",
+                    d_row: 128,
+                    d_col: 64,
+                    repeats: 8,
+                },
+                LayerSpec {
+                    name: "fc",
+                    d_row: 64,
+                    d_col: 128,
+                    repeats: 1,
+                },
             ],
             fp_ppl: None,
             fp_acc: Some(76.15),
@@ -347,8 +362,18 @@ pub fn cnn_ssm_zoo() -> Vec<ModelSpec> {
             hidden: 4096,
             n_blocks: 13,
             layers: vec![
-                LayerSpec { name: "conv3x3", d_row: 128, d_col: 288, repeats: 10 },
-                LayerSpec { name: "fc", d_row: 256, d_col: 256, repeats: 2 },
+                LayerSpec {
+                    name: "conv3x3",
+                    d_row: 128,
+                    d_col: 288,
+                    repeats: 10,
+                },
+                LayerSpec {
+                    name: "fc",
+                    d_row: 256,
+                    d_col: 256,
+                    repeats: 2,
+                },
             ],
             fp_ppl: None,
             fp_acc: Some(71.59),
@@ -367,9 +392,24 @@ pub fn cnn_ssm_zoo() -> Vec<ModelSpec> {
             hidden: 768,
             n_blocks: 15,
             layers: vec![
-                LayerSpec { name: "ssm.in_proj", d_row: 96, d_col: 48, repeats: 8 },
-                LayerSpec { name: "ssm.x_proj", d_row: 48, d_col: 96, repeats: 8 },
-                LayerSpec { name: "ssm.out_proj", d_row: 48, d_col: 96, repeats: 8 },
+                LayerSpec {
+                    name: "ssm.in_proj",
+                    d_row: 96,
+                    d_col: 48,
+                    repeats: 8,
+                },
+                LayerSpec {
+                    name: "ssm.x_proj",
+                    d_row: 48,
+                    d_col: 96,
+                    repeats: 8,
+                },
+                LayerSpec {
+                    name: "ssm.out_proj",
+                    d_row: 48,
+                    d_col: 96,
+                    repeats: 8,
+                },
             ],
             fp_ppl: None,
             fp_acc: Some(83.60),
@@ -383,8 +423,18 @@ pub fn cnn_ssm_zoo() -> Vec<ModelSpec> {
             hidden: 384,
             n_blocks: 24,
             layers: vec![
-                LayerSpec { name: "ssm.in_proj", d_row: 48, d_col: 24, repeats: 12 },
-                LayerSpec { name: "ssm.out_proj", d_row: 24, d_col: 48, repeats: 12 },
+                LayerSpec {
+                    name: "ssm.in_proj",
+                    d_row: 48,
+                    d_col: 24,
+                    repeats: 12,
+                },
+                LayerSpec {
+                    name: "ssm.out_proj",
+                    d_row: 24,
+                    d_col: 48,
+                    repeats: 12,
+                },
             ],
             fp_ppl: None,
             fp_acc: Some(80.50),

@@ -129,8 +129,7 @@ pub fn gemm_time(shape: &GemmShape, path: GpuPath, spec: &GpuSpec, ms: &MsGpuPar
             // mixed tiles dequantized to FP16; shfl_sync per outlier μB.
             let wbytes = weights * ms.ebw / 8.0;
             let f = ms.mixed_tile_fraction;
-            let compute =
-                2.0 * macs * (1.0 - f) / int4_rate + 2.0 * macs * f / fp16_rate;
+            let compute = 2.0 * macs * (1.0 - f) / int4_rate + 2.0 * macs * f / fp16_rate;
             let shfl = 0.08 * wbytes / bw;
             GpuTiming {
                 memory_us: (wbytes + act_bytes * 0.5) / bw,

@@ -60,9 +60,12 @@ impl TinyFloat {
     /// Panics if `exponent_bits` is not in `1..=5` or `mantissa_bits` is not
     /// an even value in `2..=6` (halving requires an even mantissa).
     pub fn new(exponent_bits: u32, mantissa_bits: u32) -> Self {
-        assert!((1..=5).contains(&exponent_bits), "unsupported exponent width");
         assert!(
-            (2..=6).contains(&mantissa_bits) && mantissa_bits % 2 == 0,
+            (1..=5).contains(&exponent_bits),
+            "unsupported exponent width"
+        );
+        assert!(
+            (2..=6).contains(&mantissa_bits) && mantissa_bits.is_multiple_of(2),
             "mantissa width must be even and in 2..=6"
         );
         Self {

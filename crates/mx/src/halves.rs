@@ -80,7 +80,7 @@ impl OutlierHalves {
 }
 
 fn pack_sign_mag(sign: bool, mag: u32, slot_bits: u32) -> u8 {
-    assert!(slot_bits >= 2 && slot_bits <= 8, "slot width out of range");
+    assert!((2..=8).contains(&slot_bits), "slot width out of range");
     assert!(
         mag < (1 << (slot_bits - 1)),
         "magnitude {mag} does not fit in {} bits",
@@ -107,7 +107,10 @@ pub fn unpack_sign_mag(bits: u8, slot_bits: u32) -> i32 {
 ///
 /// Panics if `mantissa_bits` is odd or the mantissa does not fit.
 pub fn split_into_halves(sign: bool, mantissa: u32, mantissa_bits: u32) -> OutlierHalves {
-    assert!(mantissa_bits % 2 == 0, "mantissa width must be even to halve");
+    assert!(
+        mantissa_bits.is_multiple_of(2),
+        "mantissa width must be even to halve"
+    );
     assert!(
         mantissa < (1 << mantissa_bits),
         "mantissa {mantissa} does not fit in {mantissa_bits} bits"

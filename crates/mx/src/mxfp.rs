@@ -53,7 +53,7 @@ impl MxScale {
         );
         let field_bits = 8 - format.exponent_bits();
         let bias = 1 << (field_bits - 1);
-        let level1 = level1.clamp(-(bias as i32), bias as i32 - 1);
+        let level1 = level1.clamp(-bias, bias - 1);
         Self {
             level1,
             micro,
@@ -80,7 +80,7 @@ impl MxScale {
     pub fn to_byte(&self) -> u8 {
         let field_bits = 8 - self.exponent_bits;
         let bias = 1 << (field_bits - 1);
-        let biased = (self.level1 + bias as i32) as u8;
+        let biased = (self.level1 + bias) as u8;
         (biased << self.exponent_bits) | (self.micro as u8)
     }
 
@@ -90,7 +90,7 @@ impl MxScale {
         let field_bits = 8 - eb;
         let bias = 1 << (field_bits - 1);
         let micro = (byte & ((1 << eb) - 1)) as u32;
-        let level1 = (byte >> eb) as i32 - bias as i32;
+        let level1 = (byte >> eb) as i32 - bias;
         Self {
             level1,
             micro,
@@ -218,7 +218,9 @@ impl MxFpBlock {
 
     /// Reconstructs all values.
     pub fn dequantize(&self) -> Vec<f64> {
-        (0..self.len()).map(|i| self.dequantize_element(i)).collect()
+        (0..self.len())
+            .map(|i| self.dequantize_element(i))
+            .collect()
     }
 }
 
@@ -320,8 +322,8 @@ mod tests {
         let vals = [0.2, -0.5, 0.7];
         let block = MxFpBlock::quantize(&vals, TinyFloat::E3M4);
         let bulk = block.dequantize();
-        for i in 0..vals.len() {
-            assert_eq!(block.dequantize_element(i), bulk[i]);
+        for (i, &b) in bulk.iter().enumerate() {
+            assert_eq!(block.dequantize_element(i), b);
         }
     }
 

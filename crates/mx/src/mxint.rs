@@ -130,7 +130,9 @@ mod tests {
 
     #[test]
     fn roundtrip_error_bounded_by_half_step() {
-        let values: Vec<f64> = (0..64).map(|i| ((i * 37 % 41) as f64 - 20.0) / 400.0).collect();
+        let values: Vec<f64> = (0..64)
+            .map(|i| ((i * 37 % 41) as f64 - 20.0) / 400.0)
+            .collect();
         for bits in [2, 4, 8] {
             let block = MxIntBlock::quantize(&values, bits);
             let deq = block.dequantize();

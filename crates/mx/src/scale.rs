@@ -156,7 +156,11 @@ mod tests {
         // §4.2 observation: with weight-scale maxima < 1, Isf < 0.
         for max in [0.01, 0.05, 0.2, 0.5, 0.99] {
             let s = Pow2Scale::from_max(max, 1.0);
-            assert!(s.exponent() <= 0, "max={max} gave exponent {}", s.exponent());
+            assert!(
+                s.exponent() <= 0,
+                "max={max} gave exponent {}",
+                s.exponent()
+            );
         }
     }
 

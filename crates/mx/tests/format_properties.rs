@@ -14,10 +14,7 @@ fn small_weights() -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn outlier_values() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(
-        prop_oneof![0.05f64..2.0, -2.0f64..-0.05],
-        1..8,
-    )
+    prop::collection::vec(prop_oneof![0.05f64..2.0, -2.0f64..-0.05], 1..8)
 }
 
 proptest! {

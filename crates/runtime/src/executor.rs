@@ -1,0 +1,466 @@
+//! The parallel tiled executor: a [`RuntimeEngine`] that runs the fused
+//! dequant-GEMM over row-block tiles on a std-thread pool with
+//! work-stealing tile claims, backed by the [`DecodedCache`] so repeated
+//! passes amortize unpacking. Falls back to the scalar kernel for small
+//! problems or single-thread configurations.
+//!
+//! Tiling is over *output rows*: each tile owns a disjoint row range, so
+//! workers never write the same output element. Tile claims come from one
+//! shared atomic counter — an idle worker steals the next unclaimed tile
+//! regardless of which worker "should" have taken it, which balances load
+//! when outlier-heavy blocks make some tiles slower than others.
+//!
+//! Numerics: the uncached path accumulates in the dense reference's
+//! reduction order and is bit-identical to `dequantize().matmul(..)` for
+//! any thread count or tile size. The cached path executes from bucketed
+//! tiles (see [`crate::cache`]), whose per-bucket partial sums reassociate
+//! the reduction — results agree with the dense reference to ~1e-12
+//! absolute, far inside the runtime's 1e-9 contract.
+
+use crate::cache::{CacheStats, DecodedCache, DecodedTile};
+use crate::kernel::{
+    accumulate_bucketed, accumulate_flat, accumulate_span, for_col_chunks, fused_gemm_serial,
+    groups_for_rows,
+};
+use microscopiq_core::packed::PackedLayer;
+use microscopiq_fm::PackedGemm;
+use microscopiq_linalg::Matrix;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads; 0 means all available cores.
+    pub threads: usize,
+    /// Decoded-tile cache residency cap in bytes; 0 disables caching.
+    pub cache_bytes: usize,
+    /// Output rows per tile; 0 picks a size from the thread count.
+    pub tile_rows: usize,
+    /// Problems below this many multiply-accumulates run without
+    /// spawning worker threads (spawn cost would dominate).
+    pub parallel_threshold: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            cache_bytes: 64 << 20,
+            tile_rows: 0,
+            parallel_threshold: 1 << 16,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Scalar configuration: one thread, no cache — the bit-exact
+    /// reference fused path.
+    pub fn scalar() -> Self {
+        Self {
+            threads: 1,
+            cache_bytes: 0,
+            tile_rows: 0,
+            parallel_threshold: usize::MAX,
+        }
+    }
+}
+
+/// A packed-weight GEMM engine: fused dequant kernel + decoded-block
+/// cache + parallel tiled execution. Implements [`PackedGemm`], so it
+/// plugs straight into [`microscopiq_fm::PackedTinyFm`].
+#[derive(Debug)]
+pub struct RuntimeEngine {
+    cfg: EngineConfig,
+    threads: usize,
+    cache: Option<DecodedCache>,
+}
+
+impl RuntimeEngine {
+    /// Creates an engine from a configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            cfg.threads
+        };
+        let cache = (cfg.cache_bytes > 0).then(|| DecodedCache::new(cfg.cache_bytes));
+        Self {
+            cfg,
+            threads,
+            cache,
+        }
+    }
+
+    /// The default engine: all cores, 64 MiB decoded-tile cache.
+    pub fn parallel() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// The scalar fallback engine (single thread, no cache, bit-exact).
+    pub fn scalar() -> Self {
+        Self::new(EngineConfig::scalar())
+    }
+
+    /// Worker threads this engine uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Decoded-cache statistics, when caching is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Computes `W · acts` from the packed layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acts.rows() != layer.d_col()`.
+    pub fn gemm(&self, layer: &PackedLayer, acts: &Matrix) -> Matrix {
+        assert_eq!(
+            layer.d_col(),
+            acts.rows(),
+            "fused gemm dimension mismatch: {}x{} · {}x{}",
+            layer.d_row(),
+            layer.d_col(),
+            acts.rows(),
+            acts.cols()
+        );
+        let layer_id = self.cache.as_ref().map(|_| layer.content_fingerprint());
+        let work = layer.d_row() * layer.d_col() * acts.cols();
+        if self.threads <= 1 || work < self.cfg.parallel_threshold {
+            return match (&self.cache, layer_id) {
+                (Some(cache), Some(id)) => {
+                    self.gemm_rows_cached(cache, id, layer, acts, 0, layer.d_row())
+                }
+                _ => fused_gemm_serial(layer, acts),
+            };
+        }
+        self.gemm_parallel(layer, layer_id, acts)
+    }
+
+    /// Cached fused GEMM over output rows `[row_lo, row_hi)`, returning
+    /// the tile as a `(row_hi − row_lo) × n` matrix.
+    fn gemm_rows_cached(
+        &self,
+        cache: &DecodedCache,
+        layer_id: u64,
+        layer: &PackedLayer,
+        acts: &Matrix,
+        row_lo: usize,
+        row_hi: usize,
+    ) -> Matrix {
+        let n = acts.cols();
+        let mut out = Matrix::zeros(row_hi - row_lo, n);
+        let order = groups_for_rows(layer, row_lo, row_hi);
+        let tiles: Vec<Arc<DecodedTile>> = order
+            .iter()
+            .map(|&g| cache.get_or_decode(layer_id, layer, g))
+            .collect();
+        let acts_flat = acts.as_slice();
+        let axis = layer.axis();
+        let out_flat = out.as_mut_slice();
+        if layer.inlier_bits() == 2 {
+            // Bucketed tiles: column-chunked so the per-bucket accumulators
+            // live in fixed-size registers.
+            for_col_chunks(n, |col0, width| {
+                for (&g, tile) in order.iter().zip(tiles.iter()) {
+                    let DecodedTile::Bucketed(tile) = tile.as_ref() else {
+                        unreachable!("2-bit layers decode to bucketed tiles");
+                    };
+                    let span = layer.group_span(g);
+                    match width {
+                        8 => accumulate_bucketed::<8>(
+                            axis, &span, tile, acts_flat, n, col0, out_flat, row_lo,
+                        ),
+                        4 => accumulate_bucketed::<4>(
+                            axis, &span, tile, acts_flat, n, col0, out_flat, row_lo,
+                        ),
+                        2 => accumulate_bucketed::<2>(
+                            axis, &span, tile, acts_flat, n, col0, out_flat, row_lo,
+                        ),
+                        _ => accumulate_bucketed::<1>(
+                            axis, &span, tile, acts_flat, n, col0, out_flat, row_lo,
+                        ),
+                    }
+                }
+            });
+        } else {
+            // Flat tiles: one full-width walk per group.
+            for (&g, tile) in order.iter().zip(tiles.iter()) {
+                let DecodedTile::Flat(tile) = tile.as_ref() else {
+                    unreachable!("4-bit layers decode to flat tiles");
+                };
+                let span = layer.group_span(g);
+                accumulate_flat(axis, &span, tile, acts, out_flat, row_lo, n);
+            }
+        }
+        out
+    }
+
+    /// Uncached fused GEMM over output rows `[row_lo, row_hi)` in the
+    /// dense reference's reduction order (bit-exact).
+    fn gemm_rows_fresh(
+        &self,
+        layer: &PackedLayer,
+        acts: &Matrix,
+        row_lo: usize,
+        row_hi: usize,
+    ) -> Matrix {
+        let n = acts.cols();
+        let mut out = Matrix::zeros(row_hi - row_lo, n);
+        let mut buf = vec![0.0_f64; layer.macro_block()];
+        for g in groups_for_rows(layer, row_lo, row_hi) {
+            let span = layer.group_span(g);
+            layer.decode_group_into(g, &mut buf);
+            accumulate_span(
+                layer.axis(),
+                &span,
+                &buf[..span.len],
+                acts,
+                out.as_mut_slice(),
+                row_lo,
+                n,
+            );
+        }
+        out
+    }
+
+    /// Tile edges for a `d_row`-row output. Tiles align to macro-block
+    /// boundaries on the `OutputChannel` axis so no group straddles tiles.
+    fn tile_edges(&self, layer: &PackedLayer) -> Vec<usize> {
+        let d_row = layer.d_row();
+        let quantum = match layer.axis() {
+            microscopiq_core::config::GroupAxis::DotProduct => 1,
+            microscopiq_core::config::GroupAxis::OutputChannel => layer.macro_block(),
+        };
+        let rows = if self.cfg.tile_rows > 0 {
+            self.cfg.tile_rows
+        } else {
+            // ~4 tiles per worker keeps the steal queue busy without
+            // making tiles too small to amortize claim overhead.
+            (d_row / (self.threads * 4)).max(1)
+        };
+        let rows = rows.next_multiple_of(quantum);
+        let mut edges: Vec<usize> = (0..d_row).step_by(rows).collect();
+        edges.push(d_row);
+        edges
+    }
+
+    /// Parallel tiled execution: workers steal tiles off a shared counter
+    /// and each computes its tile into a private buffer; the main thread
+    /// stitches tiles into the output (tiles are disjoint row ranges).
+    fn gemm_parallel(&self, layer: &PackedLayer, layer_id: Option<u64>, acts: &Matrix) -> Matrix {
+        let edges = self.tile_edges(layer);
+        let n_tiles = edges.len() - 1;
+        let next = AtomicUsize::new(0);
+        let n = acts.cols();
+        let workers = self.threads.min(n_tiles);
+        let mut tiles: Vec<Option<Matrix>> = (0..n_tiles).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let next = &next;
+                let edges = &edges;
+                handles.push(scope.spawn(move || {
+                    let mut done: Vec<(usize, Matrix)> = Vec::new();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= n_tiles {
+                            break;
+                        }
+                        let (lo, hi) = (edges[t], edges[t + 1]);
+                        let tile = match (&self.cache, layer_id) {
+                            (Some(cache), Some(id)) => {
+                                self.gemm_rows_cached(cache, id, layer, acts, lo, hi)
+                            }
+                            _ => self.gemm_rows_fresh(layer, acts, lo, hi),
+                        };
+                        done.push((t, tile));
+                    }
+                    done
+                }));
+            }
+            for h in handles {
+                for (t, tile) in h.join().expect("worker panicked") {
+                    tiles[t] = Some(tile);
+                }
+            }
+        });
+
+        let mut out = Matrix::zeros(layer.d_row(), n);
+        for (t, tile) in tiles.into_iter().enumerate() {
+            let tile = tile.expect("every tile computed");
+            let lo = edges[t];
+            for r in 0..tile.rows() {
+                out.row_mut(lo + r).copy_from_slice(tile.row(r));
+            }
+        }
+        out
+    }
+}
+
+impl PackedGemm for RuntimeEngine {
+    fn name(&self) -> &str {
+        "microscopiq-runtime"
+    }
+
+    fn matmul(&self, layer: &PackedLayer, acts: &Matrix) -> Matrix {
+        self.gemm(layer, acts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microscopiq_core::config::{GroupAxis, QuantConfig};
+    use microscopiq_core::solver::solve;
+    use microscopiq_core::traits::LayerTensors;
+    use microscopiq_linalg::{Matrix, SeededRng};
+
+    fn packed_layer(rows: usize, cols: usize, axis: GroupAxis, seed: u64) -> PackedLayer {
+        let mut rng = SeededRng::new(seed);
+        let mut w = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 0.02));
+        for _ in 0..(rows * cols / 40) {
+            let r = rng.below(rows);
+            let c = rng.below(cols);
+            w[(r, c)] = rng.sign() * rng.uniform_range(0.15, 0.5);
+        }
+        let x = Matrix::from_fn(cols, 8, |_, _| rng.normal(0.0, 1.0));
+        let layer = LayerTensors::new(w, x).unwrap();
+        let cfg = QuantConfig::w2()
+            .macro_block(16)
+            .row_block(16)
+            .group_axis(axis)
+            .build()
+            .unwrap();
+        solve(&layer, &cfg).unwrap().packed.unwrap()
+    }
+
+    fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice().iter())
+            .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+    }
+
+    #[test]
+    fn parallel_uncached_matches_dense_bitwise_both_axes() {
+        for axis in [GroupAxis::DotProduct, GroupAxis::OutputChannel] {
+            let layer = packed_layer(64, 32, axis, 1);
+            let mut rng = SeededRng::new(2);
+            let acts = Matrix::from_fn(32, 9, |_, _| rng.normal(0.0, 1.0));
+            let serial = RuntimeEngine::scalar().gemm(&layer, &acts);
+            let parallel = RuntimeEngine::new(EngineConfig {
+                threads: 4,
+                cache_bytes: 0,
+                tile_rows: 16,
+                parallel_threshold: 0,
+            })
+            .gemm(&layer, &acts);
+            assert_eq!(serial, parallel, "{axis:?}");
+            let dense = layer.dequantize().matmul(&acts);
+            assert_eq!(serial, dense, "{axis:?} vs dense");
+        }
+    }
+
+    #[test]
+    fn cached_engine_matches_dense_within_tolerance_both_axes() {
+        for axis in [GroupAxis::DotProduct, GroupAxis::OutputChannel] {
+            // Batch 9 exercises the 8 + 1 column-chunk split.
+            let layer = packed_layer(64, 32, axis, 11);
+            let mut rng = SeededRng::new(12);
+            let acts = Matrix::from_fn(32, 9, |_, _| rng.normal(0.0, 1.0));
+            let dense = layer.dequantize().matmul(&acts);
+            let cached = RuntimeEngine::new(EngineConfig {
+                threads: 2,
+                cache_bytes: 1 << 20,
+                tile_rows: 16,
+                parallel_threshold: 0,
+            });
+            let first = cached.gemm(&layer, &acts);
+            let second = cached.gemm(&layer, &acts);
+            assert!(max_abs_diff(&first, &dense) < 1e-9, "{axis:?}");
+            assert_eq!(first, second, "warm pass must repeat cold pass exactly");
+        }
+    }
+
+    #[test]
+    fn cached_engine_hits_on_second_pass() {
+        let layer = packed_layer(32, 64, GroupAxis::DotProduct, 3);
+        let mut rng = SeededRng::new(4);
+        let acts = Matrix::from_fn(64, 4, |_, _| rng.normal(0.0, 1.0));
+        let engine = RuntimeEngine::new(EngineConfig {
+            threads: 1,
+            cache_bytes: 1 << 20,
+            tile_rows: 0,
+            parallel_threshold: usize::MAX,
+        });
+        let a = engine.gemm(&layer, &acts);
+        let stats1 = engine.cache_stats().unwrap();
+        let b = engine.gemm(&layer, &acts);
+        let stats2 = engine.cache_stats().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(stats1.hits, 0);
+        assert_eq!(
+            stats2.hits,
+            layer.num_groups() as u64,
+            "second pass must hit every tile"
+        );
+        assert_eq!(stats2.misses, stats1.misses);
+    }
+
+    #[test]
+    fn tiny_problems_skip_thread_spawn() {
+        let layer = packed_layer(16, 16, GroupAxis::DotProduct, 5);
+        let mut rng = SeededRng::new(6);
+        let acts = Matrix::from_fn(16, 2, |_, _| rng.normal(0.0, 1.0));
+        let engine = RuntimeEngine::new(EngineConfig {
+            threads: 8,
+            cache_bytes: 0,
+            tile_rows: 0,
+            parallel_threshold: usize::MAX,
+        });
+        assert_eq!(engine.gemm(&layer, &acts), layer.dequantize().matmul(&acts));
+    }
+
+    #[test]
+    fn odd_tile_sizes_cover_all_rows() {
+        for tile_rows in [1, 3, 7, 64, 1000] {
+            let layer = packed_layer(48, 32, GroupAxis::OutputChannel, 7);
+            let mut rng = SeededRng::new(8);
+            let acts = Matrix::from_fn(32, 3, |_, _| rng.normal(0.0, 1.0));
+            let engine = RuntimeEngine::new(EngineConfig {
+                threads: 3,
+                cache_bytes: 0,
+                tile_rows,
+                parallel_threshold: 0,
+            });
+            assert_eq!(
+                engine.gemm(&layer, &acts),
+                layer.dequantize().matmul(&acts),
+                "tile_rows={tile_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_column_chunk_width_is_exercised() {
+        // n = 15 → chunks 8, 4, 2, 1.
+        let layer = packed_layer(32, 32, GroupAxis::DotProduct, 9);
+        let mut rng = SeededRng::new(10);
+        let acts = Matrix::from_fn(32, 15, |_, _| rng.normal(0.0, 1.0));
+        let dense = layer.dequantize().matmul(&acts);
+        let engine = RuntimeEngine::new(EngineConfig {
+            threads: 1,
+            cache_bytes: 1 << 20,
+            tile_rows: 0,
+            parallel_threshold: usize::MAX,
+        });
+        assert!(max_abs_diff(&engine.gemm(&layer, &acts), &dense) < 1e-9);
+    }
+}

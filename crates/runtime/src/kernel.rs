@@ -1,0 +1,379 @@
+//! The fused dequant-GEMM kernel: computes `W · X` directly from a
+//! [`PackedLayer`], walking macro-blocks in layout order, decoding each
+//! micro-block (Isf inlier scale, MXScale outlier exponent, Upper/Lower
+//! half reassembly through the permutation list) into a small stack-local
+//! buffer, and accumulating scaled activation rows into the output tile —
+//! the dense weight matrix is never materialized.
+//!
+//! Accumulation order is chosen to be *bit-identical* to
+//! `layer.dequantize().matmul(x)`: for every output element, contributions
+//! arrive in ascending reduction index `k`, which is also the order the
+//! dense blocked matmul uses. Skipped zero weights add exactly nothing, so
+//! the fused path and the dense reference agree to the last ulp.
+
+use microscopiq_core::config::GroupAxis;
+use microscopiq_core::packed::{GroupSpan, PackedLayer};
+use microscopiq_linalg::Matrix;
+
+/// Accumulates one decoded macro-block span into the output.
+///
+/// * `w` — decoded weights for the span (`span.len` values);
+/// * `acts` — activations, `d_col × n`;
+/// * `out` — output buffer rows `[row_base, row_base + out_rows)` of the
+///   full `d_row × n` result, stored row-major in `out`.
+///
+/// For [`GroupAxis::DotProduct`] the span lives on output row
+/// `span.line`; for [`GroupAxis::OutputChannel`] it covers output rows
+/// `span.offset..span.offset + span.len` at reduction index `span.line`.
+/// Spans outside `[row_base, row_base + out_rows)` are the caller's bug.
+pub(crate) fn accumulate_span(
+    axis: GroupAxis,
+    span: &GroupSpan,
+    w: &[f64],
+    acts: &Matrix,
+    out: &mut [f64],
+    row_base: usize,
+    n: usize,
+) {
+    match axis {
+        GroupAxis::DotProduct => {
+            let r = span.line - row_base;
+            let orow = &mut out[r * n..(r + 1) * n];
+            for (i, &wv) in w.iter().enumerate() {
+                if wv == 0.0 {
+                    continue;
+                }
+                let arow = acts.row(span.offset + i);
+                for (o, a) in orow.iter_mut().zip(arow.iter()) {
+                    *o += wv * a;
+                }
+            }
+        }
+        GroupAxis::OutputChannel => {
+            let arow = acts.row(span.line);
+            for (i, &wv) in w.iter().enumerate() {
+                if wv == 0.0 {
+                    continue;
+                }
+                let r = span.offset + i - row_base;
+                let orow = &mut out[r * n..(r + 1) * n];
+                for (o, a) in orow.iter_mut().zip(arow.iter()) {
+                    *o += wv * a;
+                }
+            }
+        }
+    }
+}
+
+/// Group indices contributing to output rows `[row_lo, row_hi)`, in an
+/// order that keeps per-output-element accumulation ascending in `k`.
+///
+/// * `DotProduct`: rows are lines; every group of lines `row_lo..row_hi`
+///   contributes. The walk is k-block-major (macro-block position outer,
+///   line inner) so one activation block stays cache-hot across all
+///   output rows — the same blocking the dense matmul uses. Per output
+///   row the macro-block position still ascends, so per-element
+///   accumulation order is unchanged.
+/// * `OutputChannel`: rows are `offset` positions; the groups at
+///   macro-block positions covering the row range contribute, walked with
+///   the line (= reduction index) outermost.
+pub(crate) fn groups_for_rows(layer: &PackedLayer, row_lo: usize, row_hi: usize) -> Vec<usize> {
+    let per_line = layer.groups_per_line();
+    match layer.axis() {
+        GroupAxis::DotProduct => {
+            let mut order = Vec::with_capacity((row_hi - row_lo) * per_line);
+            for mab in 0..per_line {
+                for line in row_lo..row_hi {
+                    order.push(line * per_line + mab);
+                }
+            }
+            order
+        }
+        GroupAxis::OutputChannel => {
+            let mab_lo = row_lo / layer.macro_block();
+            let mab_hi = row_hi.div_ceil(layer.macro_block());
+            let mut order = Vec::with_capacity((mab_hi - mab_lo) * layer.lines());
+            for line in 0..layer.lines() {
+                for mab in mab_lo..mab_hi {
+                    order.push(line * per_line + mab);
+                }
+            }
+            order
+        }
+    }
+}
+
+/// Splits `n` output columns into fixed-width chunks (8, then 4/2/1 for
+/// the remainder) so the bucketed kernels run on compile-time widths.
+pub(crate) fn for_col_chunks(n: usize, mut f: impl FnMut(usize, usize)) {
+    let mut c0 = 0;
+    while n - c0 >= 8 {
+        f(c0, 8);
+        c0 += 8;
+    }
+    for w in [4, 2, 1] {
+        while n - c0 >= w {
+            f(c0, w);
+            c0 += w;
+        }
+    }
+}
+
+/// Bucketed accumulation of one cached tile into columns
+/// `[col0, col0 + N)` of the output rows `[row_base, ..)` buffer.
+///
+/// Inliers contribute per bucket as `code·2^Isf × Σ activation-rows` —
+/// branch-free adds with one multiply per bucket per column — and
+/// outliers as individual exact multiply-adds. Partial sums reassociate
+/// relative to the dense reference, so results agree to ~1e-12, not
+/// bitwise (the uncached kernel stays bitwise).
+#[allow(clippy::too_many_arguments)] // internal kernel; args are the GEMM coordinates
+pub(crate) fn accumulate_bucketed<const N: usize>(
+    axis: GroupAxis,
+    span: &GroupSpan,
+    tile: &crate::cache::BucketTile,
+    acts_flat: &[f64],
+    n: usize,
+    col0: usize,
+    out: &mut [f64],
+    row_base: usize,
+) {
+    let arow_at = |k: usize| -> &[f64; N] {
+        acts_flat[k * n + col0..][..N]
+            .try_into()
+            .expect("chunk width")
+    };
+    match axis {
+        GroupAxis::DotProduct => {
+            let r = span.line - row_base;
+            let orow: &mut [f64; N] = (&mut out[r * n + col0..][..N])
+                .try_into()
+                .expect("chunk width");
+            for (m, slots) in tile.buckets() {
+                // Short buckets (common at bb = 4, where 15 code values
+                // split a 64-slot group thinly): direct multiply-adds beat
+                // the accumulate-then-combine detour.
+                if slots.len() < 4 {
+                    for &i in slots {
+                        let arow = arow_at(span.offset + i as usize);
+                        for j in 0..N {
+                            orow[j] += m * arow[j];
+                        }
+                    }
+                    continue;
+                }
+                let mut acc = [0.0_f64; N];
+                for &i in slots {
+                    let arow = arow_at(span.offset + i as usize);
+                    for j in 0..N {
+                        acc[j] += arow[j];
+                    }
+                }
+                for j in 0..N {
+                    orow[j] += m * acc[j];
+                }
+            }
+            for &(i, v) in tile.outliers() {
+                let arow = arow_at(span.offset + i as usize);
+                for j in 0..N {
+                    orow[j] += v * arow[j];
+                }
+            }
+        }
+        GroupAxis::OutputChannel => {
+            let arow = *arow_at(span.line);
+            for (m, slots) in tile.buckets() {
+                let mut ma = [0.0_f64; N];
+                for j in 0..N {
+                    ma[j] = m * arow[j];
+                }
+                for &i in slots {
+                    let r = span.offset + i as usize - row_base;
+                    let orow: &mut [f64; N] = (&mut out[r * n + col0..][..N])
+                        .try_into()
+                        .expect("chunk width");
+                    for j in 0..N {
+                        orow[j] += ma[j];
+                    }
+                }
+            }
+            for &(i, v) in tile.outliers() {
+                let r = span.offset + i as usize - row_base;
+                let orow: &mut [f64; N] = (&mut out[r * n + col0..][..N])
+                    .try_into()
+                    .expect("chunk width");
+                for j in 0..N {
+                    orow[j] += v * arow[j];
+                }
+            }
+        }
+    }
+}
+
+/// Accumulation of one flat `f32` tile at full output width (no column
+/// chunking — the group is walked once). Values are exact `f32`
+/// castbacks; wide-escaped slots contribute their exact `f64` values.
+pub(crate) fn accumulate_flat(
+    axis: GroupAxis,
+    span: &GroupSpan,
+    tile: &crate::cache::FlatTile,
+    acts: &Matrix,
+    out: &mut [f64],
+    row_base: usize,
+    n: usize,
+) {
+    match axis {
+        GroupAxis::DotProduct => {
+            let r = span.line - row_base;
+            let orow = &mut out[r * n..(r + 1) * n];
+            for (i, &wv) in tile.values().iter().enumerate() {
+                if wv == 0.0 {
+                    continue;
+                }
+                let wv = wv as f64;
+                let arow = acts.row(span.offset + i);
+                for (o, a) in orow.iter_mut().zip(arow.iter()) {
+                    *o += wv * a;
+                }
+            }
+            for &(i, v) in tile.wide() {
+                let arow = acts.row(span.offset + i as usize);
+                for (o, a) in orow.iter_mut().zip(arow.iter()) {
+                    *o += v * a;
+                }
+            }
+        }
+        GroupAxis::OutputChannel => {
+            let arow = acts.row(span.line);
+            for (i, &wv) in tile.values().iter().enumerate() {
+                if wv == 0.0 {
+                    continue;
+                }
+                let wv = wv as f64;
+                let r = span.offset + i - row_base;
+                let orow = &mut out[r * n..(r + 1) * n];
+                for (o, a) in orow.iter_mut().zip(arow.iter()) {
+                    *o += wv * a;
+                }
+            }
+            for &(i, v) in tile.wide() {
+                let r = span.offset + i as usize - row_base;
+                let orow = &mut out[r * n..(r + 1) * n];
+                for (o, a) in orow.iter_mut().zip(arow.iter()) {
+                    *o += v * a;
+                }
+            }
+        }
+    }
+}
+
+/// The scalar fused dequant-GEMM: `W · acts` computed straight from packed
+/// blocks on a single thread, with no decoded-block caching.
+///
+/// # Panics
+///
+/// Panics if `acts.rows() != layer.d_col()`.
+pub fn fused_gemm_serial(layer: &PackedLayer, acts: &Matrix) -> Matrix {
+    assert_eq!(
+        layer.d_col(),
+        acts.rows(),
+        "fused gemm dimension mismatch: {}x{} · {}x{}",
+        layer.d_row(),
+        layer.d_col(),
+        acts.rows(),
+        acts.cols()
+    );
+    let n = acts.cols();
+    let mut out = Matrix::zeros(layer.d_row(), n);
+    let mut buf = vec![0.0_f64; layer.macro_block()];
+    for g in groups_for_rows(layer, 0, layer.d_row()) {
+        let span = layer.group_span(g);
+        layer.decode_group_into(g, &mut buf);
+        accumulate_span(
+            layer.axis(),
+            &span,
+            &buf[..span.len],
+            acts,
+            out.as_mut_slice(),
+            0,
+            n,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microscopiq_core::config::{GroupAxis, QuantConfig};
+    use microscopiq_core::solver::solve;
+    use microscopiq_core::traits::LayerTensors;
+    use microscopiq_linalg::{Matrix, SeededRng};
+
+    fn packed_layer(
+        rows: usize,
+        cols: usize,
+        axis: GroupAxis,
+        bits: u32,
+        seed: u64,
+    ) -> PackedLayer {
+        let mut rng = SeededRng::new(seed);
+        let mut w = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 0.02));
+        for _ in 0..(rows * cols / 40) {
+            let r = rng.below(rows);
+            let c = rng.below(cols);
+            w[(r, c)] = rng.sign() * rng.uniform_range(0.15, 0.5);
+        }
+        let x = Matrix::from_fn(cols, 8, |_, _| rng.normal(0.0, 1.0));
+        let layer = LayerTensors::new(w, x).unwrap();
+        let cfg = QuantConfig::builder(bits)
+            .macro_block(16)
+            .row_block(16)
+            .group_axis(axis)
+            .build()
+            .unwrap();
+        solve(&layer, &cfg).unwrap().packed.unwrap()
+    }
+
+    #[test]
+    fn fused_matches_dense_bitwise_dot_product() {
+        let layer = packed_layer(24, 48, GroupAxis::DotProduct, 2, 1);
+        let mut rng = SeededRng::new(2);
+        let acts = Matrix::from_fn(48, 7, |_, _| rng.normal(0.0, 1.0));
+        let fused = fused_gemm_serial(&layer, &acts);
+        let dense = layer.dequantize().matmul(&acts);
+        assert_eq!(fused, dense, "fused path must be bit-identical");
+    }
+
+    #[test]
+    fn fused_matches_dense_bitwise_output_channel() {
+        let layer = packed_layer(32, 16, GroupAxis::OutputChannel, 4, 3);
+        let mut rng = SeededRng::new(4);
+        let acts = Matrix::from_fn(16, 5, |_, _| rng.normal(0.0, 1.0));
+        let fused = fused_gemm_serial(&layer, &acts);
+        let dense = layer.dequantize().matmul(&acts);
+        assert_eq!(fused, dense, "fused path must be bit-identical");
+    }
+
+    #[test]
+    fn group_order_covers_every_group_once() {
+        for (axis, rows, cols) in [
+            (GroupAxis::DotProduct, 24, 48),
+            (GroupAxis::OutputChannel, 32, 16),
+        ] {
+            let layer = packed_layer(rows, cols, axis, 2, 7);
+            let mut order = groups_for_rows(&layer, 0, layer.d_row());
+            order.sort_unstable();
+            let expect: Vec<usize> = (0..layer.num_groups()).collect();
+            assert_eq!(order, expect, "{axis:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let layer = packed_layer(16, 32, GroupAxis::DotProduct, 2, 9);
+        let acts = Matrix::zeros(16, 4);
+        let _ = fused_gemm_serial(&layer, &acts);
+    }
+}

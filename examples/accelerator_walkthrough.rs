@@ -27,10 +27,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let inputs = [
         ColumnInput::Psum(fp(10)),
         ColumnInput::Psum(fp(10)),
-        ColumnInput::Offload { res: 32, iacc: fp(8) }, // Upper {0,1}·32
-        ColumnInput::Offload { res: 0, iacc: fp(8) },  // Lower {0,0}·32
+        ColumnInput::Offload {
+            res: 32,
+            iacc: fp(8),
+        }, // Upper {0,1}·32
+        ColumnInput::Offload {
+            res: 0,
+            iacc: fp(8),
+        }, // Lower {0,0}·32
     ];
-    let perm = [PermEntry { upper_loc: 2, lower_loc: 3 }];
+    let perm = [PermEntry {
+        upper_loc: 2,
+        lower_loc: 3,
+    }];
     let routed = recon.route(&inputs, &perm, &[32], 2);
     println!(
         "merged outlier psum = {} (expected 56); pruned column passes iAcc = {}",

@@ -39,11 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cfg = AccelConfig::paper_64x64(2, units);
         let lat = workload_latency(&wl, &cfg, 2.36, occupancy).total_cycles;
         let area = microscopiq_area(64, 64, units).total_mm2();
-        println!(
-            "{units:>6} {:>10.3} {:>10.3}",
-            lat / base,
-            area / base_area
-        );
+        println!("{units:>6} {:>10.3} {:>10.3}", lat / base, area / base_area);
     }
     println!("→ latency saturates once capacity covers demand; area keeps climbing —\n  the paper picks few shared units (design A/B of Fig. 15)");
     Ok(())

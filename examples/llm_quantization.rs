@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec.name,
         spec.hidden,
         spec.n_blocks,
-        spec.layers.iter().map(|l| (l.name, l.d_row, l.d_col)).collect::<Vec<_>>()
+        spec.layers
+            .iter()
+            .map(|l| (l.name, l.d_row, l.d_col))
+            .collect::<Vec<_>>()
     );
 
     // κ anchored on GPTQ-W4 as in the benches.
@@ -37,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("MicroScopiQ W4", Box::new(MicroScopiQ::w4())),
         ("MicroScopiQ W2", Box::new(MicroScopiQ::w2())),
     ];
-    println!("\n{:<16} {:>8} {:>7} {:>10}", "method", "error", "EBW", "proxy PPL");
+    println!(
+        "\n{:<16} {:>8} {:>7} {:>10}",
+        "method", "error", "EBW", "proxy PPL"
+    );
     for (name, q) in &methods {
         let eval = evaluate_weight_only(&spec, q.as_ref(), 48)?;
         println!(
@@ -53,8 +59,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== TinyFM end-to-end check (no proxy) ==");
     let teacher = TinyFm::teacher(TinyFmConfig::default(), 7);
     let mut rng = SeededRng::new(13);
-    let calib: Vec<Vec<usize>> = (0..6).map(|_| teacher.generate(20, 0.8, &mut rng)).collect();
-    let eval_data: Vec<Vec<usize>> = (0..10).map(|_| teacher.generate(24, 0.8, &mut rng)).collect();
+    let calib: Vec<Vec<usize>> = (0..6)
+        .map(|_| teacher.generate(20, 0.8, &mut rng))
+        .collect();
+    let eval_data: Vec<Vec<usize>> = (0..10)
+        .map(|_| teacher.generate(24, 0.8, &mut rng))
+        .collect();
     let teacher_ppl = teacher.perplexity(&eval_data);
     println!("teacher PPL on its own data: {teacher_ppl:.2}");
 

@@ -10,7 +10,10 @@
 //! * [`fm`] — synthetic foundational-model zoo and evaluation;
 //! * [`baselines`] — GPTQ, AWQ, OliVe, GOBO, OmniQuant-GS, Atom, SDQ, …;
 //! * [`accel`] — PE array, ReCoN NoC, perf/energy/area models;
-//! * [`gpu`] — A100-class execution-path models.
+//! * [`gpu`] — A100-class execution-path models;
+//! * [`runtime`] — packed-weight inference engine: fused dequant-GEMM,
+//!   decoded-block cache, parallel tiled execution, batched TinyFM
+//!   serving.
 //!
 //! # Examples
 //!
@@ -37,3 +40,4 @@ pub use microscopiq_fm as fm;
 pub use microscopiq_gpu as gpu;
 pub use microscopiq_linalg as linalg;
 pub use microscopiq_mx as mx;
+pub use microscopiq_runtime as runtime;

@@ -40,7 +40,11 @@ fn infinite_calibration_is_rejected() {
 #[test]
 fn every_truncation_point_is_detected() {
     let layer = clean_layer(3);
-    let cfg = QuantConfig::w2().macro_block(16).row_block(16).build().unwrap();
+    let cfg = QuantConfig::w2()
+        .macro_block(16)
+        .row_block(16)
+        .build()
+        .unwrap();
     let packed = solve(&layer, &cfg).unwrap().packed.unwrap();
     let bytes = packed.to_bytes();
     for cut in 0..bytes.len() {
@@ -52,7 +56,11 @@ fn every_truncation_point_is_detected() {
 #[test]
 fn random_byte_corruption_never_panics() {
     let layer = clean_layer(4);
-    let cfg = QuantConfig::w2().macro_block(16).row_block(16).build().unwrap();
+    let cfg = QuantConfig::w2()
+        .macro_block(16)
+        .row_block(16)
+        .build()
+        .unwrap();
     let packed = solve(&layer, &cfg).unwrap().packed.unwrap();
     let bytes = packed.to_bytes().to_vec();
     let mut rng = SeededRng::new(5);
@@ -76,7 +84,11 @@ fn zero_calibration_data_still_quantizes() {
     let x = Matrix::zeros(32, 16);
     let layer = LayerTensors::new(w, x).unwrap();
     let out = MicroScopiQ::new(
-        QuantConfig::w2().macro_block(16).row_block(16).build().unwrap(),
+        QuantConfig::w2()
+            .macro_block(16)
+            .row_block(16)
+            .build()
+            .unwrap(),
     )
     .quantize_layer(&layer);
     assert!(out.is_ok(), "degenerate calibration must not fail: {out:?}");
@@ -90,7 +102,11 @@ fn constant_weight_rows_are_handled() {
     let x = Matrix::from_fn(32, 40, |_, _| rng.normal(0.0, 1.0));
     let layer = LayerTensors::new(w, x).unwrap();
     let out = MicroScopiQ::new(
-        QuantConfig::w2().macro_block(16).row_block(16).build().unwrap(),
+        QuantConfig::w2()
+            .macro_block(16)
+            .row_block(16)
+            .build()
+            .unwrap(),
     )
     .quantize_layer(&layer)
     .unwrap();
@@ -106,7 +122,11 @@ fn extreme_outlier_magnitudes_stay_finite() {
     let x = Matrix::from_fn(32, 40, |_, _| rng.normal(0.0, 1.0));
     let layer = LayerTensors::new(w, x).unwrap();
     let out = MicroScopiQ::new(
-        QuantConfig::w2().macro_block(16).row_block(16).build().unwrap(),
+        QuantConfig::w2()
+            .macro_block(16)
+            .row_block(16)
+            .build()
+            .unwrap(),
     )
     .quantize_layer(&layer)
     .unwrap();

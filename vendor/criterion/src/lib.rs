@@ -1,0 +1,164 @@
+//! Offline vendored subset of the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace ships
+//! the slice of the `criterion` API its benches use: [`Criterion`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros (both the struct-style and positional forms). Measurement is a
+//! simple calibrated mean over `sample_size` samples — no outlier
+//! analysis, plots, or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark driver: holds configuration and prints one line per bench.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            target_sample_time: self.target_sample_time,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return self;
+        }
+        samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let median = samples[samples.len() / 2];
+        println!(
+            "{name:<44} mean {:>12}  median {:>12}  ({} samples)",
+            format_ns(mean),
+            format_ns(median),
+            samples.len()
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Bencher {
+    /// Benchmarks `f`: calibrates iterations per sample so each sample
+    /// runs near the target sample time, then records per-call mean
+    /// nanoseconds for `sample_size` samples.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibration: time a single call to pick the iteration count.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let per_sample = (self.target_sample_time.as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_nanos() as f64 / per_sample as f64);
+        }
+    }
+}
+
+/// Declares a benchmark group function (both upstream forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum_1_to_100", |b| b.iter(|| (1..=100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion::default().sample_size(3);
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with("s"));
+    }
+}
