@@ -18,7 +18,7 @@
 //! Emits `results/BENCH_runtime_throughput.json` in the shared report
 //! shape so the perf trajectory can track tokens/s across PRs.
 
-use microscopiq_bench::{f2, Table};
+use microscopiq_bench::{f2, median, Table};
 use microscopiq_core::config::GroupAxis;
 use microscopiq_core::packed::{MicroBlockMeta, PackedLayer, PackedMacroBlock, PackedMicroBlock};
 use microscopiq_core::{MicroScopiQ, QuantConfig};
@@ -80,15 +80,14 @@ fn synth_packed(d_row: usize, d_col: usize, outlier_rate: f64, seed: u64) -> Pac
 /// Median wall time of `iters` runs of `f` (after one warmup), in seconds.
 fn time_median<F: FnMut()>(iters: usize, mut f: F) -> f64 {
     f(); // warmup
-    let mut samples: Vec<f64> = (0..iters)
+    let samples: Vec<f64> = (0..iters)
         .map(|_| {
             let t0 = Instant::now();
             f();
             t0.elapsed().as_secs_f64()
         })
         .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    samples[samples.len() / 2]
+    median(&samples)
 }
 
 fn main() {
@@ -262,18 +261,69 @@ fn main() {
     ]);
     serving.print();
 
-    table.write_csv("runtime_throughput");
-    table.write_json(
-        "runtime_throughput",
-        &[
-            ("gemm_tokens_per_s_parallel", batch as f64 / t_cached),
-            ("gemm_tokens_per_s_uncached", batch as f64 / t_parallel),
-            ("gemm_weight_gb_per_s", packed_gb / t_cached),
-            ("speedup_parallel_vs_dense", speedup),
-            ("speedup_uncached_vs_dense", speedup_uncached),
-            ("serving_tokens_per_s_dense", serve_dense),
-            ("serving_tokens_per_s_runtime", serve_rt),
-            ("serving_speedup", serve_rt / serve_dense),
-        ],
+    // Section 3: incremental decode. Per-step latency and tokens/s for
+    // single-token KV-cached decode steps (prefix 32) at batch 1, 4, 8 —
+    // batch 1 exercises the runtime's GEMV fast path, larger batches the
+    // segment-packed single-token forward the Session runs per step.
+    use microscopiq_fm::{DecodeJob, KvMode};
+    let mut decode = Table::new(
+        "TinyFM incremental decode (prefix 32, single-token steps, runtime engine)",
+        &["Batch", "ms/step", "tokens/s"],
     );
+    let decode_engine = RuntimeEngine::parallel();
+    let mut decode_metrics: Vec<(String, f64)> = Vec::new();
+    for db in [1usize, 4, 8] {
+        let mut states: Vec<_> = (0..db)
+            .map(|i| {
+                let prompt: Vec<usize> = (0..32).map(|t| (7 * i + t) % 128).collect();
+                let (state, _) = packed_fm
+                    .prefill(&prompt, KvMode::Exact, &decode_engine)
+                    .expect("exact mode");
+                state
+            })
+            .collect();
+        let step = |tok: usize, states: &mut Vec<microscopiq_fm::DecodeState>| {
+            let toks = vec![tok; db];
+            let mut jobs: Vec<DecodeJob<'_>> = states
+                .iter_mut()
+                .zip(toks.iter())
+                .map(|(state, tok)| DecodeJob {
+                    state,
+                    tokens: std::slice::from_ref(tok),
+                })
+                .collect();
+            std::hint::black_box(packed_fm.advance_batch(&mut jobs, &decode_engine));
+        };
+        step(1, &mut states); // warmup: populate decoded-tile caches
+        let samples: Vec<f64> = (0..9)
+            .map(|i| {
+                let t0 = Instant::now();
+                step(2 + i % 8, &mut states);
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        let t_step = median(&samples);
+        decode.row(vec![
+            db.to_string(),
+            format!("{:.3}", t_step * 1e3),
+            format!("{:.0}", db as f64 / t_step),
+        ]);
+        decode_metrics.push((format!("decode_ms_per_step_b{db}"), t_step * 1e3));
+        decode_metrics.push((format!("decode_tokens_per_s_b{db}"), db as f64 / t_step));
+    }
+    decode.print();
+
+    table.write_csv("runtime_throughput");
+    let mut metrics: Vec<(&str, f64)> = vec![
+        ("gemm_tokens_per_s_parallel", batch as f64 / t_cached),
+        ("gemm_tokens_per_s_uncached", batch as f64 / t_parallel),
+        ("gemm_weight_gb_per_s", packed_gb / t_cached),
+        ("speedup_parallel_vs_dense", speedup),
+        ("speedup_uncached_vs_dense", speedup_uncached),
+        ("serving_tokens_per_s_dense", serve_dense),
+        ("serving_tokens_per_s_runtime", serve_rt),
+        ("serving_speedup", serve_rt / serve_dense),
+    ];
+    metrics.extend(decode_metrics.iter().map(|(k, v)| (k.as_str(), *v)));
+    table.write_json("runtime_throughput", &metrics);
 }

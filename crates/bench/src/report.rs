@@ -189,6 +189,19 @@ pub fn results_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("results"))
 }
 
+/// Median of a non-empty sample set (upper median for even counts),
+/// shared by the timing bins so the statistic can't drift between them.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains a NaN.
+pub fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of empty samples");
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    s[s.len() / 2]
+}
+
 /// Formats a float to 2 decimals.
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")

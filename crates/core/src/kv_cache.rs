@@ -2,6 +2,16 @@
 //! scheme the paper adopts: keys quantized per channel, values per token,
 //! 2-bit with group size 128, and a full-precision residual window of the
 //! most recent tokens.
+//!
+//! Two entry points:
+//!
+//! * [`quantize_kv_cache`] — one-shot quantization of a finished cache,
+//!   used for error analysis ([`attention_output_error`]);
+//! * [`LayerKvCache`] — an *appendable* per-layer cache for incremental
+//!   decode: tokens are appended one at a time, served exactly while they
+//!   sit inside the residual window, and quantized in group-aligned chunks
+//!   as they age out of it. This is what `microscopiq-fm`'s decode states
+//!   hold per transformer block.
 
 use crate::error::QuantError;
 use microscopiq_linalg::Matrix;
@@ -116,6 +126,227 @@ pub fn attention_output_error(
     }
 }
 
+/// Storage mode for an appendable [`LayerKvCache`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KvMode {
+    /// Every token stays at full fp64 precision. Incremental decode over
+    /// an exact cache is bit-identical to full-prefix recompute.
+    Exact,
+    /// KIVI-style quantized storage: tokens inside the residual window
+    /// stay exact; older tokens are quantized in group-aligned chunks
+    /// (keys per channel, values per token) as they age out.
+    Quantized(KvCacheConfig),
+}
+
+/// A read-only view of a cache's serving values (`tokens × channels`).
+#[derive(Debug, Clone, Copy)]
+pub struct KvView<'a> {
+    keys: &'a [f64],
+    values: &'a [f64],
+    tokens: usize,
+    channels: usize,
+}
+
+impl<'a> KvView<'a> {
+    /// Tokens in the view.
+    pub fn len(&self) -> usize {
+        self.tokens
+    }
+
+    /// Whether the view holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens == 0
+    }
+
+    /// Channels per token.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Key row for token `t` (serving values: exact inside the residual
+    /// window, dequantized outside it).
+    pub fn key_row(&self, t: usize) -> &'a [f64] {
+        &self.keys[t * self.channels..(t + 1) * self.channels]
+    }
+
+    /// Value row for token `t`.
+    pub fn value_row(&self, t: usize) -> &'a [f64] {
+        &self.values[t * self.channels..(t + 1) * self.channels]
+    }
+
+    /// Materializes the view as `(keys, values)` matrices
+    /// (`tokens × channels`), the shape [`attention_output_error`] takes.
+    pub fn to_matrices(&self) -> (Matrix, Matrix) {
+        let k = Matrix::from_vec(self.tokens, self.channels, self.keys.to_vec());
+        let v = Matrix::from_vec(self.tokens, self.channels, self.values.to_vec());
+        (k, v)
+    }
+}
+
+/// An appendable per-layer KV cache for incremental decode.
+///
+/// Rows are `channels`-wide key/value vectors in token order. In
+/// [`KvMode::Exact`] the cache is a plain growable fp64 store. In
+/// [`KvMode::Quantized`] the most recent `residual` tokens are served
+/// exactly; once a full `group` of tokens has aged past the residual
+/// window it is quantized **in place** (keys per channel over the token
+/// chunk, values per token over channel chunks — the same chunking
+/// [`quantize_kv_cache`] uses, so an incremental cache whose quantized
+/// span is group-aligned matches the one-shot path exactly) and served
+/// dequantized from then on. A token is quantized at most once; its
+/// serving value never changes again afterwards.
+#[derive(Debug, Clone)]
+pub struct LayerKvCache {
+    channels: usize,
+    mode: KvMode,
+    /// Serving keys, `tokens × channels` row-major by token.
+    keys: Vec<f64>,
+    /// Serving values, same layout.
+    values: Vec<f64>,
+    /// Tokens `[0, quantized_tokens)` have been quantized in place.
+    quantized_tokens: usize,
+}
+
+impl LayerKvCache {
+    /// Creates an empty exact (fp64) cache.
+    pub fn exact(channels: usize) -> Self {
+        Self {
+            channels,
+            mode: KvMode::Exact,
+            keys: Vec::new(),
+            values: Vec::new(),
+            quantized_tokens: 0,
+        }
+    }
+
+    /// Creates an empty quantized cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] for a zero group size.
+    pub fn quantized(channels: usize, cfg: KvCacheConfig) -> Result<Self, QuantError> {
+        if cfg.group == 0 {
+            return Err(QuantError::InvalidConfig {
+                reason: "kv group size must be positive".to_string(),
+            });
+        }
+        Ok(Self {
+            channels,
+            mode: KvMode::Quantized(cfg),
+            keys: Vec::new(),
+            values: Vec::new(),
+            quantized_tokens: 0,
+        })
+    }
+
+    /// Creates an empty cache in the given mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] for a zero group size in
+    /// quantized mode.
+    pub fn with_mode(channels: usize, mode: KvMode) -> Result<Self, QuantError> {
+        match mode {
+            KvMode::Exact => Ok(Self::exact(channels)),
+            KvMode::Quantized(cfg) => Self::quantized(channels, cfg),
+        }
+    }
+
+    /// Channels per token.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Tokens appended so far.
+    pub fn len(&self) -> usize {
+        self.keys.len() / self.channels.max(1)
+    }
+
+    /// Whether the cache holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The storage mode.
+    pub fn mode(&self) -> KvMode {
+        self.mode
+    }
+
+    /// Tokens whose storage has been quantized (always 0 in exact mode).
+    pub fn quantized_len(&self) -> usize {
+        self.quantized_tokens
+    }
+
+    /// Appends one token's key/value rows, then (in quantized mode)
+    /// quantizes any full group of tokens that has aged out of the
+    /// residual window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row's length differs from `channels`.
+    pub fn append(&mut self, key_row: &[f64], value_row: &[f64]) {
+        assert_eq!(key_row.len(), self.channels, "key row width");
+        assert_eq!(value_row.len(), self.channels, "value row width");
+        self.keys.extend_from_slice(key_row);
+        self.values.extend_from_slice(value_row);
+        if let KvMode::Quantized(cfg) = self.mode {
+            // Quantize whole groups once every token in the group is
+            // older than the residual window. Group boundaries align to
+            // multiples of `cfg.group` from token 0, matching the
+            // one-shot chunking.
+            while self.len() - self.quantized_tokens >= cfg.group + cfg.residual {
+                self.quantize_group(cfg);
+            }
+        }
+    }
+
+    /// Quantizes tokens `[quantized_tokens, quantized_tokens + group)` in
+    /// place: keys per channel along the token chunk, values per token in
+    /// channel chunks.
+    fn quantize_group(&mut self, cfg: KvCacheConfig) {
+        let lo = self.quantized_tokens;
+        let hi = lo + cfg.group;
+        let ch = self.channels;
+        for c in 0..ch {
+            let col: Vec<f64> = (lo..hi).map(|t| self.keys[t * ch + c]).collect();
+            let block = MxIntBlock::quantize(&col, cfg.bits);
+            for (i, v) in block.dequantize().into_iter().enumerate() {
+                self.keys[(lo + i) * ch + c] = v;
+            }
+        }
+        for t in lo..hi {
+            let row = self.values[t * ch..(t + 1) * ch].to_vec();
+            for (g, chunk) in row.chunks(cfg.group).enumerate() {
+                let block = MxIntBlock::quantize(chunk, cfg.bits);
+                for (i, v) in block.dequantize().into_iter().enumerate() {
+                    self.values[t * ch + g * cfg.group + i] = v;
+                }
+            }
+        }
+        self.quantized_tokens = hi;
+    }
+
+    /// Serving key row for token `t`.
+    pub fn key_row(&self, t: usize) -> &[f64] {
+        &self.keys[t * self.channels..(t + 1) * self.channels]
+    }
+
+    /// Serving value row for token `t`.
+    pub fn value_row(&self, t: usize) -> &[f64] {
+        &self.values[t * self.channels..(t + 1) * self.channels]
+    }
+
+    /// A read-only view over every token's serving values.
+    pub fn view(&self) -> KvView<'_> {
+        KvView {
+            keys: &self.keys,
+            values: &self.values,
+            tokens: self.len(),
+            channels: self.channels,
+        }
+    }
+}
+
 /// Scaled-dot-product attention with a numerically stable softmax.
 fn attention(q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
     let scale = 1.0 / (k.cols() as f64).sqrt();
@@ -225,6 +456,147 @@ mod tests {
         let k = Matrix::zeros(8, 4);
         let v = Matrix::zeros(8, 6);
         assert!(quantize_kv_cache(&k, &v, KvCacheConfig::default()).is_err());
+    }
+
+    #[test]
+    fn exact_cache_round_trips_appends() {
+        let mut rng = SeededRng::new(7);
+        let mut cache = LayerKvCache::exact(8);
+        let rows: Vec<(Vec<f64>, Vec<f64>)> = (0..20)
+            .map(|_| {
+                let k: Vec<f64> = (0..8).map(|_| rng.normal(0.0, 1.0)).collect();
+                let v: Vec<f64> = (0..8).map(|_| rng.normal(0.0, 1.0)).collect();
+                (k, v)
+            })
+            .collect();
+        for (k, v) in &rows {
+            cache.append(k, v);
+        }
+        assert_eq!(cache.len(), 20);
+        assert_eq!(cache.quantized_len(), 0);
+        let view = cache.view();
+        for (t, (k, v)) in rows.iter().enumerate() {
+            assert_eq!(view.key_row(t), k.as_slice());
+            assert_eq!(view.value_row(t), v.as_slice());
+        }
+    }
+
+    #[test]
+    fn incremental_matches_one_shot_when_group_aligned() {
+        // 48 tokens, residual 16, group 16: the one-shot path quantizes
+        // tokens [0, 32) in two full groups — exactly what the appendable
+        // cache does as those groups age out of the residual window.
+        let (_, k, v) = kv(8, 48, 16);
+        let cfg = KvCacheConfig {
+            bits: 2,
+            group: 16,
+            residual: 16,
+        };
+        let one_shot = quantize_kv_cache(&k, &v, cfg).unwrap();
+        let mut cache = LayerKvCache::quantized(16, cfg).unwrap();
+        for t in 0..48 {
+            cache.append(k.row(t), v.row(t));
+        }
+        assert_eq!(cache.quantized_len(), 32);
+        let (ck, cv) = cache.view().to_matrices();
+        assert_eq!(ck, one_shot.keys, "incremental keys diverged");
+        assert_eq!(cv, one_shot.values, "incremental values diverged");
+    }
+
+    #[test]
+    fn residual_window_tokens_served_exactly() {
+        let (_, k, v) = kv(9, 40, 8);
+        let cfg = KvCacheConfig {
+            bits: 2,
+            group: 8,
+            residual: 8,
+        };
+        let mut cache = LayerKvCache::quantized(8, cfg).unwrap();
+        for t in 0..40 {
+            cache.append(k.row(t), v.row(t));
+        }
+        // Everything not yet quantized — the residual window and any
+        // partial trailing group — is served bit-exactly.
+        for t in cache.quantized_len()..40 {
+            assert_eq!(cache.key_row(t), k.row(t));
+            assert_eq!(cache.value_row(t), v.row(t));
+        }
+        // And the quantized prefix really was quantized.
+        let changed = (0..cache.quantized_len())
+            .flat_map(|t| (0..8).map(move |c| (t, c)))
+            .filter(|&(t, c)| cache.key_row(t)[c] != k[(t, c)])
+            .count();
+        assert!(changed > 20, "only {changed} quantized key entries changed");
+    }
+
+    #[test]
+    fn quantized_tokens_never_requantize() {
+        let (_, k, v) = kv(10, 64, 8);
+        let cfg = KvCacheConfig {
+            bits: 2,
+            group: 8,
+            residual: 8,
+        };
+        let mut cache = LayerKvCache::quantized(8, cfg).unwrap();
+        for t in 0..32 {
+            cache.append(k.row(t), v.row(t));
+        }
+        let frozen: Vec<f64> = (0..cache.quantized_len())
+            .flat_map(|t| cache.key_row(t).to_vec())
+            .collect();
+        let frozen_len = cache.quantized_len();
+        for t in 32..64 {
+            cache.append(k.row(t), v.row(t));
+        }
+        let now: Vec<f64> = (0..frozen_len)
+            .flat_map(|t| cache.key_row(t).to_vec())
+            .collect();
+        assert_eq!(frozen, now, "previously quantized tokens changed");
+    }
+
+    #[test]
+    fn appendable_cache_attention_error_bounded() {
+        // The serving view of a quantized appendable cache must stay
+        // within the documented attention-error bound (same regime as the
+        // one-shot 2-bit test above: < 1.5 relative Frobenius error, with
+        // 4-bit comfortably tighter than 2-bit).
+        let (q, k, v) = kv(11, 128, 32);
+        let err_at = |bits| {
+            let cfg = KvCacheConfig {
+                bits,
+                group: 32,
+                residual: 32,
+            };
+            let mut cache = LayerKvCache::quantized(32, cfg).unwrap();
+            for t in 0..128 {
+                cache.append(k.row(t), v.row(t));
+            }
+            let (ck, cv) = cache.view().to_matrices();
+            attention_output_error(
+                &q,
+                &k,
+                &v,
+                &QuantizedKvCache {
+                    keys: ck,
+                    values: cv,
+                },
+            )
+        };
+        let e2 = err_at(2);
+        assert!(e2 > 0.0 && e2 < 1.5, "2-bit appendable cache error {e2}");
+        assert!(err_at(4) < err_at(2), "more bits must reduce error");
+    }
+
+    #[test]
+    fn zero_group_quantized_cache_rejected() {
+        let cfg = KvCacheConfig {
+            bits: 2,
+            group: 0,
+            residual: 4,
+        };
+        assert!(LayerKvCache::quantized(8, cfg).is_err());
+        assert!(LayerKvCache::with_mode(8, KvMode::Quantized(cfg)).is_err());
+        assert!(LayerKvCache::with_mode(8, KvMode::Exact).is_ok());
     }
 
     #[test]

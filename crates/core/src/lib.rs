@@ -15,7 +15,9 @@
 //! * [`packed::PackedLayer`] — the hardware-facing packed format (Fig. 5)
 //!   with EBW per Eq. 4;
 //! * [`activation`] — MX-INT activation quantization + α-migration;
-//! * [`kv_cache`] — 2-bit KV-cache quantization (Table 7).
+//! * [`kv_cache`] — 2-bit KV-cache quantization (Table 7), plus the
+//!   appendable [`LayerKvCache`] (exact or quantized-in-place storage)
+//!   that backs incremental decode in `microscopiq-fm`/`-runtime`.
 //!
 //! # Examples
 //!
@@ -56,5 +58,6 @@ pub mod traits;
 
 pub use config::{GroupAxis, OutlierMode, QuantConfig, QuantConfigBuilder};
 pub use error::QuantError;
+pub use kv_cache::{KvCacheConfig, KvMode, KvView, LayerKvCache};
 pub use quantizer::MicroScopiQ;
 pub use traits::{LayerTensors, QuantStats, QuantizedLayer, WeightQuantizer};

@@ -1,0 +1,349 @@
+//! The shared decode-state forward path: one implementation of the
+//! TinyFM transformer math (RMSNorm → attention → RMSNorm → FFN) used by
+//! both the dense [`TinyFm`] and the packed [`PackedTinyFm`], abstracted
+//! over how linear layers execute through [`ModelOps`].
+//!
+//! The central object is [`DecodeState`]: per-block appendable KV caches
+//! ([`LayerKvCache`]) plus the tokens processed so far. Everything —
+//! full-prefix `forward`/`forward_batch`, `prefill`, and single-token
+//! `decode_step` — is one function, [`advance_batch`], which advances a
+//! batch of states by their new tokens in a single segment-packed pass:
+//! every linear layer runs one GEMM over the concatenated new columns,
+//! and attention runs per segment over that segment's cache (history +
+//! the new tokens).
+//!
+//! # Bit-compatibility
+//!
+//! In [`KvMode::Exact`] the cache stores K/V columns verbatim, and every
+//! per-column operation (GEMM columns, RMSNorm, softmax, weighted sums)
+//! accumulates in the same order regardless of how many columns ride in
+//! the pass. Incremental decode is therefore **bit-identical** to
+//! full-prefix recompute: `prefill` + n × `decode_step` produces exactly
+//! the logits of one `forward` over the whole sequence, token for token,
+//! on any engine whose GEMM is column-independent (all engines in this
+//! workspace are).
+//!
+//! In [`KvMode::Quantized`] tokens aging out of the residual window are
+//! quantized in place (KIVI-style: keys per channel, values per token),
+//! and attention reads the quantized serving values — trading bounded
+//! attention error (see `microscopiq_core::kv_cache` and the
+//! `attention_output_error` bound tests) for 2/4-bit cache storage.
+
+use crate::packed::{PackedGemm, PackedTinyFm};
+use crate::tinyfm::{rmsnorm_col, silu, LinearId, TinyFm, TinyFmConfig};
+use microscopiq_core::error::QuantError;
+use microscopiq_core::kv_cache::{KvMode, LayerKvCache};
+use microscopiq_linalg::Matrix;
+
+/// How a model executes the shared forward math: configuration access
+/// plus one `linear` hook per packed/dense weight representation.
+pub(crate) trait ModelOps {
+    fn cfg(&self) -> TinyFmConfig;
+    fn embed(&self) -> &Matrix;
+    fn ln1(&self, layer: usize) -> &[f64];
+    fn ln2(&self, layer: usize) -> &[f64];
+    fn ln_f(&self) -> &[f64];
+    /// Computes `W[id] · acts`.
+    fn linear(&self, id: LinearId, acts: &Matrix) -> Matrix;
+}
+
+impl ModelOps for TinyFm {
+    fn cfg(&self) -> TinyFmConfig {
+        self.cfg
+    }
+    fn embed(&self) -> &Matrix {
+        &self.embed
+    }
+    fn ln1(&self, layer: usize) -> &[f64] {
+        &self.blocks[layer].ln1
+    }
+    fn ln2(&self, layer: usize) -> &[f64] {
+        &self.blocks[layer].ln2
+    }
+    fn ln_f(&self) -> &[f64] {
+        &self.ln_f
+    }
+    fn linear(&self, id: LinearId, acts: &Matrix) -> Matrix {
+        self.weights(id).matmul(acts)
+    }
+}
+
+/// A packed model bound to a GEMM engine for the duration of one pass.
+pub(crate) struct PackedOps<'a> {
+    pub(crate) model: &'a PackedTinyFm,
+    pub(crate) engine: &'a dyn PackedGemm,
+}
+
+impl ModelOps for PackedOps<'_> {
+    fn cfg(&self) -> TinyFmConfig {
+        self.model.cfg
+    }
+    fn embed(&self) -> &Matrix {
+        &self.model.embed
+    }
+    fn ln1(&self, layer: usize) -> &[f64] {
+        &self.model.blocks[layer].ln1
+    }
+    fn ln2(&self, layer: usize) -> &[f64] {
+        &self.model.blocks[layer].ln2
+    }
+    fn ln_f(&self) -> &[f64] {
+        &self.model.ln_f
+    }
+    fn linear(&self, id: LinearId, acts: &Matrix) -> Matrix {
+        self.engine.matmul(self.model.layer(id), acts)
+    }
+}
+
+/// Incremental decode state for one sequence: per-block KV caches plus
+/// the tokens already processed. Create one with [`TinyFm::prefill`] /
+/// [`PackedTinyFm::prefill`] (or [`DecodeState::exact`] +
+/// [`PackedTinyFm::advance_batch`]) and feed it single tokens with
+/// `decode_step` — each step costs O(prefix) attention work instead of
+/// the O(prefix²) of re-running the whole prefix.
+#[derive(Debug, Clone)]
+pub struct DecodeState {
+    d_model: usize,
+    mode: KvMode,
+    pub(crate) tokens: Vec<usize>,
+    pub(crate) caches: Vec<LayerKvCache>,
+}
+
+impl DecodeState {
+    /// Creates an empty state for a model of the given architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] for an invalid quantized KV
+    /// configuration (zero group size).
+    pub fn new(cfg: TinyFmConfig, mode: KvMode) -> Result<Self, QuantError> {
+        let caches = (0..cfg.n_layers)
+            .map(|_| LayerKvCache::with_mode(cfg.d_model, mode))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            d_model: cfg.d_model,
+            mode,
+            tokens: Vec::new(),
+            caches,
+        })
+    }
+
+    /// Creates an empty exact-KV state (infallible; decode through it is
+    /// bit-identical to full-prefix recompute).
+    pub fn exact(cfg: TinyFmConfig) -> Self {
+        Self::new(cfg, KvMode::Exact).expect("exact mode is always valid")
+    }
+
+    /// Tokens processed so far (prompt plus decoded continuations).
+    pub fn tokens(&self) -> &[usize] {
+        &self.tokens
+    }
+
+    /// Number of tokens processed so far.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether no tokens have been processed yet.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The KV storage mode.
+    pub fn mode(&self) -> KvMode {
+        self.mode
+    }
+
+    /// The residual width the state was built for.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Borrows block `layer`'s KV cache (for inspection/tests).
+    pub fn cache(&self, layer: usize) -> &LayerKvCache {
+        &self.caches[layer]
+    }
+}
+
+/// One unit of work for [`advance_batch`]: a decode state plus the new
+/// tokens to push through it (a whole prompt for prefill, one token for a
+/// decode step).
+#[derive(Debug)]
+pub struct DecodeJob<'a> {
+    /// The state to advance.
+    pub state: &'a mut DecodeState,
+    /// New tokens to process (must be non-empty and in-vocabulary).
+    pub tokens: &'a [usize],
+}
+
+/// Advances every job's state by its new tokens in one segment-packed
+/// pass, returning per-job logits (`vocab × new_len`).
+///
+/// Each linear layer runs a single GEMM over the concatenated new
+/// columns; attention stays within each job's segment, reading keys and
+/// values through that job's cache view (history + the new tokens, which
+/// are appended before attention so each token attends to itself).
+/// Per-job results are independent of what the job was batched with.
+///
+/// # Panics
+///
+/// Panics if `jobs` is empty, any job has no new tokens, any token is
+/// outside the vocabulary, or a state's width disagrees with the model.
+pub(crate) fn advance_batch(
+    ops: &dyn ModelOps,
+    jobs: &mut [DecodeJob<'_>],
+    mut trace: Option<&mut Vec<Matrix>>,
+) -> Vec<Matrix> {
+    assert!(!jobs.is_empty(), "advance_batch needs at least one job");
+    let cfg = ops.cfg();
+    let d = cfg.d_model;
+    let nh = cfg.n_heads;
+    let dh = d / nh;
+
+    let mut segments = Vec::with_capacity(jobs.len());
+    let mut start = 0usize;
+    for job in jobs.iter() {
+        assert!(!job.tokens.is_empty(), "cannot run an empty sequence");
+        assert_eq!(job.state.d_model, d, "decode state width mismatch");
+        segments.push((start, job.tokens.len()));
+        start += job.tokens.len();
+    }
+    let total = start;
+    // Cache lengths before this pass: token t of a segment attends to
+    // `hist + t + 1` cached rows once its own K/V row is appended.
+    let hist: Vec<usize> = jobs
+        .iter()
+        .map(|j| j.state.caches.first().map_or(0, |c| c.len()))
+        .collect();
+
+    let mut h = Matrix::zeros(d, total);
+    for (seg, job) in segments.iter().zip(jobs.iter()) {
+        for (t, &tok) in job.tokens.iter().enumerate() {
+            assert!(tok < cfg.vocab, "token out of vocabulary");
+            for i in 0..d {
+                h[(i, seg.0 + t)] = ops.embed()[(tok, i)];
+            }
+        }
+    }
+
+    for layer in 0..cfg.n_layers {
+        // Attention sub-block.
+        let mut a = h.clone();
+        for t in 0..total {
+            let mut col: Vec<f64> = (0..d).map(|i| a[(i, t)]).collect();
+            rmsnorm_col(&mut col, ops.ln1(layer));
+            for i in 0..d {
+                a[(i, t)] = col[i];
+            }
+        }
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.push(a.clone()); // wq input
+            tr.push(a.clone()); // wk input
+            tr.push(a.clone()); // wv input
+        }
+        let q = ops.linear(LinearId::Wq(layer), &a);
+        let k = ops.linear(LinearId::Wk(layer), &a);
+        let v = ops.linear(LinearId::Wv(layer), &a);
+
+        // Append the new K/V columns to each job's cache first, so a new
+        // token attends to itself through the same cache view as to its
+        // history.
+        let mut krow = vec![0.0_f64; d];
+        let mut vrow = vec![0.0_f64; d];
+        for (seg, job) in segments.iter().zip(jobs.iter_mut()) {
+            for t in 0..seg.1 {
+                for i in 0..d {
+                    krow[i] = k[(i, seg.0 + t)];
+                    vrow[i] = v[(i, seg.0 + t)];
+                }
+                job.state.caches[layer].append(&krow, &vrow);
+            }
+        }
+
+        let mut attn = Matrix::zeros(d, total);
+        let scale = 1.0 / (dh as f64).sqrt();
+        for (j, &(seg_start, seg_len)) in segments.iter().enumerate() {
+            let view = jobs[j].state.caches[layer].view();
+            for head in 0..nh {
+                let off = head * dh;
+                for t in 0..seg_len {
+                    let tc = seg_start + t;
+                    let ctx = hist[j] + t + 1;
+                    // Causal scores over the cached history plus self.
+                    let mut scores = Vec::with_capacity(ctx);
+                    for s in 0..ctx {
+                        let key = view.key_row(s);
+                        let dot: f64 = (0..dh).map(|i| q[(off + i, tc)] * key[off + i]).sum();
+                        scores.push(dot * scale);
+                    }
+                    let max = scores.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+                    let mut sum = 0.0;
+                    for s in scores.iter_mut() {
+                        *s = (*s - max).exp();
+                        sum += *s;
+                    }
+                    for (s, &score) in scores.iter().enumerate() {
+                        let alpha = score / sum;
+                        let val = view.value_row(s);
+                        for i in 0..dh {
+                            attn[(off + i, tc)] += alpha * val[off + i];
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.push(attn.clone()); // wo input
+        }
+        let o = ops.linear(LinearId::Wo(layer), &attn);
+        for t in 0..total {
+            for i in 0..d {
+                h[(i, t)] += o[(i, t)];
+            }
+        }
+
+        // FFN sub-block.
+        let mut b = h.clone();
+        for t in 0..total {
+            let mut col: Vec<f64> = (0..d).map(|i| b[(i, t)]).collect();
+            rmsnorm_col(&mut col, ops.ln2(layer));
+            for i in 0..d {
+                b[(i, t)] = col[i];
+            }
+        }
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.push(b.clone()); // w_up input
+        }
+        let mut u = ops.linear(LinearId::WUp(layer), &b);
+        for val in u.as_mut_slice() {
+            *val = silu(*val);
+        }
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.push(u.clone()); // w_down input
+        }
+        let dn = ops.linear(LinearId::WDown(layer), &u);
+        for t in 0..total {
+            for i in 0..d {
+                h[(i, t)] += dn[(i, t)];
+            }
+        }
+    }
+
+    for t in 0..total {
+        let mut col: Vec<f64> = (0..d).map(|i| h[(i, t)]).collect();
+        rmsnorm_col(&mut col, ops.ln_f());
+        for i in 0..d {
+            h[(i, t)] = col[i];
+        }
+    }
+    let logits = ops.embed().matmul(&h);
+    for job in jobs.iter_mut() {
+        job.state.tokens.extend_from_slice(job.tokens);
+    }
+    segments
+        .iter()
+        .map(|&(seg_start, seg_len)| {
+            Matrix::from_fn(cfg.vocab, seg_len, |v, t| logits[(v, seg_start + t)])
+        })
+        .collect()
+}

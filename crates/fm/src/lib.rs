@@ -14,6 +14,10 @@
 //!   perplexity/accuracy;
 //! * [`packed`] — packed-weight TinyFM: [`PackedGemm`] engines and the
 //!   segment-packed batched forward used by `microscopiq-runtime`;
+//! * [`decode`] — the shared decode-state forward path: [`DecodeState`]
+//!   (per-block appendable KV caches) with `prefill`/`decode_step` on
+//!   both [`TinyFm`] and [`PackedTinyFm`], bit-identical to full-prefix
+//!   recompute in exact-KV mode;
 //! * [`tinyfm`] — a real, runnable tiny transformer for proxy-free
 //!   end-to-end perplexity checks.
 //!
@@ -27,6 +31,7 @@
 //! ```
 
 pub mod calib;
+pub mod decode;
 pub mod eval;
 pub mod metrics;
 pub mod packed;
@@ -34,8 +39,10 @@ pub mod synth;
 pub mod tinyfm;
 pub mod zoo;
 
+pub use decode::{DecodeJob, DecodeState};
 pub use eval::{evaluate_weight_activation, evaluate_weight_only, ModelEvaluation};
 pub use metrics::{AccuracyMap, PerplexityMap};
-pub use packed::{sample_token, DequantGemm, PackedGemm, PackedTinyFm};
+pub use microscopiq_core::kv_cache::{KvCacheConfig, KvMode};
+pub use packed::{sample_logits, sample_token, DequantGemm, PackedGemm, PackedTinyFm};
 pub use tinyfm::{TinyFm, TinyFmConfig};
 pub use zoo::{all_models, cnn_ssm_zoo, llm_zoo, model, vlm_zoo, ModelClass, ModelSpec};

@@ -15,8 +15,10 @@
 //! each output column of a GEMM depends only on its own input column, the
 //! packed-batch forward is bit-identical to running each sequence alone.
 
-use crate::tinyfm::{rmsnorm_col, silu, LinearId, TinyFm, TinyFmConfig};
+use crate::decode::{self, DecodeJob, DecodeState, PackedOps};
+use crate::tinyfm::{LinearId, TinyFm, TinyFmConfig};
 use microscopiq_core::error::QuantError;
+use microscopiq_core::kv_cache::KvMode;
 use microscopiq_core::packed::PackedLayer;
 use microscopiq_core::traits::{LayerTensors, WeightQuantizer};
 use microscopiq_linalg::{Matrix, SeededRng};
@@ -50,13 +52,13 @@ impl PackedGemm for DequantGemm {
 
 /// One transformer block with packed linear weights.
 #[derive(Debug, Clone)]
-struct PackedBlock {
-    ln1: Vec<f64>,
+pub(crate) struct PackedBlock {
+    pub(crate) ln1: Vec<f64>,
     wq: PackedLayer,
     wk: PackedLayer,
     wv: PackedLayer,
     wo: PackedLayer,
-    ln2: Vec<f64>,
+    pub(crate) ln2: Vec<f64>,
     w_up: PackedLayer,
     w_down: PackedLayer,
 }
@@ -64,10 +66,10 @@ struct PackedBlock {
 /// A TinyFM whose linear layers live in the packed MicroScopiQ format.
 #[derive(Debug, Clone)]
 pub struct PackedTinyFm {
-    cfg: TinyFmConfig,
-    embed: Matrix,
-    blocks: Vec<PackedBlock>,
-    ln_f: Vec<f64>,
+    pub(crate) cfg: TinyFmConfig,
+    pub(crate) embed: Matrix,
+    pub(crate) blocks: Vec<PackedBlock>,
+    pub(crate) ln_f: Vec<f64>,
 }
 
 impl PackedTinyFm {
@@ -193,113 +195,115 @@ impl PackedTinyFm {
             !seqs.is_empty(),
             "forward_batch needs at least one sequence"
         );
-        let d = self.cfg.d_model;
-        let nh = self.cfg.n_heads;
-        let dh = d / nh;
-        let total: usize = seqs.iter().map(|s| s.len()).sum();
-        let mut segments = Vec::with_capacity(seqs.len());
-        let mut start = 0;
-        for s in seqs {
-            assert!(!s.is_empty(), "cannot run an empty sequence");
-            segments.push((start, s.len()));
-            start += s.len();
-        }
+        let mut states: Vec<DecodeState> =
+            seqs.iter().map(|_| DecodeState::exact(self.cfg)).collect();
+        let mut jobs: Vec<DecodeJob<'_>> = states
+            .iter_mut()
+            .zip(seqs.iter())
+            .map(|(state, &tokens)| DecodeJob { state, tokens })
+            .collect();
+        decode::advance_batch(
+            &PackedOps {
+                model: self,
+                engine,
+            },
+            &mut jobs,
+            None,
+        )
+    }
 
-        let mut h = Matrix::zeros(d, total);
-        for (seg, tokens) in segments.iter().zip(seqs.iter()) {
-            for (t, &tok) in tokens.iter().enumerate() {
-                assert!(tok < self.cfg.vocab, "token out of vocabulary");
-                for i in 0..d {
-                    h[(i, seg.0 + t)] = self.embed[(tok, i)];
-                }
-            }
-        }
+    /// Processes a whole prompt in one pass through the engine, returning
+    /// the decode state (per-block KV caches) and the prompt logits
+    /// (`vocab × T`). Follow with [`PackedTinyFm::decode_step`] for
+    /// O(prefix) per-token decode; in [`KvMode::Exact`] the results are
+    /// bit-identical to re-running [`PackedTinyFm::forward`] over the
+    /// growing sequence on the same engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] for an invalid quantized KV
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or any token is out of vocabulary.
+    pub fn prefill(
+        &self,
+        tokens: &[usize],
+        mode: KvMode,
+        engine: &dyn PackedGemm,
+    ) -> Result<(DecodeState, Matrix), QuantError> {
+        let mut state = DecodeState::new(self.cfg, mode)?;
+        let logits = decode::advance_batch(
+            &PackedOps {
+                model: self,
+                engine,
+            },
+            &mut [DecodeJob {
+                state: &mut state,
+                tokens,
+            }],
+            None,
+        )
+        .pop()
+        .expect("one job in, one logit matrix out");
+        Ok((state, logits))
+    }
 
-        for block in &self.blocks {
-            // Attention sub-block.
-            let mut a = h.clone();
-            for t in 0..total {
-                let mut col: Vec<f64> = (0..d).map(|i| a[(i, t)]).collect();
-                rmsnorm_col(&mut col, &block.ln1);
-                for i in 0..d {
-                    a[(i, t)] = col[i];
-                }
-            }
-            let q = engine.matmul(&block.wq, &a);
-            let k = engine.matmul(&block.wk, &a);
-            let v = engine.matmul(&block.wv, &a);
-            let mut attn = Matrix::zeros(d, total);
-            let scale = 1.0 / (dh as f64).sqrt();
-            for &(seg_start, seg_len) in &segments {
-                for head in 0..nh {
-                    let off = head * dh;
-                    for t in 0..seg_len {
-                        let tc = seg_start + t;
-                        // Causal scores within the segment only.
-                        let mut scores = Vec::with_capacity(t + 1);
-                        for s in 0..=t {
-                            let sc = seg_start + s;
-                            let dot: f64 =
-                                (0..dh).map(|i| q[(off + i, tc)] * k[(off + i, sc)]).sum();
-                            scores.push(dot * scale);
-                        }
-                        let max = scores.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
-                        let mut sum = 0.0;
-                        for s in scores.iter_mut() {
-                            *s = (*s - max).exp();
-                            sum += *s;
-                        }
-                        for (s, &score) in scores.iter().enumerate() {
-                            let alpha = score / sum;
-                            let sc = seg_start + s;
-                            for i in 0..dh {
-                                attn[(off + i, tc)] += alpha * v[(off + i, sc)];
-                            }
-                        }
-                    }
-                }
-            }
-            let o = engine.matmul(&block.wo, &attn);
-            for t in 0..total {
-                for i in 0..d {
-                    h[(i, t)] += o[(i, t)];
-                }
-            }
-            // FFN sub-block.
-            let mut b = h.clone();
-            for t in 0..total {
-                let mut col: Vec<f64> = (0..d).map(|i| b[(i, t)]).collect();
-                rmsnorm_col(&mut col, &block.ln2);
-                for i in 0..d {
-                    b[(i, t)] = col[i];
-                }
-            }
-            let mut u = engine.matmul(&block.w_up, &b);
-            for val in u.as_mut_slice() {
-                *val = silu(*val);
-            }
-            let dn = engine.matmul(&block.w_down, &u);
-            for t in 0..total {
-                for i in 0..d {
-                    h[(i, t)] += dn[(i, t)];
-                }
-            }
-        }
+    /// Advances an incremental decode state by one token, returning the
+    /// logits (`vocab` values) at the new position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token is out of vocabulary or the state was built
+    /// for a different architecture.
+    pub fn decode_step(
+        &self,
+        state: &mut DecodeState,
+        token: usize,
+        engine: &dyn PackedGemm,
+    ) -> Vec<f64> {
+        decode::advance_batch(
+            &PackedOps {
+                model: self,
+                engine,
+            },
+            &mut [DecodeJob {
+                state,
+                tokens: &[token],
+            }],
+            None,
+        )
+        .pop()
+        .expect("one job in, one logit matrix out")
+        .col(0)
+    }
 
-        for t in 0..total {
-            let mut col: Vec<f64> = (0..d).map(|i| h[(i, t)]).collect();
-            rmsnorm_col(&mut col, &self.ln_f);
-            for i in 0..d {
-                h[(i, t)] = col[i];
-            }
-        }
-        let logits = self.embed.matmul(&h);
-        segments
-            .iter()
-            .map(|&(seg_start, seg_len)| {
-                Matrix::from_fn(self.cfg.vocab, seg_len, |v, t| logits[(v, seg_start + t)])
-            })
-            .collect()
+    /// Advances a batch of decode jobs in one segment-packed pass: every
+    /// linear layer runs a single GEMM over the concatenated new columns
+    /// (prefill segments and single-token decode segments can ride
+    /// together), and each job's attention reads its own KV cache.
+    /// Returns per-job logits (`vocab × new_len`). Per-job results are
+    /// independent of what the job was batched with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is empty, any job has no new tokens, any token is
+    /// out of vocabulary, or a state was built for a different
+    /// architecture.
+    pub fn advance_batch(
+        &self,
+        jobs: &mut [DecodeJob<'_>],
+        engine: &dyn PackedGemm,
+    ) -> Vec<Matrix> {
+        decode::advance_batch(
+            &PackedOps {
+                model: self,
+                engine,
+            },
+            jobs,
+            None,
+        )
     }
 }
 
@@ -308,8 +312,16 @@ impl PackedTinyFm {
 /// `temperature`, one uniform draw). Shared by the dense and packed
 /// generation paths so equal logits yield equal tokens.
 pub fn sample_token(logits: &Matrix, t: usize, temperature: f64, rng: &mut SeededRng) -> usize {
-    let vocab = logits.rows();
-    let col: Vec<f64> = (0..vocab).map(|v| logits[(v, t)] / temperature).collect();
+    let col: Vec<f64> = (0..logits.rows()).map(|v| logits[(v, t)]).collect();
+    sample_logits(&col, temperature, rng)
+}
+
+/// Samples a token from one position's logit vector (the shape
+/// `decode_step` returns) with the same draw semantics as
+/// [`sample_token`]: softmax at `temperature`, one uniform draw.
+pub fn sample_logits(logits: &[f64], temperature: f64, rng: &mut SeededRng) -> usize {
+    let vocab = logits.len();
+    let col: Vec<f64> = logits.iter().map(|&v| v / temperature).collect();
     let max = col.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
     let weights: Vec<f64> = col.iter().map(|&v| (v - max).exp()).collect();
     let sum: f64 = weights.iter().sum();

@@ -8,7 +8,9 @@
 //! expectation, so the perplexity ratio `exp(CE_s − CE_t)` isolates pure
 //! quantization damage — no proxy mapping involved.
 
+use crate::decode::{self, DecodeJob, DecodeState};
 use microscopiq_core::error::QuantError;
+use microscopiq_core::kv_cache::KvMode;
 use microscopiq_core::traits::{LayerTensors, WeightQuantizer};
 use microscopiq_linalg::{Matrix, SeededRng};
 
@@ -91,8 +93,19 @@ pub(crate) fn silu(x: f64) -> f64 {
 }
 
 impl TinyFm {
-    /// Creates a randomly initialized teacher with FM-style outliers.
+    /// Creates a randomly initialized teacher with FM-style outliers
+    /// (≈1.2% of weights, matching FM statistics).
     pub fn teacher(cfg: TinyFmConfig, seed: u64) -> Self {
+        let d = cfg.d_model;
+        Self::teacher_with_outliers(cfg, seed, (d * d) / 80)
+    }
+
+    /// Creates a randomly initialized teacher with an explicit outlier
+    /// count per attention projection (FFN projections get twice as
+    /// many, scaling with their size). `attn_outliers == 0` yields a
+    /// purely Gaussian, outlier-free model — useful for isolating
+    /// outlier effects in quantization/decode tests.
+    pub fn teacher_with_outliers(cfg: TinyFmConfig, seed: u64, attn_outliers: usize) -> Self {
         assert!(
             cfg.d_model.is_multiple_of(cfg.n_heads),
             "heads must divide d_model"
@@ -109,7 +122,7 @@ impl TinyFm {
             w
         };
         let d = cfg.d_model;
-        let n_out = (d * d) / 80; // ≈1.2% outliers, matching FM statistics
+        let n_out = attn_outliers;
         let blocks = (0..cfg.n_layers)
             .map(|_| Block {
                 ln1: vec![1.0; d],
@@ -167,106 +180,22 @@ impl TinyFm {
     /// Runs the model over a token sequence, returning logits
     /// (`vocab × T`) and, when `trace` is set, the input activations of
     /// every linear layer (`d_in × T` each, in [`TinyFm::linear_ids`]
-    /// order).
+    /// order). One pass through the shared decode path with a fresh
+    /// exact-KV state.
     fn forward_inner(&self, tokens: &[usize], trace: bool) -> (Matrix, Vec<Matrix>) {
-        let d = self.cfg.d_model;
-        let t_len = tokens.len();
-        let nh = self.cfg.n_heads;
-        let dh = d / nh;
-        let mut h = Matrix::zeros(d, t_len);
-        for (t, &tok) in tokens.iter().enumerate() {
-            assert!(tok < self.cfg.vocab, "token out of vocabulary");
-            for i in 0..d {
-                h[(i, t)] = self.embed[(tok, i)];
-            }
-        }
         let mut traces = Vec::new();
-        for block in &self.blocks {
-            // Attention sub-block.
-            let mut a = h.clone();
-            for t in 0..t_len {
-                let mut col: Vec<f64> = (0..d).map(|i| a[(i, t)]).collect();
-                rmsnorm_col(&mut col, &block.ln1);
-                for i in 0..d {
-                    a[(i, t)] = col[i];
-                }
-            }
-            if trace {
-                traces.push(a.clone()); // wq input
-                traces.push(a.clone()); // wk input
-                traces.push(a.clone()); // wv input
-            }
-            let q = block.wq.matmul(&a);
-            let k = block.wk.matmul(&a);
-            let v = block.wv.matmul(&a);
-            let mut attn = Matrix::zeros(d, t_len);
-            let scale = 1.0 / (dh as f64).sqrt();
-            for head in 0..nh {
-                let off = head * dh;
-                for t in 0..t_len {
-                    // Causal scores for token t.
-                    let mut scores = Vec::with_capacity(t + 1);
-                    for s in 0..=t {
-                        let dot: f64 = (0..dh).map(|i| q[(off + i, t)] * k[(off + i, s)]).sum();
-                        scores.push(dot * scale);
-                    }
-                    let max = scores.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
-                    let mut sum = 0.0;
-                    for s in scores.iter_mut() {
-                        *s = (*s - max).exp();
-                        sum += *s;
-                    }
-                    for s in 0..=t {
-                        let alpha = scores[s] / sum;
-                        for i in 0..dh {
-                            attn[(off + i, t)] += alpha * v[(off + i, s)];
-                        }
-                    }
-                }
-            }
-            if trace {
-                traces.push(attn.clone()); // wo input
-            }
-            let o = block.wo.matmul(&attn);
-            for t in 0..t_len {
-                for i in 0..d {
-                    h[(i, t)] += o[(i, t)];
-                }
-            }
-            // FFN sub-block.
-            let mut b = h.clone();
-            for t in 0..t_len {
-                let mut col: Vec<f64> = (0..d).map(|i| b[(i, t)]).collect();
-                rmsnorm_col(&mut col, &block.ln2);
-                for i in 0..d {
-                    b[(i, t)] = col[i];
-                }
-            }
-            if trace {
-                traces.push(b.clone()); // w_up input
-            }
-            let mut u = block.w_up.matmul(&b);
-            for v in u.as_mut_slice() {
-                *v = silu(*v);
-            }
-            if trace {
-                traces.push(u.clone()); // w_down input
-            }
-            let dn = block.w_down.matmul(&u);
-            for t in 0..t_len {
-                for i in 0..d {
-                    h[(i, t)] += dn[(i, t)];
-                }
-            }
-        }
-        for t in 0..t_len {
-            let mut col: Vec<f64> = (0..d).map(|i| h[(i, t)]).collect();
-            rmsnorm_col(&mut col, &self.ln_f);
-            for i in 0..d {
-                h[(i, t)] = col[i];
-            }
-        }
-        (self.embed.matmul(&h), traces)
+        let mut state = DecodeState::exact(self.cfg);
+        let logits = decode::advance_batch(
+            self,
+            &mut [DecodeJob {
+                state: &mut state,
+                tokens,
+            }],
+            trace.then_some(&mut traces),
+        )
+        .pop()
+        .expect("one job in, one logit matrix out");
+        (logits, traces)
     }
 
     /// Logits (`vocab × T`) for a token sequence.
@@ -278,13 +207,78 @@ impl TinyFm {
         self.forward_inner(tokens, false).0
     }
 
-    /// Samples a sequence of the given length from the model.
+    /// Processes a whole prompt in one pass, returning the decode state
+    /// (per-block KV caches) and the prompt logits (`vocab × T`).
+    /// Follow with [`TinyFm::decode_step`] for O(prefix) per-token decode;
+    /// in [`KvMode::Exact`] the results are bit-identical to re-running
+    /// [`TinyFm::forward`] over the growing sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] for an invalid quantized KV
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or any token is out of vocabulary.
+    pub fn prefill(
+        &self,
+        tokens: &[usize],
+        mode: KvMode,
+    ) -> Result<(DecodeState, Matrix), QuantError> {
+        let mut state = DecodeState::new(self.cfg, mode)?;
+        let logits = decode::advance_batch(
+            self,
+            &mut [DecodeJob {
+                state: &mut state,
+                tokens,
+            }],
+            None,
+        )
+        .pop()
+        .expect("one job in, one logit matrix out");
+        Ok((state, logits))
+    }
+
+    /// Advances an incremental decode state by one token, returning the
+    /// logits (`vocab` values) at the new position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token is out of vocabulary or the state was built
+    /// for a different architecture.
+    pub fn decode_step(&self, state: &mut DecodeState, token: usize) -> Vec<f64> {
+        decode::advance_batch(
+            self,
+            &mut [DecodeJob {
+                state,
+                tokens: &[token],
+            }],
+            None,
+        )
+        .pop()
+        .expect("one job in, one logit matrix out")
+        .col(0)
+    }
+
+    /// Samples a sequence of the given length from the model, decoding
+    /// incrementally (one prefill, then one KV-cached step per token —
+    /// bit-identical to full-prefix recompute in exact mode).
     pub fn generate(&self, len: usize, temperature: f64, rng: &mut SeededRng) -> Vec<usize> {
         let mut tokens = vec![rng.below(self.cfg.vocab)];
+        if tokens.len() >= len {
+            return tokens;
+        }
+        let (mut state, logits) = self
+            .prefill(&tokens, KvMode::Exact)
+            .expect("exact KV mode is always valid");
+        let mut last = logits.col(logits.cols() - 1);
         while tokens.len() < len {
-            let logits = self.forward(&tokens);
-            let t = tokens.len() - 1;
-            tokens.push(crate::packed::sample_token(&logits, t, temperature, rng));
+            let tok = crate::packed::sample_logits(&last, temperature, rng);
+            tokens.push(tok);
+            if tokens.len() < len {
+                last = self.decode_step(&mut state, tok);
+            }
         }
         tokens
     }

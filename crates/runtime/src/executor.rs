@@ -20,7 +20,7 @@
 use crate::cache::{CacheStats, DecodedCache, DecodedTile};
 use crate::kernel::{
     accumulate_bucketed, accumulate_flat, accumulate_span, for_col_chunks, fused_gemm_serial,
-    groups_for_rows,
+    fused_gemv_serial, groups_for_rows,
 };
 use microscopiq_core::packed::PackedLayer;
 use microscopiq_fm::PackedGemm;
@@ -135,6 +135,14 @@ impl RuntimeEngine {
             return match (&self.cache, layer_id) {
                 (Some(cache), Some(id)) => {
                     self.gemm_rows_cached(cache, id, layer, acts, 0, layer.d_row())
+                }
+                // Decode fast path: one activation column (m = 1) is a
+                // GEMV — run it with the vector kernel (no tile
+                // bookkeeping, no Matrix output staging). Large m = 1
+                // problems still honor `parallel_threshold` above, so
+                // decode on a big layer can use the row-tiled workers.
+                _ if acts.cols() == 1 => {
+                    Matrix::from_vec(layer.d_row(), 1, fused_gemv_serial(layer, acts.as_slice()))
                 }
                 _ => fused_gemm_serial(layer, acts),
             };
@@ -444,6 +452,47 @@ mod tests {
                 engine.gemm(&layer, &acts),
                 layer.dequantize().matmul(&acts),
                 "tile_rows={tile_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_column_fast_path_matches_dense() {
+        // m = 1 below the parallel threshold takes the serial GEMV route
+        // (bit-exact uncached, 1e-9 through the bucketed cache); above
+        // the threshold it still honors the row-tiled parallel config.
+        for axis in [GroupAxis::DotProduct, GroupAxis::OutputChannel] {
+            let layer = packed_layer(64, 32, axis, 13);
+            let mut rng = SeededRng::new(14);
+            let acts = Matrix::from_fn(32, 1, |_, _| rng.normal(0.0, 1.0));
+            let dense = layer.dequantize().matmul(&acts);
+            let gemv_route = RuntimeEngine::new(EngineConfig {
+                threads: 4,
+                cache_bytes: 0,
+                tile_rows: 8,
+                parallel_threshold: usize::MAX,
+            });
+            assert_eq!(gemv_route.gemm(&layer, &acts), dense, "{axis:?} gemv");
+            let parallel_route = RuntimeEngine::new(EngineConfig {
+                threads: 4,
+                cache_bytes: 0,
+                tile_rows: 8,
+                parallel_threshold: 0,
+            });
+            assert_eq!(
+                parallel_route.gemm(&layer, &acts),
+                dense,
+                "{axis:?} parallel m=1"
+            );
+            let cached = RuntimeEngine::new(EngineConfig {
+                threads: 4,
+                cache_bytes: 1 << 20,
+                tile_rows: 8,
+                parallel_threshold: usize::MAX,
+            });
+            assert!(
+                max_abs_diff(&cached.gemm(&layer, &acts), &dense) < 1e-9,
+                "{axis:?} cached"
             );
         }
     }

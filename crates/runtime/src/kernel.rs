@@ -302,6 +302,54 @@ pub fn fused_gemm_serial(layer: &PackedLayer, acts: &Matrix) -> Matrix {
     out
 }
 
+/// The scalar fused dequant-GEMV: `W · x` for a single activation column,
+/// computed straight from packed blocks with no tile bookkeeping. This is
+/// the decode fast path (m = 1): per-step serving batches of one collapse
+/// to a GEMV per linear layer, where tile-queue and thread-spawn overhead
+/// would dominate the actual multiply-accumulates.
+///
+/// Bit-identical to [`fused_gemm_serial`] on a one-column activation
+/// matrix (same per-element accumulation order).
+///
+/// # Panics
+///
+/// Panics if `x.len() != layer.d_col()`.
+pub fn fused_gemv_serial(layer: &PackedLayer, x: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        layer.d_col(),
+        x.len(),
+        "fused gemv dimension mismatch: {}x{} · {}",
+        layer.d_row(),
+        layer.d_col(),
+        x.len()
+    );
+    let mut out = vec![0.0_f64; layer.d_row()];
+    let mut buf = vec![0.0_f64; layer.macro_block()];
+    for g in groups_for_rows(layer, 0, layer.d_row()) {
+        let span = layer.group_span(g);
+        layer.decode_group_into(g, &mut buf);
+        match layer.axis() {
+            GroupAxis::DotProduct => {
+                let acc = &mut out[span.line];
+                for (i, &wv) in buf[..span.len].iter().enumerate() {
+                    if wv != 0.0 {
+                        *acc += wv * x[span.offset + i];
+                    }
+                }
+            }
+            GroupAxis::OutputChannel => {
+                let a = x[span.line];
+                for (i, &wv) in buf[..span.len].iter().enumerate() {
+                    if wv != 0.0 {
+                        out[span.offset + i] += wv * a;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,5 +423,30 @@ mod tests {
         let layer = packed_layer(16, 32, GroupAxis::DotProduct, 2, 9);
         let acts = Matrix::zeros(16, 4);
         let _ = fused_gemm_serial(&layer, &acts);
+    }
+
+    #[test]
+    fn gemv_matches_gemm_bitwise_both_axes() {
+        for (axis, rows, cols) in [
+            (GroupAxis::DotProduct, 24, 48),
+            (GroupAxis::OutputChannel, 32, 16),
+        ] {
+            for bits in [2, 4] {
+                let layer = packed_layer(rows, cols, axis, bits, 21);
+                let mut rng = SeededRng::new(22);
+                let x: Vec<f64> = (0..cols).map(|_| rng.normal(0.0, 1.0)).collect();
+                let acts = Matrix::from_vec(cols, 1, x.clone());
+                let gemv = fused_gemv_serial(&layer, &x);
+                let gemm = fused_gemm_serial(&layer, &acts);
+                assert_eq!(gemv, gemm.as_slice().to_vec(), "{axis:?} bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gemv dimension mismatch")]
+    fn gemv_dimension_mismatch_panics() {
+        let layer = packed_layer(16, 32, GroupAxis::DotProduct, 2, 9);
+        let _ = fused_gemv_serial(&layer, &[0.0; 16]);
     }
 }

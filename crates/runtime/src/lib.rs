@@ -19,8 +19,14 @@
 //!   into [`microscopiq_fm::PackedTinyFm`] through the
 //!   [`microscopiq_fm::PackedGemm`] trait.
 //! * [`session`] — [`Session`]/[`BatchScheduler`]: continuous batching of
-//!   concurrent generation requests over a packed TinyFM, one
-//!   segment-packed forward per decode step.
+//!   concurrent generation requests over a packed TinyFM with
+//!   **incremental KV-cached decode**: every request owns a
+//!   [`microscopiq_fm::DecodeState`], the first scheduled step prefills
+//!   its prompt, and every later step feeds a single token through one
+//!   segment-packed forward — O(prefix) per step instead of the
+//!   O(prefix²) full-prefix recompute, bit-identical in exact-KV mode.
+//!   [`Session::step`] returns the requests that finished on that step so
+//!   callers can stream completions.
 //!
 //! # Examples
 //!
@@ -59,5 +65,6 @@ pub mod session;
 
 pub use cache::{BucketTile, CacheStats, DecodedCache, DecodedTile, FlatTile};
 pub use executor::{EngineConfig, RuntimeEngine};
-pub use kernel::fused_gemm_serial;
+pub use kernel::{fused_gemm_serial, fused_gemv_serial};
+pub use microscopiq_fm::{DecodeState, KvCacheConfig, KvMode};
 pub use session::{BatchScheduler, GenRequest, GenResult, RequestId, Session, SessionStats};

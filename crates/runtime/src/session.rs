@@ -3,19 +3,31 @@
 //! into a single segment-packed forward pass per decode step, driving the
 //! packed model end-to-end through the engine.
 //!
+//! Decode is **incremental**: every request owns a
+//! [`DecodeState`] (per-block appendable KV caches). The first step a
+//! request is scheduled runs its whole prompt as a prefill segment; every
+//! later step feeds exactly one token — the previously sampled one — so
+//! per-step work is O(prefix) instead of the O(prefix²) of full-prefix
+//! recompute. Prefill segments and single-token decode segments ride in
+//! the *same* segment-packed forward, so a step is always one engine pass.
+//!
 //! Scheduling is continuous ("in-flight") batching: every step takes up to
 //! `max_batch` live requests in arrival order, runs one batched forward,
 //! samples one token per request with that request's own seeded RNG, and
 //! retires requests as they hit their token budget — freeing batch slots
 //! for queued requests mid-flight, exactly like a serving system draining
-//! a request queue.
+//! a request queue. [`Session::step`] returns the requests that finished
+//! on that step, so callers can stream completions without polling.
 //!
 //! Determinism contract: a request's output depends only on the model, its
-//! prompt, its sampling seed, and its temperature — never on what it was
-//! batched with. Segment packing keeps logits bit-identical to a solo
-//! forward, and per-request RNGs keep sampling isolated.
+//! prompt, its sampling seed, its temperature, and the session's KV mode —
+//! never on what it was batched with. In the default [`KvMode::Exact`],
+//! incremental decode is bit-identical to a solo full-prefix forward; in
+//! [`KvMode::Quantized`] aged cache tokens are served dequantized
+//! (bounded attention error, see `microscopiq_core::kv_cache`).
 
-use microscopiq_fm::{sample_token, PackedGemm, PackedTinyFm};
+use microscopiq_core::error::QuantError;
+use microscopiq_fm::{sample_logits, DecodeJob, DecodeState, KvMode, PackedGemm, PackedTinyFm};
 use microscopiq_linalg::SeededRng;
 use std::collections::VecDeque;
 
@@ -56,6 +68,8 @@ pub struct SessionStats {
     pub tokens_generated: usize,
     /// Largest batch actually executed.
     pub max_batch_used: usize,
+    /// Prompt tokens processed as prefill segments.
+    pub prefill_tokens: usize,
 }
 
 #[derive(Debug)]
@@ -66,6 +80,9 @@ struct InFlight {
     remaining: usize,
     temperature: f64,
     rng: SeededRng,
+    /// Incremental decode state; created (and prefilled) the first step
+    /// this request is scheduled.
+    state: Option<DecodeState>,
 }
 
 /// Packs pending requests into decode batches (arrival order, bounded by
@@ -111,6 +128,7 @@ pub struct Session<E: PackedGemm> {
     model: PackedTinyFm,
     engine: E,
     scheduler: BatchScheduler,
+    kv_mode: KvMode,
     next_id: RequestId,
     finished: Vec<GenResult>,
     stats: SessionStats,
@@ -118,16 +136,45 @@ pub struct Session<E: PackedGemm> {
 
 impl<E: PackedGemm> Session<E> {
     /// Creates a session serving `model` through `engine`, batching up to
-    /// `max_batch` concurrent requests per decode step.
+    /// `max_batch` concurrent requests per decode step. KV caches stay at
+    /// full precision ([`KvMode::Exact`]): outputs are bit-identical to
+    /// solo full-prefix generation.
     pub fn new(model: PackedTinyFm, engine: E, max_batch: usize) -> Self {
-        Self {
+        Self::with_kv_mode(model, engine, max_batch, KvMode::Exact)
+            .expect("exact KV mode is always valid")
+    }
+
+    /// Creates a session with an explicit KV storage mode.
+    /// [`KvMode::Quantized`] stores aged cache tokens at the configured
+    /// bit width (KIVI-style), shrinking decode-time memory traffic at a
+    /// bounded attention-error cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] for an invalid quantized KV
+    /// configuration (zero group size).
+    pub fn with_kv_mode(
+        model: PackedTinyFm,
+        engine: E,
+        max_batch: usize,
+        kv_mode: KvMode,
+    ) -> Result<Self, QuantError> {
+        // Validate the mode once up front so `step` can't fail later.
+        DecodeState::new(model.config(), kv_mode)?;
+        Ok(Self {
             model,
             engine,
             scheduler: BatchScheduler::new(max_batch),
+            kv_mode,
             next_id: 0,
             finished: Vec::new(),
             stats: SessionStats::default(),
-        }
+        })
+    }
+
+    /// The session's KV storage mode.
+    pub fn kv_mode(&self) -> KvMode {
+        self.kv_mode
     }
 
     /// The engine (for cache statistics etc.).
@@ -175,52 +222,86 @@ impl<E: PackedGemm> Session<E> {
             remaining: req.max_new_tokens,
             temperature: req.temperature,
             rng: SeededRng::new(req.seed),
+            state: None,
         });
         id
     }
 
     /// Runs one batched decode step over up to `max_batch` live requests:
-    /// one segment-packed forward, one sampled token per request. Returns
-    /// the number of tokens generated (0 when idle).
-    pub fn step(&mut self) -> usize {
+    /// one segment-packed forward (a whole-prompt prefill segment the
+    /// first time a request is scheduled, a single-token segment on every
+    /// later step), one sampled token per request. Returns the requests
+    /// that **finished** on this step (plus any zero-budget submissions
+    /// that completed instantly since the last step), sorted by id —
+    /// empty when nothing finished or the session is idle.
+    pub fn step(&mut self) -> Vec<GenResult> {
+        // Instantly-finished (zero-budget) requests drain through the
+        // next step so streaming callers see every completion.
+        let mut done = std::mem::take(&mut self.finished);
         let mut batch = self.scheduler.take_batch();
-        if batch.is_empty() {
-            return 0;
-        }
-        let seqs: Vec<&[usize]> = batch.iter().map(|r| r.tokens.as_slice()).collect();
-        let logits = self.model.forward_batch(&seqs, &self.engine);
-        self.stats.steps += 1;
-        self.stats.max_batch_used = self.stats.max_batch_used.max(batch.len());
-        let mut generated = 0;
-        for (req, logit) in batch.iter_mut().zip(logits.iter()) {
-            let t = req.tokens.len() - 1;
-            let tok = sample_token(logit, t, req.temperature, &mut req.rng);
-            req.tokens.push(tok);
-            req.remaining -= 1;
-            generated += 1;
-        }
-        self.stats.tokens_generated += generated;
-        // Retire finished requests; the rest return to the queue's front in
-        // order, keeping arrival-order fairness.
-        for req in batch.into_iter().rev() {
-            if req.remaining == 0 {
-                self.finished.push(GenResult {
-                    id: req.id,
-                    new_tokens: req.tokens.len() - req.prompt_len,
-                    tokens: req.tokens,
-                });
-            } else {
-                self.scheduler.queue.push_front(req);
+        if !batch.is_empty() {
+            for req in batch.iter_mut() {
+                if req.state.is_none() {
+                    let state = DecodeState::new(self.model.config(), self.kv_mode)
+                        .expect("kv mode validated at construction");
+                    self.stats.prefill_tokens += req.tokens.len();
+                    req.state = Some(state);
+                }
+            }
+            let mut jobs: Vec<DecodeJob<'_>> = batch
+                .iter_mut()
+                .map(|req| {
+                    let InFlight { state, tokens, .. } = req;
+                    let state = state.as_mut().expect("state created above");
+                    // New tokens = whatever the cache hasn't seen: the
+                    // whole prompt at prefill, exactly one token after.
+                    let tokens = &tokens[state.len()..];
+                    DecodeJob { state, tokens }
+                })
+                .collect();
+            let logits = self.model.advance_batch(&mut jobs, &self.engine);
+            drop(jobs);
+            self.stats.steps += 1;
+            self.stats.max_batch_used = self.stats.max_batch_used.max(batch.len());
+            let mut generated = 0;
+            for (req, logit) in batch.iter_mut().zip(logits.iter()) {
+                let last = logit.col(logit.cols() - 1);
+                let tok = sample_logits(&last, req.temperature, &mut req.rng);
+                req.tokens.push(tok);
+                req.remaining -= 1;
+                generated += 1;
+            }
+            self.stats.tokens_generated += generated;
+            // Retire finished requests; the rest return to the queue's
+            // front in order, keeping arrival-order fairness.
+            for req in batch.into_iter().rev() {
+                if req.remaining == 0 {
+                    done.push(GenResult {
+                        id: req.id,
+                        new_tokens: req.tokens.len() - req.prompt_len,
+                        tokens: req.tokens,
+                    });
+                } else {
+                    self.scheduler.queue.push_front(req);
+                }
             }
         }
-        generated
+        done.sort_by_key(|r| r.id);
+        done
     }
 
     /// Drives decode steps until every submitted request has finished,
-    /// returning all results sorted by request id.
+    /// returning all results sorted by request id. Built on
+    /// [`Session::step`] — callers that want completions as they happen
+    /// can drive `step` themselves.
     pub fn run_to_completion(&mut self) -> Vec<GenResult> {
-        while self.step() > 0 {}
-        let mut out = std::mem::take(&mut self.finished);
+        let mut out = Vec::new();
+        loop {
+            out.extend(self.step());
+            if self.scheduler.pending() == 0 && self.finished.is_empty() {
+                break;
+            }
+        }
         out.sort_by_key(|r| r.id);
         out
     }
@@ -254,14 +335,20 @@ mod tests {
         (fm, packed)
     }
 
-    /// Reference: generate one request alone through the same engine type.
+    /// Reference: generate one request alone through the same engine type,
+    /// re-running the full prefix every step (the pre-incremental path).
     fn solo_generate(model: &PackedTinyFm, req: &GenRequest) -> Vec<usize> {
         let mut tokens = req.prompt.clone();
         let mut rng = SeededRng::new(req.seed);
         for _ in 0..req.max_new_tokens {
             let logits = model.forward(&tokens, &DequantGemm);
             let t = tokens.len() - 1;
-            tokens.push(sample_token(&logits, t, req.temperature, &mut rng));
+            tokens.push(microscopiq_fm::sample_token(
+                &logits,
+                t,
+                req.temperature,
+                &mut rng,
+            ));
         }
         tokens
     }
@@ -332,6 +419,113 @@ mod tests {
         assert_eq!(results[0].id, id);
         assert_eq!(results[0].tokens, vec![5, 6]);
         assert_eq!(session.stats().steps, 0);
+    }
+
+    #[test]
+    fn step_streams_completions_as_they_finish() {
+        let (_, packed) = packed_model(35);
+        let mut session = Session::new(packed, DequantGemm, 4);
+        // Budgets 1 and 3: the first request must surface from step() two
+        // steps before the second.
+        let ids: Vec<RequestId> = [1usize, 3]
+            .iter()
+            .map(|&budget| {
+                session.submit(GenRequest {
+                    prompt: vec![7, 8],
+                    max_new_tokens: budget,
+                    temperature: 0.8,
+                    seed: budget as u64,
+                })
+            })
+            .collect();
+        let first = session.step();
+        assert_eq!(first.len(), 1, "budget-1 request finishes on step 1");
+        assert_eq!(first[0].id, ids[0]);
+        assert_eq!(first[0].new_tokens, 1);
+        assert!(session.step().is_empty(), "nothing finishes on step 2");
+        let third = session.step();
+        assert_eq!(third.len(), 1, "budget-3 request finishes on step 3");
+        assert_eq!(third[0].id, ids[1]);
+        assert!(session.step().is_empty(), "idle session streams nothing");
+        assert_eq!(session.stats().steps, 3);
+    }
+
+    #[test]
+    fn zero_budget_completions_drain_through_step() {
+        let (_, packed) = packed_model(36);
+        let mut session = Session::new(packed, DequantGemm, 2);
+        let id = session.submit(GenRequest {
+            prompt: vec![3],
+            max_new_tokens: 0,
+            temperature: 1.0,
+            seed: 9,
+        });
+        let done = session.step();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        assert_eq!(session.stats().steps, 0, "no forward ran");
+    }
+
+    #[test]
+    fn incremental_decode_prefills_once_per_request() {
+        let (_, packed) = packed_model(37);
+        let mut session = Session::new(packed, DequantGemm, 2);
+        for i in 0..2 {
+            session.submit(GenRequest {
+                prompt: vec![1, 2, 3, 4],
+                max_new_tokens: 5,
+                temperature: 0.8,
+                seed: i,
+            });
+        }
+        session.run_to_completion();
+        let stats = session.stats();
+        assert_eq!(
+            stats.prefill_tokens, 8,
+            "each prompt prefilled exactly once"
+        );
+        assert_eq!(stats.tokens_generated, 10);
+        // 5 steps: one prefill+sample step, then 4 single-token steps.
+        assert_eq!(stats.steps, 5);
+    }
+
+    #[test]
+    fn quantized_kv_session_serves_and_differs_only_in_cache_precision() {
+        use microscopiq_fm::{KvCacheConfig, KvMode};
+
+        let (_, packed) = packed_model(38);
+        // A tiny residual window so quantization actually engages.
+        let mode = KvMode::Quantized(KvCacheConfig {
+            bits: 4,
+            group: 8,
+            residual: 8,
+        });
+        let mut session = Session::with_kv_mode(packed, DequantGemm, 2, mode).unwrap();
+        let id = session.submit(GenRequest {
+            prompt: vec![1, 2, 3],
+            max_new_tokens: 24,
+            temperature: 0.8,
+            seed: 5,
+        });
+        let results = session.run_to_completion();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].id, id);
+        assert_eq!(results[0].new_tokens, 24);
+        let vocab = session.model().config().vocab;
+        assert!(results[0].tokens.iter().all(|&t| t < vocab));
+    }
+
+    #[test]
+    fn invalid_kv_mode_rejected_at_construction() {
+        use microscopiq_fm::{KvCacheConfig, KvMode};
+
+        let (_, packed) = packed_model(39);
+        let bad = KvMode::Quantized(KvCacheConfig {
+            bits: 2,
+            group: 0,
+            residual: 8,
+        });
+        assert!(Session::with_kv_mode(packed, DequantGemm, 2, bad).is_err());
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Packed inference end to end: quantize a TinyFM with MicroScopiQ, serve
 //! a batch of concurrent generation requests straight from the packed
-//! weights through `microscopiq-runtime`, and verify against the dense
-//! dequantized path — identical tokens, logit divergence < 1e-9, and the
-//! dense weight matrices never materialized inside the forward pass.
+//! weights through `microscopiq-runtime` — incremental KV-cached decode,
+//! one segment-packed forward per step, completions streamed from
+//! `Session::step` — and verify against the dense dequantized
+//! full-prefix-recompute path: identical tokens, logit divergence
+//! < 1e-9, and the dense weight matrices never materialized inside the
+//! forward pass.
 //!
 //! ```sh
 //! cargo run --release --example packed_inference
@@ -58,13 +61,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for r in &requests {
         session.submit(r.clone());
     }
-    let results = session.run_to_completion();
+    // Drive decode steps by hand: each step is ONE segment-packed forward
+    // (prompt prefill the first time a request is scheduled, a single
+    // KV-cached token afterwards), and returns whatever finished on that
+    // step — completions stream out without polling.
+    let mut results = Vec::new();
+    while results.len() < requests.len() {
+        let step_before = session.stats().steps;
+        for done in session.step() {
+            println!(
+                "  [step {:>2}] request {} finished ({} new tokens)",
+                step_before + 1,
+                done.id,
+                done.new_tokens
+            );
+            results.push(done);
+        }
+    }
+    results.sort_by_key(|r| r.id);
     let stats = session.stats();
     println!(
-        "served {} requests in {} batched steps (max batch {}), {} tokens generated",
+        "served {} requests in {} batched steps (max batch {}), {} prompt tokens prefilled, {} tokens generated",
         results.len(),
         stats.steps,
         stats.max_batch_used,
+        stats.prefill_tokens,
         stats.tokens_generated
     );
     if let Some(cache) = session.engine().cache_stats() {
