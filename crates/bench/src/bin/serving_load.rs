@@ -1,0 +1,289 @@
+//! Serving load: open-loop request arrival against the threaded
+//! [`Server`] front-end at several QPS levels, plus a flood (all-at-once)
+//! level and a churn level where streams are dropped and deadlined
+//! mid-flight.
+//!
+//! Each level spawns a fresh server over the packed runtime engine,
+//! submits `N` requests on an open-loop arrival clock (submission times
+//! do not wait for responses — the queue's backpressure is part of what
+//! is measured), and one collector thread per stream timestamps every
+//! token. Reported per level:
+//!
+//! * **tok/s** — generated tokens over the span from first submission to
+//!   last completion;
+//! * **ttft p50/p95** — submission → first token;
+//! * **tok p50/p95** — inter-token gap (per-token latency while
+//!   streaming);
+//! * **peak streams** — most streams live at once (admitted,
+//!   unfinished).
+//!
+//! Emits `results/BENCH_serving_load.json`. Acceptance: the flood level
+//! sustains ≥ 32 concurrent streams, and the churn level reclaims every
+//! dropped/expired request (final KV occupancy 0).
+
+use microscopiq_bench::{f2, Table};
+use microscopiq_core::{MicroScopiQ, QuantConfig};
+use microscopiq_fm::{PackedTinyFm, TinyFm, TinyFmConfig};
+use microscopiq_linalg::SeededRng;
+use microscopiq_runtime::{
+    Deadline, GenRequest, RequestOptions, RuntimeEngine, Server, ServerConfig, StreamEvent,
+};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const N_REQUESTS: usize = 64;
+const PROMPT_LEN: usize = 8;
+const BUDGET: usize = 16;
+
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[idx]
+}
+
+fn bench_model() -> PackedTinyFm {
+    let cfg = TinyFmConfig {
+        d_model: 32,
+        n_heads: 2,
+        d_ff: 64,
+        n_layers: 2,
+        vocab: 64,
+    };
+    let fm = TinyFm::teacher(cfg, 21);
+    let mut rng = SeededRng::new(22);
+    let calib: Vec<Vec<usize>> = (0..4).map(|_| fm.generate(12, 0.9, &mut rng)).collect();
+    let q = MicroScopiQ::new(
+        QuantConfig::w4()
+            .macro_block(32)
+            .row_block(32)
+            .build()
+            .unwrap(),
+    );
+    PackedTinyFm::quantize_from(&fm, &q, &calib).unwrap()
+}
+
+fn request(i: usize, vocab: usize) -> GenRequest {
+    let mut rng = SeededRng::new(900 + i as u64);
+    GenRequest {
+        prompt: (0..PROMPT_LEN).map(|_| rng.below(vocab)).collect(),
+        max_new_tokens: BUDGET,
+        temperature: 0.8,
+        seed: 3_000 + i as u64,
+    }
+}
+
+/// Per-stream behaviour in the churn level.
+#[derive(Clone, Copy, PartialEq)]
+enum Churn {
+    /// Consume the stream to completion.
+    Run,
+    /// Drop the stream after 4 tokens (client hangs up).
+    DropEarly,
+    /// Submit with an 8-step deadline (expires before the 16-token
+    /// budget).
+    Deadline,
+}
+
+struct Sample {
+    ttft_ms: f64,
+    gaps_ms: Vec<f64>,
+    tokens: usize,
+    completed: bool,
+}
+
+struct LevelOutcome {
+    samples: Vec<Sample>,
+    span_s: f64,
+    peak_live: usize,
+    cancelled: usize,
+    expired: usize,
+    final_kv_rows: usize,
+}
+
+/// Runs one load level: open-loop arrival at `qps` (`None` = flood, all
+/// submissions back to back), one collector thread per stream.
+fn run_level(model: &PackedTinyFm, qps: Option<f64>, churn: bool) -> LevelOutcome {
+    let server = Server::spawn(
+        model.clone(),
+        RuntimeEngine::parallel(),
+        ServerConfig {
+            max_batch: 32,
+            queue_capacity: 128,
+            max_in_flight: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn server");
+    let handle = server.handle();
+    let vocab = model.config().vocab;
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+
+    std::thread::scope(|scope| {
+        for i in 0..N_REQUESTS {
+            if let Some(qps) = qps {
+                // Open-loop clock: arrival i happens at i/qps seconds,
+                // regardless of how far along the server is.
+                let due = Duration::from_secs_f64(i as f64 / qps);
+                let now = t0.elapsed();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+            }
+            let behaviour = match (churn, i % 4) {
+                (true, 1) => Churn::DropEarly,
+                (true, 3) => Churn::Deadline,
+                _ => Churn::Run,
+            };
+            let opts = RequestOptions {
+                deadline: (behaviour == Churn::Deadline).then_some(Deadline::Steps(8)),
+            };
+            let mut stream = handle.submit_with(request(i, vocab), opts).expect("submit");
+            let submitted = Instant::now();
+            let samples = &samples;
+            scope.spawn(move || {
+                let mut last = submitted;
+                let mut sample = Sample {
+                    ttft_ms: f64::NAN,
+                    gaps_ms: Vec::new(),
+                    tokens: 0,
+                    completed: false,
+                };
+                while let Some(ev) = stream.next_event() {
+                    match ev {
+                        StreamEvent::Token(_) => {
+                            let now = Instant::now();
+                            let gap = now.duration_since(last).as_secs_f64() * 1e3;
+                            if sample.tokens == 0 {
+                                sample.ttft_ms = gap;
+                            } else {
+                                sample.gaps_ms.push(gap);
+                            }
+                            last = now;
+                            sample.tokens += 1;
+                            if behaviour == Churn::DropEarly && sample.tokens == 4 {
+                                break; // dropping `stream` cancels it
+                            }
+                        }
+                        StreamEvent::Finished(_) => sample.completed = true,
+                        StreamEvent::Error(_) => {}
+                    }
+                }
+                samples.lock().unwrap().push(sample);
+            });
+        }
+    });
+    // The scope joined every collector, so all streams are terminal.
+    let span_s = t0.elapsed().as_secs_f64();
+    let peak_live = handle.peak_live_streams();
+    drop(handle);
+    let report = server.shutdown();
+    LevelOutcome {
+        samples: samples.into_inner().unwrap(),
+        span_s,
+        peak_live,
+        cancelled: report.cancelled,
+        expired: report.expired,
+        final_kv_rows: report.final_kv_rows,
+    }
+}
+
+fn main() {
+    let model = bench_model();
+    let mut table = Table::new(
+        "Serving load: open-loop arrival over the threaded front-end",
+        &[
+            "arrival",
+            "reqs",
+            "done",
+            "tok/s",
+            "ttft p50 ms",
+            "ttft p95 ms",
+            "tok p50 ms",
+            "tok p95 ms",
+            "peak streams",
+        ],
+    );
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut flood_peak = 0usize;
+
+    let levels: [(&str, Option<f64>, bool); 5] = [
+        ("64 qps", Some(64.0), false),
+        ("256 qps", Some(256.0), false),
+        ("1024 qps", Some(1024.0), false),
+        ("flood", None, false),
+        ("flood+churn", None, true),
+    ];
+    for (name, qps, churn) in levels {
+        let out = run_level(&model, qps, churn);
+        let done = out.samples.iter().filter(|s| s.completed).count();
+        let tokens: usize = out.samples.iter().map(|s| s.tokens).sum();
+        let mut ttft: Vec<f64> = out
+            .samples
+            .iter()
+            .map(|s| s.ttft_ms)
+            .filter(|v| v.is_finite())
+            .collect();
+        let mut gaps: Vec<f64> = out
+            .samples
+            .iter()
+            .flat_map(|s| s.gaps_ms.iter().copied())
+            .collect();
+        let tok_per_s = tokens as f64 / out.span_s;
+        let slug = name.replace([' ', '+'], "_");
+        table.row(vec![
+            name.to_string(),
+            N_REQUESTS.to_string(),
+            done.to_string(),
+            f2(tok_per_s),
+            f2(percentile(&mut ttft, 50.0)),
+            f2(percentile(&mut ttft, 95.0)),
+            f2(percentile(&mut gaps, 50.0)),
+            f2(percentile(&mut gaps, 95.0)),
+            out.peak_live.to_string(),
+        ]);
+        metrics.push((format!("tokens_per_s_{slug}"), tok_per_s));
+        metrics.push((format!("ttft_p95_ms_{slug}"), percentile(&mut ttft, 95.0)));
+        metrics.push((
+            format!("token_latency_p95_ms_{slug}"),
+            percentile(&mut gaps, 95.0),
+        ));
+        metrics.push((format!("peak_streams_{slug}"), out.peak_live as f64));
+        if churn {
+            metrics.push(("churn_cancelled".to_string(), out.cancelled as f64));
+            metrics.push(("churn_expired".to_string(), out.expired as f64));
+            metrics.push(("churn_final_kv_rows".to_string(), out.final_kv_rows as f64));
+            assert_eq!(
+                out.final_kv_rows, 0,
+                "dropped/expired streams must release their KV caches"
+            );
+            assert!(
+                out.cancelled > 0 && out.expired > 0,
+                "churn level must exercise cancellation and deadlines"
+            );
+        } else if qps.is_none() {
+            flood_peak = out.peak_live;
+        }
+    }
+    table.print();
+
+    let sustained = flood_peak >= 32;
+    println!(
+        "\nacceptance: flood level peaked at {flood_peak} concurrent streams ({})",
+        if sustained { "PASS >= 32" } else { "FAIL < 32" }
+    );
+    metrics.push((
+        "sustained_32_streams".to_string(),
+        if sustained { 1.0 } else { 0.0 },
+    ));
+    assert!(
+        sustained,
+        "flood level must sustain >= 32 concurrent streams"
+    );
+
+    let metric_refs: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    table.write_json("serving_load", &metric_refs);
+}

@@ -277,6 +277,30 @@ impl LayerKvCache {
         self.quantized_tokens
     }
 
+    /// Bytes this cache's tokens would occupy in their *storage* format:
+    /// exact tokens at `2 × channels × 8` bytes (fp64 K + V rows),
+    /// quantized tokens at `2 × channels × bits / 8` plus one shared
+    /// exponent byte per quantization block — keys carry one block per
+    /// (channel, token group), values one block per token per
+    /// `group`-wide channel chunk, mirroring [`Self::append`]'s
+    /// chunking. Serving buffers hold dequantized fp64 regardless; this
+    /// is the accounting figure eviction policies and occupancy gauges
+    /// budget against.
+    pub fn storage_bytes(&self) -> usize {
+        let exact_tokens = self.len() - self.quantized_tokens;
+        let exact = 2 * exact_tokens * self.channels * 8;
+        let quantized = match self.mode {
+            KvMode::Quantized(cfg) if cfg.group > 0 => {
+                let payload = 2 * self.quantized_tokens * self.channels * cfg.bits as usize / 8;
+                let key_blocks = self.quantized_tokens.div_ceil(cfg.group) * self.channels;
+                let value_blocks = self.quantized_tokens * self.channels.div_ceil(cfg.group);
+                payload + key_blocks + value_blocks
+            }
+            _ => 0,
+        };
+        exact + quantized
+    }
+
     /// Appends one token's key/value rows, then (in quantized mode)
     /// quantizes any full group of tokens that has aged out of the
     /// residual window.
@@ -371,6 +395,35 @@ fn attention(q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
 mod tests {
     use super::*;
     use microscopiq_linalg::SeededRng;
+
+    #[test]
+    fn storage_bytes_accounts_exact_and_quantized_tokens() {
+        let ch = 32;
+        let mut exact = LayerKvCache::exact(ch);
+        let cfg = KvCacheConfig {
+            bits: 4,
+            group: 8,
+            residual: 8,
+        };
+        let mut quant = LayerKvCache::quantized(ch, cfg).unwrap();
+        let row = vec![0.5; ch];
+        for _ in 0..24 {
+            exact.append(&row, &row);
+            quant.append(&row, &row);
+        }
+        // Exact: 24 tokens × 2 rows × 32 channels × 8 bytes.
+        assert_eq!(exact.storage_bytes(), 24 * 2 * ch * 8);
+        // Quantized: two full groups (16 tokens) have aged out of the
+        // 8-token residual window; 8 tokens remain exact. Payload
+        // 2·16·32·4/8 bytes; exponents: one per (channel, token-group)
+        // key block = 2 × 32, plus one per token per 8-wide value
+        // chunk = 16 × 4.
+        assert_eq!(quant.quantized_len(), 16);
+        let payload = 2 * 16 * ch * 4 / 8;
+        let exponents = 2 * ch + 16 * ch.div_ceil(8);
+        assert_eq!(quant.storage_bytes(), 8 * 2 * ch * 8 + payload + exponents);
+        assert!(quant.storage_bytes() < exact.storage_bytes());
+    }
 
     fn kv(seed: u64, tokens: usize, channels: usize) -> (Matrix, Matrix, Matrix) {
         let mut rng = SeededRng::new(seed);

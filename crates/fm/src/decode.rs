@@ -163,6 +163,20 @@ impl DecodeState {
     pub fn cache(&self, layer: usize) -> &LayerKvCache {
         &self.caches[layer]
     }
+
+    /// Total K/V rows held across all layer caches — the per-request
+    /// occupancy figure a serving scheduler charges against its KV
+    /// budget (equals `tokens × n_layers` once a pass has run).
+    pub fn kv_rows(&self) -> usize {
+        self.caches.iter().map(|c| c.len()).sum()
+    }
+
+    /// Storage bytes of this request's KV footprint across all layers
+    /// (see [`LayerKvCache::storage_bytes`]) — what an eviction policy
+    /// reclaims by retiring the request.
+    pub fn kv_bytes(&self) -> usize {
+        self.caches.iter().map(|c| c.storage_bytes()).sum()
+    }
 }
 
 /// One unit of work for [`advance_batch`]: a decode state plus the new

@@ -27,6 +27,13 @@
 //!   O(prefix²) full-prefix recompute, bit-identical in exact-KV mode.
 //!   [`Session::step`] returns the requests that finished on that step so
 //!   callers can stream completions.
+//! * [`server`] — [`Server`]/[`ServerHandle`]: the threaded serving
+//!   front-end over [`Session`]. A dedicated worker thread drives the
+//!   decode loop; client threads submit [`GenRequest`]s through a
+//!   bounded admission queue (block or reject backpressure) and read
+//!   per-token [`ResponseStream`]s. Requests join the running batch
+//!   between steps, dropping a stream cancels its request (slot + KV
+//!   cache reclaimed), and per-request deadlines expire mid-flight.
 //!
 //! # Examples
 //!
@@ -61,10 +68,17 @@
 pub mod cache;
 pub mod executor;
 pub mod kernel;
+pub mod server;
 pub mod session;
 
 pub use cache::{BucketTile, CacheStats, DecodedCache, DecodedTile, FlatTile};
 pub use executor::{EngineConfig, RuntimeEngine};
 pub use kernel::{fused_gemm_serial, fused_gemv_serial};
 pub use microscopiq_fm::{DecodeState, KvCacheConfig, KvMode};
-pub use session::{BatchScheduler, GenRequest, GenResult, RequestId, Session, SessionStats};
+pub use server::{
+    AdmissionPolicy, Deadline, RequestOptions, ResponseStream, ServeError, Server, ServerConfig,
+    ServerHandle, ServerReport, StreamEvent, SubmitError,
+};
+pub use session::{
+    BatchScheduler, GenRequest, GenResult, RequestId, Session, SessionStats, StepReport,
+};

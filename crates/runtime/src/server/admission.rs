@@ -1,0 +1,112 @@
+//! Admission-side types: server configuration, backpressure policy,
+//! per-request options, and the submit-time error surface.
+
+use super::stream::StreamEvent;
+use crate::session::GenRequest;
+use microscopiq_fm::KvMode;
+use std::sync::atomic::AtomicBool;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// What [`ServerHandle::submit`](super::ServerHandle::submit) does when
+/// the admission queue is full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Block the submitting thread until a queue slot frees (classic
+    /// backpressure: producers run at the server's pace).
+    #[default]
+    Block,
+    /// Fail fast with [`SubmitError::QueueFull`], leaving the caller to
+    /// shed or retry.
+    Reject,
+}
+
+/// Configuration for [`Server::spawn`](super::Server::spawn).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Requests packed into one decode step (forwarded to
+    /// [`Session`](crate::Session)).
+    pub max_batch: usize,
+    /// Bounded admission-queue depth: submissions the worker has not yet
+    /// pulled in. Once full, [`AdmissionPolicy`] decides what `submit`
+    /// does.
+    pub queue_capacity: usize,
+    /// Cap on requests live inside the session at once (admitted but
+    /// unfinished). The worker stops draining the admission queue at
+    /// this level, which is what makes `queue_capacity` bite.
+    pub max_in_flight: usize,
+    /// Backpressure policy at the admission queue.
+    pub admission: AdmissionPolicy,
+    /// KV storage mode for every request's decode state.
+    pub kv_mode: KvMode,
+    /// Artificial delay between decode steps (default zero). Used by
+    /// tests to widen race windows deterministically and by demos to
+    /// make streaming visible; leave at zero to serve at full speed.
+    pub pace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            queue_capacity: 64,
+            max_in_flight: 64,
+            admission: AdmissionPolicy::Block,
+            kv_mode: KvMode::Exact,
+            pace: Duration::ZERO,
+        }
+    }
+}
+
+/// A per-request completion deadline, checked by the worker between
+/// decode steps. An expired request is retired immediately — even before
+/// its prefill has run — with
+/// [`ServeError::DeadlineExceeded`](super::ServeError::DeadlineExceeded)
+/// on its stream, and its KV cache is reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deadline {
+    /// Finish within this many scheduler steps of admission.
+    /// `Steps(0)` expires before the request's first step (it is never
+    /// prefilled) — deterministic, so tests use this form.
+    Steps(usize),
+    /// Finish before this wall-clock instant.
+    At(Instant),
+}
+
+/// Options riding alongside a [`GenRequest`] through
+/// [`ServerHandle::submit_with`](super::ServerHandle::submit_with).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// Optional completion deadline; `None` means the request may run to
+    /// its token budget.
+    pub deadline: Option<Deadline>,
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is full and the policy is
+    /// [`AdmissionPolicy::Reject`].
+    QueueFull,
+    /// The server has shut down.
+    ServerClosed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull => write!(f, "admission queue full"),
+            Self::ServerClosed => write!(f, "server closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One submission in flight from a client thread to the worker.
+pub(crate) struct Incoming {
+    pub(crate) req: GenRequest,
+    pub(crate) opts: RequestOptions,
+    pub(crate) events: mpsc::Sender<StreamEvent>,
+    pub(crate) cancelled: Arc<AtomicBool>,
+}

@@ -1,0 +1,425 @@
+//! Threaded serving front-end over [`Session`]/[`BatchScheduler`]: a
+//! dedicated worker thread drives the continuous-batching decode loop
+//! while any number of client threads submit requests and consume
+//! per-token [`ResponseStream`]s — std threads and channels only, no
+//! async runtime.
+//!
+//! ```text
+//! client threads                     worker thread
+//! ──────────────                     ─────────────────────────────────
+//! handle.submit(req) ──bounded──▶    admit between steps   ┐
+//!        │             queue        sweep deadlines/drops  │ per step
+//!        ▼                          session.step_report()  │
+//! ResponseStream ◀──per-request──   stream emitted tokens  ┘
+//!   (drop = cancel)    channel      finish / expire / fault streams
+//! ```
+//!
+//! Properties the conformance suite pins down:
+//!
+//! * **Continuous admission** — the worker drains the admission queue
+//!   between *every* decode step, so requests join the running batch
+//!   mid-flight, not at batch boundaries.
+//! * **Determinism** — a request's token stream depends only on
+//!   (model, prompt, seed, temperature, KV mode), never on batching or
+//!   arrival timing: streams are bitwise identical to the offline
+//!   [`Session::run_to_completion`] output.
+//! * **Cooperative cancellation** — dropping a [`ResponseStream`] sets a
+//!   shared flag; the worker retires the request at the next sweep,
+//!   releasing its batch slot and KV cache without touching other
+//!   streams.
+//! * **Deadlines** — per-request [`Deadline`]s are checked between
+//!   steps; an expired request (even one still waiting for its prefill)
+//!   is retired with [`ServeError::DeadlineExceeded`].
+//! * **Backpressure** — the admission queue is bounded
+//!   ([`ServerConfig::queue_capacity`]); when the worker is saturated
+//!   ([`ServerConfig::max_in_flight`] live requests) submissions block
+//!   or are rejected per [`AdmissionPolicy`].
+//! * **Fault isolation** — a panic while admitting a request (e.g. a
+//!   malformed prompt validated on the worker) faults only that stream;
+//!   a panic inside the shared batched forward faults only the requests
+//!   that rode the panicked batch — queued requests keep serving and
+//!   the server keeps accepting new work.
+
+mod admission;
+mod stream;
+
+pub use admission::{AdmissionPolicy, Deadline, RequestOptions, ServerConfig, SubmitError};
+pub use stream::{ResponseStream, ServeError, StreamEvent};
+
+use crate::session::{GenRequest, RequestId, Session, SessionStats};
+use admission::Incoming;
+use microscopiq_core::error::QuantError;
+use microscopiq_fm::{PackedGemm, PackedTinyFm};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Live gauges shared between the worker and every [`ServerHandle`],
+/// updated once per scheduler iteration.
+#[derive(Debug, Default)]
+struct Gauges {
+    live: AtomicUsize,
+    peak_live: AtomicUsize,
+    kv_rows: AtomicUsize,
+}
+
+/// Final accounting returned by [`Server::shutdown`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Counters from the underlying [`Session`].
+    pub session: SessionStats,
+    /// Requests that ran to their token budget.
+    pub served: usize,
+    /// Requests retired because their stream was dropped or cancelled.
+    pub cancelled: usize,
+    /// Requests retired by deadline expiry.
+    pub expired: usize,
+    /// Streams terminated by a worker panic.
+    pub faulted: usize,
+    /// KV rows still held at exit — 0 unless the worker died abnormally.
+    pub final_kv_rows: usize,
+    /// Most streams ever live at once (admitted and unfinished).
+    pub peak_live: usize,
+}
+
+/// Cheap, cloneable submission endpoint for a running [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    tx: mpsc::SyncSender<Incoming>,
+    policy: AdmissionPolicy,
+    gauges: Arc<Gauges>,
+}
+
+impl ServerHandle {
+    /// Submits a request with default options, returning its stream.
+    /// Under [`AdmissionPolicy::Block`] this blocks while the admission
+    /// queue is full; under [`AdmissionPolicy::Reject`] it fails fast
+    /// with [`SubmitError::QueueFull`].
+    ///
+    /// Prompt validation happens on the worker, not here: a malformed
+    /// request (empty or out-of-vocabulary prompt) is accepted and then
+    /// surfaces as [`ServeError::WorkerPanicked`] on its own stream.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] (reject policy, queue at capacity) or
+    /// [`SubmitError::ServerClosed`] (worker gone).
+    pub fn submit(&self, req: GenRequest) -> Result<ResponseStream, SubmitError> {
+        self.submit_with(req, RequestOptions::default())
+    }
+
+    /// [`ServerHandle::submit`] with per-request options (deadline).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServerHandle::submit`].
+    pub fn submit_with(
+        &self,
+        req: GenRequest,
+        opts: RequestOptions,
+    ) -> Result<ResponseStream, SubmitError> {
+        let (events, rx) = mpsc::channel();
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let inc = Incoming {
+            req,
+            opts,
+            events,
+            cancelled: Arc::clone(&cancelled),
+        };
+        match self.policy {
+            AdmissionPolicy::Block => {
+                self.tx.send(inc).map_err(|_| SubmitError::ServerClosed)?;
+            }
+            AdmissionPolicy::Reject => self.tx.try_send(inc).map_err(|e| match e {
+                mpsc::TrySendError::Full(_) => SubmitError::QueueFull,
+                mpsc::TrySendError::Disconnected(_) => SubmitError::ServerClosed,
+            })?,
+        }
+        Ok(ResponseStream {
+            rx,
+            cancelled,
+            terminated: false,
+        })
+    }
+
+    /// Streams currently live (admitted and unfinished).
+    pub fn live_streams(&self) -> usize {
+        self.gauges.live.load(Ordering::Relaxed)
+    }
+
+    /// Most streams ever live at once.
+    pub fn peak_live_streams(&self) -> usize {
+        self.gauges.peak_live.load(Ordering::Relaxed)
+    }
+
+    /// KV rows currently held by live requests (see
+    /// [`Session::kv_occupancy`]).
+    pub fn kv_rows(&self) -> usize {
+        self.gauges.kv_rows.load(Ordering::Relaxed)
+    }
+}
+
+/// A running serving front-end: one worker thread owning a [`Session`],
+/// fed through [`ServerHandle`]s. Dropping the `Server` (or calling
+/// [`Server::shutdown`]) stops admission, drains in-flight requests, and
+/// joins the worker — it blocks until every cloned handle is dropped,
+/// since the worker only exits once all senders disconnect.
+#[derive(Debug)]
+pub struct Server {
+    handle: Option<ServerHandle>,
+    worker: Option<JoinHandle<ServerReport>>,
+}
+
+impl Server {
+    /// Spawns the worker thread serving `model` through `engine` under
+    /// `cfg`. The engine moves onto the worker, so it must be `Send`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] for an invalid quantized KV
+    /// configuration (validated before the thread starts).
+    pub fn spawn<E: PackedGemm + Send + 'static>(
+        model: PackedTinyFm,
+        engine: E,
+        cfg: ServerConfig,
+    ) -> Result<Self, QuantError> {
+        let session = Session::with_kv_mode(model, engine, cfg.max_batch, cfg.kv_mode)?;
+        let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
+        let gauges = Arc::new(Gauges::default());
+        let worker_gauges = Arc::clone(&gauges);
+        let worker = std::thread::Builder::new()
+            .name("microscopiq-serve".into())
+            .spawn(move || worker_loop(session, rx, cfg, worker_gauges))
+            .expect("spawn serving worker");
+        Ok(Self {
+            handle: Some(ServerHandle {
+                tx,
+                policy: cfg.admission,
+                gauges,
+            }),
+            worker: Some(worker),
+        })
+    }
+
+    /// A cloneable submission endpoint.
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone().expect("server is running")
+    }
+
+    /// Stops admission, drains every in-flight request to its terminal
+    /// event, joins the worker, and returns the final accounting.
+    /// Blocks until all cloned handles are dropped.
+    pub fn shutdown(mut self) -> ServerReport {
+        self.handle.take();
+        let worker = self.worker.take().expect("worker not yet joined");
+        worker
+            .join()
+            .expect("serving worker crashed outside its panic guard")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.handle.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Worker-side record of one live request.
+struct Live {
+    events: mpsc::Sender<StreamEvent>,
+    cancelled: Arc<AtomicBool>,
+    deadline: Option<Deadline>,
+    admitted_step: usize,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+fn worker_loop<E: PackedGemm>(
+    mut session: Session<E>,
+    rx: mpsc::Receiver<Incoming>,
+    cfg: ServerConfig,
+    gauges: Arc<Gauges>,
+) -> ServerReport {
+    let mut live: HashMap<RequestId, Live> = HashMap::new();
+    let mut report = ServerReport::default();
+    let mut rx_open = true;
+
+    loop {
+        // Continuous admission: pull waiting submissions into the
+        // session between steps, up to the in-flight cap. Leaving the
+        // rest queued is what gives the bounded queue its backpressure.
+        while rx_open && live.len() < cfg.max_in_flight {
+            match rx.try_recv() {
+                Ok(inc) => admit(&mut session, &mut live, &mut report, inc),
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => rx_open = false,
+            }
+        }
+        if live.is_empty() {
+            if !rx_open {
+                break;
+            }
+            // Idle: park until the next submission (or shutdown).
+            match rx.recv() {
+                Ok(inc) => admit(&mut session, &mut live, &mut report, inc),
+                Err(_) => rx_open = false,
+            }
+            publish(&gauges, &live, &session);
+            continue;
+        }
+
+        // Sweep before the step so a dropped stream frees its slot
+        // without another forward, and a deadline of zero steps expires
+        // before the request is ever prefilled.
+        sweep(&mut session, &mut live, &mut report);
+
+        if !live.is_empty() {
+            match catch_unwind(AssertUnwindSafe(|| session.step_report())) {
+                Ok(step) => {
+                    for (id, tok) in step.emitted {
+                        if let Some(l) = live.get(&id) {
+                            if l.events.send(StreamEvent::Token(tok)).is_err() {
+                                // Receiver gone: flag for the next sweep.
+                                l.cancelled.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    for res in step.finished {
+                        if let Some(l) = live.remove(&res.id) {
+                            report.served += 1;
+                            let _ = l.events.send(StreamEvent::Finished(res));
+                        }
+                    }
+                }
+                Err(payload) => {
+                    // The popped batch was lost when the step unwound;
+                    // exactly those requests are no longer live in the
+                    // session. They fault. Requests still waiting in the
+                    // scheduler queue (and finished-but-undrained
+                    // zero-budget ones) never rode the panicked batch —
+                    // they keep serving, and the server keeps accepting
+                    // new work.
+                    let msg = panic_message(payload);
+                    let ids: Vec<RequestId> = live.keys().copied().collect();
+                    for id in ids {
+                        if !session.is_live(id) {
+                            let l = live.remove(&id).expect("id collected from live");
+                            report.faulted += 1;
+                            let _ = l
+                                .events
+                                .send(StreamEvent::Error(ServeError::WorkerPanicked(msg.clone())));
+                        }
+                    }
+                }
+            }
+            if !cfg.pace.is_zero() {
+                std::thread::sleep(cfg.pace);
+            }
+        }
+        publish(&gauges, &live, &session);
+    }
+
+    report.session = session.stats();
+    report.final_kv_rows = session.kv_occupancy();
+    report.peak_live = gauges.peak_live.load(Ordering::Relaxed);
+    publish(&gauges, &live, &session);
+    report
+}
+
+fn publish<E: PackedGemm>(gauges: &Gauges, live: &HashMap<RequestId, Live>, session: &Session<E>) {
+    gauges.live.store(live.len(), Ordering::Relaxed);
+    gauges.peak_live.fetch_max(live.len(), Ordering::Relaxed);
+    gauges
+        .kv_rows
+        .store(session.kv_occupancy(), Ordering::Relaxed);
+}
+
+fn admit<E: PackedGemm>(
+    session: &mut Session<E>,
+    live: &mut HashMap<RequestId, Live>,
+    report: &mut ServerReport,
+    inc: Incoming,
+) {
+    if inc.cancelled.load(Ordering::Relaxed) {
+        // The stream was dropped while the submission sat in the queue.
+        report.cancelled += 1;
+        return;
+    }
+    let admitted_step = session.stats().steps;
+    let Incoming {
+        req,
+        opts,
+        events,
+        cancelled,
+    } = inc;
+    // `Session::submit` validates the prompt and panics on malformed
+    // input; caught here, that faults only the offending stream.
+    match catch_unwind(AssertUnwindSafe(|| session.submit(req))) {
+        Ok(id) => {
+            live.insert(
+                id,
+                Live {
+                    events,
+                    cancelled,
+                    deadline: opts.deadline,
+                    admitted_step,
+                },
+            );
+        }
+        Err(payload) => {
+            report.faulted += 1;
+            let _ = events.send(StreamEvent::Error(ServeError::WorkerPanicked(
+                panic_message(payload),
+            )));
+        }
+    }
+}
+
+/// Retires cancelled and deadline-expired requests, reclaiming their
+/// session slots and KV caches.
+fn sweep<E: PackedGemm>(
+    session: &mut Session<E>,
+    live: &mut HashMap<RequestId, Live>,
+    report: &mut ServerReport,
+) {
+    let now_steps = session.stats().steps;
+    let mut now = None; // sample the clock once, and only if needed
+    let retire: Vec<RequestId> = live
+        .iter()
+        .filter(|(_, l)| {
+            l.cancelled.load(Ordering::Relaxed)
+                || match l.deadline {
+                    Some(Deadline::Steps(n)) => now_steps - l.admitted_step >= n,
+                    Some(Deadline::At(t)) => *now.get_or_insert_with(Instant::now) >= t,
+                    None => false,
+                }
+        })
+        .map(|(&id, _)| id)
+        .collect();
+    for id in retire {
+        let l = live.remove(&id).expect("id collected from live");
+        session.cancel(id);
+        if l.cancelled.load(Ordering::Relaxed) {
+            report.cancelled += 1;
+        } else {
+            report.expired += 1;
+            let _ = l
+                .events
+                .send(StreamEvent::Error(ServeError::DeadlineExceeded));
+        }
+    }
+}

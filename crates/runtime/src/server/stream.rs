@@ -1,0 +1,173 @@
+//! The client half of a served request: a [`ResponseStream`] of
+//! [`StreamEvent`]s, terminated by exactly one `Finished` or `Error`.
+//! Dropping the stream is cooperative cancellation — the worker retires
+//! the request and reclaims its batch slot and KV cache.
+
+use crate::session::GenResult;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// One event on a response stream. Every stream is a sequence of zero or
+/// more `Token`s followed by exactly one terminal event (`Finished` or
+/// `Error`); tokens arrive as the decode steps that sampled them
+/// complete, not at end of generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// One generated token, streamed as its decode step completes.
+    Token(usize),
+    /// Terminal: the request ran to its token budget.
+    Finished(GenResult),
+    /// Terminal: the request died before finishing.
+    Error(ServeError),
+}
+
+/// Why a stream terminated without a full result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request's [`Deadline`](super::Deadline) expired before it
+    /// finished. Tokens already streamed remain valid (a prefix of the
+    /// deterministic output); the slot and KV cache were reclaimed.
+    DeadlineExceeded,
+    /// The worker thread panicked while handling this request; the
+    /// payload is the panic message. Admission-time panics (e.g. a
+    /// malformed prompt) fault only the offending stream.
+    WorkerPanicked(String),
+    /// The worker vanished without a terminal event (server bug or
+    /// hard crash); the request's fate is unknown.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Self::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+            Self::Disconnected => write!(f, "server disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The receiving half of one generation request. Produced by
+/// [`ServerHandle::submit`](super::ServerHandle::submit); events arrive
+/// as the worker generates them. Dropping the stream (or calling
+/// [`ResponseStream::cancel`]) retires the request server-side: its
+/// batch slot and KV cache are reclaimed and no further work is spent on
+/// it, without disturbing other streams.
+#[derive(Debug)]
+pub struct ResponseStream {
+    pub(crate) rx: mpsc::Receiver<StreamEvent>,
+    pub(crate) cancelled: Arc<AtomicBool>,
+    pub(crate) terminated: bool,
+}
+
+impl ResponseStream {
+    /// Blocks for the next event. Returns `None` once a terminal event
+    /// has been delivered. A worker that vanishes mid-stream surfaces as
+    /// one final [`StreamEvent::Error`] ([`ServeError::Disconnected`]).
+    pub fn next_event(&mut self) -> Option<StreamEvent> {
+        if self.terminated {
+            return None;
+        }
+        let ev = self
+            .rx
+            .recv()
+            .unwrap_or(StreamEvent::Error(ServeError::Disconnected));
+        if !matches!(ev, StreamEvent::Token(_)) {
+            self.terminated = true;
+        }
+        Some(ev)
+    }
+
+    /// Non-blocking variant of [`ResponseStream::next_event`]: `None`
+    /// when no event is ready yet *or* the stream has terminated.
+    pub fn try_next(&mut self) -> Option<StreamEvent> {
+        if self.terminated {
+            return None;
+        }
+        match self.rx.try_recv() {
+            Ok(ev) => {
+                if !matches!(ev, StreamEvent::Token(_)) {
+                    self.terminated = true;
+                }
+                Some(ev)
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                self.terminated = true;
+                Some(StreamEvent::Error(ServeError::Disconnected))
+            }
+        }
+    }
+
+    /// Blocks for the next event up to `timeout`; `None` on timeout or
+    /// after termination.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<StreamEvent> {
+        if self.terminated {
+            return None;
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(ev) => {
+                if !matches!(ev, StreamEvent::Token(_)) {
+                    self.terminated = true;
+                }
+                Some(ev)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                self.terminated = true;
+                Some(StreamEvent::Error(ServeError::Disconnected))
+            }
+        }
+    }
+
+    /// Cancels the request without consuming the stream; equivalent to
+    /// dropping it. Already-buffered events remain readable.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Drains the stream to completion, returning the final result (or
+    /// the terminal error). The streamed tokens are exactly
+    /// `result.tokens[prompt_len..]` — the same sequence the offline
+    /// [`Session::run_to_completion`](crate::Session::run_to_completion)
+    /// would produce for this request. Tokens already consumed via
+    /// [`ResponseStream::next_event`] still appear in the result's
+    /// `tokens`, so peek-then-collect is fine.
+    pub fn collect(mut self) -> Result<GenResult, ServeError> {
+        let mut streamed = Vec::new();
+        while let Some(ev) = self.next_event() {
+            match ev {
+                StreamEvent::Token(t) => streamed.push(t),
+                StreamEvent::Finished(res) => {
+                    // Events peeked before `collect` are absent from
+                    // `streamed`, so check suffix containment only.
+                    debug_assert!(
+                        res.tokens.ends_with(&streamed),
+                        "streamed tokens must be a suffix of the final result"
+                    );
+                    return Ok(res);
+                }
+                StreamEvent::Error(e) => return Err(e),
+            }
+        }
+        Err(ServeError::Disconnected)
+    }
+}
+
+/// Streams the events by blocking; ends after the terminal event.
+impl Iterator for ResponseStream {
+    type Item = StreamEvent;
+
+    fn next(&mut self) -> Option<StreamEvent> {
+        self.next_event()
+    }
+}
+
+impl Drop for ResponseStream {
+    fn drop(&mut self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+}

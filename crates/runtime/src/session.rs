@@ -49,7 +49,7 @@ pub struct GenRequest {
 pub type RequestId = usize;
 
 /// A finished request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GenResult {
     /// The request's id.
     pub id: RequestId,
@@ -70,6 +70,21 @@ pub struct SessionStats {
     pub max_batch_used: usize,
     /// Prompt tokens processed as prefill segments.
     pub prefill_tokens: usize,
+    /// Requests removed via [`Session::cancel`] before finishing.
+    pub cancelled: usize,
+}
+
+/// Everything one decode step did: the token sampled for every scheduled
+/// request (batch order) plus the requests that finished. A serving
+/// front-end streams `emitted` to per-request clients as the step
+/// completes; [`Session::step`] is the finished-only view.
+#[derive(Debug, Clone, Default)]
+pub struct StepReport {
+    /// `(request, sampled token)` for every request that rode this step.
+    pub emitted: Vec<(RequestId, usize)>,
+    /// Requests that finished on this step (plus zero-budget submissions
+    /// completed since the last step), sorted by id.
+    pub finished: Vec<GenResult>,
 }
 
 #[derive(Debug)]
@@ -192,6 +207,18 @@ impl<E: PackedGemm> Session<E> {
         self.stats
     }
 
+    /// Requests admitted and not yet finished (waiting or in flight).
+    pub fn pending(&self) -> usize {
+        self.scheduler.pending()
+    }
+
+    /// Whether request `id` is still live: waiting in the scheduler
+    /// queue, or finished-but-undrained (zero-budget submissions before
+    /// the next [`Session::step`]).
+    pub fn is_live(&self, id: RequestId) -> bool {
+        self.scheduler.queue.iter().any(|r| r.id == id) || self.finished.iter().any(|r| r.id == id)
+    }
+
     /// Enqueues a request, returning its id. Requests with a zero token
     /// budget finish immediately.
     ///
@@ -227,6 +254,51 @@ impl<E: PackedGemm> Session<E> {
         id
     }
 
+    /// Removes a live request before it finishes, releasing its batch
+    /// slot and KV cache immediately. Returns `false` if `id` is not
+    /// live (unknown, already finished, or already cancelled). A
+    /// zero-budget request whose result is still waiting to drain
+    /// through [`Session::step`] is also cancellable — its result is
+    /// discarded.
+    pub fn cancel(&mut self, id: RequestId) -> bool {
+        if let Some(pos) = self.scheduler.queue.iter().position(|r| r.id == id) {
+            // Dropping the InFlight drops its DecodeState: the KV cache
+            // is reclaimed now, not at some later step.
+            self.scheduler.queue.remove(pos);
+            self.stats.cancelled += 1;
+            return true;
+        }
+        if let Some(pos) = self.finished.iter().position(|r| r.id == id) {
+            self.finished.remove(pos);
+            self.stats.cancelled += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Total K/V rows held by live requests across all layers — the KV
+    /// occupancy a serving front-end budgets against. Finished and
+    /// cancelled requests release their rows eagerly (within the same
+    /// [`Session::step`] call that retires them), so an idle session
+    /// always reports 0.
+    pub fn kv_occupancy(&self) -> usize {
+        self.scheduler
+            .queue
+            .iter()
+            .map(|r| r.state.as_ref().map_or(0, |s| s.kv_rows()))
+            .sum()
+    }
+
+    /// KV storage bytes held by live requests (see
+    /// [`microscopiq_fm::DecodeState::kv_bytes`]).
+    pub fn kv_occupancy_bytes(&self) -> usize {
+        self.scheduler
+            .queue
+            .iter()
+            .map(|r| r.state.as_ref().map_or(0, |s| s.kv_bytes()))
+            .sum()
+    }
+
     /// Runs one batched decode step over up to `max_batch` live requests:
     /// one segment-packed forward (a whole-prompt prefill segment the
     /// first time a request is scheduled, a single-token segment on every
@@ -235,9 +307,17 @@ impl<E: PackedGemm> Session<E> {
     /// that completed instantly since the last step), sorted by id —
     /// empty when nothing finished or the session is idle.
     pub fn step(&mut self) -> Vec<GenResult> {
+        self.step_report().finished
+    }
+
+    /// Like [`Session::step`], but also reports the token sampled for
+    /// every request that rode the step — the hook a streaming server
+    /// uses to push tokens to clients as they are generated.
+    pub fn step_report(&mut self) -> StepReport {
         // Instantly-finished (zero-budget) requests drain through the
         // next step so streaming callers see every completion.
         let mut done = std::mem::take(&mut self.finished);
+        let mut emitted = Vec::new();
         let mut batch = self.scheduler.take_batch();
         if !batch.is_empty() {
             for req in batch.iter_mut() {
@@ -269,6 +349,7 @@ impl<E: PackedGemm> Session<E> {
                 let tok = sample_logits(&last, req.temperature, &mut req.rng);
                 req.tokens.push(tok);
                 req.remaining -= 1;
+                emitted.push((req.id, tok));
                 generated += 1;
             }
             self.stats.tokens_generated += generated;
@@ -276,10 +357,21 @@ impl<E: PackedGemm> Session<E> {
             // front in order, keeping arrival-order fairness.
             for req in batch.into_iter().rev() {
                 if req.remaining == 0 {
+                    let InFlight {
+                        id,
+                        tokens,
+                        prompt_len,
+                        state,
+                        ..
+                    } = req;
+                    // Release the KV cache *before* reporting: finished
+                    // requests must never count against occupancy once
+                    // their result is visible to the caller.
+                    drop(state);
                     done.push(GenResult {
-                        id: req.id,
-                        new_tokens: req.tokens.len() - req.prompt_len,
-                        tokens: req.tokens,
+                        id,
+                        new_tokens: tokens.len() - prompt_len,
+                        tokens,
                     });
                 } else {
                     self.scheduler.queue.push_front(req);
@@ -287,7 +379,10 @@ impl<E: PackedGemm> Session<E> {
             }
         }
         done.sort_by_key(|r| r.id);
-        done
+        StepReport {
+            emitted,
+            finished: done,
+        }
     }
 
     /// Drives decode steps until every submitted request has finished,
@@ -526,6 +621,115 @@ mod tests {
             residual: 8,
         });
         assert!(Session::with_kv_mode(packed, DequantGemm, 2, bad).is_err());
+    }
+
+    #[test]
+    fn step_report_emits_every_sampled_token() {
+        let (_, packed) = packed_model(40);
+        let mut session = Session::new(packed, DequantGemm, 4);
+        let ids: Vec<RequestId> = (0..3)
+            .map(|i| {
+                session.submit(GenRequest {
+                    prompt: vec![1 + i, 2],
+                    max_new_tokens: 3,
+                    temperature: 0.8,
+                    seed: 70 + i as u64,
+                })
+            })
+            .collect();
+        let mut streamed: std::collections::HashMap<RequestId, Vec<usize>> =
+            ids.iter().map(|&id| (id, Vec::new())).collect();
+        let mut results = Vec::new();
+        loop {
+            let report = session.step_report();
+            for (id, tok) in report.emitted {
+                streamed.get_mut(&id).unwrap().push(tok);
+            }
+            results.extend(report.finished);
+            if results.len() == ids.len() {
+                break;
+            }
+        }
+        for res in results {
+            assert_eq!(
+                streamed[&res.id],
+                res.tokens[res.tokens.len() - res.new_tokens..],
+                "per-step emission must reconstruct the generated suffix"
+            );
+        }
+    }
+
+    #[test]
+    fn cancel_frees_slot_and_kv_cache() {
+        let (_, packed) = packed_model(41);
+        let layers = packed.config().n_layers;
+        let mut session = Session::new(packed, DequantGemm, 2);
+        let keep = session.submit(GenRequest {
+            prompt: vec![1, 2],
+            max_new_tokens: 4,
+            temperature: 0.8,
+            seed: 1,
+        });
+        let drop_id = session.submit(GenRequest {
+            prompt: vec![3, 4, 5],
+            max_new_tokens: 4,
+            temperature: 0.8,
+            seed: 2,
+        });
+        session.step();
+        // Both prompts prefilled; each step's sampled token reaches the
+        // cache on the *next* step it rides.
+        assert_eq!(session.kv_occupancy(), (2 + 3) * layers);
+        assert!(session.kv_occupancy_bytes() > 0);
+        assert!(session.cancel(drop_id), "live request cancels");
+        assert!(!session.cancel(drop_id), "second cancel is a no-op");
+        assert_eq!(
+            session.kv_occupancy(),
+            2 * layers,
+            "cancelled request's KV rows reclaimed immediately"
+        );
+        let results = session.run_to_completion();
+        assert_eq!(results.len(), 1, "only the kept request finishes");
+        assert_eq!(results[0].id, keep);
+        assert_eq!(session.stats().cancelled, 1);
+        assert_eq!(session.kv_occupancy(), 0);
+    }
+
+    #[test]
+    fn finished_requests_release_kv_rows_eagerly() {
+        let (_, packed) = packed_model(42);
+        let layers = packed.config().n_layers;
+        let mut session = Session::new(packed, DequantGemm, 2);
+        session.submit(GenRequest {
+            prompt: vec![1, 2, 3],
+            max_new_tokens: 2,
+            temperature: 0.8,
+            seed: 3,
+        });
+        assert_eq!(session.kv_occupancy(), 0, "nothing prefilled yet");
+        assert!(session.step().is_empty());
+        assert_eq!(session.kv_occupancy(), 3 * layers);
+        let done = session.step();
+        assert_eq!(done.len(), 1);
+        assert_eq!(
+            session.kv_occupancy(),
+            0,
+            "KV rows must be released within the step that finishes the request"
+        );
+    }
+
+    #[test]
+    fn cancel_discards_pending_zero_budget_result() {
+        let (_, packed) = packed_model(43);
+        let mut session = Session::new(packed, DequantGemm, 2);
+        let id = session.submit(GenRequest {
+            prompt: vec![1],
+            max_new_tokens: 0,
+            temperature: 1.0,
+            seed: 4,
+        });
+        assert!(session.cancel(id));
+        assert!(session.step().is_empty(), "cancelled result never drains");
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Serving front-end walkthrough: a threaded `Server` over the packed
+//! runtime — concurrent client threads, per-token streaming, mid-flight
+//! cancellation, and a per-request deadline.
+//!
+//! ```sh
+//! cargo run --release --example serving
+//! ```
+
+use microscopiq::core::{MicroScopiQ, QuantConfig};
+use microscopiq::fm::{PackedTinyFm, TinyFm, TinyFmConfig};
+use microscopiq::linalg::SeededRng;
+use microscopiq::runtime::{
+    Deadline, GenRequest, RequestOptions, RuntimeEngine, Server, ServerConfig, StreamEvent,
+};
+
+fn main() {
+    // 1. A quantized model behind the fused packed-weight engine.
+    let cfg = TinyFmConfig {
+        d_model: 32,
+        n_heads: 2,
+        d_ff: 64,
+        n_layers: 2,
+        vocab: 64,
+    };
+    let fm = TinyFm::teacher(cfg, 5);
+    let mut rng = SeededRng::new(6);
+    let calib: Vec<Vec<usize>> = (0..4).map(|_| fm.generate(12, 0.9, &mut rng)).collect();
+    let quantizer = MicroScopiQ::new(
+        QuantConfig::w4()
+            .macro_block(32)
+            .row_block(32)
+            .build()
+            .unwrap(),
+    );
+    let packed = PackedTinyFm::quantize_from(&fm, &quantizer, &calib).unwrap();
+    println!(
+        "model: {} layers, d_model {}, packed at ~4 bits",
+        cfg.n_layers, cfg.d_model
+    );
+
+    // 2. Spawn the serving worker: continuous batching up to 8 requests
+    //    per decode step, a bounded admission queue, exact KV caches.
+    let server = Server::spawn(
+        packed,
+        RuntimeEngine::parallel(),
+        ServerConfig {
+            max_batch: 8,
+            queue_capacity: 32,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+
+    // 3. Four client threads, each streaming its own request — tokens
+    //    arrive as decode steps complete, not at end of generation.
+    std::thread::scope(|scope| {
+        for client in 0..4 {
+            let handle = handle.clone();
+            scope.spawn(move || {
+                let stream = handle
+                    .submit(GenRequest {
+                        prompt: vec![1 + client, 2, 3],
+                        max_new_tokens: 12,
+                        temperature: 1.2,
+                        seed: 40 + client as u64,
+                    })
+                    .expect("submit");
+                let mut tokens = Vec::new();
+                for ev in stream {
+                    match ev {
+                        StreamEvent::Token(t) => tokens.push(t),
+                        StreamEvent::Finished(res) => {
+                            println!(
+                                "client {client}: streamed {} tokens -> {:?}",
+                                res.new_tokens,
+                                &res.tokens[res.tokens.len() - res.new_tokens..]
+                            );
+                        }
+                        StreamEvent::Error(e) => println!("client {client}: error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // 4. Cancellation: drop a stream after the first token — the worker
+    //    reclaims its slot and KV cache, nobody else notices.
+    let mut impatient = handle
+        .submit(GenRequest {
+            prompt: vec![7, 8],
+            max_new_tokens: 1_000,
+            temperature: 0.9,
+            seed: 99,
+        })
+        .unwrap();
+    if let Some(StreamEvent::Token(t)) = impatient.next_event() {
+        println!("impatient client: got token {t}, hanging up");
+    }
+    drop(impatient);
+
+    // 5. Deadlines: a request that must finish within 4 decode steps of
+    //    admission streams what it managed, then expires.
+    let deadlined = handle
+        .submit_with(
+            GenRequest {
+                prompt: vec![9, 10, 11],
+                max_new_tokens: 50,
+                temperature: 0.8,
+                seed: 100,
+            },
+            RequestOptions {
+                deadline: Some(Deadline::Steps(4)),
+            },
+        )
+        .unwrap();
+    match deadlined.collect() {
+        Ok(res) => println!(
+            "deadlined client: finished anyway ({} tokens)",
+            res.new_tokens
+        ),
+        Err(e) => println!("deadlined client: {e}"),
+    }
+
+    // 6. Graceful shutdown: drains in-flight work, returns accounting.
+    drop(handle);
+    let report = server.shutdown();
+    println!(
+        "report: served {}, cancelled {}, expired {}, peak {} streams, {} decode steps, final KV rows {}",
+        report.served,
+        report.cancelled,
+        report.expired,
+        report.peak_live,
+        report.session.steps,
+        report.final_kv_rows
+    );
+    assert_eq!(report.final_kv_rows, 0);
+}

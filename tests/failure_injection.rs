@@ -1,13 +1,21 @@
 //! Failure-injection integration tests: malformed inputs, corrupted
-//! metadata, and degenerate tensors must fail loudly (or degrade
-//! gracefully), never silently corrupt results.
+//! metadata, degenerate tensors, and serving-time faults (dropped
+//! streams, expired deadlines, panicking workers) must fail loudly (or
+//! degrade gracefully), never silently corrupt results or poison
+//! unrelated requests.
 
 use microscopiq::core::config::QuantConfig;
 use microscopiq::core::packed::PackedLayer;
 use microscopiq::core::solver::solve;
 use microscopiq::core::traits::{LayerTensors, WeightQuantizer};
 use microscopiq::core::{MicroScopiQ, QuantError};
+use microscopiq::fm::{DequantGemm, PackedTinyFm, TinyFm, TinyFmConfig};
 use microscopiq::linalg::{Matrix, SeededRng};
+use microscopiq::runtime::{
+    AdmissionPolicy, Deadline, GenRequest, RequestOptions, ServeError, Server, ServerConfig,
+    Session, StreamEvent, SubmitError,
+};
+use std::time::Duration;
 
 fn clean_layer(seed: u64) -> LayerTensors {
     let mut rng = SeededRng::new(seed);
@@ -142,4 +150,219 @@ fn invalid_configs_cannot_be_constructed() {
     assert!(QuantConfig::w2().micro_block(7).build().is_err());
     assert!(QuantConfig::w2().sigma_threshold(-1.0).build().is_err());
     assert!(QuantConfig::w2().clip_ratio(0.0).build().is_err());
+}
+
+// ---- serving failure modes -------------------------------------------
+
+fn serving_model(seed: u64) -> PackedTinyFm {
+    let cfg = TinyFmConfig {
+        d_model: 32,
+        n_heads: 2,
+        d_ff: 64,
+        n_layers: 2,
+        vocab: 48,
+    };
+    let fm = TinyFm::teacher(cfg, seed);
+    let mut rng = SeededRng::new(seed ^ 0xfa11);
+    let calib: Vec<Vec<usize>> = (0..3).map(|_| fm.generate(8, 0.9, &mut rng)).collect();
+    let q = MicroScopiQ::new(
+        QuantConfig::w4()
+            .macro_block(32)
+            .row_block(32)
+            .build()
+            .unwrap(),
+    );
+    PackedTinyFm::quantize_from(&fm, &q, &calib).unwrap()
+}
+
+/// What the offline session produces for one request, run alone.
+fn offline_tokens(model: &PackedTinyFm, req: &GenRequest) -> Vec<usize> {
+    let mut session = Session::new(model.clone(), DequantGemm, 1);
+    session.submit(req.clone());
+    session.run_to_completion().remove(0).tokens
+}
+
+fn bystander_request() -> GenRequest {
+    GenRequest {
+        prompt: vec![1, 2, 3],
+        max_new_tokens: 8,
+        temperature: 0.8,
+        seed: 11,
+    }
+}
+
+#[test]
+fn dropped_stream_frees_slot_and_leaves_other_streams_unaffected() {
+    let model = serving_model(60);
+    let expected = offline_tokens(&model, &bystander_request());
+    let server = Server::spawn(
+        model,
+        DequantGemm,
+        ServerConfig {
+            max_batch: 4,
+            // Pace the worker so the client-side drop lands well before
+            // the victim's 200-token budget could run out.
+            pace: Duration::from_millis(2),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+    let mut victim = handle
+        .submit(GenRequest {
+            prompt: vec![5, 6],
+            max_new_tokens: 200,
+            temperature: 0.8,
+            seed: 12,
+        })
+        .unwrap();
+    let bystander = handle.submit(bystander_request()).unwrap();
+    // Wait for generation to actually start, then hang up mid-stream.
+    assert!(
+        matches!(victim.next_event(), Some(StreamEvent::Token(_))),
+        "victim must be mid-generation before the drop"
+    );
+    drop(victim);
+    let result = bystander.collect().expect("bystander completes");
+    assert_eq!(
+        result.tokens, expected,
+        "a dropped neighbour must not perturb another stream's output"
+    );
+    drop(handle);
+    let report = server.shutdown();
+    assert_eq!(report.cancelled, 1, "victim retired via cancellation");
+    assert_eq!(report.served, 1);
+    assert_eq!(
+        report.final_kv_rows, 0,
+        "the dropped request's KV cache must be reclaimed"
+    );
+}
+
+#[test]
+fn deadline_expires_mid_prefill_without_consuming_compute() {
+    let model = serving_model(61);
+    let bystander_req = bystander_request();
+    let expected = offline_tokens(&model, &bystander_req);
+    let server = Server::spawn(model, DequantGemm, ServerConfig::default()).unwrap();
+    let handle = server.handle();
+    let bystander = handle.submit(bystander_req.clone()).unwrap();
+    // A zero-step deadline expires at the first sweep: the request is
+    // retired before its prefill ever rides a decode step.
+    let mut doomed = handle
+        .submit_with(
+            GenRequest {
+                prompt: (0..40).map(|i| i % 48).collect(),
+                max_new_tokens: 50,
+                temperature: 0.8,
+                seed: 13,
+            },
+            RequestOptions {
+                deadline: Some(Deadline::Steps(0)),
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        doomed.next_event(),
+        Some(StreamEvent::Error(ServeError::DeadlineExceeded)),
+        "the only event on an expired stream is the deadline error"
+    );
+    assert_eq!(doomed.next_event(), None);
+    let result = bystander.collect().expect("bystander completes");
+    assert_eq!(result.tokens, expected);
+    drop((doomed, handle));
+    let report = server.shutdown();
+    assert_eq!(report.expired, 1);
+    assert_eq!(report.served, 1);
+    assert_eq!(
+        report.session.prefill_tokens,
+        bystander_req.prompt.len(),
+        "the expired request's 40-token prompt must never be prefilled"
+    );
+    assert_eq!(report.final_kv_rows, 0);
+}
+
+#[test]
+fn worker_panic_faults_only_the_affected_stream() {
+    let model = serving_model(62);
+    let bystander_req = bystander_request();
+    let expected = offline_tokens(&model, &bystander_req);
+    let server = Server::spawn(model, DequantGemm, ServerConfig::default()).unwrap();
+    let handle = server.handle();
+    let bystander = handle.submit(bystander_req).unwrap();
+    // Prompt validation runs on the worker thread: an out-of-vocabulary
+    // prompt panics there, and the panic must surface on this stream
+    // alone.
+    let poisoned = handle
+        .submit(GenRequest {
+            prompt: vec![1_000_000],
+            max_new_tokens: 4,
+            temperature: 0.8,
+            seed: 14,
+        })
+        .unwrap();
+    match poisoned.collect() {
+        Err(ServeError::WorkerPanicked(msg)) => {
+            assert!(
+                msg.contains("vocabulary"),
+                "panic message should name the cause, got: {msg}"
+            );
+        }
+        other => panic!("poisoned stream must fault with WorkerPanicked, got {other:?}"),
+    }
+    let result = bystander.collect().expect("bystander completes");
+    assert_eq!(
+        result.tokens, expected,
+        "a neighbour's panic must not perturb this stream's output"
+    );
+    drop(handle);
+    let report = server.shutdown();
+    assert_eq!(report.faulted, 1);
+    assert_eq!(report.served, 1);
+    assert_eq!(report.final_kv_rows, 0);
+}
+
+#[test]
+fn full_admission_queue_rejects_instead_of_blocking() {
+    let model = serving_model(63);
+    let server = Server::spawn(
+        model,
+        DequantGemm,
+        ServerConfig {
+            max_batch: 1,
+            queue_capacity: 1,
+            max_in_flight: 1,
+            admission: AdmissionPolicy::Reject,
+            // Slow steps keep the first request in flight while we probe
+            // the queue.
+            pace: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+    let req = |seed| GenRequest {
+        prompt: vec![1, 2],
+        max_new_tokens: 100,
+        temperature: 0.8,
+        seed,
+    };
+    let first = handle.submit(req(1)).expect("first request admitted");
+    // One slot in flight, one queue slot: saturating both must produce
+    // QueueFull promptly rather than blocking this thread.
+    let mut rejected = false;
+    let mut parked = Vec::new();
+    for seed in 2..20 {
+        match handle.submit(req(seed)) {
+            Ok(stream) => parked.push(stream),
+            Err(SubmitError::QueueFull) => {
+                rejected = true;
+                break;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(rejected, "bounded queue must reject under overload");
+    drop((first, parked, handle));
+    let report = server.shutdown();
+    assert_eq!(report.session.tokens_generated, report.session.steps);
 }
