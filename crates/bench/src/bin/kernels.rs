@@ -1,0 +1,197 @@
+//! Kernel-level microbench: every kernel registered in the runtime's
+//! default [`KernelRegistry`], timed head-to-head on the same packed
+//! layer, plus the dense dequantize+matmul reference for context.
+//!
+//! Two sections:
+//!
+//! 1. **GEMM 512×2048 @ batch 8** (bb = 2, Bμ = 8, BM = 64, ~3% outlier
+//!    micro-blocks, synthesized directly in packed form) — the shape the
+//!    runtime acceptance gauge has always used. The acceptance bar here
+//!    is the ISSUE's: the lane-blocked `f32` kernel ≥ 1.5× over the
+//!    scalar `f64` oracle.
+//! 2. **GEMV 512×2048** (m = 1) — the per-step decode shape, comparing
+//!    the shape-specialized GEMV entries.
+//!
+//! Every timed kernel is conformance-gated against the scalar oracle at
+//! its pinned tolerance before any clock starts. Emits
+//! `results/BENCH_kernels.json` in the shared report shape.
+
+use microscopiq_bench::{f2, median, Table};
+use microscopiq_core::config::GroupAxis;
+use microscopiq_linalg::{Matrix, SeededRng};
+use microscopiq_runtime::kernels::synth::{synth_packed, SynthSpec};
+use microscopiq_runtime::kernels::{KernelCtx, KernelRegistry};
+use microscopiq_runtime::DecodedCache;
+use std::time::Instant;
+
+/// Median wall time of `iters` runs of `f` (after one warmup), in seconds.
+fn time_median<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f(); // warmup
+    let samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    median(&samples)
+}
+
+fn main() {
+    let (d_row, d_col, batch) = (512usize, 2048usize, 8usize);
+    let layer = synth_packed(&SynthSpec {
+        axis: GroupAxis::DotProduct,
+        d_row,
+        d_col,
+        bits: 2,
+        micro: 8,
+        macro_block: 64,
+        outlier_rate: 0.03,
+        seed: 7,
+    });
+    let mut rng = SeededRng::new(11);
+    let acts = Matrix::from_fn(d_col, batch, |_, _| rng.normal(0.0, 1.0));
+    let x: Vec<f64> = (0..d_col).map(|_| rng.normal(0.0, 1.0)).collect();
+
+    let registry = KernelRegistry::with_defaults();
+    let cache = DecodedCache::new(256 << 20);
+    let ctx = KernelCtx::cached(&cache, layer.content_fingerprint());
+
+    // Conformance gate before timing anything: every kernel at its pin.
+    let oracle = {
+        let mut out = Matrix::zeros(d_row, batch);
+        registry
+            .get("scalar-f64")
+            .expect("oracle registered")
+            .gemm_rows(&ctx, &layer, &acts, 0, d_row, out.as_mut_slice());
+        out
+    };
+    assert_eq!(
+        oracle,
+        layer.dequantize().matmul(&acts),
+        "oracle must be bit-identical to dense"
+    );
+    for kernel in registry.kernels() {
+        let mut out = vec![0.0_f64; d_row * batch];
+        kernel.gemm_rows(&ctx, &layer, &acts, 0, d_row, &mut out);
+        let tol = kernel.tolerance();
+        for (&a, &b) in out.iter().zip(oracle.as_slice().iter()) {
+            assert!(
+                tol.accepts(a, b),
+                "{} violates its pinned tolerance: {a} vs {b}",
+                kernel.name()
+            );
+        }
+    }
+
+    // Section 1: GEMM. Dense reference first for the context column.
+    let t_dense = time_median(5, || {
+        std::hint::black_box(layer.dequantize().matmul(&acts));
+    });
+    let mut gemm_table = Table::new(
+        &format!("Kernel GEMM {d_row}x{d_col} @ batch {batch} (bb=2, ~3% outlier blocks)"),
+        &["Kernel", "tolerance", "ms/pass", "speedup vs scalar"],
+    );
+    let mut gemm_times: Vec<(&'static str, f64)> = Vec::new();
+    for kernel in registry.kernels() {
+        let t = time_median(9, || {
+            let mut out = vec![0.0_f64; d_row * batch];
+            kernel.gemm_rows(&ctx, &layer, &acts, 0, d_row, &mut out);
+            std::hint::black_box(out);
+        });
+        gemm_times.push((kernel.name(), t));
+    }
+    let t_scalar = gemm_times
+        .iter()
+        .find(|(n, _)| *n == "scalar-f64")
+        .expect("oracle timed")
+        .1;
+    gemm_table.row(vec![
+        "dense dequantize+matmul".into(),
+        "-".into(),
+        format!("{:.3}", t_dense * 1e3),
+        f2(t_scalar / t_dense),
+    ]);
+    for &(name, t) in &gemm_times {
+        let tol = registry.get(name).expect("registered").tolerance();
+        gemm_table.row(vec![
+            name.to_string(),
+            format!("{tol:?}"),
+            format!("{:.3}", t * 1e3),
+            f2(t_scalar / t),
+        ]);
+    }
+    gemm_table.print();
+
+    // Section 2: GEMV (m = 1), the per-step decode shape.
+    let mut gemv_table = Table::new(
+        &format!("Kernel GEMV {d_row}x{d_col} (m=1 decode shape)"),
+        &["Kernel", "µs/pass", "speedup vs scalar"],
+    );
+    let mut gemv_times: Vec<(&'static str, f64)> = Vec::new();
+    for kernel in registry.kernels() {
+        let t = time_median(15, || {
+            let mut out = vec![0.0_f64; d_row];
+            kernel.gemv(&ctx, &layer, &x, &mut out);
+            std::hint::black_box(out);
+        });
+        gemv_times.push((kernel.name(), t));
+    }
+    let t_scalar_gemv = gemv_times
+        .iter()
+        .find(|(n, _)| *n == "scalar-f64")
+        .expect("oracle timed")
+        .1;
+    for &(name, t) in &gemv_times {
+        gemv_table.row(vec![
+            name.to_string(),
+            format!("{:.1}", t * 1e6),
+            f2(t_scalar_gemv / t),
+        ]);
+    }
+    gemv_table.print();
+
+    // Acceptance gauge: the lane-blocked f32 kernel against the scalar
+    // oracle on the 512×2048 GEMM.
+    let t_lane = gemm_times
+        .iter()
+        .find(|(n, _)| *n == "lane-f32")
+        .expect("lane timed")
+        .1;
+    let lane_speedup = t_scalar / t_lane;
+    println!(
+        "\nacceptance: lane-f32 vs scalar-f64 on {d_row}x{d_col}@b{batch} = {lane_speedup:.2}x ({})",
+        if lane_speedup >= 1.5 {
+            "PASS >= 1.5x"
+        } else {
+            "FAIL < 1.5x"
+        }
+    );
+    assert!(
+        lane_speedup >= 1.5,
+        "lane-f32 must be >= 1.5x over scalar-f64 (got {lane_speedup:.2}x)"
+    );
+
+    let lane_gemv_speedup = t_scalar_gemv
+        / gemv_times
+            .iter()
+            .find(|(n, _)| *n == "lane-f32")
+            .expect("lane gemv timed")
+            .1;
+    let bucketed_speedup = t_scalar
+        / gemm_times
+            .iter()
+            .find(|(n, _)| *n == "bucketed-cache")
+            .expect("bucketed timed")
+            .1;
+    let metrics: Vec<(&str, f64)> = vec![
+        ("gemm_ms_dense", t_dense * 1e3),
+        ("gemm_ms_scalar", t_scalar * 1e3),
+        ("gemm_ms_lane", t_lane * 1e3),
+        ("gemm_speedup_lane_vs_scalar", lane_speedup),
+        ("gemm_speedup_bucketed_vs_scalar", bucketed_speedup),
+        ("gemv_us_scalar", t_scalar_gemv * 1e6),
+        ("gemv_speedup_lane_vs_scalar", lane_gemv_speedup),
+    ];
+    gemm_table.write_json("kernels", &metrics);
+}

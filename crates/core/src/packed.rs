@@ -75,6 +75,9 @@ pub struct PackedLayer {
     /// Lazily computed content fingerprint (see
     /// [`PackedLayer::content_fingerprint`]); excluded from equality.
     fingerprint: OnceLock<u64>,
+    /// Lazily computed (outlier micro-blocks, total micro-blocks) counts;
+    /// excluded from equality.
+    outlier_counts: OnceLock<(usize, usize)>,
 }
 
 impl PartialEq for PackedLayer {
@@ -139,6 +142,7 @@ impl PackedLayer {
             macro_block,
             groups,
             fingerprint: OnceLock::new(),
+            outlier_counts: OnceLock::new(),
         }
     }
 
@@ -183,18 +187,23 @@ impl PackedLayer {
         TinyFloat::for_outlier_bits(self.inlier_bits * 2)
     }
 
-    /// Fraction of micro-blocks carrying outlier metadata.
+    /// Fraction of micro-blocks carrying outlier metadata. Computed once
+    /// and memoized — kernel dispatch keys on it per GEMM call, so the
+    /// count must not be re-walked on the hot path.
     pub fn outlier_micro_block_fraction(&self) -> f64 {
-        let mut total = 0usize;
-        let mut with = 0usize;
-        for g in &self.groups {
-            for mb in &g.micro_blocks {
-                total += 1;
-                if mb.meta.is_some() {
-                    with += 1;
+        let (with, total) = *self.outlier_counts.get_or_init(|| {
+            let mut total = 0usize;
+            let mut with = 0usize;
+            for g in &self.groups {
+                for mb in &g.micro_blocks {
+                    total += 1;
+                    if mb.meta.is_some() {
+                        with += 1;
+                    }
                 }
             }
-        }
+            (with, total)
+        });
         if total == 0 {
             0.0
         } else {
@@ -351,6 +360,31 @@ impl PackedLayer {
         })
     }
 
+    /// Reassembles one outlier's exact value from its Upper/Lower
+    /// sign-magnitude halves: the merged mantissa under the block's
+    /// MXScale, with the shared `Isf` divided back out (§4.2). Shared by
+    /// every decode path so outliers always reconstruct identically.
+    fn outlier_value(&self, meta: &MicroBlockMeta, isf: Pow2Scale, up: u8, lo: u8) -> f64 {
+        let bb = self.inlier_bits;
+        let fmt = self.outlier_format();
+        let mb_bits = fmt.mantissa_bits();
+        // Dequantized outlier exponent: MXScale total − Isf (§4.2).
+        let exp = meta.mxscale.total_exponent() - isf.exponent();
+        let upper = unpack_sign_mag(up, bb);
+        let lower = unpack_sign_mag(lo, bb);
+        // The sign is duplicated into both halves; read it from the
+        // Upper slot's raw sign bit.
+        let sign = (up >> (bb - 1)) & 1 == 1;
+        let mantissa = (upper.unsigned_abs() << (mb_bits / 2)) | lower.unsigned_abs();
+        let frac = 1.0 + mantissa as f64 / fmt.mantissa_levels() as f64;
+        let mag = frac * (exp as f64).exp2();
+        if sign {
+            -mag
+        } else {
+            mag
+        }
+    }
+
     /// Decodes one micro-block into `out` (one value per slot; `out` must
     /// hold at least `mb.codes.len()` elements). Inlier slots decode as
     /// two's complement × `2^Isf`; outlier-bearing blocks reassemble the
@@ -370,22 +404,10 @@ impl PackedLayer {
             *o = isf.unapply(signed as f64);
         }
         if let Some(meta) = &mb.meta {
-            let fmt = self.outlier_format();
-            let mb_bits = fmt.mantissa_bits();
-            // Dequantized outlier exponent: MXScale total − Isf (§4.2).
-            let exp = meta.mxscale.total_exponent() - isf.exponent();
             for e in meta.perm.entries() {
                 let up = mb.codes[e.upper_loc as usize];
                 let lo = mb.codes[e.lower_loc as usize];
-                let upper = unpack_sign_mag(up, bb);
-                let lower = unpack_sign_mag(lo, bb);
-                // The sign is duplicated into both halves; read it from the
-                // Upper slot's raw sign bit.
-                let sign = (up >> (bb - 1)) & 1 == 1;
-                let mantissa = (upper.unsigned_abs() << (mb_bits / 2)) | lower.unsigned_abs();
-                let frac = 1.0 + mantissa as f64 / fmt.mantissa_levels() as f64;
-                let mag = frac * (exp as f64).exp2();
-                out[e.upper_loc as usize] = if sign { -mag } else { mag };
+                out[e.upper_loc as usize] = self.outlier_value(meta, isf, up, lo);
                 out[e.lower_loc as usize] = 0.0; // pruned slot
             }
         }
@@ -404,6 +426,28 @@ impl PackedLayer {
             self.decode_micro_block_into(mb, group.isf, &mut out[offset..]);
             offset += mb.codes.len();
         }
+    }
+
+    /// Borrowed view of group `g`: placement, scale, and allocation-free
+    /// decode entry points for kernels that walk packed blocks directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn group(&self, g: usize) -> GroupView<'_> {
+        assert!(g < self.groups.len(), "group index out of range");
+        GroupView {
+            layer: self,
+            index: g,
+        }
+    }
+
+    /// Iterates borrowed views over every group in layout order.
+    pub fn iter_groups(&self) -> impl ExactSizeIterator<Item = GroupView<'_>> + '_ {
+        (0..self.groups.len()).map(move |g| GroupView {
+            layer: self,
+            index: g,
+        })
     }
 
     /// Reconstructs the full dequantized weight matrix.
@@ -611,7 +655,94 @@ impl PackedLayer {
             macro_block,
             groups,
             fingerprint: OnceLock::new(),
+            outlier_counts: OnceLock::new(),
         })
+    }
+}
+
+/// A borrowed view of one macro-block group: placement plus decode entry
+/// points that write into caller-owned buffers, so kernels walking packed
+/// blocks never allocate per group.
+///
+/// Obtained from [`PackedLayer::group`] / [`PackedLayer::iter_groups`].
+#[derive(Debug, Clone, Copy)]
+pub struct GroupView<'a> {
+    layer: &'a PackedLayer,
+    index: usize,
+}
+
+impl GroupView<'_> {
+    /// The group's index in layout order.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Placement of the group within the weight matrix.
+    pub fn span(&self) -> GroupSpan {
+        self.layer.group_span(self.index)
+    }
+
+    /// The group's shared inlier scale `2^Isf`.
+    pub fn isf(&self) -> Pow2Scale {
+        self.layer.groups[self.index].isf
+    }
+
+    /// Whether any micro-block in the group carries outlier metadata.
+    pub fn has_outliers(&self) -> bool {
+        self.layer.groups[self.index]
+            .micro_blocks
+            .iter()
+            .any(|mb| mb.meta.is_some())
+    }
+
+    /// Decodes every slot into `out` (at least [`GroupSpan::len`]
+    /// elements), exactly like [`PackedLayer::decode_group_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is too short.
+    pub fn decode_into(&self, out: &mut [f64]) {
+        self.layer.decode_group_into(self.index, out);
+    }
+
+    /// Decodes the group's **unscaled** inlier codes as `f32` into `out`
+    /// (two's-complement integer values; exact in `f32`), writing `0.0`
+    /// into outlier host slots and pruned slots, and reports each
+    /// outlier's exact `f64` decoded value through `on_outlier(slot,
+    /// value)` (slot is group-relative). Multiplying an inlier entry by
+    /// `isf().value()` recovers the decoded weight, so a kernel can hoist
+    /// the per-group scale out of its inner loop and fix outliers up in
+    /// full precision afterwards. Writes every slot, allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`GroupSpan::len`].
+    pub fn decode_codes_f32(&self, out: &mut [f32], mut on_outlier: impl FnMut(usize, f64)) {
+        let group = &self.layer.groups[self.index];
+        let bb = self.layer.inlier_bits;
+        // Group length comes from the layer geometry (validated to match
+        // the micro-block contents at construction) — no re-walk needed.
+        assert!(out.len() >= self.span().len, "decode buffer too small");
+        let shift = 8 - bb;
+        let mut base = 0usize;
+        for mb in &group.micro_blocks {
+            for (o, &c) in out[base..].iter_mut().zip(mb.codes.iter()) {
+                *o = ((c << shift) as i8 >> shift) as f32;
+            }
+            if let Some(meta) = &mb.meta {
+                for e in meta.perm.entries() {
+                    let up = mb.codes[e.upper_loc as usize];
+                    let lo = mb.codes[e.lower_loc as usize];
+                    out[base + e.upper_loc as usize] = 0.0;
+                    out[base + e.lower_loc as usize] = 0.0;
+                    on_outlier(
+                        base + e.upper_loc as usize,
+                        self.layer.outlier_value(meta, group.isf, up, lo),
+                    );
+                }
+            }
+            base += mb.codes.len();
+        }
     }
 }
 
@@ -771,6 +902,43 @@ mod tests {
         // Equality ignores the memo cell; fingerprints agree on content.
         assert_eq!(back, layer);
         assert_eq!(back.content_fingerprint(), layer.content_fingerprint());
+    }
+
+    #[test]
+    fn group_view_codes_plus_scale_reconstruct_decode() {
+        // plane × isf + exact outlier fixups == decode_group_into, slot
+        // for slot — the contract the lane-blocked kernels build on.
+        let layer = sample_layer();
+        let mut reference = vec![0.0_f64; layer.macro_block()];
+        let mut plane = vec![0.0_f32; layer.macro_block()];
+        for view in layer.iter_groups() {
+            let span = view.span();
+            view.decode_into(&mut reference);
+            let mut outliers: Vec<(usize, f64)> = Vec::new();
+            view.decode_codes_f32(&mut plane, |slot, v| outliers.push((slot, v)));
+            let scale = view.isf().value();
+            let mut rebuilt: Vec<f64> = plane[..span.len]
+                .iter()
+                .map(|&c| c as f64 * scale)
+                .collect();
+            for &(slot, v) in &outliers {
+                rebuilt[slot] = v;
+            }
+            assert_eq!(rebuilt, &reference[..span.len], "group {}", view.index());
+            assert_eq!(view.has_outliers(), !outliers.is_empty());
+            assert_eq!(view.span(), layer.group_span(view.index()));
+        }
+    }
+
+    #[test]
+    fn outlier_fraction_is_memoized_and_correct() {
+        let layer = sample_layer();
+        // 4 micro-blocks, 1 with outliers.
+        assert!((layer.outlier_micro_block_fraction() - 0.25).abs() < 1e-12);
+        // Second call hits the memo (same value; exercises the OnceLock path).
+        assert!((layer.outlier_micro_block_fraction() - 0.25).abs() < 1e-12);
+        let back = PackedLayer::from_bytes(&layer.to_bytes()).unwrap();
+        assert!((back.outlier_micro_block_fraction() - 0.25).abs() < 1e-12);
     }
 
     #[test]

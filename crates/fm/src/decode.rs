@@ -91,7 +91,16 @@ impl ModelOps for PackedOps<'_> {
         &self.model.ln_f
     }
     fn linear(&self, id: LinearId, acts: &Matrix) -> Matrix {
-        self.engine.matmul(self.model.layer(id), acts)
+        let layer = self.model.layer(id);
+        if acts.cols() == 1 {
+            // Single-token decode: route through the engine's GEMV entry
+            // so a dispatching engine can pick a shape-specialized
+            // kernel. A row-major one-column matrix is its own column
+            // vector, and the default gemv round-trips through matmul,
+            // so results are bit-identical either way.
+            return Matrix::from_vec(layer.d_row(), 1, self.engine.gemv(layer, acts.as_slice()));
+        }
+        self.engine.matmul(layer, acts)
     }
 }
 

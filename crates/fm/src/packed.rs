@@ -33,6 +33,16 @@ pub trait PackedGemm {
 
     /// Computes `W · acts`.
     fn matmul(&self, layer: &PackedLayer, acts: &Matrix) -> Matrix;
+
+    /// Computes `W · x` for a single activation column — the shape every
+    /// per-step decode pass collapses to. The default routes through
+    /// [`PackedGemm::matmul`] on a one-column matrix (bit-identical by
+    /// GEMM column independence); engines with a kernel dispatcher
+    /// override it so GEMV-specialized kernels see the call.
+    fn gemv(&self, layer: &PackedLayer, x: &[f64]) -> Vec<f64> {
+        let acts = Matrix::from_vec(x.len(), 1, x.to_vec());
+        self.matmul(layer, &acts).as_slice().to_vec()
+    }
 }
 
 /// Reference engine: materialize the dense weights, then dense matmul.

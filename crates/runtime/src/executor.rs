@@ -1,8 +1,7 @@
 //! The parallel tiled executor: a [`RuntimeEngine`] that runs the fused
 //! dequant-GEMM over row-block tiles on a std-thread pool with
-//! work-stealing tile claims, backed by the [`DecodedCache`] so repeated
-//! passes amortize unpacking. Falls back to the scalar kernel for small
-//! problems or single-thread configurations.
+//! work-stealing tile claims, executing every tile through the kernel the
+//! [`KernelRegistry`] dispatches for the call (see [`crate::kernels`]).
 //!
 //! Tiling is over *output rows*: each tile owns a disjoint row range, so
 //! workers never write the same output element. Tile claims come from one
@@ -10,26 +9,22 @@
 //! regardless of which worker "should" have taken it, which balances load
 //! when outlier-heavy blocks make some tiles slower than others.
 //!
-//! Numerics: the uncached path accumulates in the dense reference's
-//! reduction order and is bit-identical to `dequantize().matmul(..)` for
-//! any thread count or tile size. The cached path executes from bucketed
-//! tiles (see [`crate::cache`]), whose per-bucket partial sums reassociate
-//! the reduction — results agree with the dense reference to ~1e-12
-//! absolute, far inside the runtime's 1e-9 contract.
+//! Numerics are the dispatched kernel's pinned tolerance: under the
+//! default policy the uncached path runs the scalar oracle (bit-identical
+//! to `dequantize().matmul(..)` for any thread count or tile size) and
+//! the cached path runs the bucketed kernel (within the runtime's 1e-9
+//! contract, ~1e-12 observed); opting into [`KernelPolicy::Fast`] adds
+//! the lane-blocked `f32` kernel at its own pinned relative tolerance.
 
-use crate::cache::{CacheStats, DecodedCache, DecodedTile};
-use crate::kernel::{
-    accumulate_bucketed, accumulate_flat, accumulate_span, for_col_chunks, fused_gemm_serial,
-    fused_gemv_serial, groups_for_rows,
-};
+use crate::cache::{CacheStats, DecodedCache};
+use crate::kernels::{DispatchKey, KernelCtx, KernelPolicy, KernelRegistry, MicroKernel};
 use microscopiq_core::packed::PackedLayer;
 use microscopiq_fm::PackedGemm;
 use microscopiq_linalg::Matrix;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     /// Worker threads; 0 means all available cores.
     pub threads: usize,
@@ -40,6 +35,10 @@ pub struct EngineConfig {
     /// Problems below this many multiply-accumulates run without
     /// spawning worker threads (spawn cost would dominate).
     pub parallel_threshold: usize,
+    /// How the engine picks a kernel per call (see
+    /// [`crate::kernels::dispatch`] for the policy table). The default
+    /// reproduces the pre-dispatch engine bit for bit.
+    pub policy: KernelPolicy,
 }
 
 impl Default for EngineConfig {
@@ -49,36 +48,54 @@ impl Default for EngineConfig {
             cache_bytes: 64 << 20,
             tile_rows: 0,
             parallel_threshold: 1 << 16,
+            policy: KernelPolicy::Default,
         }
     }
 }
 
 impl EngineConfig {
-    /// Scalar configuration: one thread, no cache — the bit-exact
-    /// reference fused path.
+    /// The scalar configuration — **the** single source of truth for what
+    /// "the scalar engine" means ([`RuntimeEngine::scalar`] is exactly
+    /// `RuntimeEngine::new(EngineConfig::scalar())`).
+    ///
+    /// Knobs the scalar engine honors: none beyond what this constructor
+    /// pins. `policy: Scalar` forces the bit-exact oracle kernel on every
+    /// call, `threads: 1` disables tiling entirely (so `tile_rows` is
+    /// never read), `cache_bytes: 0` disables the decoded cache (the
+    /// oracle would ignore it anyway), and `parallel_threshold` is moot
+    /// once `threads == 1` (kept at `usize::MAX` for belt-and-braces).
     pub fn scalar() -> Self {
         Self {
             threads: 1,
             cache_bytes: 0,
             tile_rows: 0,
             parallel_threshold: usize::MAX,
+            policy: KernelPolicy::Scalar,
         }
     }
 }
 
-/// A packed-weight GEMM engine: fused dequant kernel + decoded-block
-/// cache + parallel tiled execution. Implements [`PackedGemm`], so it
-/// plugs straight into [`microscopiq_fm::PackedTinyFm`].
+/// A packed-weight GEMM engine: kernel dispatch + decoded-block cache +
+/// parallel tiled execution. Implements [`PackedGemm`], so it plugs
+/// straight into [`microscopiq_fm::PackedTinyFm`].
 #[derive(Debug)]
 pub struct RuntimeEngine {
     cfg: EngineConfig,
     threads: usize,
     cache: Option<DecodedCache>,
+    registry: KernelRegistry,
 }
 
 impl RuntimeEngine {
-    /// Creates an engine from a configuration.
+    /// Creates an engine from a configuration with the default kernel
+    /// registry.
     pub fn new(cfg: EngineConfig) -> Self {
+        Self::with_registry(cfg, KernelRegistry::with_defaults())
+    }
+
+    /// Creates an engine dispatching over a caller-assembled registry
+    /// (see [`crate::kernels::dispatch`] for how to register a kernel).
+    pub fn with_registry(cfg: EngineConfig, registry: KernelRegistry) -> Self {
         let threads = if cfg.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -91,17 +108,25 @@ impl RuntimeEngine {
             cfg,
             threads,
             cache,
+            registry,
         }
     }
 
-    /// The default engine: all cores, 64 MiB decoded-tile cache.
+    /// The default engine: all cores, 64 MiB decoded-tile cache, default
+    /// dispatch policy.
     pub fn parallel() -> Self {
         Self::new(EngineConfig::default())
     }
 
-    /// The scalar fallback engine (single thread, no cache, bit-exact).
+    /// The scalar fallback engine (single thread, no cache, scalar-oracle
+    /// policy, bit-exact) — `Self::new(EngineConfig::scalar())`.
     pub fn scalar() -> Self {
         Self::new(EngineConfig::scalar())
+    }
+
+    /// The configuration the engine was built from.
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
     }
 
     /// Worker threads this engine uses.
@@ -114,7 +139,35 @@ impl RuntimeEngine {
         self.cache.as_ref().map(|c| c.stats())
     }
 
-    /// Computes `W · acts` from the packed layer.
+    /// The kernel registry this engine dispatches over.
+    pub fn registry(&self) -> &KernelRegistry {
+        &self.registry
+    }
+
+    /// Registered kernel names in dispatch priority order.
+    pub fn kernel_names(&self) -> Vec<&'static str> {
+        self.registry.names()
+    }
+
+    /// The kernel the engine would dispatch for an `m`-column call on
+    /// this layer (introspection for benches and tests).
+    pub fn kernel_for(&self, layer: &PackedLayer, m: usize) -> &'static str {
+        let key = DispatchKey::for_call(layer, m);
+        let ctx = self.ctx(layer);
+        self.registry.select(self.cfg.policy, &key, &ctx).name()
+    }
+
+    /// The execution context for a layer: the decoded cache keyed by the
+    /// layer's (memoized) content fingerprint, when caching is enabled.
+    fn ctx(&self, layer: &PackedLayer) -> KernelCtx<'_> {
+        match &self.cache {
+            Some(cache) => KernelCtx::cached(cache, layer.content_fingerprint()),
+            None => KernelCtx::uncached(),
+        }
+    }
+
+    /// Computes `W · acts` from the packed layer through the dispatched
+    /// kernel.
     ///
     /// # Panics
     ///
@@ -129,111 +182,56 @@ impl RuntimeEngine {
             acts.rows(),
             acts.cols()
         );
-        let layer_id = self.cache.as_ref().map(|_| layer.content_fingerprint());
-        let work = layer.d_row() * layer.d_col() * acts.cols();
+        let n = acts.cols();
+        let key = DispatchKey::for_call(layer, n);
+        let ctx = self.ctx(layer);
+        let kernel = self.registry.select(self.cfg.policy, &key, &ctx);
+        let work = layer.d_row() * layer.d_col() * n;
         if self.threads <= 1 || work < self.cfg.parallel_threshold {
-            return match (&self.cache, layer_id) {
-                (Some(cache), Some(id)) => {
-                    self.gemm_rows_cached(cache, id, layer, acts, 0, layer.d_row())
-                }
-                // Decode fast path: one activation column (m = 1) is a
-                // GEMV — run it with the vector kernel (no tile
-                // bookkeeping, no Matrix output staging). Large m = 1
-                // problems still honor `parallel_threshold` above, so
-                // decode on a big layer can use the row-tiled workers.
-                _ if acts.cols() == 1 => {
-                    Matrix::from_vec(layer.d_row(), 1, fused_gemv_serial(layer, acts.as_slice()))
-                }
-                _ => fused_gemm_serial(layer, acts),
-            };
-        }
-        self.gemm_parallel(layer, layer_id, acts)
-    }
-
-    /// Cached fused GEMM over output rows `[row_lo, row_hi)`, returning
-    /// the tile as a `(row_hi − row_lo) × n` matrix.
-    fn gemm_rows_cached(
-        &self,
-        cache: &DecodedCache,
-        layer_id: u64,
-        layer: &PackedLayer,
-        acts: &Matrix,
-        row_lo: usize,
-        row_hi: usize,
-    ) -> Matrix {
-        let n = acts.cols();
-        let mut out = Matrix::zeros(row_hi - row_lo, n);
-        let order = groups_for_rows(layer, row_lo, row_hi);
-        let tiles: Vec<Arc<DecodedTile>> = order
-            .iter()
-            .map(|&g| cache.get_or_decode(layer_id, layer, g))
-            .collect();
-        let acts_flat = acts.as_slice();
-        let axis = layer.axis();
-        let out_flat = out.as_mut_slice();
-        if layer.inlier_bits() == 2 {
-            // Bucketed tiles: column-chunked so the per-bucket accumulators
-            // live in fixed-size registers.
-            for_col_chunks(n, |col0, width| {
-                for (&g, tile) in order.iter().zip(tiles.iter()) {
-                    let DecodedTile::Bucketed(tile) = tile.as_ref() else {
-                        unreachable!("2-bit layers decode to bucketed tiles");
-                    };
-                    let span = layer.group_span(g);
-                    match width {
-                        8 => accumulate_bucketed::<8>(
-                            axis, &span, tile, acts_flat, n, col0, out_flat, row_lo,
-                        ),
-                        4 => accumulate_bucketed::<4>(
-                            axis, &span, tile, acts_flat, n, col0, out_flat, row_lo,
-                        ),
-                        2 => accumulate_bucketed::<2>(
-                            axis, &span, tile, acts_flat, n, col0, out_flat, row_lo,
-                        ),
-                        _ => accumulate_bucketed::<1>(
-                            axis, &span, tile, acts_flat, n, col0, out_flat, row_lo,
-                        ),
-                    }
-                }
-            });
-        } else {
-            // Flat tiles: one full-width walk per group.
-            for (&g, tile) in order.iter().zip(tiles.iter()) {
-                let DecodedTile::Flat(tile) = tile.as_ref() else {
-                    unreachable!("4-bit layers decode to flat tiles");
-                };
-                let span = layer.group_span(g);
-                accumulate_flat(axis, &span, tile, acts, out_flat, row_lo, n);
+            // Decode fast path: one activation column (m = 1) runs the
+            // kernel's GEMV entry (no tile bookkeeping, no Matrix output
+            // staging). Large m = 1 problems still honor
+            // `parallel_threshold` above, so decode on a big layer can
+            // use the row-tiled workers.
+            if n == 1 {
+                let mut out = vec![0.0_f64; layer.d_row()];
+                kernel.gemv(&ctx, layer, acts.as_slice(), &mut out);
+                return Matrix::from_vec(layer.d_row(), 1, out);
             }
+            let mut out = Matrix::zeros(layer.d_row(), n);
+            kernel.gemm_rows(&ctx, layer, acts, 0, layer.d_row(), out.as_mut_slice());
+            return out;
         }
-        out
+        self.gemm_parallel(kernel, &ctx, layer, acts)
     }
 
-    /// Uncached fused GEMM over output rows `[row_lo, row_hi)` in the
-    /// dense reference's reduction order (bit-exact).
-    fn gemm_rows_fresh(
-        &self,
-        layer: &PackedLayer,
-        acts: &Matrix,
-        row_lo: usize,
-        row_hi: usize,
-    ) -> Matrix {
-        let n = acts.cols();
-        let mut out = Matrix::zeros(row_hi - row_lo, n);
-        let mut buf = vec![0.0_f64; layer.macro_block()];
-        for g in groups_for_rows(layer, row_lo, row_hi) {
-            let span = layer.group_span(g);
-            layer.decode_group_into(g, &mut buf);
-            accumulate_span(
-                layer.axis(),
-                &span,
-                &buf[..span.len],
-                acts,
-                out.as_mut_slice(),
-                row_lo,
-                n,
-            );
+    /// Computes `W · x` for a single activation column through the
+    /// dispatched GEMV kernel — the decode fast path `PackedGemm::gemv`
+    /// routes into. Problems above `parallel_threshold` fall back to the
+    /// row-tiled parallel GEMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != layer.d_col()`.
+    pub fn gemv(&self, layer: &PackedLayer, x: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            layer.d_col(),
+            x.len(),
+            "fused gemv dimension mismatch: {}x{} · {}",
+            layer.d_row(),
+            layer.d_col(),
+            x.len()
+        );
+        let work = layer.d_row() * layer.d_col();
+        if self.threads > 1 && work >= self.cfg.parallel_threshold {
+            let acts = Matrix::from_vec(x.len(), 1, x.to_vec());
+            return self.gemm(layer, &acts).as_slice().to_vec();
         }
+        let key = DispatchKey::for_call(layer, 1);
+        let ctx = self.ctx(layer);
+        let kernel = self.registry.select(self.cfg.policy, &key, &ctx);
+        let mut out = vec![0.0_f64; layer.d_row()];
+        kernel.gemv(&ctx, layer, x, &mut out);
         out
     }
 
@@ -259,15 +257,33 @@ impl RuntimeEngine {
     }
 
     /// Parallel tiled execution: workers steal tiles off a shared counter
-    /// and each computes its tile into a private buffer; the main thread
-    /// stitches tiles into the output (tiles are disjoint row ranges).
-    fn gemm_parallel(&self, layer: &PackedLayer, layer_id: Option<u64>, acts: &Matrix) -> Matrix {
+    /// and each runs the dispatched kernel into a private buffer; the
+    /// main thread stitches tiles into the output (tiles are disjoint row
+    /// ranges).
+    fn gemm_parallel(
+        &self,
+        kernel: &dyn MicroKernel,
+        ctx: &KernelCtx<'_>,
+        layer: &PackedLayer,
+        acts: &Matrix,
+    ) -> Matrix {
+        // Convert the activations to f32 once per GEMM for kernels that
+        // consume an f32 image — every tile shares it instead of paying
+        // one conversion per tile.
+        let acts32: Option<Vec<f32>> = kernel
+            .wants_f32_acts()
+            .then(|| acts.as_slice().iter().map(|&v| v as f32).collect());
+        let ctx = match &acts32 {
+            Some(a) => ctx.with_acts32(a),
+            None => *ctx,
+        };
+        let ctx = &ctx;
         let edges = self.tile_edges(layer);
         let n_tiles = edges.len() - 1;
         let next = AtomicUsize::new(0);
         let n = acts.cols();
         let workers = self.threads.min(n_tiles);
-        let mut tiles: Vec<Option<Matrix>> = (0..n_tiles).map(|_| None).collect();
+        let mut tiles: Vec<Option<Vec<f64>>> = (0..n_tiles).map(|_| None).collect();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
@@ -275,19 +291,15 @@ impl RuntimeEngine {
                 let next = &next;
                 let edges = &edges;
                 handles.push(scope.spawn(move || {
-                    let mut done: Vec<(usize, Matrix)> = Vec::new();
+                    let mut done: Vec<(usize, Vec<f64>)> = Vec::new();
                     loop {
                         let t = next.fetch_add(1, Ordering::Relaxed);
                         if t >= n_tiles {
                             break;
                         }
                         let (lo, hi) = (edges[t], edges[t + 1]);
-                        let tile = match (&self.cache, layer_id) {
-                            (Some(cache), Some(id)) => {
-                                self.gemm_rows_cached(cache, id, layer, acts, lo, hi)
-                            }
-                            _ => self.gemm_rows_fresh(layer, acts, lo, hi),
-                        };
+                        let mut tile = vec![0.0_f64; (hi - lo) * n];
+                        kernel.gemm_rows(ctx, layer, acts, lo, hi, &mut tile);
                         done.push((t, tile));
                     }
                     done
@@ -303,10 +315,8 @@ impl RuntimeEngine {
         let mut out = Matrix::zeros(layer.d_row(), n);
         for (t, tile) in tiles.into_iter().enumerate() {
             let tile = tile.expect("every tile computed");
-            let lo = edges[t];
-            for r in 0..tile.rows() {
-                out.row_mut(lo + r).copy_from_slice(tile.row(r));
-            }
+            let (lo, hi) = (edges[t], edges[t + 1]);
+            out.as_mut_slice()[lo * n..hi * n].copy_from_slice(&tile);
         }
         out
     }
@@ -320,11 +330,16 @@ impl PackedGemm for RuntimeEngine {
     fn matmul(&self, layer: &PackedLayer, acts: &Matrix) -> Matrix {
         self.gemm(layer, acts)
     }
+
+    fn gemv(&self, layer: &PackedLayer, x: &[f64]) -> Vec<f64> {
+        self.gemv(layer, x)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::LANE_KERNEL;
     use microscopiq_core::config::{GroupAxis, QuantConfig};
     use microscopiq_core::solver::solve;
     use microscopiq_core::traits::LayerTensors;
@@ -368,6 +383,7 @@ mod tests {
                 cache_bytes: 0,
                 tile_rows: 16,
                 parallel_threshold: 0,
+                ..EngineConfig::default()
             })
             .gemm(&layer, &acts);
             assert_eq!(serial, parallel, "{axis:?}");
@@ -389,6 +405,7 @@ mod tests {
                 cache_bytes: 1 << 20,
                 tile_rows: 16,
                 parallel_threshold: 0,
+                ..EngineConfig::default()
             });
             let first = cached.gemm(&layer, &acts);
             let second = cached.gemm(&layer, &acts);
@@ -407,6 +424,7 @@ mod tests {
             cache_bytes: 1 << 20,
             tile_rows: 0,
             parallel_threshold: usize::MAX,
+            ..EngineConfig::default()
         });
         let a = engine.gemm(&layer, &acts);
         let stats1 = engine.cache_stats().unwrap();
@@ -432,6 +450,7 @@ mod tests {
             cache_bytes: 0,
             tile_rows: 0,
             parallel_threshold: usize::MAX,
+            ..EngineConfig::default()
         });
         assert_eq!(engine.gemm(&layer, &acts), layer.dequantize().matmul(&acts));
     }
@@ -447,6 +466,7 @@ mod tests {
                 cache_bytes: 0,
                 tile_rows,
                 parallel_threshold: 0,
+                ..EngineConfig::default()
             });
             assert_eq!(
                 engine.gemm(&layer, &acts),
@@ -471,13 +491,20 @@ mod tests {
                 cache_bytes: 0,
                 tile_rows: 8,
                 parallel_threshold: usize::MAX,
+                ..EngineConfig::default()
             });
             assert_eq!(gemv_route.gemm(&layer, &acts), dense, "{axis:?} gemv");
+            assert_eq!(
+                gemv_route.gemv(&layer, acts.as_slice()),
+                dense.as_slice().to_vec(),
+                "{axis:?} gemv entry point"
+            );
             let parallel_route = RuntimeEngine::new(EngineConfig {
                 threads: 4,
                 cache_bytes: 0,
                 tile_rows: 8,
                 parallel_threshold: 0,
+                ..EngineConfig::default()
             });
             assert_eq!(
                 parallel_route.gemm(&layer, &acts),
@@ -489,6 +516,7 @@ mod tests {
                 cache_bytes: 1 << 20,
                 tile_rows: 8,
                 parallel_threshold: usize::MAX,
+                ..EngineConfig::default()
             });
             assert!(
                 max_abs_diff(&cached.gemm(&layer, &acts), &dense) < 1e-9,
@@ -509,7 +537,51 @@ mod tests {
             cache_bytes: 1 << 20,
             tile_rows: 0,
             parallel_threshold: usize::MAX,
+            ..EngineConfig::default()
         });
         assert!(max_abs_diff(&engine.gemm(&layer, &acts), &dense) < 1e-9);
+    }
+
+    #[test]
+    fn scalar_constructors_agree_and_pin_the_oracle() {
+        // `RuntimeEngine::scalar()` and `EngineConfig::scalar()` are one
+        // definition — the satellite fix for the duplicated constructors.
+        let engine = RuntimeEngine::scalar();
+        assert_eq!(engine.config(), EngineConfig::scalar());
+        assert_eq!(engine.threads(), 1);
+        assert!(engine.cache_stats().is_none(), "scalar engine has no cache");
+        let layer = packed_layer(32, 32, GroupAxis::DotProduct, 15);
+        assert_eq!(engine.kernel_for(&layer, 8), "scalar-f64");
+        assert_eq!(engine.kernel_for(&layer, 1), "scalar-f64");
+    }
+
+    #[test]
+    fn fast_policy_dispatches_lane_and_stays_within_pin() {
+        let layer = packed_layer(64, 32, GroupAxis::DotProduct, 17);
+        let mut rng = SeededRng::new(18);
+        let acts = Matrix::from_fn(32, 9, |_, _| rng.normal(0.0, 1.0));
+        let dense = layer.dequantize().matmul(&acts);
+        let fast = RuntimeEngine::new(EngineConfig {
+            threads: 1,
+            cache_bytes: 0,
+            parallel_threshold: usize::MAX,
+            policy: KernelPolicy::Fast,
+            ..EngineConfig::default()
+        });
+        assert_eq!(fast.kernel_for(&layer, 9), LANE_KERNEL);
+        let got = fast.gemm(&layer, &acts);
+        let tol = fast.registry().get(LANE_KERNEL).unwrap().tolerance();
+        for (&a, &b) in got.as_slice().iter().zip(dense.as_slice().iter()) {
+            assert!(tol.accepts(a, b), "lane via engine: {a} vs {b}");
+        }
+        // With a cache configured, Fast prefers the bucketed kernel.
+        let fast_cached = RuntimeEngine::new(EngineConfig {
+            threads: 1,
+            cache_bytes: 1 << 20,
+            parallel_threshold: usize::MAX,
+            policy: KernelPolicy::Fast,
+            ..EngineConfig::default()
+        });
+        assert_eq!(fast_cached.kernel_for(&layer, 9), "bucketed-cache");
     }
 }

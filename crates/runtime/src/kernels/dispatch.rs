@@ -1,0 +1,289 @@
+//! Kernel selection: a [`KernelRegistry`] of [`MicroKernel`]s plus the
+//! [`KernelPolicy`] that picks one per GEMM/GEMV call from the call's
+//! [`DispatchKey`] (activation columns, bit width, outlier density,
+//! group size) and [`KernelCtx`] (cache availability).
+//!
+//! # Policy table
+//!
+//! | policy | selection |
+//! |---|---|
+//! | [`KernelPolicy::Default`] | [`BucketedCacheKernel`] when the engine has a decoded cache, [`ScalarKernel`] otherwise — byte-for-byte the pre-dispatch engine behavior |
+//! | [`KernelPolicy::Scalar`] | always the scalar oracle (bitwise, ignores the cache) |
+//! | [`KernelPolicy::Fast`] | first registered kernel whose `supports` accepts the call, in registry priority order; scalar as the universal fallback |
+//! | [`KernelPolicy::Named`] | that kernel if registered **and** it supports the call; scalar otherwise |
+//!
+//! With the default registration order, `Fast` resolves to: bucketed
+//! tiles when a cache is available, the lane-blocked `f32` kernel for
+//! uncached calls on supported shapes (group ≤ 256 slots, outlier
+//! density ≤ 0.5), and the scalar oracle for everything else (e.g.
+//! outlier-heavy layers, oversized groups).
+//!
+//! # Registering a kernel
+//!
+//! ```
+//! use microscopiq_runtime::kernels::{
+//!     KernelPolicy, KernelRegistry, LaneKernel,
+//! };
+//! use microscopiq_runtime::{EngineConfig, RuntimeEngine};
+//! use std::sync::Arc;
+//!
+//! let mut registry = KernelRegistry::with_defaults();
+//! registry.register(Arc::new(LaneKernel)); // or your own MicroKernel
+//! let engine = RuntimeEngine::with_registry(
+//!     EngineConfig {
+//!         policy: KernelPolicy::Named("lane-f32"),
+//!         ..EngineConfig::default()
+//!     },
+//!     registry,
+//! );
+//! assert!(engine.kernel_names().contains(&"lane-f32"));
+//! ```
+
+use super::bucketed::{BucketedCacheKernel, BUCKETED_KERNEL};
+use super::lane::LaneKernel;
+use super::scalar::ScalarKernel;
+use super::{DispatchKey, KernelCtx, MicroKernel};
+use std::sync::Arc;
+
+/// How the engine picks a kernel per call. `Default` reproduces the
+/// pre-dispatch engine exactly; anything else is an explicit opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPolicy {
+    /// Bucketed decoded-cache execution when the engine has a cache,
+    /// scalar oracle otherwise (bitwise uncached).
+    #[default]
+    Default,
+    /// Always the scalar `f64` oracle — bitwise everywhere, never touches
+    /// the decoded cache even when one is configured.
+    Scalar,
+    /// Fastest supporting kernel in registry priority order.
+    Fast,
+    /// A specific kernel by registry name, with scalar fallback when it
+    /// is missing or does not support the call shape.
+    Named(&'static str),
+}
+
+/// An ordered set of kernels. Priority is insertion order — `Fast` picks
+/// the first kernel whose `supports` accepts the call — and
+/// [`KernelRegistry::register`] inserts at the *front*, so the newest
+/// registration wins ties. The scalar oracle is always present as the
+/// final fallback.
+#[derive(Debug, Clone)]
+pub struct KernelRegistry {
+    kernels: Vec<Arc<dyn MicroKernel>>,
+    scalar: Arc<dyn MicroKernel>,
+}
+
+impl Default for KernelRegistry {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl KernelRegistry {
+    /// The standard registry: bucketed-cache, then lane-blocked `f32`,
+    /// then the scalar oracle.
+    pub fn with_defaults() -> Self {
+        Self {
+            kernels: vec![
+                Arc::new(BucketedCacheKernel),
+                Arc::new(LaneKernel),
+                Arc::new(ScalarKernel),
+            ],
+            scalar: Arc::new(ScalarKernel),
+        }
+    }
+
+    /// A registry holding only the scalar oracle.
+    pub fn scalar_only() -> Self {
+        Self {
+            kernels: vec![Arc::new(ScalarKernel)],
+            scalar: Arc::new(ScalarKernel),
+        }
+    }
+
+    /// Registers a kernel at the front of the priority order (the newest
+    /// registration is consulted first by [`KernelPolicy::Fast`], and
+    /// shadows an existing kernel of the same name for
+    /// [`KernelPolicy::Named`]).
+    pub fn register(&mut self, kernel: Arc<dyn MicroKernel>) {
+        self.kernels.insert(0, kernel);
+    }
+
+    /// The registered kernels in priority order.
+    pub fn kernels(&self) -> &[Arc<dyn MicroKernel>] {
+        &self.kernels
+    }
+
+    /// Registered kernel names in priority order (deduplicated in favor
+    /// of the highest-priority entry).
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = Vec::new();
+        for k in &self.kernels {
+            if !names.contains(&k.name()) {
+                names.push(k.name());
+            }
+        }
+        names
+    }
+
+    /// Looks a kernel up by name (highest-priority match).
+    pub fn get(&self, name: &str) -> Option<&dyn MicroKernel> {
+        self.kernels
+            .iter()
+            .find(|k| k.name() == name)
+            .map(|k| k.as_ref())
+    }
+
+    /// Selects the kernel for one call per the policy table (see module
+    /// docs). Always returns *some* kernel — the scalar oracle backs
+    /// every policy.
+    pub fn select(
+        &self,
+        policy: KernelPolicy,
+        key: &DispatchKey,
+        ctx: &KernelCtx<'_>,
+    ) -> &dyn MicroKernel {
+        match policy {
+            KernelPolicy::Scalar => self.scalar.as_ref(),
+            KernelPolicy::Default => {
+                if ctx.cache.is_some() {
+                    self.get(BUCKETED_KERNEL).unwrap_or(self.scalar.as_ref())
+                } else {
+                    self.scalar.as_ref()
+                }
+            }
+            KernelPolicy::Fast => self
+                .kernels
+                .iter()
+                .find(|k| k.supports(key, ctx))
+                .map(|k| k.as_ref())
+                .unwrap_or(self.scalar.as_ref()),
+            KernelPolicy::Named(name) => self
+                .get(name)
+                .filter(|k| k.supports(key, ctx))
+                .unwrap_or(self.scalar.as_ref()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lane::{LANE_KERNEL, MAX_GROUP};
+    use super::super::scalar::SCALAR_KERNEL;
+    use super::*;
+    use crate::cache::DecodedCache;
+
+    fn key(m: usize, group: usize, frac: f64) -> DispatchKey {
+        DispatchKey {
+            m,
+            bits: 2,
+            outlier_frac: frac,
+            group,
+        }
+    }
+
+    #[test]
+    fn default_policy_mirrors_cache_availability() {
+        let reg = KernelRegistry::with_defaults();
+        let cache = DecodedCache::new(1 << 16);
+        let k = key(8, 64, 0.03);
+        assert_eq!(
+            reg.select(KernelPolicy::Default, &k, &KernelCtx::uncached())
+                .name(),
+            SCALAR_KERNEL
+        );
+        assert_eq!(
+            reg.select(KernelPolicy::Default, &k, &KernelCtx::cached(&cache, 1))
+                .name(),
+            BUCKETED_KERNEL
+        );
+    }
+
+    #[test]
+    fn scalar_policy_ignores_cache() {
+        let reg = KernelRegistry::with_defaults();
+        let cache = DecodedCache::new(1 << 16);
+        assert_eq!(
+            reg.select(
+                KernelPolicy::Scalar,
+                &key(1, 64, 0.0),
+                &KernelCtx::cached(&cache, 1)
+            )
+            .name(),
+            SCALAR_KERNEL
+        );
+    }
+
+    #[test]
+    fn fast_policy_prefers_lane_uncached_and_respects_supports() {
+        let reg = KernelRegistry::with_defaults();
+        let ctx = KernelCtx::uncached();
+        assert_eq!(
+            reg.select(KernelPolicy::Fast, &key(8, 64, 0.03), &ctx)
+                .name(),
+            LANE_KERNEL
+        );
+        // Oversized group and outlier-heavy layers fall back to scalar.
+        assert_eq!(
+            reg.select(KernelPolicy::Fast, &key(8, MAX_GROUP * 2, 0.03), &ctx)
+                .name(),
+            SCALAR_KERNEL
+        );
+        assert_eq!(
+            reg.select(KernelPolicy::Fast, &key(8, 64, 0.9), &ctx)
+                .name(),
+            SCALAR_KERNEL
+        );
+        // With a cache, the bucketed kernel outranks lane.
+        let cache = DecodedCache::new(1 << 16);
+        assert_eq!(
+            reg.select(
+                KernelPolicy::Fast,
+                &key(8, 64, 0.03),
+                &KernelCtx::cached(&cache, 1)
+            )
+            .name(),
+            BUCKETED_KERNEL
+        );
+    }
+
+    #[test]
+    fn named_policy_falls_back_to_scalar_when_unsupported() {
+        let reg = KernelRegistry::with_defaults();
+        let ctx = KernelCtx::uncached();
+        assert_eq!(
+            reg.select(KernelPolicy::Named(LANE_KERNEL), &key(8, 64, 0.0), &ctx)
+                .name(),
+            LANE_KERNEL
+        );
+        assert_eq!(
+            reg.select(
+                KernelPolicy::Named("no-such-kernel"),
+                &key(8, 64, 0.0),
+                &ctx
+            )
+            .name(),
+            SCALAR_KERNEL
+        );
+        // Bucketed without a cache is unsupported → scalar.
+        assert_eq!(
+            reg.select(KernelPolicy::Named(BUCKETED_KERNEL), &key(8, 64, 0.0), &ctx)
+                .name(),
+            SCALAR_KERNEL
+        );
+    }
+
+    #[test]
+    fn registration_prepends_and_shadows() {
+        let mut reg = KernelRegistry::scalar_only();
+        assert_eq!(reg.names(), vec![SCALAR_KERNEL]);
+        reg.register(Arc::new(LaneKernel));
+        assert_eq!(reg.names(), vec![LANE_KERNEL, SCALAR_KERNEL]);
+        assert_eq!(
+            reg.select(KernelPolicy::Fast, &key(8, 64, 0.0), &KernelCtx::uncached())
+                .name(),
+            LANE_KERNEL
+        );
+    }
+}

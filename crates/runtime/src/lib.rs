@@ -5,12 +5,16 @@
 //! packed format *executable*, the way the paper's PEs consume `bb`-bit
 //! slots and per-block scales directly (Fig. 5, §5):
 //!
-//! * [`kernel`] — the fused dequant-GEMM: walks packed macro/micro-blocks,
-//!   applies `Isf`/`MXScale`, reassembles outlier Upper/Lower halves via
-//!   the permutation list, and accumulates into output tiles without ever
-//!   materializing the dense weight matrix. Bit-identical to
-//!   `dequantize().matmul(..)` by construction (same per-element reduction
-//!   order).
+//! * [`kernels`] — the pluggable kernel layer: every fused dequant-GEMM
+//!   implementation lives behind the [`MicroKernel`] trait, and a
+//!   [`KernelRegistry`] dispatches per call on (activation columns, bit
+//!   width, outlier density, group size). The scalar `f64` oracle walks
+//!   packed macro/micro-blocks, applies `Isf`/`MXScale`, reassembles
+//!   outlier Upper/Lower halves via the permutation list, and accumulates
+//!   into output tiles without ever materializing the dense weight matrix
+//!   — bit-identical to `dequantize().matmul(..)` by construction. The
+//!   lane-blocked `f32` kernel trades bitwise parity for an unrolled
+//!   8-wide FMA inner loop within a pinned relative tolerance.
 //! * [`cache`] — lazily decoded per-macro-block tiles in execution-ready
 //!   bucketed form under an LRU residency cap, so repeated forward passes
 //!   amortize unpacking and run multiply-free inlier accumulation.
@@ -67,13 +71,16 @@
 
 pub mod cache;
 pub mod executor;
-pub mod kernel;
+pub mod kernels;
 pub mod server;
 pub mod session;
 
 pub use cache::{BucketTile, CacheStats, DecodedCache, DecodedTile, FlatTile};
 pub use executor::{EngineConfig, RuntimeEngine};
-pub use kernel::{fused_gemm_serial, fused_gemv_serial};
+pub use kernels::{
+    fused_gemm_serial, fused_gemv_serial, BucketedCacheKernel, DispatchKey, KernelCtx,
+    KernelPolicy, KernelRegistry, LaneKernel, MicroKernel, ScalarKernel, Tolerance,
+};
 pub use microscopiq_fm::{DecodeState, KvCacheConfig, KvMode};
 pub use server::{
     AdmissionPolicy, Deadline, RequestOptions, ResponseStream, ServeError, Server, ServerConfig,

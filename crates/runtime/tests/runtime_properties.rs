@@ -7,7 +7,7 @@ use microscopiq_core::config::{GroupAxis, QuantConfig};
 use microscopiq_core::solver::solve;
 use microscopiq_core::traits::LayerTensors;
 use microscopiq_linalg::{Matrix, SeededRng};
-use microscopiq_runtime::{fused_gemm_serial, EngineConfig, RuntimeEngine};
+use microscopiq_runtime::{fused_gemm_serial, EngineConfig, KernelPolicy, RuntimeEngine};
 use proptest::prelude::*;
 
 fn build_packed(
@@ -72,6 +72,7 @@ proptest! {
             cache_bytes: 0,
             tile_rows: 0,
             parallel_threshold: 0,
+            ..EngineConfig::default()
         })
         .gemm(&packed, &acts);
         prop_assert_eq!(&parallel, &dense);
@@ -84,6 +85,7 @@ proptest! {
             cache_bytes: 1 << 20,
             tile_rows: 0,
             parallel_threshold: 0,
+            ..EngineConfig::default()
         });
         let cold = cached.gemm(&packed, &acts);
         let mut cached_diff = 0.0_f64;
@@ -92,6 +94,29 @@ proptest! {
         }
         prop_assert!(cached_diff < 1e-9, "cached diff {}", cached_diff);
         prop_assert_eq!(&cached.gemm(&packed, &acts), &cold);
+
+        // Fast-policy dispatch (lane-blocked f32 on supported shapes,
+        // scalar elsewhere) must hold whichever kernel it picks to that
+        // kernel's pinned tolerance.
+        let fast = RuntimeEngine::new(EngineConfig {
+            threads: 1,
+            cache_bytes: 0,
+            tile_rows: 0,
+            parallel_threshold: usize::MAX,
+            policy: KernelPolicy::Fast,
+        });
+        let picked = fast.kernel_for(&packed, batch);
+        let tol = fast.registry().get(picked).expect("registered").tolerance();
+        let lane = fast.gemm(&packed, &acts);
+        for (a, b) in lane.as_slice().iter().zip(dense.as_slice().iter()) {
+            prop_assert!(
+                tol.accepts(*a, *b),
+                "fast-policy kernel {} off by {} (allowed {})",
+                picked,
+                (a - b).abs(),
+                tol.allowed(*b)
+            );
+        }
     }
 
     /// A cache too small to hold the working set still computes exact
@@ -106,6 +131,7 @@ proptest! {
             cache_bytes: 1024, // far below the decoded working set
             tile_rows: 0,
             parallel_threshold: 0,
+            ..EngineConfig::default()
         });
         let dense = packed.dequantize().matmul(&acts);
         for _pass in 0..2 {
