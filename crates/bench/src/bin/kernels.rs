@@ -172,12 +172,27 @@ fn main() {
         "lane-f32 must be >= 1.5x over scalar-f64 (got {lane_speedup:.2}x)"
     );
 
+    // Acceptance gauge 2: the same bar on the m=1 GEMV path — the shape
+    // every per-step decode collapses to, and the one the Fast serving
+    // tier leans on (~6× measured), so it must not silently regress.
     let lane_gemv_speedup = t_scalar_gemv
         / gemv_times
             .iter()
             .find(|(n, _)| *n == "lane-f32")
             .expect("lane gemv timed")
             .1;
+    println!(
+        "acceptance: lane-f32 vs scalar-f64 on {d_row}x{d_col} GEMV (m=1) = {lane_gemv_speedup:.2}x ({})",
+        if lane_gemv_speedup >= 1.5 {
+            "PASS >= 1.5x"
+        } else {
+            "FAIL < 1.5x"
+        }
+    );
+    assert!(
+        lane_gemv_speedup >= 1.5,
+        "lane-f32 GEMV must be >= 1.5x over scalar-f64 (got {lane_gemv_speedup:.2}x)"
+    );
     let bucketed_speedup = t_scalar
         / gemm_times
             .iter()

@@ -186,6 +186,81 @@ impl DecodeState {
     pub fn kv_bytes(&self) -> usize {
         self.caches.iter().map(|c| c.storage_bytes()).sum()
     }
+
+    /// Resumable partial-prefill cursor: the suffix of `tokens` this
+    /// state has not processed yet. A scheduler advancing a prompt in
+    /// chunks calls this with everything it knows about the request
+    /// (prompt plus any already-sampled continuations) and feeds a
+    /// prefix of the returned slice to the next
+    /// [`advance_batch`](crate::PackedTinyFm::advance_batch) pass —
+    /// mid-prefill the slice is the unprocessed prompt remainder, after
+    /// prefill it is the (at most one) sampled token awaiting its decode
+    /// step. In [`KvMode::Exact`], chunk-by-chunk advancement is
+    /// bit-identical to one whole-prompt pass for any chunk sizes: KV
+    /// rows are appended token by token either way, and attention is
+    /// causal within each segment. (As everywhere in this module, the
+    /// bitwise form of the claim needs an engine whose per-column results
+    /// are independent of batch composition — true of every bit-exact
+    /// engine here; the f32 fast tier's GEMV entry rounds differently
+    /// from its GEMM, so there chunking is tolerance-stable, not
+    /// bit-stable.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tokens already processed are not a prefix of
+    /// `tokens` — the state is not a partial prefill of this sequence,
+    /// and resuming would silently corrupt the KV cache.
+    pub fn remaining_prompt<'a>(&self, tokens: &'a [usize]) -> &'a [usize] {
+        let done = self.tokens.len();
+        assert!(
+            done <= tokens.len() && self.tokens == tokens[..done],
+            "decode state is not a partial prefill of this sequence \
+             (processed {done} tokens that are not a prefix of the {} given)",
+            tokens.len()
+        );
+        &tokens[done..]
+    }
+}
+
+/// Chunked prefill: advances a fresh state over `tokens` in segments of
+/// at most `chunk` tokens, reassembling the per-chunk logits into the
+/// same `vocab × T` matrix one whole-prompt pass returns. In
+/// [`KvMode::Exact`], on a bit-exact engine, the state *and* every logit
+/// column are bit-identical to single-pass prefill for any `chunk`; in
+/// [`KvMode::Quantized`] chunking changes *when* cache rows age past the
+/// residual window, so results are chunk-size-dependent (bounded by the
+/// usual attention-error contract).
+pub(crate) fn prefill_chunked(
+    ops: &dyn ModelOps,
+    tokens: &[usize],
+    mode: KvMode,
+    chunk: usize,
+) -> Result<(DecodeState, Matrix), QuantError> {
+    assert!(chunk > 0, "prefill chunk must be positive");
+    assert!(!tokens.is_empty(), "cannot prefill an empty sequence");
+    let cfg = ops.cfg();
+    let mut state = DecodeState::new(cfg, mode)?;
+    let mut logits = Matrix::zeros(cfg.vocab, tokens.len());
+    while state.len() < tokens.len() {
+        let start = state.len();
+        let take = chunk.min(tokens.len() - start);
+        let part = advance_batch(
+            ops,
+            &mut [DecodeJob {
+                state: &mut state,
+                tokens: &tokens[start..start + take],
+            }],
+            None,
+        )
+        .pop()
+        .expect("one job in, one logit matrix out");
+        for t in 0..take {
+            for v in 0..cfg.vocab {
+                logits[(v, start + t)] = part[(v, t)];
+            }
+        }
+    }
+    Ok((state, logits))
 }
 
 /// One unit of work for [`advance_batch`]: a decode state plus the new

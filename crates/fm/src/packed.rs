@@ -260,6 +260,50 @@ impl PackedTinyFm {
         Ok((state, logits))
     }
 
+    /// Chunked prefill: processes the prompt in segments of at most
+    /// `chunk` tokens through the engine, resuming the KV caches between
+    /// segments, and reassembles the per-chunk logits into the same
+    /// `vocab × T` matrix [`PackedTinyFm::prefill`] returns. In
+    /// [`KvMode::Exact`], on a bit-exact engine (one whose GEMV entry
+    /// matches a one-column GEMM bit for bit — [`DequantGemm`] and the
+    /// runtime's default/scalar tiers), the decode state and every logit
+    /// column are **bit-identical** to single-pass prefill for any
+    /// `chunk` — KV rows are appended token by token either way and
+    /// attention is causal within each segment — which is what lets a
+    /// serving scheduler split long prompts across decode steps without
+    /// changing outputs. On the f32 fast tier results are
+    /// tolerance-stable rather than bit-stable (a chunk of 1 routes
+    /// through the differently-rounded lane GEMV). In
+    /// [`KvMode::Quantized`] chunking changes when rows age past the
+    /// residual window, so results are chunk-size-dependent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] for an invalid quantized KV
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty, any token is out of vocabulary, or
+    /// `chunk` is zero.
+    pub fn prefill_chunked(
+        &self,
+        tokens: &[usize],
+        mode: KvMode,
+        engine: &dyn PackedGemm,
+        chunk: usize,
+    ) -> Result<(DecodeState, Matrix), QuantError> {
+        decode::prefill_chunked(
+            &PackedOps {
+                model: self,
+                engine,
+            },
+            tokens,
+            mode,
+            chunk,
+        )
+    }
+
     /// Advances an incremental decode state by one token, returning the
     /// logits (`vocab` values) at the new position.
     ///
@@ -438,6 +482,65 @@ mod tests {
             tokens.push(sample_token(&logits, t, 0.8, &mut r2));
         }
         assert_eq!(tokens, expect);
+    }
+
+    #[test]
+    fn prefill_chunked_is_bitwise_identical_to_prefill() {
+        let (fm, packed) = quantized_pair();
+        let mut rng = SeededRng::new(41);
+        let prompt = fm.generate(13, 0.8, &mut rng);
+        let (whole_state, whole_logits) = packed
+            .prefill(&prompt, KvMode::Exact, &DequantGemm)
+            .unwrap();
+        for chunk in [1usize, 3, 5, 13, 64] {
+            let (state, logits) = packed
+                .prefill_chunked(&prompt, KvMode::Exact, &DequantGemm, chunk)
+                .unwrap();
+            assert_eq!(logits, whole_logits, "chunk={chunk} changed prefill logits");
+            assert_eq!(state.tokens(), whole_state.tokens());
+            assert_eq!(state.kv_rows(), whole_state.kv_rows());
+            // The resumed caches must decode identically: one step each.
+            let mut a = state;
+            let mut b = whole_state.clone();
+            assert_eq!(
+                packed.decode_step(&mut a, prompt[0], &DequantGemm),
+                packed.decode_step(&mut b, prompt[0], &DequantGemm),
+                "chunk={chunk} diverged on the first decode step"
+            );
+        }
+    }
+
+    #[test]
+    fn remaining_prompt_is_a_resumable_cursor() {
+        let (fm, packed) = quantized_pair();
+        let mut rng = SeededRng::new(43);
+        let prompt = fm.generate(9, 0.8, &mut rng);
+        let mut state = DecodeState::exact(packed.config());
+        assert_eq!(state.remaining_prompt(&prompt), &prompt[..]);
+        // Advance 4 tokens, then check the cursor points at the rest.
+        let _ = packed.advance_batch(
+            &mut [DecodeJob {
+                state: &mut state,
+                tokens: &prompt[..4],
+            }],
+            &DequantGemm,
+        );
+        assert_eq!(state.remaining_prompt(&prompt), &prompt[4..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a partial prefill")]
+    fn remaining_prompt_rejects_a_mismatched_sequence() {
+        let (_, packed) = quantized_pair();
+        let mut state = DecodeState::exact(packed.config());
+        let _ = packed.advance_batch(
+            &mut [DecodeJob {
+                state: &mut state,
+                tokens: &[1, 2, 3],
+            }],
+            &DequantGemm,
+        );
+        let _ = state.remaining_prompt(&[1, 9, 3, 4]);
     }
 
     #[test]

@@ -240,6 +240,31 @@ impl TinyFm {
         Ok((state, logits))
     }
 
+    /// Chunked prefill: processes the prompt in segments of at most
+    /// `chunk` tokens, resuming the KV caches between segments. In
+    /// [`KvMode::Exact`] the state and logits are bit-identical to
+    /// [`TinyFm::prefill`] for any `chunk` (see
+    /// [`PackedTinyFm::prefill_chunked`](crate::PackedTinyFm::prefill_chunked)
+    /// for the full contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] for an invalid quantized KV
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty, any token is out of vocabulary, or
+    /// `chunk` is zero.
+    pub fn prefill_chunked(
+        &self,
+        tokens: &[usize],
+        mode: KvMode,
+        chunk: usize,
+    ) -> Result<(DecodeState, Matrix), QuantError> {
+        decode::prefill_chunked(self, tokens, mode, chunk)
+    }
+
     /// Advances an incremental decode state by one token, returning the
     /// logits (`vocab` values) at the new position.
     ///

@@ -118,6 +118,30 @@ impl RuntimeEngine {
         Self::new(EngineConfig::default())
     }
 
+    /// The fast serving tier: [`KernelPolicy::Fast`] with the decoded
+    /// cache disabled, so dispatch resolves to the lane-blocked `f32`
+    /// kernel on every supported call — including the m = 1 GEMV shape
+    /// that dominates per-step decode (~6× over the scalar oracle on
+    /// 512×2048) — with the scalar oracle as fallback for outlier-heavy
+    /// layers or oversized groups. (With a cache, `Fast` would resolve
+    /// to the near-exact bucketed kernel, i.e. the default tier.)
+    /// Results are within the lane kernel's pinned relative tolerance of
+    /// the bit-exact default — the f32-tolerant serving conformance tier
+    /// (`tests/fast_serving.rs`) bounds per-token logit deltas and pins
+    /// argmax-token parity, which is what qualifies this engine for
+    /// [`crate::Server::spawn`]. Unlike the bit-exact tiers, this
+    /// engine's per-column results depend on batch composition (the lane
+    /// GEMV entry rounds differently from a one-column slice of its
+    /// GEMM), so serving determinism holds at the tolerance/argmax level,
+    /// not bit for bit.
+    pub fn fast() -> Self {
+        Self::new(EngineConfig {
+            policy: KernelPolicy::Fast,
+            cache_bytes: 0,
+            ..EngineConfig::default()
+        })
+    }
+
     /// The scalar fallback engine (single thread, no cache, scalar-oracle
     /// policy, bit-exact) — `Self::new(EngineConfig::scalar())`.
     pub fn scalar() -> Self {

@@ -25,12 +25,14 @@
 //! * [`session`] — [`Session`]/[`BatchScheduler`]: continuous batching of
 //!   concurrent generation requests over a packed TinyFM with
 //!   **incremental KV-cached decode**: every request owns a
-//!   [`microscopiq_fm::DecodeState`], the first scheduled step prefills
-//!   its prompt, and every later step feeds a single token through one
-//!   segment-packed forward — O(prefix) per step instead of the
-//!   O(prefix²) full-prefix recompute, bit-identical in exact-KV mode.
-//!   [`Session::step`] returns the requests that finished on that step so
-//!   callers can stream completions.
+//!   [`microscopiq_fm::DecodeState`], its prompt advances as prefill
+//!   segments — whole-prompt by default, or budgeted fixed-size chunks
+//!   under [`SchedulerConfig`] so long prompts cannot stall live decode
+//!   streams — and every later step feeds a single token through one
+//!   segment-packed forward: O(prefix) per step instead of the
+//!   O(prefix²) full-prefix recompute, bit-identical in exact-KV mode
+//!   for every chunk size. [`Session::step`] returns the requests that
+//!   finished on that step so callers can stream completions.
 //! * [`server`] — [`Server`]/[`ServerHandle`]: the threaded serving
 //!   front-end over [`Session`]. A dedicated worker thread drives the
 //!   decode loop; client threads submit [`GenRequest`]s through a
@@ -87,5 +89,6 @@ pub use server::{
     ServerHandle, ServerReport, StreamEvent, SubmitError,
 };
 pub use session::{
-    BatchScheduler, GenRequest, GenResult, RequestId, Session, SessionStats, StepReport,
+    BatchScheduler, GenRequest, GenResult, RequestId, SchedulerConfig, Session, SessionStats,
+    StepReport,
 };

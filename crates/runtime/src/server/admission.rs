@@ -27,6 +27,17 @@ pub struct ServerConfig {
     /// Requests packed into one decode step (forwarded to
     /// [`Session`](crate::Session)).
     pub max_batch: usize,
+    /// Most prompt tokens one request advances per step while prefilling
+    /// (forwarded to
+    /// [`SchedulerConfig::prefill_chunk`](crate::SchedulerConfig)).
+    /// The default ([`usize::MAX`]) runs each prompt as one segment;
+    /// set a chunk size to stop long prompts from stalling live decode
+    /// streams — exact-KV outputs are bitwise identical either way.
+    pub prefill_chunk: usize,
+    /// Most new tokens (prefill + decode) packed into one step
+    /// (forwarded to
+    /// [`SchedulerConfig::token_budget`](crate::SchedulerConfig)).
+    pub token_budget: usize,
     /// Bounded admission-queue depth: submissions the worker has not yet
     /// pulled in. Once full, [`AdmissionPolicy`] decides what `submit`
     /// does.
@@ -49,6 +60,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             max_batch: 8,
+            prefill_chunk: usize::MAX,
+            token_budget: usize::MAX,
             queue_capacity: 64,
             max_in_flight: 64,
             admission: AdmissionPolicy::Block,

@@ -27,9 +27,16 @@
 //!   shared flag; the worker retires the request at the next sweep,
 //!   releasing its batch slot and KV cache without touching other
 //!   streams.
+//! * **Chunked prefill** — with [`ServerConfig::prefill_chunk`] set, a
+//!   long prompt advances a bounded chunk per step instead of stalling
+//!   every live stream for one monolithic quadratic-attention forward; a
+//!   request parked mid-prefill emits no tokens until the step that
+//!   completes its prompt, and exact-KV outputs are bitwise identical to
+//!   whole-prompt prefill for any chunk size.
 //! * **Deadlines** — per-request [`Deadline`]s are checked between
-//!   steps; an expired request (even one still waiting for its prefill)
-//!   is retired with [`ServeError::DeadlineExceeded`].
+//!   steps; an expired request (even one still waiting for its prefill,
+//!   or parked partway through a chunked prefill) is retired with
+//!   [`ServeError::DeadlineExceeded`] and its partial KV reclaimed.
 //! * **Backpressure** — the admission queue is bounded
 //!   ([`ServerConfig::queue_capacity`]); when the worker is saturated
 //!   ([`ServerConfig::max_in_flight`] live requests) submissions block
@@ -186,7 +193,10 @@ impl Server {
         engine: E,
         cfg: ServerConfig,
     ) -> Result<Self, QuantError> {
-        let session = Session::with_kv_mode(model, engine, cfg.max_batch, cfg.kv_mode)?;
+        let sched = crate::session::SchedulerConfig::new(cfg.max_batch)
+            .prefill_chunk(cfg.prefill_chunk)
+            .token_budget(cfg.token_budget);
+        let session = Session::with_config(model, engine, sched, cfg.kv_mode)?;
         let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
         let gauges = Arc::new(Gauges::default());
         let worker_gauges = Arc::clone(&gauges);

@@ -4,20 +4,41 @@
 //! packed model end-to-end through the engine.
 //!
 //! Decode is **incremental**: every request owns a
-//! [`DecodeState`] (per-block appendable KV caches). The first step a
-//! request is scheduled runs its whole prompt as a prefill segment; every
-//! later step feeds exactly one token — the previously sampled one — so
-//! per-step work is O(prefix) instead of the O(prefix²) of full-prefix
-//! recompute. Prefill segments and single-token decode segments ride in
-//! the *same* segment-packed forward, so a step is always one engine pass.
+//! [`DecodeState`] (per-block appendable KV caches). A newly scheduled
+//! request advances its prompt as prefill segments — the whole prompt in
+//! one step by default, or in fixed-size chunks under
+//! [`SchedulerConfig::prefill_chunk`] — and every step after prefill
+//! feeds exactly one token, the previously sampled one, so per-step work
+//! is O(prefix) instead of the O(prefix²) of full-prefix recompute.
+//! Prefill chunks and single-token decode segments ride in the *same*
+//! segment-packed forward, so a step is always one engine pass.
+//!
+//! **Chunked prefill** is what kills head-of-line blocking: without it,
+//! one long prompt stalls every live decode stream for a full
+//! quadratic-attention forward on its first step. With a chunk size (and
+//! optionally a per-step [`SchedulerConfig::token_budget`] capping total
+//! new tokens per forward), a long prompt is spread across many steps
+//! while established streams keep emitting one token per step. Because
+//! the attention math is causal and KV rows are appended token by token
+//! either way, exact-KV chunked prefill is **bitwise identical** to
+//! whole-prompt prefill for any chunk size — logits are only sampled on
+//! the step that completes the prompt, with the request's own RNG, so
+//! the draw sequence is unchanged. Chunking is a pure scheduling choice.
+//! (This holds on any engine whose per-column results are independent of
+//! batch composition — every bit-exact engine in this workspace. The f32
+//! fast tier's lane GEMV accumulates in a different order than its
+//! one-column GEMM, so there chunking can change logit *bits* when it
+//! changes which path a step takes; that tier's contract is the bounded
+//! logit-delta / argmax-parity conformance tier instead.)
 //!
 //! Scheduling is continuous ("in-flight") batching: every step takes up to
-//! `max_batch` live requests in arrival order, runs one batched forward,
-//! samples one token per request with that request's own seeded RNG, and
-//! retires requests as they hit their token budget — freeing batch slots
-//! for queued requests mid-flight, exactly like a serving system draining
-//! a request queue. [`Session::step`] returns the requests that finished
-//! on that step, so callers can stream completions without polling.
+//! `max_batch` live requests in arrival order (bounded by the token
+//! budget), runs one batched forward, samples one token per request whose
+//! prefill is complete, and retires requests as they hit their token
+//! budget — freeing batch slots for queued requests mid-flight, exactly
+//! like a serving system draining a request queue. [`Session::step`]
+//! returns the requests that finished on that step, so callers can stream
+//! completions without polling.
 //!
 //! Determinism contract: a request's output depends only on the model, its
 //! prompt, its sampling seed, its temperature, and the session's KV mode —
@@ -68,10 +89,82 @@ pub struct SessionStats {
     pub tokens_generated: usize,
     /// Largest batch actually executed.
     pub max_batch_used: usize,
-    /// Prompt tokens processed as prefill segments.
+    /// Prompt tokens processed as prefill segments. Each prompt token is
+    /// counted exactly once, on the step whose chunk advanced it —
+    /// resuming a partially prefilled request never re-counts tokens.
     pub prefill_tokens: usize,
+    /// Prefill segments executed: a whole-prompt prefill counts 1, a
+    /// prompt split into n chunks counts n.
+    pub prefill_chunks: usize,
     /// Requests removed via [`Session::cancel`] before finishing.
     pub cancelled: usize,
+}
+
+/// Scheduling knobs for a [`Session`]'s [`BatchScheduler`].
+///
+/// The defaults reproduce classic whole-prompt continuous batching: every
+/// newly scheduled request runs its entire prompt as one prefill segment.
+/// Setting [`SchedulerConfig::prefill_chunk`] caps how many prompt tokens
+/// one request may advance per step, and
+/// [`SchedulerConfig::token_budget`] caps the total new tokens (prefill +
+/// decode) packed into one forward — together they bound per-step latency
+/// under long-prompt arrival. In [`KvMode::Exact`], on a bit-exact engine
+/// (one whose GEMV entry matches a one-column GEMM bit for bit — the
+/// default, scalar, and reference engines), every configuration produces
+/// bitwise-identical outputs; only step timing changes. On the f32 fast
+/// tier the guarantee is the serving conformance tier's instead (bounded
+/// logit deltas, argmax parity — see `tests/fast_serving.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Requests packed into one decode step.
+    pub max_batch: usize,
+    /// Most prompt tokens a single request advances per step while
+    /// prefilling ([`usize::MAX`] = the whole remaining prompt at once).
+    pub prefill_chunk: usize,
+    /// Most new tokens (prefill chunks plus single decode tokens, summed
+    /// over the batch) one step may advance ([`usize::MAX`] = unbounded).
+    /// Budget is consumed in queue order, so established decode streams
+    /// at the queue front are served before prefill chunks behind them.
+    pub token_budget: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            prefill_chunk: usize::MAX,
+            token_budget: usize::MAX,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Whole-prompt prefill with the given batch cap (the historical
+    /// scheduler behavior).
+    pub fn new(max_batch: usize) -> Self {
+        Self {
+            max_batch,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the per-request prefill chunk size.
+    pub fn prefill_chunk(mut self, tokens: usize) -> Self {
+        self.prefill_chunk = tokens;
+        self
+    }
+
+    /// Sets the per-step total new-token budget.
+    pub fn token_budget(mut self, tokens: usize) -> Self {
+        self.token_budget = tokens;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.max_batch > 0, "batch size must be positive");
+        assert!(self.prefill_chunk > 0, "prefill chunk must be positive");
+        assert!(self.token_budget > 0, "token budget must be positive");
+    }
 }
 
 /// Everything one decode step did: the token sampled for every scheduled
@@ -95,30 +188,65 @@ struct InFlight {
     remaining: usize,
     temperature: f64,
     rng: SeededRng,
-    /// Incremental decode state; created (and prefilled) the first step
-    /// this request is scheduled.
+    /// Incremental decode state; created the first step this request is
+    /// scheduled and advanced chunk by chunk until the prompt is done.
     state: Option<DecodeState>,
 }
 
-/// Packs pending requests into decode batches (arrival order, bounded by
-/// `max_batch`).
+impl InFlight {
+    /// Prompt tokens the decode state has already processed.
+    fn prefilled(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Whether the prompt is fully in the KV cache.
+    fn prefill_done(&self) -> bool {
+        self.prefilled() >= self.prompt_len
+    }
+
+    /// New tokens this request wants on its next step: the next prefill
+    /// chunk while the prompt is incomplete, exactly one (the previously
+    /// sampled token) afterwards.
+    fn step_tokens(&self, prefill_chunk: usize) -> usize {
+        if self.prefill_done() {
+            1
+        } else {
+            (self.prompt_len - self.prefilled()).min(prefill_chunk)
+        }
+    }
+}
+
+/// Packs pending requests into decode batches: arrival order, bounded by
+/// [`SchedulerConfig::max_batch`] requests and
+/// [`SchedulerConfig::token_budget`] new tokens per step, advancing
+/// prefills at most [`SchedulerConfig::prefill_chunk`] tokens at a time.
 #[derive(Debug)]
 pub struct BatchScheduler {
     queue: VecDeque<InFlight>,
-    max_batch: usize,
+    cfg: SchedulerConfig,
 }
 
 impl BatchScheduler {
-    /// Creates a scheduler batching at most `max_batch` requests per step.
+    /// Creates a whole-prompt scheduler batching at most `max_batch`
+    /// requests per step — `Self::with_config(SchedulerConfig::new(..))`.
     ///
     /// # Panics
     ///
     /// Panics if `max_batch == 0`.
     pub fn new(max_batch: usize) -> Self {
-        assert!(max_batch > 0, "batch size must be positive");
+        Self::with_config(SchedulerConfig::new(max_batch))
+    }
+
+    /// Creates a scheduler with explicit chunking/budget knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any knob is zero.
+    pub fn with_config(cfg: SchedulerConfig) -> Self {
+        cfg.validate();
         Self {
             queue: VecDeque::new(),
-            max_batch,
+            cfg,
         }
     }
 
@@ -126,14 +254,35 @@ impl BatchScheduler {
         self.queue.push_back(req);
     }
 
-    fn take_batch(&mut self) -> Vec<InFlight> {
-        let n = self.queue.len().min(self.max_batch);
-        self.queue.drain(..n).collect()
+    /// Plans one step: pops requests from the queue front until the
+    /// batch or token budget is exhausted, deciding how many new tokens
+    /// each rides with. Every planned request advances at least one
+    /// token, so prefills always make progress; a request whose chunk
+    /// would not fit the remaining budget rides with the clipped chunk
+    /// (any split is exact-KV-bitwise-safe).
+    fn take_planned(&mut self) -> Vec<(InFlight, usize)> {
+        let mut budget = self.cfg.token_budget;
+        let mut planned = Vec::new();
+        while planned.len() < self.cfg.max_batch && budget > 0 {
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            let take = front.step_tokens(self.cfg.prefill_chunk).min(budget);
+            let req = self.queue.pop_front().expect("front exists");
+            budget -= take;
+            planned.push((req, take));
+        }
+        planned
     }
 
     /// Requests waiting or in flight.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The scheduling knobs.
+    pub fn config(&self) -> SchedulerConfig {
+        self.cfg
     }
 }
 
@@ -174,12 +323,37 @@ impl<E: PackedGemm> Session<E> {
         max_batch: usize,
         kv_mode: KvMode,
     ) -> Result<Self, QuantError> {
+        Self::with_config(model, engine, SchedulerConfig::new(max_batch), kv_mode)
+    }
+
+    /// Creates a session with explicit scheduling knobs — chunked prefill
+    /// ([`SchedulerConfig::prefill_chunk`]) and a per-step token budget
+    /// ([`SchedulerConfig::token_budget`]) on top of the batch cap. In
+    /// [`KvMode::Exact`], on a bit-exact engine, every configuration
+    /// yields bitwise-identical outputs; chunking only changes how prompt
+    /// work is spread across steps (see [`SchedulerConfig`] for the f32
+    /// fast-tier caveat).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] for an invalid quantized KV
+    /// configuration (zero group size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any [`SchedulerConfig`] knob is zero.
+    pub fn with_config(
+        model: PackedTinyFm,
+        engine: E,
+        cfg: SchedulerConfig,
+        kv_mode: KvMode,
+    ) -> Result<Self, QuantError> {
         // Validate the mode once up front so `step` can't fail later.
         DecodeState::new(model.config(), kv_mode)?;
         Ok(Self {
             model,
             engine,
-            scheduler: BatchScheduler::new(max_batch),
+            scheduler: BatchScheduler::with_config(cfg),
             kv_mode,
             next_id: 0,
             finished: Vec::new(),
@@ -190,6 +364,11 @@ impl<E: PackedGemm> Session<E> {
     /// The session's KV storage mode.
     pub fn kv_mode(&self) -> KvMode {
         self.kv_mode
+    }
+
+    /// The scheduling knobs in effect.
+    pub fn scheduler_config(&self) -> SchedulerConfig {
+        self.scheduler.config()
     }
 
     /// The engine (for cache statistics etc.).
@@ -299,43 +478,53 @@ impl<E: PackedGemm> Session<E> {
             .sum()
     }
 
-    /// Runs one batched decode step over up to `max_batch` live requests:
-    /// one segment-packed forward (a whole-prompt prefill segment the
-    /// first time a request is scheduled, a single-token segment on every
-    /// later step), one sampled token per request. Returns the requests
-    /// that **finished** on this step (plus any zero-budget submissions
-    /// that completed instantly since the last step), sorted by id —
-    /// empty when nothing finished or the session is idle.
+    /// Runs one batched decode step over live requests (bounded by the
+    /// batch cap and token budget): one segment-packed forward — prefill
+    /// chunks for requests whose prompt is incomplete, single-token
+    /// segments for the rest — then one sampled token per request whose
+    /// prefill completed. Returns the requests that **finished** on this
+    /// step (plus any zero-budget submissions that completed instantly
+    /// since the last step), sorted by id — empty when nothing finished
+    /// or the session is idle.
     pub fn step(&mut self) -> Vec<GenResult> {
         self.step_report().finished
     }
 
     /// Like [`Session::step`], but also reports the token sampled for
-    /// every request that rode the step — the hook a streaming server
-    /// uses to push tokens to clients as they are generated.
+    /// every request that completed a position on this step — the hook a
+    /// streaming server uses to push tokens to clients as they are
+    /// generated. Requests parked mid-prefill emit nothing until the
+    /// step that finishes their prompt.
     pub fn step_report(&mut self) -> StepReport {
         // Instantly-finished (zero-budget) requests drain through the
         // next step so streaming callers see every completion.
         let mut done = std::mem::take(&mut self.finished);
         let mut emitted = Vec::new();
-        let mut batch = self.scheduler.take_batch();
+        let mut batch = self.scheduler.take_planned();
         if !batch.is_empty() {
-            for req in batch.iter_mut() {
+            for (req, take) in batch.iter_mut() {
                 if req.state.is_none() {
-                    let state = DecodeState::new(self.model.config(), self.kv_mode)
-                        .expect("kv mode validated at construction");
-                    self.stats.prefill_tokens += req.tokens.len();
-                    req.state = Some(state);
+                    req.state = Some(
+                        DecodeState::new(self.model.config(), self.kv_mode)
+                            .expect("kv mode validated at construction"),
+                    );
+                }
+                if !req.prefill_done() {
+                    // Prompt tokens are counted on the step whose chunk
+                    // advances them — never re-counted on resume.
+                    self.stats.prefill_tokens += *take;
+                    self.stats.prefill_chunks += 1;
                 }
             }
             let mut jobs: Vec<DecodeJob<'_>> = batch
                 .iter_mut()
-                .map(|req| {
+                .map(|(req, take)| {
                     let InFlight { state, tokens, .. } = req;
                     let state = state.as_mut().expect("state created above");
-                    // New tokens = whatever the cache hasn't seen: the
-                    // whole prompt at prefill, exactly one token after.
-                    let tokens = &tokens[state.len()..];
+                    // New tokens = the next slice the cache hasn't seen:
+                    // up to a chunk of prompt while prefilling, exactly
+                    // the one sampled token after.
+                    let tokens = &state.remaining_prompt(tokens)[..*take];
                     DecodeJob { state, tokens }
                 })
                 .collect();
@@ -344,7 +533,16 @@ impl<E: PackedGemm> Session<E> {
             self.stats.steps += 1;
             self.stats.max_batch_used = self.stats.max_batch_used.max(batch.len());
             let mut generated = 0;
-            for (req, logit) in batch.iter_mut().zip(logits.iter()) {
+            for ((req, _), logit) in batch.iter_mut().zip(logits.iter()) {
+                // Sample only when every known token is in the cache —
+                // i.e. the prompt just completed (final prefill chunk)
+                // or this was a decode step. A request parked mid-prompt
+                // draws nothing, so its RNG stream is untouched and
+                // chunked outputs stay bitwise equal to whole-prompt.
+                let state = req.state.as_ref().expect("state created above");
+                if state.len() < req.tokens.len() {
+                    continue;
+                }
                 let last = logit.col(logit.cols() - 1);
                 let tok = sample_logits(&last, req.temperature, &mut req.rng);
                 req.tokens.push(tok);
@@ -354,8 +552,9 @@ impl<E: PackedGemm> Session<E> {
             }
             self.stats.tokens_generated += generated;
             // Retire finished requests; the rest return to the queue's
-            // front in order, keeping arrival-order fairness.
-            for req in batch.into_iter().rev() {
+            // front in order, keeping arrival-order fairness (a request
+            // parked mid-prefill keeps its place in line).
+            for (req, _) in batch.into_iter().rev() {
                 if req.remaining == 0 {
                     let InFlight {
                         id,
@@ -730,6 +929,147 @@ mod tests {
         });
         assert!(session.cancel(id));
         assert!(session.step().is_empty(), "cancelled result never drains");
+    }
+
+    #[test]
+    fn chunked_prefill_is_bitwise_identical_for_every_chunk_size() {
+        let (_, packed) = packed_model(44);
+        let reqs: Vec<GenRequest> = (0..4)
+            .map(|i| GenRequest {
+                prompt: (0..5 + 7 * i).map(|t| (t * 3 + i) % 60).collect(),
+                max_new_tokens: 3 + i,
+                temperature: 0.8,
+                seed: 500 + i as u64,
+            })
+            .collect();
+        let mut whole = Session::new(packed.clone(), DequantGemm, 3);
+        for r in &reqs {
+            whole.submit(r.clone());
+        }
+        let expected = whole.run_to_completion();
+
+        for chunk in [1usize, 2, 3, 5, 8, 64] {
+            for budget in [usize::MAX, 1, 4, 9] {
+                let cfg = SchedulerConfig::new(3)
+                    .prefill_chunk(chunk)
+                    .token_budget(budget);
+                let mut session =
+                    Session::with_config(packed.clone(), DequantGemm, cfg, KvMode::Exact).unwrap();
+                for r in &reqs {
+                    session.submit(r.clone());
+                }
+                let got = session.run_to_completion();
+                assert_eq!(
+                    got, expected,
+                    "chunk={chunk} budget={budget} must not change outputs"
+                );
+                assert_eq!(session.kv_occupancy(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_counts_tokens_once_and_chunks_per_segment() {
+        let (_, packed) = packed_model(45);
+        let cfg = SchedulerConfig::new(2).prefill_chunk(3);
+        let mut session = Session::with_config(packed, DequantGemm, cfg, KvMode::Exact).unwrap();
+        session.submit(GenRequest {
+            prompt: (0..10).map(|t| t % 50).collect(),
+            max_new_tokens: 2,
+            temperature: 0.8,
+            seed: 7,
+        });
+        // Chunks of 3/3/3/1, no token sampled until the prompt completes.
+        for expect_prefilled in [3usize, 6, 9] {
+            let report = session.step_report();
+            assert!(report.emitted.is_empty(), "mid-prefill steps emit nothing");
+            assert_eq!(session.stats().prefill_tokens, expect_prefilled);
+        }
+        let report = session.step_report();
+        assert_eq!(
+            report.emitted.len(),
+            1,
+            "final chunk samples the first token"
+        );
+        let stats = session.stats();
+        assert_eq!(stats.prefill_tokens, 10, "each prompt token counted once");
+        assert_eq!(stats.prefill_chunks, 4, "10 tokens at chunk 3 = 4 segments");
+        session.run_to_completion();
+        let stats = session.stats();
+        assert_eq!(stats.prefill_tokens, 10, "resume never double-counts");
+        assert_eq!(stats.prefill_chunks, 4);
+        assert_eq!(stats.tokens_generated, 2);
+        // 4 prefill steps (last one samples) + 1 decode step.
+        assert_eq!(stats.steps, 5);
+    }
+
+    #[test]
+    fn token_budget_caps_new_tokens_per_step() {
+        let (_, packed) = packed_model(46);
+        // Budget 2 with three live decode streams: only two ride per step.
+        let cfg = SchedulerConfig::new(4).token_budget(2);
+        let mut session = Session::with_config(packed, DequantGemm, cfg, KvMode::Exact).unwrap();
+        for i in 0..3 {
+            session.submit(GenRequest {
+                prompt: vec![1 + i],
+                max_new_tokens: 2,
+                temperature: 0.8,
+                seed: i as u64,
+            });
+        }
+        let results = session.run_to_completion();
+        assert_eq!(results.len(), 3);
+        assert_eq!(
+            session.stats().max_batch_used,
+            2,
+            "budget 2 = 2 requests/step"
+        );
+    }
+
+    #[test]
+    fn cancel_mid_prefill_reclaims_partial_kv() {
+        let (_, packed) = packed_model(47);
+        let layers = packed.config().n_layers;
+        let cfg = SchedulerConfig::new(2).prefill_chunk(4);
+        let mut session = Session::with_config(packed, DequantGemm, cfg, KvMode::Exact).unwrap();
+        let keep = session.submit(GenRequest {
+            prompt: vec![1, 2],
+            max_new_tokens: 2,
+            temperature: 0.8,
+            seed: 1,
+        });
+        let victim = session.submit(GenRequest {
+            prompt: (0..20).map(|t| t % 50).collect(),
+            max_new_tokens: 4,
+            temperature: 0.8,
+            seed: 2,
+        });
+        session.step();
+        // keep: 2-token prompt fully prefilled; victim: one 4-token chunk.
+        assert_eq!(session.kv_occupancy(), (2 + 4) * layers);
+        assert!(session.cancel(victim), "mid-prefill request cancels");
+        assert_eq!(
+            session.kv_occupancy(),
+            2 * layers,
+            "partial prefill KV reclaimed immediately"
+        );
+        let results = session.run_to_completion();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].id, keep);
+        assert_eq!(session.stats().cancelled, 1);
+        assert_eq!(session.kv_occupancy(), 0);
+        assert!(
+            session.stats().prefill_tokens < 2 + 20,
+            "the cancelled prompt must not have been fully prefilled"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "prefill chunk must be positive")]
+    fn zero_prefill_chunk_is_rejected() {
+        let (_, packed) = packed_model(48);
+        let cfg = SchedulerConfig::new(2).prefill_chunk(0);
+        let _ = Session::with_config(packed, DequantGemm, cfg, KvMode::Exact);
     }
 
     #[test]

@@ -282,6 +282,61 @@ fn deadline_expires_mid_prefill_without_consuming_compute() {
 }
 
 #[test]
+fn deadline_expires_mid_chunked_prefill_and_reclaims_partial_kv() {
+    let model = serving_model(64);
+    let bystander_req = bystander_request();
+    let expected = offline_tokens(&model, &bystander_req);
+    let server = Server::spawn(
+        model,
+        DequantGemm,
+        ServerConfig {
+            max_batch: 4,
+            // 40-token prompt at chunk 8 needs 5 steps; a 2-step deadline
+            // expires while the request is parked mid-prefill with a
+            // partial KV cache.
+            prefill_chunk: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+    let bystander = handle.submit(bystander_req.clone()).unwrap();
+    let mut doomed = handle
+        .submit_with(
+            GenRequest {
+                prompt: (0..40).map(|i| i % 48).collect(),
+                max_new_tokens: 50,
+                temperature: 0.8,
+                seed: 15,
+            },
+            RequestOptions {
+                deadline: Some(Deadline::Steps(2)),
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        doomed.next_event(),
+        Some(StreamEvent::Error(ServeError::DeadlineExceeded)),
+        "a request parked mid-prefill expires without ever emitting a token"
+    );
+    let result = bystander.collect().expect("bystander completes");
+    assert_eq!(result.tokens, expected);
+    drop((doomed, handle));
+    let report = server.shutdown();
+    assert_eq!(report.expired, 1);
+    assert_eq!(report.served, 1);
+    assert!(
+        report.session.prefill_tokens < 40 + bystander_req.prompt.len(),
+        "the doomed prompt must never be fully prefilled (got {} prefill tokens)",
+        report.session.prefill_tokens
+    );
+    assert_eq!(
+        report.final_kv_rows, 0,
+        "the partial prefill's KV rows must be reclaimed"
+    );
+}
+
+#[test]
 fn worker_panic_faults_only_the_affected_stream() {
     let model = serving_model(62);
     let bystander_req = bystander_request();
