@@ -5,4 +5,4 @@
 pub mod methods;
 pub mod report;
 
-pub use report::{f2, f3, median, pct, Table};
+pub use report::{f2, f3, median, pct, results_dir, Table};

@@ -17,11 +17,15 @@
 //! the lane-blocked `f32` kernel at its own pinned relative tolerance.
 
 use crate::cache::{CacheStats, DecodedCache};
-use crate::kernels::{DispatchKey, KernelCtx, KernelPolicy, KernelRegistry, MicroKernel};
+use crate::kernels::{DispatchKey, KernelCtx, KernelOp, KernelPolicy, KernelRegistry, MicroKernel};
+use crate::telemetry::{
+    collector_fn, EngineTelemetry, MetricKind, MetricsRegistry, Sample, SampleValue,
+};
 use microscopiq_core::packed::PackedLayer;
 use microscopiq_fm::PackedGemm;
 use microscopiq_linalg::Matrix;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,7 +86,9 @@ impl EngineConfig {
 pub struct RuntimeEngine {
     cfg: EngineConfig,
     threads: usize,
-    cache: Option<DecodedCache>,
+    // Arc'd so telemetry collectors can observe cache statistics after
+    // the engine moves onto a worker thread.
+    cache: Option<Arc<DecodedCache>>,
     registry: KernelRegistry,
 }
 
@@ -103,7 +109,7 @@ impl RuntimeEngine {
         } else {
             cfg.threads
         };
-        let cache = (cfg.cache_bytes > 0).then(|| DecodedCache::new(cfg.cache_bytes));
+        let cache = (cfg.cache_bytes > 0).then(|| Arc::new(DecodedCache::new(cfg.cache_bytes)));
         Self {
             cfg,
             threads,
@@ -185,7 +191,7 @@ impl RuntimeEngine {
     /// layer's (memoized) content fingerprint, when caching is enabled.
     fn ctx(&self, layer: &PackedLayer) -> KernelCtx<'_> {
         match &self.cache {
-            Some(cache) => KernelCtx::cached(cache, layer.content_fingerprint()),
+            Some(cache) => KernelCtx::cached(cache.as_ref(), layer.content_fingerprint()),
             None => KernelCtx::uncached(),
         }
     }
@@ -211,7 +217,17 @@ impl RuntimeEngine {
         let ctx = self.ctx(layer);
         let kernel = self.registry.select(self.cfg.policy, &key, &ctx);
         let work = layer.d_row() * layer.d_col() * n;
-        if self.threads <= 1 || work < self.cfg.parallel_threshold {
+        let serial = self.threads <= 1 || work < self.cfg.parallel_threshold;
+        // One dispatch record per call (never per tile), keyed by the
+        // shape the call executes as.
+        let op = if serial && n == 1 {
+            KernelOp::Gemv
+        } else {
+            KernelOp::Gemm
+        };
+        self.registry
+            .record_call(kernel.name(), op, key.bits, layer.num_groups() as u64);
+        if serial {
             // Decode fast path: one activation column (m = 1) runs the
             // kernel's GEMV entry (no tile bookkeeping, no Matrix output
             // staging). Large m = 1 problems still honor
@@ -254,6 +270,12 @@ impl RuntimeEngine {
         let key = DispatchKey::for_call(layer, 1);
         let ctx = self.ctx(layer);
         let kernel = self.registry.select(self.cfg.policy, &key, &ctx);
+        self.registry.record_call(
+            kernel.name(),
+            KernelOp::Gemv,
+            key.bits,
+            layer.num_groups() as u64,
+        );
         let mut out = vec![0.0_f64; layer.d_row()];
         kernel.gemv(&ctx, layer, x, &mut out);
         out
@@ -357,6 +379,65 @@ impl PackedGemm for RuntimeEngine {
 
     fn gemv(&self, layer: &PackedLayer, x: &[f64]) -> Vec<f64> {
         self.gemv(layer, x)
+    }
+}
+
+impl EngineTelemetry for RuntimeEngine {
+    /// Contributes the engine's dispatch counters and decoded-cache
+    /// statistics as dynamic collector families, so one serving
+    /// snapshot covers kernels and cache alongside scheduler/server
+    /// instruments. Collectors hold `Arc`s to the engine's internals
+    /// and read them lazily at snapshot time — nothing is added to the
+    /// GEMM/GEMV hot path.
+    fn register_telemetry(&self, registry: &MetricsRegistry) {
+        let kernel_metrics = self.registry.metrics().clone();
+        registry.register_collector(
+            "microscopiq_kernel_calls_total",
+            "Dispatched kernel invocations by (kernel, op, bits).",
+            MetricKind::Counter,
+            collector_fn(move || kernel_metrics.call_samples()),
+        );
+        let kernel_metrics = self.registry.metrics().clone();
+        registry.register_collector(
+            "microscopiq_kernel_decoded_groups_total",
+            "Packed groups traversed by dispatched kernels (decode volume).",
+            MetricKind::Counter,
+            collector_fn(move || kernel_metrics.group_samples()),
+        );
+        if let Some(cache) = &self.cache {
+            let c = cache.clone();
+            registry.register_collector(
+                "microscopiq_cache_events_total",
+                "Decoded-block cache lookups by outcome (hit/miss/eviction).",
+                MetricKind::Counter,
+                collector_fn(move || {
+                    let stats = c.stats();
+                    [
+                        ("hit", stats.hits),
+                        ("miss", stats.misses),
+                        ("eviction", stats.evictions),
+                    ]
+                    .into_iter()
+                    .map(|(event, n)| Sample {
+                        labels: vec![("event", event.to_string())],
+                        value: SampleValue::Counter(n),
+                    })
+                    .collect()
+                }),
+            );
+            let c = cache.clone();
+            registry.register_collector(
+                "microscopiq_cache_resident_bytes",
+                "Decoded-block cache residency in bytes.",
+                MetricKind::Gauge,
+                collector_fn(move || {
+                    vec![Sample {
+                        labels: Vec::new(),
+                        value: SampleValue::Gauge(c.stats().resident_bytes as i64),
+                    }]
+                }),
+            );
+        }
     }
 }
 

@@ -43,7 +43,8 @@ use super::bucketed::{BucketedCacheKernel, BUCKETED_KERNEL};
 use super::lane::LaneKernel;
 use super::scalar::ScalarKernel;
 use super::{DispatchKey, KernelCtx, MicroKernel};
-use std::sync::Arc;
+use crate::telemetry::metrics::{Counter, Sample, SampleValue};
+use std::sync::{Arc, RwLock};
 
 /// How the engine picks a kernel per call. `Default` reproduces the
 /// pre-dispatch engine exactly; anything else is an explicit opt-in.
@@ -63,6 +64,140 @@ pub enum KernelPolicy {
     Named(&'static str),
 }
 
+/// The shape a dispatched call executed as, for invocation accounting:
+/// the batched row-tile path or the single-column GEMV fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelOp {
+    /// Multi-column (or row-tiled parallel) execution.
+    Gemm,
+    /// Single-column serial fast path.
+    Gemv,
+}
+
+impl KernelOp {
+    fn index(self) -> usize {
+        match self {
+            KernelOp::Gemm => 0,
+            KernelOp::Gemv => 1,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            KernelOp::Gemm => "gemm",
+            KernelOp::Gemv => "gemv",
+        }
+    }
+}
+
+/// Bit widths tracked per kernel (the packed format supports 2 and 4).
+const TRACKED_BITS: [u32; 2] = [2, 4];
+
+fn bits_index(bits: u32) -> usize {
+    if bits == 2 {
+        0
+    } else {
+        1
+    }
+}
+
+/// Invocation counters for one registered kernel: calls keyed by
+/// (execution shape, bit width) plus total packed-group traversal
+/// volume (the decode-work proxy).
+#[derive(Debug, Default)]
+struct KernelSlot {
+    name: &'static str,
+    /// `calls[op][bits_index]`.
+    calls: [[Counter; 2]; 2],
+    groups: Counter,
+}
+
+/// Per-kernel dispatch counters for one registry. Recording takes an
+/// uncontended read lock plus relaxed atomic adds; the write lock is
+/// only taken the first time a kernel name appears. Registry clones
+/// share these counters (an engine built from a cloned registry reports
+/// into the same series).
+#[derive(Debug, Default)]
+pub struct KernelMetrics {
+    slots: RwLock<Vec<KernelSlot>>,
+}
+
+impl KernelMetrics {
+    /// Records one dispatched call.
+    pub fn record(&self, name: &'static str, op: KernelOp, bits: u32, groups: u64) {
+        {
+            let slots = self.slots.read().expect("kernel metrics poisoned");
+            if let Some(s) = slots.iter().find(|s| s.name == name) {
+                s.calls[op.index()][bits_index(bits)].inc();
+                s.groups.add(groups);
+                return;
+            }
+        }
+        let mut slots = self.slots.write().expect("kernel metrics poisoned");
+        let pos = slots
+            .iter()
+            .position(|s| s.name == name)
+            .unwrap_or_else(|| {
+                slots.push(KernelSlot {
+                    name,
+                    ..KernelSlot::default()
+                });
+                slots.len() - 1
+            });
+        slots[pos].calls[op.index()][bits_index(bits)].inc();
+        slots[pos].groups.add(groups);
+    }
+
+    /// Total calls recorded for `name`, summed over shapes and widths.
+    pub fn calls_for(&self, name: &str) -> u64 {
+        let slots = self.slots.read().expect("kernel metrics poisoned");
+        slots
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.calls.iter().flatten().map(Counter::get).sum::<u64>())
+            .sum()
+    }
+
+    /// Counter samples for the `kernel_calls` family: one series per
+    /// occupied (kernel, op, bits) combination.
+    pub fn call_samples(&self) -> Vec<Sample> {
+        let slots = self.slots.read().expect("kernel metrics poisoned");
+        let mut out = Vec::new();
+        for s in slots.iter() {
+            for op in [KernelOp::Gemm, KernelOp::Gemv] {
+                for (bi, &bits) in TRACKED_BITS.iter().enumerate() {
+                    let n = s.calls[op.index()][bi].get();
+                    if n > 0 {
+                        out.push(Sample {
+                            labels: vec![
+                                ("kernel", s.name.to_string()),
+                                ("op", op.as_str().to_string()),
+                                ("bits", bits.to_string()),
+                            ],
+                            value: SampleValue::Counter(n),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Counter samples for the `decoded_groups` family: packed groups
+    /// traversed, one series per kernel.
+    pub fn group_samples(&self) -> Vec<Sample> {
+        let slots = self.slots.read().expect("kernel metrics poisoned");
+        slots
+            .iter()
+            .filter(|s| s.groups.get() > 0)
+            .map(|s| Sample {
+                labels: vec![("kernel", s.name.to_string())],
+                value: SampleValue::Counter(s.groups.get()),
+            })
+            .collect()
+    }
+}
+
 /// An ordered set of kernels. Priority is insertion order — `Fast` picks
 /// the first kernel whose `supports` accepts the call — and
 /// [`KernelRegistry::register`] inserts at the *front*, so the newest
@@ -72,6 +207,7 @@ pub enum KernelPolicy {
 pub struct KernelRegistry {
     kernels: Vec<Arc<dyn MicroKernel>>,
     scalar: Arc<dyn MicroKernel>,
+    metrics: Arc<KernelMetrics>,
 }
 
 impl Default for KernelRegistry {
@@ -91,6 +227,7 @@ impl KernelRegistry {
                 Arc::new(ScalarKernel),
             ],
             scalar: Arc::new(ScalarKernel),
+            metrics: Arc::new(KernelMetrics::default()),
         }
     }
 
@@ -99,7 +236,20 @@ impl KernelRegistry {
         Self {
             kernels: vec![Arc::new(ScalarKernel)],
             scalar: Arc::new(ScalarKernel),
+            metrics: Arc::new(KernelMetrics::default()),
         }
+    }
+
+    /// The registry's dispatch counters (shared by clones).
+    pub fn metrics(&self) -> &Arc<KernelMetrics> {
+        &self.metrics
+    }
+
+    /// Records one dispatched call against the registry's counters —
+    /// called by the engine at its GEMM/GEMV entry points, once per
+    /// call (not per tile).
+    pub fn record_call(&self, name: &'static str, op: KernelOp, bits: u32, groups: u64) {
+        self.metrics.record(name, op, bits, groups);
     }
 
     /// Registers a kernel at the front of the priority order (the newest

@@ -41,7 +41,7 @@ pub mod scalar;
 pub mod synth;
 
 pub use bucketed::{BucketedCacheKernel, BUCKETED_KERNEL};
-pub use dispatch::{KernelPolicy, KernelRegistry};
+pub use dispatch::{KernelMetrics, KernelOp, KernelPolicy, KernelRegistry};
 pub use lane::{LaneKernel, LANE_KERNEL, MAX_GROUP};
 pub use scalar::{fused_gemm_serial, fused_gemv_serial, ScalarKernel, SCALAR_KERNEL};
 

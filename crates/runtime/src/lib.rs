@@ -40,6 +40,12 @@
 //!   per-token [`ResponseStream`]s. Requests join the running batch
 //!   between steps, dropping a stream cancels its request (slot + KV
 //!   cache reclaimed), and per-request deadlines expire mid-flight.
+//! * [`telemetry`] — always-on lock-light metrics (atomic counters,
+//!   gauges, log-bucketed mergeable histograms; Prometheus-style text
+//!   exposition) plus an opt-in bounded [`TraceSink`] exporting
+//!   per-request / per-step timelines as Chrome trace-event JSON.
+//!   Instrumentation is observational only: default-dispatch token
+//!   streams are bitwise identical with telemetry on or off.
 //!
 //! # Examples
 //!
@@ -76,6 +82,7 @@ pub mod executor;
 pub mod kernels;
 pub mod server;
 pub mod session;
+pub mod telemetry;
 
 pub use cache::{BucketTile, CacheStats, DecodedCache, DecodedTile, FlatTile};
 pub use executor::{EngineConfig, RuntimeEngine};
@@ -90,5 +97,8 @@ pub use server::{
 };
 pub use session::{
     BatchScheduler, GenRequest, GenResult, RequestId, SchedulerConfig, Session, SessionStats,
-    StepReport,
+    StepBatch, StepReport,
+};
+pub use telemetry::{
+    EngineTelemetry, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, TraceSink,
 };

@@ -54,6 +54,24 @@ pub struct ServerConfig {
     /// tests to widen race windows deterministically and by demos to
     /// make streaming visible; leave at zero to serve at full speed.
     pub pace: Duration,
+    /// Server-side lifecycle recording (queue-wait/TTFT/inter-token
+    /// histograms, outcome counters, per-token timestamping). On by
+    /// default; turning it off exists so the `serving_load` bench can
+    /// measure an uninstrumented baseline for the overhead gate.
+    /// Scheduler and kernel counters are always on regardless (their
+    /// cost is a few relaxed atomic ops per *step*, not per token), and
+    /// [`ServerHandle`](super::ServerHandle) gauges keep working either
+    /// way. Telemetry never perturbs numerics: token streams are
+    /// bitwise identical whichever way this is set.
+    pub telemetry: bool,
+    /// Capacity of the opt-in trace ring buffer; 0 (the default)
+    /// disables tracing entirely — no sink is allocated and the worker
+    /// pays nothing. When positive, the worker records per-request span
+    /// events and per-step scheduler events into a bounded ring
+    /// (oldest dropped first), exported via
+    /// [`ServerHandle::export_trace`](super::ServerHandle::export_trace)
+    /// as Chrome trace-event JSON.
+    pub trace_events: usize,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +85,8 @@ impl Default for ServerConfig {
             admission: AdmissionPolicy::Block,
             kv_mode: KvMode::Exact,
             pace: Duration::ZERO,
+            telemetry: true,
+            trace_events: 0,
         }
     }
 }
@@ -122,4 +142,7 @@ pub(crate) struct Incoming {
     pub(crate) opts: RequestOptions,
     pub(crate) events: mpsc::Sender<StreamEvent>,
     pub(crate) cancelled: Arc<AtomicBool>,
+    /// Client-side enqueue instant, stamped in `submit` — the zero
+    /// point for queue-wait and TTFT measurements.
+    pub(crate) submitted: Instant,
 }

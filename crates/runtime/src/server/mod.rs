@@ -54,23 +54,121 @@ pub use admission::{AdmissionPolicy, Deadline, RequestOptions, ServerConfig, Sub
 pub use stream::{ResponseStream, ServeError, StreamEvent};
 
 use crate::session::{GenRequest, RequestId, Session, SessionStats};
+use crate::telemetry::{
+    Counter, EngineTelemetry, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, TraceArg,
+    TraceSink,
+};
 use admission::Incoming;
 use microscopiq_core::error::QuantError;
 use microscopiq_fm::{PackedGemm, PackedTinyFm};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Live gauges shared between the worker and every [`ServerHandle`],
-/// updated once per scheduler iteration.
-#[derive(Debug, Default)]
-struct Gauges {
-    live: AtomicUsize,
-    peak_live: AtomicUsize,
-    kv_rows: AtomicUsize,
+/// Server-side instruments, registered into the session's
+/// [`MetricsRegistry`] at spawn and shared (via [`Shared`]) between the
+/// worker and every [`ServerHandle`]. Latency histograms record whole
+/// microseconds.
+#[derive(Debug)]
+struct ServerMetrics {
+    admitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    finished: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    expired: Arc<Counter>,
+    faulted: Arc<Counter>,
+    tokens_streamed: Arc<Counter>,
+    live: Arc<Gauge>,
+    peak_live: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    /// The session's KV-rows gauge (registered by the session; shared
+    /// here so [`ServerHandle::kv_rows`] reads it without a snapshot).
+    kv_rows: Arc<Gauge>,
+    queue_wait_us: Arc<Histogram>,
+    admit_to_first_token_us: Arc<Histogram>,
+    ttft_us: Arc<Histogram>,
+    inter_token_us: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn register(reg: &MetricsRegistry, kv_rows: Arc<Gauge>) -> Self {
+        Self {
+            admitted: reg.counter(
+                "microscopiq_requests_admitted_total",
+                "Submissions the worker pulled off the admission queue (including ones \
+                 cancelled while queued or faulted at admission).",
+            ),
+            rejected: reg.counter(
+                "microscopiq_requests_rejected_total",
+                "Submissions refused at the queue under the Reject policy.",
+            ),
+            finished: reg.counter(
+                "microscopiq_requests_finished_total",
+                "Requests that ran to their token budget.",
+            ),
+            cancelled: reg.counter(
+                "microscopiq_requests_cancelled_total",
+                "Requests retired because their stream was dropped or cancelled.",
+            ),
+            expired: reg.counter(
+                "microscopiq_requests_expired_total",
+                "Requests retired by deadline expiry.",
+            ),
+            faulted: reg.counter(
+                "microscopiq_requests_faulted_total",
+                "Streams terminated by a worker panic.",
+            ),
+            tokens_streamed: reg.counter(
+                "microscopiq_tokens_streamed_total",
+                "Tokens pushed onto response streams.",
+            ),
+            live: reg.gauge(
+                "microscopiq_live_streams",
+                "Streams currently admitted and unfinished.",
+            ),
+            peak_live: reg.gauge(
+                "microscopiq_peak_live_streams",
+                "Most streams ever live at once.",
+            ),
+            queue_depth: reg.gauge(
+                "microscopiq_queue_depth",
+                "Submissions enqueued (or blocked entering the queue) and not yet \
+                 pulled by the worker.",
+            ),
+            kv_rows,
+            queue_wait_us: reg.histogram(
+                "microscopiq_queue_wait_us",
+                "Enqueue-to-admission latency per request, microseconds.",
+            ),
+            admit_to_first_token_us: reg.histogram(
+                "microscopiq_admit_to_first_token_us",
+                "Admission-to-first-token latency per request, microseconds.",
+            ),
+            ttft_us: reg.histogram(
+                "microscopiq_ttft_us",
+                "Enqueue-to-first-token latency per request, microseconds (the \
+                 client-observed TTFT).",
+            ),
+            inter_token_us: reg.histogram(
+                "microscopiq_inter_token_us",
+                "Gap between consecutive streamed tokens of one request, microseconds.",
+            ),
+        }
+    }
+}
+
+/// State shared between the worker thread and every [`ServerHandle`].
+#[derive(Debug)]
+struct Shared {
+    registry: MetricsRegistry,
+    metrics: ServerMetrics,
+    /// Present only when [`ServerConfig::trace_events`] > 0.
+    trace: Option<Arc<TraceSink>>,
+    /// Mirror of [`ServerConfig::telemetry`] for the worker's hot path.
+    telemetry: bool,
 }
 
 /// Final accounting returned by [`Server::shutdown`].
@@ -97,7 +195,7 @@ pub struct ServerReport {
 pub struct ServerHandle {
     tx: mpsc::SyncSender<Incoming>,
     policy: AdmissionPolicy,
-    gauges: Arc<Gauges>,
+    shared: Arc<Shared>,
 }
 
 impl ServerHandle {
@@ -135,15 +233,28 @@ impl ServerHandle {
             opts,
             events,
             cancelled: Arc::clone(&cancelled),
+            submitted: Instant::now(),
         };
-        match self.policy {
-            AdmissionPolicy::Block => {
-                self.tx.send(inc).map_err(|_| SubmitError::ServerClosed)?;
-            }
+        // Count the submission into the queue-depth gauge *before* the
+        // send: under `Block` a full queue parks this thread, and a
+        // blocked submitter is queue pressure the worker should see.
+        // The worker decrements on every pull, so depth returns to 0
+        // once the queue drains; a failed send undoes the increment.
+        let depth = &self.shared.metrics.queue_depth;
+        depth.add(1);
+        let sent = match self.policy {
+            AdmissionPolicy::Block => self.tx.send(inc).map_err(|_| SubmitError::ServerClosed),
             AdmissionPolicy::Reject => self.tx.try_send(inc).map_err(|e| match e {
                 mpsc::TrySendError::Full(_) => SubmitError::QueueFull,
                 mpsc::TrySendError::Disconnected(_) => SubmitError::ServerClosed,
-            })?,
+            }),
+        };
+        if let Err(e) = sent {
+            depth.add(-1);
+            if e == SubmitError::QueueFull {
+                self.shared.metrics.rejected.inc();
+            }
+            return Err(e);
         }
         Ok(ResponseStream {
             rx,
@@ -154,18 +265,49 @@ impl ServerHandle {
 
     /// Streams currently live (admitted and unfinished).
     pub fn live_streams(&self) -> usize {
-        self.gauges.live.load(Ordering::Relaxed)
+        self.shared.metrics.live.get().max(0) as usize
     }
 
     /// Most streams ever live at once.
     pub fn peak_live_streams(&self) -> usize {
-        self.gauges.peak_live.load(Ordering::Relaxed)
+        self.shared.metrics.peak_live.get().max(0) as usize
     }
 
     /// KV rows currently held by live requests (see
     /// [`Session::kv_occupancy`]).
     pub fn kv_rows(&self) -> usize {
-        self.gauges.kv_rows.load(Ordering::Relaxed)
+        self.shared.metrics.kv_rows.get().max(0) as usize
+    }
+
+    /// Submissions currently waiting in (or blocked entering) the
+    /// admission queue — the backpressure a client would face right
+    /// now. Under [`AdmissionPolicy::Reject`] a positive depth warns
+    /// that `submit` may soon fail with
+    /// [`SubmitError::QueueFull`]; previously that was observable only
+    /// by failing.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.metrics.queue_depth.get().max(0) as usize
+    }
+
+    /// A point-in-time snapshot of every registered instrument across
+    /// the stack: scheduler, server lifecycle, kernels, and decoded
+    /// cache. Render it for scraping with
+    /// [`MetricsSnapshot::render_text`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.registry.snapshot()
+    }
+
+    /// The current metrics in Prometheus text exposition format —
+    /// shorthand for `metrics_snapshot().render_text()`.
+    pub fn render_metrics(&self) -> String {
+        self.shared.registry.render_text()
+    }
+
+    /// Exports the retained trace window as Chrome trace-event JSON
+    /// (Perfetto-loadable). `None` unless the server was spawned with
+    /// [`ServerConfig::trace_events`] > 0.
+    pub fn export_trace(&self) -> Option<String> {
+        self.shared.trace.as_ref().map(|t| t.export_json())
     }
 }
 
@@ -188,7 +330,7 @@ impl Server {
     ///
     /// Returns [`QuantError::InvalidConfig`] for an invalid quantized KV
     /// configuration (validated before the thread starts).
-    pub fn spawn<E: PackedGemm + Send + 'static>(
+    pub fn spawn<E: PackedGemm + EngineTelemetry + Send + 'static>(
         model: PackedTinyFm,
         engine: E,
         cfg: ServerConfig,
@@ -197,18 +339,31 @@ impl Server {
             .prefill_chunk(cfg.prefill_chunk)
             .token_budget(cfg.token_budget);
         let session = Session::with_config(model, engine, sched, cfg.kv_mode)?;
+        // One registry for the whole stack: the session created it and
+        // registered its scheduler instruments; the engine contributes
+        // kernel/cache collectors; the server adds lifecycle metrics.
+        let registry = session.metrics_registry().clone();
+        session.engine().register_telemetry(&registry);
+        let (kv_rows, _kv_bytes) = session.kv_gauges();
+        let metrics = ServerMetrics::register(&registry, kv_rows);
+        let trace = (cfg.trace_events > 0).then(|| Arc::new(TraceSink::new(cfg.trace_events)));
+        let shared = Arc::new(Shared {
+            registry,
+            metrics,
+            trace,
+            telemetry: cfg.telemetry,
+        });
         let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
-        let gauges = Arc::new(Gauges::default());
-        let worker_gauges = Arc::clone(&gauges);
+        let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("microscopiq-serve".into())
-            .spawn(move || worker_loop(session, rx, cfg, worker_gauges))
+            .spawn(move || worker_loop(session, rx, cfg, worker_shared))
             .expect("spawn serving worker");
         Ok(Self {
             handle: Some(ServerHandle {
                 tx,
                 policy: cfg.admission,
-                gauges,
+                shared,
             }),
             worker: Some(worker),
         })
@@ -246,6 +401,12 @@ struct Live {
     cancelled: Arc<AtomicBool>,
     deadline: Option<Deadline>,
     admitted_step: usize,
+    /// Client-side enqueue instant (zero point for TTFT).
+    submitted: Instant,
+    /// Worker-side admission instant.
+    admitted_at: Instant,
+    /// When the latest token was streamed; `None` until the first.
+    last_token_at: Option<Instant>,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -258,23 +419,36 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Trace lane for per-step scheduler events. Per-request lanes are
+/// `request id + 1` so request 0 does not collide with this lane.
+const SCHED_TID: u64 = 0;
+
+fn request_tid(id: RequestId) -> u64 {
+    id as u64 + 1
+}
+
 fn worker_loop<E: PackedGemm>(
     mut session: Session<E>,
     rx: mpsc::Receiver<Incoming>,
     cfg: ServerConfig,
-    gauges: Arc<Gauges>,
+    shared: Arc<Shared>,
 ) -> ServerReport {
     let mut live: HashMap<RequestId, Live> = HashMap::new();
     let mut report = ServerReport::default();
     let mut rx_open = true;
 
     loop {
+        // One clock sample per loop iteration: admission stamps and every
+        // Deadline::At check this step agree on "now", so two requests
+        // with the same deadline expire on the same step.
+        let mut now = Instant::now();
+
         // Continuous admission: pull waiting submissions into the
         // session between steps, up to the in-flight cap. Leaving the
         // rest queued is what gives the bounded queue its backpressure.
         while rx_open && live.len() < cfg.max_in_flight {
             match rx.try_recv() {
-                Ok(inc) => admit(&mut session, &mut live, &mut report, inc),
+                Ok(inc) => admit(&mut session, &mut live, &mut report, inc, now, &shared),
                 Err(mpsc::TryRecvError::Empty) => break,
                 Err(mpsc::TryRecvError::Disconnected) => rx_open = false,
             }
@@ -283,36 +457,57 @@ fn worker_loop<E: PackedGemm>(
             if !rx_open {
                 break;
             }
-            // Idle: park until the next submission (or shutdown).
+            // Idle: park until the next submission (or shutdown). The
+            // park is unbounded, so restamp the clock before admitting.
             match rx.recv() {
-                Ok(inc) => admit(&mut session, &mut live, &mut report, inc),
+                Ok(inc) => {
+                    now = Instant::now();
+                    admit(&mut session, &mut live, &mut report, inc, now, &shared);
+                }
                 Err(_) => rx_open = false,
             }
-            publish(&gauges, &live, &session);
+            publish(&shared, &live);
             continue;
         }
 
         // Sweep before the step so a dropped stream frees its slot
         // without another forward, and a deadline of zero steps expires
         // before the request is ever prefilled.
-        sweep(&mut session, &mut live, &mut report);
+        sweep(&mut session, &mut live, &mut report, now, &shared);
 
         if !live.is_empty() {
+            let step_start = shared.trace.as_deref().map(|t| t.ts(Instant::now()));
             match catch_unwind(AssertUnwindSafe(|| session.step_report())) {
                 Ok(step) => {
+                    // One timestamp for every token emitted this step:
+                    // they left the same forward pass together.
+                    let emitted_at =
+                        (shared.telemetry || shared.trace.is_some()).then(Instant::now);
                     for (id, tok) in step.emitted {
-                        if let Some(l) = live.get(&id) {
+                        if let Some(l) = live.get_mut(&id) {
                             if l.events.send(StreamEvent::Token(tok)).is_err() {
                                 // Receiver gone: flag for the next sweep.
                                 l.cancelled.store(true, Ordering::Relaxed);
+                            }
+                            if let Some(at) = emitted_at {
+                                record_token(&shared, id, l, at);
                             }
                         }
                     }
                     for res in step.finished {
                         if let Some(l) = live.remove(&res.id) {
                             report.served += 1;
+                            shared.metrics.finished.inc();
+                            if let Some(t) = shared.trace.as_deref() {
+                                t.instant("finished", request_tid(res.id), t.ts(now), vec![]);
+                            }
                             let _ = l.events.send(StreamEvent::Finished(res));
                         }
+                    }
+                    if let (Some(t), Some(start), Some(batch)) =
+                        (shared.trace.as_deref(), step_start, step.batch.as_ref())
+                    {
+                        trace_step(t, start, batch);
                     }
                 }
                 Err(payload) => {
@@ -329,6 +524,10 @@ fn worker_loop<E: PackedGemm>(
                         if !session.is_live(id) {
                             let l = live.remove(&id).expect("id collected from live");
                             report.faulted += 1;
+                            shared.metrics.faulted.inc();
+                            if let Some(t) = shared.trace.as_deref() {
+                                t.instant("faulted", request_tid(id), t.ts(now), vec![]);
+                            }
                             let _ = l
                                 .events
                                 .send(StreamEvent::Error(ServeError::WorkerPanicked(msg.clone())));
@@ -340,22 +539,86 @@ fn worker_loop<E: PackedGemm>(
                 std::thread::sleep(cfg.pace);
             }
         }
-        publish(&gauges, &live, &session);
+        publish(&shared, &live);
     }
 
     report.session = session.stats();
     report.final_kv_rows = session.kv_occupancy();
-    report.peak_live = gauges.peak_live.load(Ordering::Relaxed);
-    publish(&gauges, &live, &session);
+    report.peak_live = shared.metrics.peak_live.get().max(0) as usize;
+    publish(&shared, &live);
     report
 }
 
-fn publish<E: PackedGemm>(gauges: &Gauges, live: &HashMap<RequestId, Live>, session: &Session<E>) {
-    gauges.live.store(live.len(), Ordering::Relaxed);
-    gauges.peak_live.fetch_max(live.len(), Ordering::Relaxed);
-    gauges
-        .kv_rows
-        .store(session.kv_occupancy(), Ordering::Relaxed);
+/// Records per-token latency metrics and first-token trace events for
+/// one stream. Every token emitted by a step shares one timestamp `at`.
+fn record_token(shared: &Shared, id: RequestId, l: &mut Live, at: Instant) {
+    if shared.telemetry {
+        shared.metrics.tokens_streamed.inc();
+        match l.last_token_at {
+            None => {
+                shared
+                    .metrics
+                    .ttft_us
+                    .record_duration(at.saturating_duration_since(l.submitted));
+                shared
+                    .metrics
+                    .admit_to_first_token_us
+                    .record_duration(at.saturating_duration_since(l.admitted_at));
+            }
+            Some(prev) => {
+                shared
+                    .metrics
+                    .inter_token_us
+                    .record_duration(at.saturating_duration_since(prev));
+            }
+        }
+    }
+    if l.last_token_at.is_none() {
+        if let Some(t) = shared.trace.as_deref() {
+            t.instant("first_token", request_tid(id), t.ts(at), vec![]);
+        }
+    }
+    l.last_token_at = Some(at);
+}
+
+/// Emits the per-step scheduler span (lane 0) and one prefill-chunk span
+/// per request that advanced its prompt this step.
+fn trace_step(t: &TraceSink, start_us: u64, batch: &crate::session::StepBatch) {
+    let end_us = t.ts(Instant::now());
+    for &(id, tokens) in &batch.prefilled {
+        t.complete(
+            "prefill_chunk",
+            request_tid(id),
+            start_us,
+            end_us,
+            vec![("tokens", TraceArg::U64(tokens as u64))],
+        );
+    }
+    t.complete(
+        "step",
+        SCHED_TID,
+        start_us,
+        end_us,
+        vec![
+            ("requests", TraceArg::U64(batch.requests as u64)),
+            ("prefill_chunks", TraceArg::U64(batch.prefill_chunks as u64)),
+            ("prefill_tokens", TraceArg::U64(batch.prefill_tokens as u64)),
+            (
+                "decode_segments",
+                TraceArg::U64(batch.decode_segments as u64),
+            ),
+            ("new_tokens", TraceArg::U64(batch.new_tokens as u64)),
+            ("queue_depth", TraceArg::U64(batch.queue_depth as u64)),
+            ("kv_rows", TraceArg::U64(batch.kv_rows as u64)),
+        ],
+    );
+}
+
+fn publish(shared: &Shared, live: &HashMap<RequestId, Live>) {
+    // KV gauges are maintained by the session itself at each step; the
+    // server only tracks stream liveness here.
+    shared.metrics.live.set(live.len() as i64);
+    shared.metrics.peak_live.set_max(live.len() as i64);
 }
 
 fn admit<E: PackedGemm>(
@@ -363,10 +626,20 @@ fn admit<E: PackedGemm>(
     live: &mut HashMap<RequestId, Live>,
     report: &mut ServerReport,
     inc: Incoming,
+    now: Instant,
+    shared: &Shared,
 ) {
+    // Single decrement point for the queue-depth gauge: every submission
+    // that made it into the channel passes through here exactly once.
+    shared.metrics.queue_depth.add(-1);
     if inc.cancelled.load(Ordering::Relaxed) {
         // The stream was dropped while the submission sat in the queue.
+        // It still counts as admitted so the accounting identity
+        // admitted = finished + cancelled + expired + faulted + live
+        // holds at every instant.
         report.cancelled += 1;
+        shared.metrics.admitted.inc();
+        shared.metrics.cancelled.inc();
         return;
     }
     let admitted_step = session.stats().steps;
@@ -375,11 +648,33 @@ fn admit<E: PackedGemm>(
         opts,
         events,
         cancelled,
+        submitted,
     } = inc;
+    let prompt_tokens = req.prompt.len();
+    let max_new_tokens = req.max_new_tokens;
     // `Session::submit` validates the prompt and panics on malformed
     // input; caught here, that faults only the offending stream.
     match catch_unwind(AssertUnwindSafe(|| session.submit(req))) {
         Ok(id) => {
+            shared.metrics.admitted.inc();
+            if shared.telemetry {
+                shared
+                    .metrics
+                    .queue_wait_us
+                    .record_duration(now.saturating_duration_since(submitted));
+            }
+            if let Some(t) = shared.trace.as_deref() {
+                t.instant(
+                    "enqueued",
+                    request_tid(id),
+                    t.ts(submitted),
+                    vec![
+                        ("prompt_tokens", TraceArg::U64(prompt_tokens as u64)),
+                        ("max_new_tokens", TraceArg::U64(max_new_tokens as u64)),
+                    ],
+                );
+                t.instant("admitted", request_tid(id), t.ts(now), vec![]);
+            }
             live.insert(
                 id,
                 Live {
@@ -387,11 +682,16 @@ fn admit<E: PackedGemm>(
                     cancelled,
                     deadline: opts.deadline,
                     admitted_step,
+                    submitted,
+                    admitted_at: now,
+                    last_token_at: None,
                 },
             );
         }
         Err(payload) => {
             report.faulted += 1;
+            shared.metrics.admitted.inc();
+            shared.metrics.faulted.inc();
             let _ = events.send(StreamEvent::Error(ServeError::WorkerPanicked(
                 panic_message(payload),
             )));
@@ -400,21 +700,24 @@ fn admit<E: PackedGemm>(
 }
 
 /// Retires cancelled and deadline-expired requests, reclaiming their
-/// session slots and KV caches.
+/// session slots and KV caches. All `Deadline::At` checks share the
+/// caller's single per-step `now`, so coincident deadlines expire
+/// together.
 fn sweep<E: PackedGemm>(
     session: &mut Session<E>,
     live: &mut HashMap<RequestId, Live>,
     report: &mut ServerReport,
+    now: Instant,
+    shared: &Shared,
 ) {
     let now_steps = session.stats().steps;
-    let mut now = None; // sample the clock once, and only if needed
     let retire: Vec<RequestId> = live
         .iter()
         .filter(|(_, l)| {
             l.cancelled.load(Ordering::Relaxed)
                 || match l.deadline {
                     Some(Deadline::Steps(n)) => now_steps - l.admitted_step >= n,
-                    Some(Deadline::At(t)) => *now.get_or_insert_with(Instant::now) >= t,
+                    Some(Deadline::At(t)) => now >= t,
                     None => false,
                 }
         })
@@ -425,8 +728,16 @@ fn sweep<E: PackedGemm>(
         session.cancel(id);
         if l.cancelled.load(Ordering::Relaxed) {
             report.cancelled += 1;
+            shared.metrics.cancelled.inc();
+            if let Some(t) = shared.trace.as_deref() {
+                t.instant("cancelled", request_tid(id), t.ts(now), vec![]);
+            }
         } else {
             report.expired += 1;
+            shared.metrics.expired.inc();
+            if let Some(t) = shared.trace.as_deref() {
+                t.instant("deadline_expired", request_tid(id), t.ts(now), vec![]);
+            }
             let _ = l
                 .events
                 .send(StreamEvent::Error(ServeError::DeadlineExceeded));

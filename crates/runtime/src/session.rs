@@ -47,10 +47,12 @@
 //! [`KvMode::Quantized`] aged cache tokens are served dequantized
 //! (bounded attention error, see `microscopiq_core::kv_cache`).
 
+use crate::telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use microscopiq_core::error::QuantError;
 use microscopiq_fm::{sample_logits, DecodeJob, DecodeState, KvMode, PackedGemm, PackedTinyFm};
 use microscopiq_linalg::SeededRng;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One generation request.
 #[derive(Debug, Clone)]
@@ -178,6 +180,38 @@ pub struct StepReport {
     /// Requests that finished on this step (plus zero-budget submissions
     /// completed since the last step), sorted by id.
     pub finished: Vec<GenResult>,
+    /// Composition of the batch that ran, `None` when no forward pass
+    /// executed (idle step, or only zero-budget completions drained).
+    pub batch: Option<StepBatch>,
+}
+
+/// Composition of one executed decode step — what the scheduler packed
+/// into the forward pass and the occupancy it left behind. This is the
+/// per-step record behind the scheduler metrics and the `step` trace
+/// events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepBatch {
+    /// Requests that rode the step (prefill segments + decode segments).
+    pub requests: usize,
+    /// Requests that advanced a prefill chunk this step.
+    pub prefill_chunks: usize,
+    /// Prompt tokens advanced across those chunks.
+    pub prefill_tokens: usize,
+    /// Single-token decode segments in the batch.
+    pub decode_segments: usize,
+    /// Total new tokens the forward consumed (`prefill_tokens +
+    /// decode_segments`) — compare against
+    /// [`SchedulerConfig::token_budget`] for utilization.
+    pub new_tokens: usize,
+    /// Requests still waiting or in flight after the step.
+    pub queue_depth: usize,
+    /// KV rows resident after the step (finished requests released).
+    pub kv_rows: usize,
+    /// KV bytes resident after the step.
+    pub kv_bytes: usize,
+    /// `(request, tokens advanced)` for each prefill chunk in the batch,
+    /// so a tracing front-end can emit per-request chunk spans.
+    pub prefilled: Vec<(RequestId, usize)>,
 }
 
 #[derive(Debug)]
@@ -286,6 +320,70 @@ impl BatchScheduler {
     }
 }
 
+/// The session's always-on scheduler instruments, registered into its
+/// [`MetricsRegistry`] at construction. Recording is a few relaxed
+/// atomic ops per step — never a lock.
+#[derive(Debug, Clone)]
+struct SchedMetrics {
+    steps: Arc<Counter>,
+    prefill_chunks: Arc<Counter>,
+    prefill_tokens: Arc<Counter>,
+    tokens_generated: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    batch_requests: Arc<Histogram>,
+    step_new_tokens: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    kv_rows: Arc<Gauge>,
+    kv_bytes: Arc<Gauge>,
+}
+
+impl SchedMetrics {
+    fn register(reg: &MetricsRegistry) -> Self {
+        Self {
+            steps: reg.counter(
+                "microscopiq_scheduler_steps_total",
+                "Batched decode steps executed (forward passes).",
+            ),
+            prefill_chunks: reg.counter(
+                "microscopiq_prefill_chunks_total",
+                "Prefill segments executed (whole-prompt counts 1, n chunks count n).",
+            ),
+            prefill_tokens: reg.counter(
+                "microscopiq_prefill_tokens_total",
+                "Prompt tokens processed as prefill, each counted once.",
+            ),
+            tokens_generated: reg.counter(
+                "microscopiq_tokens_generated_total",
+                "Tokens sampled across all requests.",
+            ),
+            cancelled: reg.counter(
+                "microscopiq_scheduler_cancelled_total",
+                "Requests removed from the scheduler before finishing.",
+            ),
+            batch_requests: reg.histogram(
+                "microscopiq_step_batch_requests",
+                "Requests packed into each executed step (prefill + decode segments).",
+            ),
+            step_new_tokens: reg.histogram(
+                "microscopiq_step_new_tokens",
+                "New tokens consumed per executed step (token-budget utilization).",
+            ),
+            queue_depth: reg.gauge(
+                "microscopiq_scheduler_queue_depth",
+                "Requests waiting or in flight in the batch scheduler.",
+            ),
+            kv_rows: reg.gauge(
+                "microscopiq_kv_rows",
+                "KV cache rows resident across live requests and layers.",
+            ),
+            kv_bytes: reg.gauge(
+                "microscopiq_kv_bytes",
+                "KV cache bytes resident across live requests.",
+            ),
+        }
+    }
+}
+
 /// A serving session over one packed model and one engine.
 #[derive(Debug)]
 pub struct Session<E: PackedGemm> {
@@ -296,6 +394,8 @@ pub struct Session<E: PackedGemm> {
     next_id: RequestId,
     finished: Vec<GenResult>,
     stats: SessionStats,
+    telemetry: MetricsRegistry,
+    metrics: SchedMetrics,
 }
 
 impl<E: PackedGemm> Session<E> {
@@ -350,6 +450,8 @@ impl<E: PackedGemm> Session<E> {
     ) -> Result<Self, QuantError> {
         // Validate the mode once up front so `step` can't fail later.
         DecodeState::new(model.config(), kv_mode)?;
+        let telemetry = MetricsRegistry::new();
+        let metrics = SchedMetrics::register(&telemetry);
         Ok(Self {
             model,
             engine,
@@ -358,7 +460,23 @@ impl<E: PackedGemm> Session<E> {
             next_id: 0,
             finished: Vec::new(),
             stats: SessionStats::default(),
+            telemetry,
+            metrics,
         })
+    }
+
+    /// The session's metrics registry: scheduler instruments are already
+    /// registered; a serving front-end (and the engine, through
+    /// [`EngineTelemetry`](crate::telemetry::EngineTelemetry)) add
+    /// theirs so one snapshot covers the whole stack.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.telemetry
+    }
+
+    /// The KV occupancy gauges, shared with the serving front-end so
+    /// `ServerHandle` accessors read them without a snapshot.
+    pub(crate) fn kv_gauges(&self) -> (Arc<Gauge>, Arc<Gauge>) {
+        (self.metrics.kv_rows.clone(), self.metrics.kv_bytes.clone())
     }
 
     /// The session's KV storage mode.
@@ -430,6 +548,9 @@ impl<E: PackedGemm> Session<E> {
             rng: SeededRng::new(req.seed),
             state: None,
         });
+        self.metrics
+            .queue_depth
+            .set(self.scheduler.pending() as i64);
         id
     }
 
@@ -445,14 +566,26 @@ impl<E: PackedGemm> Session<E> {
             // is reclaimed now, not at some later step.
             self.scheduler.queue.remove(pos);
             self.stats.cancelled += 1;
+            self.metrics.cancelled.inc();
+            self.record_occupancy();
             return true;
         }
         if let Some(pos) = self.finished.iter().position(|r| r.id == id) {
             self.finished.remove(pos);
             self.stats.cancelled += 1;
+            self.metrics.cancelled.inc();
             return true;
         }
         false
+    }
+
+    /// Refreshes the queue-depth and KV gauges from current state.
+    fn record_occupancy(&self) {
+        self.metrics
+            .queue_depth
+            .set(self.scheduler.pending() as i64);
+        self.metrics.kv_rows.set(self.kv_occupancy() as i64);
+        self.metrics.kv_bytes.set(self.kv_occupancy_bytes() as i64);
     }
 
     /// Total K/V rows held by live requests across all layers — the KV
@@ -500,8 +633,13 @@ impl<E: PackedGemm> Session<E> {
         // next step so streaming callers see every completion.
         let mut done = std::mem::take(&mut self.finished);
         let mut emitted = Vec::new();
+        let mut step_batch = None;
         let mut batch = self.scheduler.take_planned();
         if !batch.is_empty() {
+            let mut sb = StepBatch {
+                requests: batch.len(),
+                ..StepBatch::default()
+            };
             for (req, take) in batch.iter_mut() {
                 if req.state.is_none() {
                     req.state = Some(
@@ -514,8 +652,15 @@ impl<E: PackedGemm> Session<E> {
                     // advances them — never re-counted on resume.
                     self.stats.prefill_tokens += *take;
                     self.stats.prefill_chunks += 1;
+                    sb.prefill_chunks += 1;
+                    sb.prefill_tokens += *take;
+                    sb.prefilled.push((req.id, *take));
+                } else {
+                    sb.decode_segments += 1;
                 }
             }
+            sb.new_tokens = sb.prefill_tokens + sb.decode_segments;
+            step_batch = Some(sb);
             let mut jobs: Vec<DecodeJob<'_>> = batch
                 .iter_mut()
                 .map(|(req, take)| {
@@ -576,11 +721,25 @@ impl<E: PackedGemm> Session<E> {
                     self.scheduler.queue.push_front(req);
                 }
             }
+            let sb = step_batch.as_mut().expect("set when batch non-empty");
+            sb.queue_depth = self.scheduler.pending();
+            sb.kv_rows = self.kv_occupancy();
+            sb.kv_bytes = self.kv_occupancy_bytes();
+            self.metrics.steps.inc();
+            self.metrics.prefill_chunks.add(sb.prefill_chunks as u64);
+            self.metrics.prefill_tokens.add(sb.prefill_tokens as u64);
+            self.metrics.tokens_generated.add(generated as u64);
+            self.metrics.batch_requests.record(sb.requests as u64);
+            self.metrics.step_new_tokens.record(sb.new_tokens as u64);
+            self.metrics.queue_depth.set(sb.queue_depth as i64);
+            self.metrics.kv_rows.set(sb.kv_rows as i64);
+            self.metrics.kv_bytes.set(sb.kv_bytes as i64);
         }
         done.sort_by_key(|r| r.id);
         StepReport {
             emitted,
             finished: done,
+            batch: step_batch,
         }
     }
 

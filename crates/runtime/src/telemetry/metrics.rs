@@ -1,0 +1,922 @@
+//! Hand-rolled, lock-light metrics primitives: [`Counter`], [`Gauge`],
+//! and a log-bucketed mergeable [`Histogram`], collected through a
+//! [`MetricsRegistry`] into immutable [`MetricsSnapshot`]s with a
+//! Prometheus-style text exposition.
+//!
+//! The workspace is offline/vendored, so everything here is built on
+//! `std::sync::atomic` — no external metrics crates. Design rules:
+//!
+//! * **Record paths are wait-free.** Incrementing a counter, moving a
+//!   gauge, or recording a histogram sample is a handful of relaxed
+//!   atomic RMW ops. No locks, no allocation, no branches on feature
+//!   flags.
+//! * **Locks only at the edges.** The registry's `Mutex` is taken when
+//!   instruments are registered (startup) and when a snapshot or text
+//!   exposition is rendered (rare, observer-driven) — never on the hot
+//!   path.
+//! * **Snapshots are mergeable.** [`HistogramSnapshot`]s from different
+//!   workers/engines can be merged bucket-wise, which is what makes the
+//!   log-bucketed representation worth its fixed footprint (~1 KiB of
+//!   occupied buckets in practice; ≈7.6 KiB of atomics fully allocated).
+//!
+//! # Bucketing scheme
+//!
+//! Histograms store `u64` values (the runtime records microseconds for
+//! latencies and raw counts for sizes) in HdrHistogram-style log-linear
+//! buckets: values `0..16` are exact, and every power-of-two octave above
+//! that is split into 16 linear sub-buckets, giving a guaranteed relative
+//! error ≤ 1/16 ≈ 6.25% across the full `u64` range with a fixed 976
+//! buckets. Quantiles are answered from bucket midpoints.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing atomic counter (wraps only after `u64`
+/// overflow, which the runtime treats as unreachable).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomic signed gauge (current level of something: live streams,
+/// queue depth, resident KV rows).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the gauge by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (peak tracking).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Precision bits: each octave above the exact range splits into
+/// `2^PRECISION` linear sub-buckets.
+const PRECISION: u32 = 4;
+/// Sub-buckets per octave (16) — also the size of the exact `0..16`
+/// prefix.
+const SUB: usize = 1 << PRECISION;
+/// Octaves covered above the exact prefix (`u64` has 64 bit positions;
+/// the bottom `PRECISION` are the exact prefix).
+const OCTAVES: usize = 64 - PRECISION as usize;
+/// Total bucket count: exact prefix + 16 sub-buckets per octave.
+pub const HISTOGRAM_BUCKETS: usize = SUB + OCTAVES * SUB;
+
+/// Maps a value to its bucket index. Values `0..16` are exact; above
+/// that, bucket = octave base + top-4-bits-below-the-leading-bit.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros(); // >= PRECISION here
+        let sub = ((v >> (octave - PRECISION)) - SUB as u64) as usize;
+        SUB + (octave - PRECISION) as usize * SUB + sub
+    }
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `idx`.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUB {
+        return (idx as u64, idx as u64);
+    }
+    let octave = (idx - SUB) / SUB + PRECISION as usize;
+    let sub = ((idx - SUB) % SUB) as u64;
+    let width = 1u64 << (octave - PRECISION as usize);
+    let lo = (1u64 << octave) + sub * width;
+    (lo, lo + (width - 1))
+}
+
+/// A log-bucketed histogram of `u64` samples. Recording is three relaxed
+/// atomic adds; snapshots are cheap, sparse, and mergeable.
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: Box<[AtomicU64; HISTOGRAM_BUCKETS]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the boxed array from a vec.
+        let v: Vec<AtomicU64> = (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets = v
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("vec length matches HISTOGRAM_BUCKETS"));
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole microseconds (the runtime's unit for
+    /// every latency histogram).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable, mergeable snapshot (sparse: only occupied buckets).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((idx, n));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: occupied buckets only,
+/// ascending by bucket index. Snapshots from independent histograms
+/// (e.g. per-worker) merge bucket-wise without precision loss.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// `(bucket index, samples)` for occupied buckets, ascending.
+    buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Merges another snapshot into this one bucket-wise.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia == ib {
+                        merged.push((ia, na + nb));
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        merged.push((ia, na));
+                        a.next();
+                    } else {
+                        merged.push((ib, nb));
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+
+    /// Mean of the recorded values (exact — from the running sum), or
+    /// 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at percentile `p` (0–100), answered from the midpoint
+    /// of the bucket containing that rank: relative error ≤ 1/16.
+    /// Returns 0.0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for &(idx, n) in &self.buckets {
+            cum += n;
+            if cum >= target {
+                let (lo, hi) = bucket_bounds(idx);
+                return (lo + hi) as f64 / 2.0;
+            }
+        }
+        let (lo, hi) = bucket_bounds(self.buckets.last().map(|&(i, _)| i).unwrap_or(0));
+        (lo + hi) as f64 / 2.0
+    }
+
+    /// Occupied `(upper bound, samples)` pairs, ascending — the
+    /// non-cumulative form behind the exposition's `le` buckets.
+    pub fn occupied_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .map(|&(idx, n)| (bucket_bounds(idx).1, n))
+    }
+}
+
+/// The kind of a metric family, for the exposition's `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Instantaneous level.
+    Gauge,
+    /// Log-bucketed distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One collected value, tagged with its kind.
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(i64),
+    /// A full histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// One labeled sample produced by a [`Collect`] implementation.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// `(label name, label value)` pairs.
+    pub labels: Vec<(&'static str, String)>,
+    /// The reading.
+    pub value: SampleValue,
+}
+
+/// A dynamic metric family: produces its current samples on demand.
+/// Used for instrument sets whose cardinality is not known at
+/// registration time (per-kernel call counters, cache statistics owned
+/// by an engine).
+pub trait Collect: Send + Sync + fmt::Debug {
+    /// The family's current samples. Label sets should be stable across
+    /// calls for a given underlying series.
+    fn collect(&self) -> Vec<Sample>;
+}
+
+/// Wraps a closure as a [`Collect`] family.
+struct FnCollector<F>(F);
+
+impl<F: Fn() -> Vec<Sample> + Send + Sync> Collect for FnCollector<F> {
+    fn collect(&self) -> Vec<Sample> {
+        (self.0)()
+    }
+}
+
+impl<F> fmt::Debug for FnCollector<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("FnCollector")
+    }
+}
+
+/// Builds a [`Collect`] from a closure.
+pub fn collector_fn<F>(f: F) -> Arc<dyn Collect>
+where
+    F: Fn() -> Vec<Sample> + Send + Sync + 'static,
+{
+    Arc::new(FnCollector(f))
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    Collector(Arc<dyn Collect>),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    labels: Vec<(&'static str, String)>,
+    kind: MetricKind,
+    instrument: Instrument,
+}
+
+/// A cloneable registry of instruments. Registration and snapshotting
+/// take a `Mutex`; the instruments themselves are shared `Arc`s whose
+/// record paths never touch the registry again.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&self, entry: Entry) {
+        self.entries
+            .lock()
+            .expect("metrics registry poisoned")
+            .push(entry);
+    }
+
+    /// Registers and returns a counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.push(Entry {
+            name,
+            help,
+            labels: Vec::new(),
+            kind: MetricKind::Counter,
+            instrument: Instrument::Counter(c.clone()),
+        });
+        c
+    }
+
+    /// Registers and returns a counter carrying fixed labels.
+    pub fn counter_labeled(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.push(Entry {
+            name,
+            help,
+            labels,
+            kind: MetricKind::Counter,
+            instrument: Instrument::Counter(c.clone()),
+        });
+        c
+    }
+
+    /// Registers and returns a gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.push(Entry {
+            name,
+            help,
+            labels: Vec::new(),
+            kind: MetricKind::Gauge,
+            instrument: Instrument::Gauge(g.clone()),
+        });
+        g
+    }
+
+    /// Registers and returns a histogram.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.push(Entry {
+            name,
+            help,
+            labels: Vec::new(),
+            kind: MetricKind::Histogram,
+            instrument: Instrument::Histogram(h.clone()),
+        });
+        h
+    }
+
+    /// Registers a dynamic family; every sample it collects is exposed
+    /// under `name` with the family's `kind`.
+    pub fn register_collector(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: MetricKind,
+        collector: Arc<dyn Collect>,
+    ) {
+        self.push(Entry {
+            name,
+            help,
+            labels: Vec::new(),
+            kind,
+            instrument: Instrument::Collector(collector),
+        });
+    }
+
+    /// Collects every instrument into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        let mut samples = Vec::with_capacity(entries.len());
+        for e in entries.iter() {
+            match &e.instrument {
+                Instrument::Counter(c) => samples.push(MetricSample {
+                    name: e.name,
+                    help: e.help,
+                    kind: e.kind,
+                    labels: e.labels.clone(),
+                    value: SampleValue::Counter(c.get()),
+                }),
+                Instrument::Gauge(g) => samples.push(MetricSample {
+                    name: e.name,
+                    help: e.help,
+                    kind: e.kind,
+                    labels: e.labels.clone(),
+                    value: SampleValue::Gauge(g.get()),
+                }),
+                Instrument::Histogram(h) => samples.push(MetricSample {
+                    name: e.name,
+                    help: e.help,
+                    kind: e.kind,
+                    labels: e.labels.clone(),
+                    value: SampleValue::Histogram(h.snapshot()),
+                }),
+                Instrument::Collector(col) => {
+                    for s in col.collect() {
+                        samples.push(MetricSample {
+                            name: e.name,
+                            help: e.help,
+                            kind: e.kind,
+                            labels: s.labels,
+                            value: s.value,
+                        });
+                    }
+                }
+            }
+        }
+        MetricsSnapshot { samples }
+    }
+
+    /// Renders the current state in Prometheus text exposition format.
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+}
+
+/// One sample in a [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    /// Metric family name (e.g. `microscopiq_requests_admitted_total`).
+    pub name: &'static str,
+    /// Human description for the `# HELP` line.
+    pub help: &'static str,
+    /// Family kind for the `# TYPE` line.
+    pub kind: MetricKind,
+    /// Fixed labels attached at registration or collection time.
+    pub labels: Vec<(&'static str, String)>,
+    /// The reading.
+    pub value: SampleValue,
+}
+
+/// A point-in-time collection of every registered instrument. Produced
+/// by [`MetricsRegistry::snapshot`]; exposed to clients through
+/// `ServerHandle::metrics_snapshot()`.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// All samples, in registration order (collector families expand in
+    /// place).
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Sum of every counter sample named `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match s.value {
+                SampleValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The counter sample named `name` whose labels include every
+    /// `(key, value)` in `labels`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter(|s| {
+                labels
+                    .iter()
+                    .all(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+            })
+            .find_map(|s| match s.value {
+                SampleValue::Counter(v) => Some(v),
+                _ => None,
+            })
+    }
+
+    /// The first gauge sample named `name`.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .find_map(|s| match s.value {
+                SampleValue::Gauge(v) => Some(v),
+                _ => None,
+            })
+    }
+
+    /// The first histogram sample named `name`.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .find_map(|s| match &s.value {
+                SampleValue::Histogram(h) => Some(h),
+                _ => None,
+            })
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` headers per family, `_total`-style counters
+    /// as plain samples, histograms as cumulative `_bucket{le=..}`
+    /// series plus `_sum` and `_count`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for s in &self.samples {
+            if !seen.contains(&s.name) {
+                seen.push(s.name);
+                out.push_str(&format!("# HELP {} {}\n", s.name, s.help));
+                out.push_str(&format!("# TYPE {} {}\n", s.name, s.kind.as_str()));
+                // Emit every sample of this family adjacent to its
+                // header, preserving first-appearance family order.
+                for fam in self.samples.iter().filter(|f| f.name == s.name) {
+                    render_sample(&mut out, fam);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn label_str(labels: &[(&'static str, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{}=\"{}\"", k, v));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_sample(out: &mut String, s: &MetricSample) {
+    match &s.value {
+        SampleValue::Counter(v) => {
+            out.push_str(&format!("{}{} {}\n", s.name, label_str(&s.labels, None), v));
+        }
+        SampleValue::Gauge(v) => {
+            out.push_str(&format!("{}{} {}\n", s.name, label_str(&s.labels, None), v));
+        }
+        SampleValue::Histogram(h) => {
+            let mut cum = 0u64;
+            for (le, n) in h.occupied_buckets() {
+                cum += n;
+                let le = le.to_string();
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    s.name,
+                    label_str(&s.labels, Some(("le", &le))),
+                    cum
+                ));
+            }
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                s.name,
+                label_str(&s.labels, Some(("le", "+Inf"))),
+                h.count
+            ));
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                s.name,
+                label_str(&s.labels, None),
+                h.sum
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                s.name,
+                label_str(&s.labels, None),
+                h.count
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_exact_below_sixteen() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert_eq!((lo, hi), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_u64_range() {
+        // Consecutive buckets tile the range with no gaps or overlaps.
+        let mut expected_lo = 0u64;
+        for idx in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(lo, expected_lo, "bucket {idx} starts where the last ended");
+            assert!(hi >= lo);
+            if hi == u64::MAX {
+                assert_eq!(idx, HISTOGRAM_BUCKETS - 1);
+                return;
+            }
+            expected_lo = hi + 1;
+        }
+        panic!("final bucket must reach u64::MAX");
+    }
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1_000,
+            123_456,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "value {v} outside bucket [{lo}, {hi}]");
+            // Relative bucket width ≤ 1/16 of the value (above exact range).
+            if v >= 16 {
+                assert!((hi - lo) as f64 <= v as f64 / 16.0 + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_within_relative_error() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 10_000);
+        for (p, expect) in [(50.0, 5_000.0), (90.0, 9_000.0), (99.0, 9_900.0)] {
+            let got = snap.percentile(p);
+            let rel = (got - expect).abs() / expect;
+            assert!(
+                rel <= 0.07,
+                "p{p}: got {got}, want ~{expect} (rel {rel:.4})"
+            );
+        }
+        assert!((snap.mean() - 5_000.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshots_merge_bucketwise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            a.record(v);
+            b.record(v * 37);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 200);
+        assert_eq!(
+            merged.sum,
+            (0..100u64).sum::<u64>() + (0..100u64).map(|v| v * 37).sum::<u64>()
+        );
+        // Merging must agree with recording everything in one histogram.
+        let c = Histogram::new();
+        for v in 0..100u64 {
+            c.record(v);
+            c.record(v * 37);
+        }
+        assert_eq!(merged, c.snapshot());
+    }
+
+    #[test]
+    fn registry_snapshot_and_accessors() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("test_ops_total", "Ops.");
+        let g = reg.gauge("test_live", "Live.");
+        let h = reg.histogram("test_latency_us", "Latency.");
+        c.add(7);
+        g.set(3);
+        h.record(100);
+        h.record(200);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("test_ops_total"), 7);
+        assert_eq!(snap.gauge("test_live"), Some(3));
+        let hist = snap.histogram("test_latency_us").unwrap();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 300);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("missing"), None);
+    }
+
+    #[test]
+    fn labeled_counters_and_collectors_expose_series() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter_labeled(
+            "test_calls_total",
+            "Calls by kind.",
+            vec![("kind", "alpha".to_string())],
+        );
+        c.add(2);
+        reg.register_collector(
+            "test_dynamic_total",
+            "Dynamic family.",
+            MetricKind::Counter,
+            collector_fn(|| {
+                vec![Sample {
+                    labels: vec![("shard", "0".to_string())],
+                    value: SampleValue::Counter(11),
+                }]
+            }),
+        );
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter_with("test_calls_total", &[("kind", "alpha")]),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_with("test_dynamic_total", &[("shard", "0")]),
+            Some(11)
+        );
+        assert_eq!(
+            snap.counter_with("test_dynamic_total", &[("shard", "1")]),
+            None
+        );
+    }
+
+    #[test]
+    fn render_text_is_prometheus_shaped() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("demo_ops_total", "Demo ops.");
+        let g = reg.gauge("demo_depth", "Demo depth.");
+        let h = reg.histogram("demo_wait_us", "Demo wait.");
+        c.add(5);
+        g.set(-2);
+        h.record(10);
+        h.record(20);
+        let text = reg.render_text();
+        assert!(text.contains("# HELP demo_ops_total Demo ops.\n"));
+        assert!(text.contains("# TYPE demo_ops_total counter\n"));
+        assert!(text.contains("demo_ops_total 5\n"));
+        assert!(text.contains("# TYPE demo_depth gauge\n"));
+        assert!(text.contains("demo_depth -2\n"));
+        assert!(text.contains("# TYPE demo_wait_us histogram\n"));
+        assert!(text.contains("demo_wait_us_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("demo_wait_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("demo_wait_us_sum 30\n"));
+        assert!(text.contains("demo_wait_us_count 2\n"));
+        // Cumulative buckets are nondecreasing.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("demo_wait_us_bucket"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("cc_total", "cc");
+        let h = reg.histogram("cc_hist", "cc");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let (c, h) = (c.clone(), h.clone());
+                std::thread::spawn(move || {
+                    for v in 0..10_000u64 {
+                        c.inc();
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 40_000);
+        assert_eq!(snap.sum, 4 * (0..10_000u64).sum::<u64>());
+    }
+}
