@@ -13,15 +13,22 @@
 //!    the shape-specialized GEMV entries.
 //!
 //! Every timed kernel is conformance-gated against the scalar oracle at
-//! its pinned tolerance before any clock starts. Emits
-//! `results/BENCH_kernels.json` in the shared report shape.
+//! its pinned tolerance — on the GEMM shape *and* the GEMV entry —
+//! before any clock starts, and the parallel GEMV splitter is checked
+//! for run-to-run bitwise determinism. Emits
+//! `results/BENCH_kernels.json` in the shared report shape, including
+//! detected CPU features and per-kernel availability so CI legs with
+//! SIMD force-disabled stay distinguishable from hosts without SIMD.
 
 use microscopiq_bench::{f2, median, Table};
 use microscopiq_core::config::GroupAxis;
 use microscopiq_linalg::{Matrix, SeededRng};
 use microscopiq_runtime::kernels::synth::{synth_packed, SynthSpec};
-use microscopiq_runtime::kernels::{KernelCtx, KernelRegistry};
-use microscopiq_runtime::DecodedCache;
+use microscopiq_runtime::kernels::{
+    detected_cpu_features, fused_gemv_serial, KernelCtx, KernelRegistry, BUCKETED_LANE_KERNEL,
+    LANE_KERNEL, SCALAR_KERNEL, SIMD_KERNEL,
+};
+use microscopiq_runtime::{DecodedCache, EngineConfig, KernelPolicy, RuntimeEngine};
 use std::time::Instant;
 
 /// Median wall time of `iters` runs of `f` (after one warmup), in seconds.
@@ -71,6 +78,7 @@ fn main() {
         layer.dequantize().matmul(&acts),
         "oracle must be bit-identical to dense"
     );
+    let gemv_oracle = fused_gemv_serial(&layer, &x);
     for kernel in registry.kernels() {
         let mut out = vec![0.0_f64; d_row * batch];
         kernel.gemm_rows(&ctx, &layer, &acts, 0, d_row, &mut out);
@@ -82,7 +90,72 @@ fn main() {
                 kernel.name()
             );
         }
+        // The GEMV entry is a separate code path per kernel — gate it too.
+        let mut gv = vec![0.0_f64; d_row];
+        kernel.gemv(&ctx, &layer, &x, &mut gv);
+        for (&a, &b) in gv.iter().zip(gemv_oracle.iter()) {
+            assert!(
+                tol.accepts(a, b),
+                "{} GEMV violates its pinned tolerance: {a} vs {b}",
+                kernel.name()
+            );
+        }
     }
+
+    // Parallel-GEMV determinism gate: the threaded splitter must equal
+    // the serial path bitwise, twice in a row, under both dispatch
+    // policies — the contract the runtime's reproducibility rests on.
+    for policy in [KernelPolicy::Default, KernelPolicy::Fast] {
+        let serial = RuntimeEngine::new(EngineConfig {
+            threads: 1,
+            cache_bytes: 0,
+            parallel_threshold: usize::MAX,
+            policy,
+            ..EngineConfig::default()
+        });
+        let parallel = RuntimeEngine::new(EngineConfig {
+            threads: 4,
+            cache_bytes: 0,
+            parallel_threshold: 0,
+            policy,
+            ..EngineConfig::default()
+        });
+        let want = serial.gemv(&layer, &x);
+        let got1 = parallel.gemv(&layer, &x);
+        let got2 = parallel.gemv(&layer, &x);
+        assert_eq!(
+            got1, want,
+            "parallel GEMV diverged from serial ({policy:?})"
+        );
+        assert_eq!(
+            got1, got2,
+            "parallel GEMV not run-to-run stable ({policy:?})"
+        );
+    }
+    println!("parallel GEMV determinism: PASS (Default and Fast, bitwise vs serial)\n");
+
+    // Host capability report — the SIMD gate below only arms when the
+    // kernel actually registered (CI runs a leg with MICROSCOPIQ_SIMD=off
+    // where it must not).
+    let features = detected_cpu_features();
+    let simd_available = registry.names().contains(&SIMD_KERNEL);
+    println!(
+        "cpu features: {}",
+        features
+            .iter()
+            .map(|(n, on)| format!("{n}={}", u8::from(*on)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!(
+        "kernels registered: {} (simd-f32 {})\n",
+        registry.names().join(", "),
+        if simd_available {
+            "available"
+        } else {
+            "unavailable: no SIMD support detected or force-disabled"
+        }
+    );
 
     // Section 1: GEMM. Dense reference first for the context column.
     let t_dense = time_median(5, || {
@@ -199,14 +272,93 @@ fn main() {
             .find(|(n, _)| *n == "bucketed-cache")
             .expect("bucketed timed")
             .1;
-    let metrics: Vec<(&str, f64)> = vec![
+
+    let gemv_time = |name: &str| gemv_times.iter().find(|(n, _)| *n == name).map(|&(_, t)| t);
+    let t_lane_gemv = gemv_time(LANE_KERNEL).expect("lane gemv timed");
+
+    // Acceptance gauge 3: the bucketed-lane kernel (multiply-free code
+    // bucketing, no cache) must beat scalar by ≥ 1.2× on the decode GEMV.
+    let bucketed_lane_gemv_speedup =
+        t_scalar_gemv / gemv_time(BUCKETED_LANE_KERNEL).expect("bucketed-lane gemv timed");
+    println!(
+        "acceptance: bucketed-lane vs scalar-f64 on {d_row}x{d_col} GEMV (m=1) = \
+         {bucketed_lane_gemv_speedup:.2}x ({})",
+        if bucketed_lane_gemv_speedup >= 1.2 {
+            "PASS >= 1.2x"
+        } else {
+            "FAIL < 1.2x"
+        }
+    );
+    assert!(
+        bucketed_lane_gemv_speedup >= 1.2,
+        "bucketed-lane GEMV must be >= 1.2x over scalar-f64 \
+         (got {bucketed_lane_gemv_speedup:.2}x)"
+    );
+
+    // Acceptance gauge 4 (conditional): when the SIMD kernel registered,
+    // it must beat the lane kernel by ≥ 2× on the decode GEMV — the
+    // ISSUE's close-the-gap bar. On SIMD-less hosts (or the CI leg with
+    // MICROSCOPIQ_SIMD=off) the gate reports n/a and does not fail.
+    let simd_gemv_speedup = gemv_time(SIMD_KERNEL).map(|t| t_lane_gemv / t);
+    match simd_gemv_speedup {
+        Some(s) => {
+            println!(
+                "acceptance: simd-f32 vs lane-f32 on {d_row}x{d_col} GEMV (m=1) = {s:.2}x ({})",
+                if s >= 2.0 {
+                    "PASS >= 2.0x"
+                } else {
+                    "FAIL < 2.0x"
+                }
+            );
+            assert!(
+                s >= 2.0,
+                "simd-f32 GEMV must be >= 2.0x over lane-f32 (got {s:.2}x)"
+            );
+        }
+        None => println!("acceptance: simd-f32 vs lane-f32 — n/a (kernel not registered)"),
+    }
+
+    let mut metrics: Vec<(&str, f64)> = vec![
         ("gemm_ms_dense", t_dense * 1e3),
         ("gemm_ms_scalar", t_scalar * 1e3),
         ("gemm_ms_lane", t_lane * 1e3),
         ("gemm_speedup_lane_vs_scalar", lane_speedup),
         ("gemm_speedup_bucketed_vs_scalar", bucketed_speedup),
         ("gemv_us_scalar", t_scalar_gemv * 1e6),
+        ("gemv_us_lane", t_lane_gemv * 1e6),
         ("gemv_speedup_lane_vs_scalar", lane_gemv_speedup),
+        (
+            "gemv_speedup_bucketed_lane_vs_scalar",
+            bucketed_lane_gemv_speedup,
+        ),
     ];
+    if let Some(t) = gemv_time(SIMD_KERNEL) {
+        metrics.push(("gemv_us_simd", t * 1e6));
+    }
+    if let Some(s) = simd_gemv_speedup {
+        metrics.push(("gemv_speedup_simd_vs_lane", s));
+        metrics.push((
+            "gemv_speedup_simd_vs_scalar",
+            t_scalar_gemv * s / t_lane_gemv,
+        ));
+    }
+    // Host capability + availability block: which features the host has
+    // and which kernels actually registered, so a JSON artifact from the
+    // SIMD-off CI leg is self-describing.
+    for (name, on) in &features {
+        metrics.push(match *name {
+            "avx2" => ("feature_avx2", f64::from(u8::from(*on))),
+            "fma" => ("feature_fma", f64::from(u8::from(*on))),
+            _ => ("feature_neon", f64::from(u8::from(*on))),
+        });
+    }
+    for (key, kernel) in [
+        ("kernel_available_scalar", SCALAR_KERNEL),
+        ("kernel_available_lane", LANE_KERNEL),
+        ("kernel_available_bucketed_lane", BUCKETED_LANE_KERNEL),
+        ("kernel_available_simd", SIMD_KERNEL),
+    ] {
+        metrics.push((key, f64::from(u8::from(registry.names().contains(&kernel)))));
+    }
     gemm_table.write_json("kernels", &metrics);
 }

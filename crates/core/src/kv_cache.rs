@@ -369,6 +369,41 @@ impl LayerKvCache {
             channels: self.channels,
         }
     }
+
+    /// Drops every token at position `n` and beyond — speculative-decode
+    /// rollback and prefix rewind. A no-op when `n >= len()`.
+    ///
+    /// Truncating within the exact residual tail is always legal and the
+    /// surviving prefix is bitwise untouched, so re-appending the same
+    /// rows reproduces the original cache exactly. Cutting into the
+    /// quantized prefix is only legal on a group boundary: quantization
+    /// blocks span `group` tokens, so a mid-group cut would strand a
+    /// partial block whose exponent was fit to tokens that no longer
+    /// exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics in quantized mode when `n` lands strictly inside the
+    /// quantized prefix off a group boundary.
+    pub fn truncate(&mut self, n: usize) {
+        if n >= self.len() {
+            return;
+        }
+        if let KvMode::Quantized(cfg) = self.mode {
+            if n < self.quantized_tokens {
+                assert!(
+                    n.is_multiple_of(cfg.group),
+                    "quantized KV truncation must be group-aligned: \
+                     n = {n}, group = {}, quantized prefix = {}",
+                    cfg.group,
+                    self.quantized_tokens
+                );
+                self.quantized_tokens = n;
+            }
+        }
+        self.keys.truncate(n * self.channels);
+        self.values.truncate(n * self.channels);
+    }
 }
 
 /// Scaled-dot-product attention with a numerically stable softmax.
@@ -423,6 +458,106 @@ mod tests {
         let exponents = 2 * ch + 16 * ch.div_ceil(8);
         assert_eq!(quant.storage_bytes(), 8 * 2 * ch * 8 + payload + exponents);
         assert!(quant.storage_bytes() < exact.storage_bytes());
+    }
+
+    #[test]
+    fn exact_truncate_and_reappend_is_bitwise_identical() {
+        let ch = 16;
+        let mut rng = SeededRng::new(5);
+        let rows: Vec<(Vec<f64>, Vec<f64>)> = (0..20)
+            .map(|_| {
+                let k: Vec<f64> = (0..ch).map(|_| rng.normal(0.0, 1.0)).collect();
+                let v: Vec<f64> = (0..ch).map(|_| rng.normal(0.0, 1.0)).collect();
+                (k, v)
+            })
+            .collect();
+        let mut full = LayerKvCache::exact(ch);
+        let mut cut = LayerKvCache::exact(ch);
+        for (k, v) in &rows {
+            full.append(k, v);
+            cut.append(k, v);
+        }
+        cut.truncate(12);
+        assert_eq!(cut.len(), 12);
+        for (k, v) in &rows[12..] {
+            cut.append(k, v);
+        }
+        assert_eq!(cut.len(), full.len());
+        for t in 0..full.len() {
+            assert_eq!(cut.key_row(t), full.key_row(t), "key row {t}");
+            assert_eq!(cut.value_row(t), full.value_row(t), "value row {t}");
+        }
+        // Truncating past the end is a no-op.
+        cut.truncate(100);
+        assert_eq!(cut.len(), 20);
+    }
+
+    #[test]
+    fn quantized_truncate_within_exact_tail_keeps_prefix() {
+        let ch = 16;
+        let cfg = KvCacheConfig {
+            bits: 4,
+            group: 8,
+            residual: 8,
+        };
+        let mut cache = LayerKvCache::quantized(ch, cfg).unwrap();
+        let mut rng = SeededRng::new(6);
+        for _ in 0..20 {
+            let k: Vec<f64> = (0..ch).map(|_| rng.normal(0.0, 1.0)).collect();
+            let v: Vec<f64> = (0..ch).map(|_| rng.normal(0.0, 1.0)).collect();
+            cache.append(&k, &v);
+        }
+        // 8 tokens quantized, 12 exact; cut inside the exact tail at any
+        // alignment.
+        assert_eq!(cache.quantized_len(), 8);
+        let before: Vec<f64> = (0..11).flat_map(|t| cache.key_row(t).to_vec()).collect();
+        cache.truncate(11);
+        assert_eq!(cache.len(), 11);
+        assert_eq!(cache.quantized_len(), 8, "quantized prefix untouched");
+        let after: Vec<f64> = (0..11).flat_map(|t| cache.key_row(t).to_vec()).collect();
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn quantized_truncate_on_group_boundary_shrinks_prefix() {
+        let ch = 16;
+        let cfg = KvCacheConfig {
+            bits: 4,
+            group: 8,
+            residual: 0,
+        };
+        let mut cache = LayerKvCache::quantized(ch, cfg).unwrap();
+        let row = vec![0.25; ch];
+        for _ in 0..24 {
+            cache.append(&row, &row);
+        }
+        assert_eq!(cache.quantized_len(), 24);
+        cache.truncate(8);
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.quantized_len(), 8);
+        // The cache keeps working: appends re-quantize from the new end.
+        for _ in 0..8 {
+            cache.append(&row, &row);
+        }
+        assert_eq!(cache.len(), 16);
+        assert_eq!(cache.quantized_len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "group-aligned")]
+    fn quantized_truncate_off_group_boundary_panics() {
+        let ch = 16;
+        let cfg = KvCacheConfig {
+            bits: 4,
+            group: 8,
+            residual: 0,
+        };
+        let mut cache = LayerKvCache::quantized(ch, cfg).unwrap();
+        let row = vec![0.25; ch];
+        for _ in 0..16 {
+            cache.append(&row, &row);
+        }
+        cache.truncate(5);
     }
 
     fn kv(seed: u64, tokens: usize, channels: usize) -> (Matrix, Matrix, Matrix) {

@@ -678,11 +678,13 @@ impl GroupView<'_> {
     }
 
     /// Placement of the group within the weight matrix.
+    #[inline]
     pub fn span(&self) -> GroupSpan {
         self.layer.group_span(self.index)
     }
 
     /// The group's shared inlier scale `2^Isf`.
+    #[inline]
     pub fn isf(&self) -> Pow2Scale {
         self.layer.groups[self.index].isf
     }
@@ -742,6 +744,85 @@ impl GroupView<'_> {
                 }
             }
             base += mb.codes.len();
+        }
+    }
+
+    /// Number of micro-blocks in the group.
+    #[inline]
+    pub fn micro_block_count(&self) -> usize {
+        self.layer.groups[self.index].micro_blocks.len()
+    }
+
+    /// Iterates `(codes, has_outliers)` over the group's micro-blocks in
+    /// slot order — one walk of the micro-block array, for kernels whose
+    /// inner loop would otherwise pay the `groups[g].micro_blocks[i]`
+    /// index chain once per accessor call.
+    #[inline]
+    pub fn micro_blocks_raw(&self) -> impl Iterator<Item = (&[u8], bool)> + '_ {
+        self.layer.groups[self.index]
+            .micro_blocks
+            .iter()
+            .map(|mb| (mb.codes.as_slice(), mb.meta.is_some()))
+    }
+
+    /// The raw code bytes of micro-block `i` (one byte per slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn micro_block_codes(&self, i: usize) -> &[u8] {
+        &self.layer.groups[self.index].micro_blocks[i].codes
+    }
+
+    /// Whether micro-block `i` carries outlier metadata. When `false`,
+    /// every code in [`Self::micro_block_codes`] is a plain two's-complement
+    /// inlier — a kernel may decode the bytes directly without consulting
+    /// the permutation list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn micro_block_has_outliers(&self, i: usize) -> bool {
+        self.layer.groups[self.index].micro_blocks[i].meta.is_some()
+    }
+
+    /// Decodes micro-block `i`'s **unscaled** inlier codes as `f32` into
+    /// `out`, zeroing outlier host and pruned slots and reporting each
+    /// outlier's exact `f64` value through `on_outlier(slot, value)` —
+    /// slots are **micro-block-relative**. Walking every micro-block with
+    /// this composes to exactly [`Self::decode_codes_f32`] over the group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `out` is shorter than the
+    /// micro-block.
+    pub fn decode_micro_block_codes_f32(
+        &self,
+        i: usize,
+        out: &mut [f32],
+        mut on_outlier: impl FnMut(usize, f64),
+    ) {
+        let group = &self.layer.groups[self.index];
+        let mb = &group.micro_blocks[i];
+        let bb = self.layer.inlier_bits;
+        assert!(out.len() >= mb.codes.len(), "decode buffer too small");
+        let shift = 8 - bb;
+        for (o, &c) in out.iter_mut().zip(mb.codes.iter()) {
+            *o = ((c << shift) as i8 >> shift) as f32;
+        }
+        if let Some(meta) = &mb.meta {
+            for e in meta.perm.entries() {
+                let up = mb.codes[e.upper_loc as usize];
+                let lo = mb.codes[e.lower_loc as usize];
+                out[e.upper_loc as usize] = 0.0;
+                out[e.lower_loc as usize] = 0.0;
+                on_outlier(
+                    e.upper_loc as usize,
+                    self.layer.outlier_value(meta, group.isf, up, lo),
+                );
+            }
         }
     }
 }
@@ -824,6 +905,42 @@ mod tests {
         // → mantissa 10₂, value 1.5 × 2^(total −Isf) = 1.5 × 2^(2−(−3)) = 48.
         assert_eq!(w[(0, 2)], 48.0);
         assert_eq!(w[(0, 5)], 0.0, "pruned slot decodes to zero");
+    }
+
+    #[test]
+    fn per_micro_block_decode_composes_to_group_decode() {
+        let layer = sample_layer();
+        for view in layer.iter_groups() {
+            let len = view.span().len;
+            let mut whole = vec![f32::NAN; len];
+            let mut whole_outliers = Vec::new();
+            view.decode_codes_f32(&mut whole, |slot, v| whole_outliers.push((slot, v)));
+
+            let mut stitched = vec![f32::NAN; len];
+            let mut stitched_outliers = Vec::new();
+            let mut base = 0usize;
+            for i in 0..view.micro_block_count() {
+                let codes = view.micro_block_codes(i);
+                let mut buf = vec![f32::NAN; codes.len()];
+                view.decode_micro_block_codes_f32(i, &mut buf, |slot, v| {
+                    stitched_outliers.push((base + slot, v));
+                });
+                stitched[base..base + codes.len()].copy_from_slice(&buf);
+                if !view.micro_block_has_outliers(i) {
+                    // Meta-less blocks must decode byte-for-byte as plain
+                    // two's-complement inliers.
+                    let bb = 2u32;
+                    for (&c, &v) in codes.iter().zip(buf.iter()) {
+                        let shift = 8 - bb;
+                        assert_eq!(((c << shift) as i8 >> shift) as f32, v);
+                    }
+                }
+                base += codes.len();
+            }
+            assert_eq!(base, len);
+            assert_eq!(whole, stitched);
+            assert_eq!(whole_outliers, stitched_outliers);
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ use microscopiq_core::kv_cache::KvMode;
 use microscopiq_core::packed::PackedLayer;
 use microscopiq_core::traits::{LayerTensors, WeightQuantizer};
 use microscopiq_linalg::{Matrix, SeededRng};
+use std::sync::Arc;
 
 /// A GEMM engine over packed weights: computes `W · acts` where `W` is the
 /// packed `d_row × d_col` layer and `acts` is `d_col × n`.
@@ -42,6 +43,15 @@ pub trait PackedGemm {
     fn gemv(&self, layer: &PackedLayer, x: &[f64]) -> Vec<f64> {
         let acts = Matrix::from_vec(x.len(), 1, x.to_vec());
         self.matmul(layer, &acts).as_slice().to_vec()
+    }
+
+    /// Hints that `layer` will be executed soon — the forward pass calls
+    /// this with the *next* linear layer before running the current one,
+    /// so an engine with a decode cache can warm it from a background
+    /// worker. The default is a no-op; the hint must never change
+    /// results, only timing.
+    fn prefetch(&self, layer: &Arc<PackedLayer>) {
+        let _ = layer;
     }
 }
 
@@ -64,13 +74,15 @@ impl PackedGemm for DequantGemm {
 #[derive(Debug, Clone)]
 pub(crate) struct PackedBlock {
     pub(crate) ln1: Vec<f64>,
-    wq: PackedLayer,
-    wk: PackedLayer,
-    wv: PackedLayer,
-    wo: PackedLayer,
+    // Arc'd so prefetch hints can hand a layer to a background decode
+    // worker without copying the packed bytes.
+    wq: Arc<PackedLayer>,
+    wk: Arc<PackedLayer>,
+    wv: Arc<PackedLayer>,
+    wo: Arc<PackedLayer>,
     pub(crate) ln2: Vec<f64>,
-    w_up: PackedLayer,
-    w_down: PackedLayer,
+    w_up: Arc<PackedLayer>,
+    w_down: Arc<PackedLayer>,
 }
 
 /// A TinyFM whose linear layers live in the packed MicroScopiQ format.
@@ -116,13 +128,13 @@ impl PackedTinyFm {
             .iter()
             .map(|b| PackedBlock {
                 ln1: b.ln1.clone(),
-                wq: packed.next().expect("layer count"),
-                wk: packed.next().expect("layer count"),
-                wv: packed.next().expect("layer count"),
-                wo: packed.next().expect("layer count"),
+                wq: Arc::new(packed.next().expect("layer count")),
+                wk: Arc::new(packed.next().expect("layer count")),
+                wv: Arc::new(packed.next().expect("layer count")),
+                wo: Arc::new(packed.next().expect("layer count")),
                 ln2: b.ln2.clone(),
-                w_up: packed.next().expect("layer count"),
-                w_down: packed.next().expect("layer count"),
+                w_up: Arc::new(packed.next().expect("layer count")),
+                w_down: Arc::new(packed.next().expect("layer count")),
             })
             .collect();
         Ok(Self {
@@ -140,6 +152,12 @@ impl PackedTinyFm {
 
     /// Borrows a packed linear layer.
     pub fn layer(&self, id: LinearId) -> &PackedLayer {
+        self.layer_arc(id)
+    }
+
+    /// Borrows the shared handle of a packed linear layer — what
+    /// [`PackedGemm::prefetch`] hints hand to a background worker.
+    pub fn layer_arc(&self, id: LinearId) -> &Arc<PackedLayer> {
         match id {
             LinearId::Wq(n) => &self.blocks[n].wq,
             LinearId::Wk(n) => &self.blocks[n].wk,

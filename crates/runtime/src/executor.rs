@@ -43,6 +43,13 @@ pub struct EngineConfig {
     /// [`crate::kernels::dispatch`] for the policy table). The default
     /// reproduces the pre-dispatch engine bit for bit.
     pub policy: KernelPolicy,
+    /// Warm the decoded-tile cache for the *next* layer from a background
+    /// worker while the current layer's GEMM runs ([`PackedGemm::prefetch`]
+    /// hints arrive from the model's forward pass). Requires
+    /// `cache_bytes > 0` to have any effect. Observational only: prefetch
+    /// populates the same cache the bucketed kernel would fill on demand,
+    /// so results are unchanged with it on or off.
+    pub prefetch: bool,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +60,7 @@ impl Default for EngineConfig {
             tile_rows: 0,
             parallel_threshold: 1 << 16,
             policy: KernelPolicy::Default,
+            prefetch: false,
         }
     }
 }
@@ -75,6 +83,93 @@ impl EngineConfig {
             tile_rows: 0,
             parallel_threshold: usize::MAX,
             policy: KernelPolicy::Scalar,
+            prefetch: false,
+        }
+    }
+}
+
+/// Counters for the next-layer prefetch worker: hints accepted into the
+/// bounded queue, layers fully decoded into the cache, and hints dropped
+/// because the queue was full (best-effort — a dropped hint only means
+/// the bucketed kernel decodes on demand as it always did).
+#[derive(Debug, Default)]
+pub struct PrefetchStats {
+    issued: crate::telemetry::metrics::Counter,
+    completed: crate::telemetry::metrics::Counter,
+    dropped: crate::telemetry::metrics::Counter,
+}
+
+impl PrefetchStats {
+    /// Hints accepted into the prefetch queue.
+    pub fn issued(&self) -> u64 {
+        self.issued.get()
+    }
+
+    /// Layers whose groups were all decoded into the cache.
+    pub fn completed(&self) -> u64 {
+        self.completed.get()
+    }
+
+    /// Hints dropped because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+}
+
+/// The next-layer prefetch worker: one background thread draining a
+/// small bounded queue of layer hints, decoding every group of each
+/// hinted layer into the shared [`DecodedCache`]. Hints are best-effort
+/// (`try_send`); the queue stays shallow so a burst of hints cannot
+/// build up a backlog of stale decode work.
+#[derive(Debug)]
+struct Prefetcher {
+    tx: Option<std::sync::mpsc::SyncSender<Arc<PackedLayer>>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    stats: Arc<PrefetchStats>,
+}
+
+impl Prefetcher {
+    fn spawn(cache: Arc<DecodedCache>) -> Self {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Arc<PackedLayer>>(2);
+        let stats = Arc::new(PrefetchStats::default());
+        let worker_stats = stats.clone();
+        let worker = std::thread::Builder::new()
+            .name("microscopiq-prefetch".into())
+            .spawn(move || {
+                while let Ok(layer) = rx.recv() {
+                    let id = layer.content_fingerprint();
+                    for g in 0..layer.num_groups() {
+                        cache.get_or_decode(id, &layer, g);
+                    }
+                    worker_stats.completed.inc();
+                }
+            })
+            .expect("spawn prefetch worker");
+        Self {
+            tx: Some(tx),
+            worker: Some(worker),
+            stats,
+        }
+    }
+
+    fn hint(&self, layer: &Arc<PackedLayer>) {
+        let Some(tx) = &self.tx else { return };
+        match tx.try_send(layer.clone()) {
+            Ok(()) => self.stats.issued.inc(),
+            Err(_) => self.stats.dropped.inc(),
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker's recv loop; join so no
+        // decode outlives the engine (the cache Arc would keep memory
+        // alive, but a detached thread could not be reasoned about in
+        // tests).
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
         }
     }
 }
@@ -90,6 +185,7 @@ pub struct RuntimeEngine {
     // the engine moves onto a worker thread.
     cache: Option<Arc<DecodedCache>>,
     registry: KernelRegistry,
+    prefetcher: Option<Prefetcher>,
 }
 
 impl RuntimeEngine {
@@ -110,11 +206,17 @@ impl RuntimeEngine {
             cfg.threads
         };
         let cache = (cfg.cache_bytes > 0).then(|| Arc::new(DecodedCache::new(cfg.cache_bytes)));
+        // Prefetch only makes sense with a cache to warm.
+        let prefetcher = match (&cache, cfg.prefetch) {
+            (Some(cache), true) => Some(Prefetcher::spawn(cache.clone())),
+            _ => None,
+        };
         Self {
             cfg,
             threads,
             cache,
             registry,
+            prefetcher,
         }
     }
 
@@ -167,6 +269,12 @@ impl RuntimeEngine {
     /// Decoded-cache statistics, when caching is enabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Prefetch-worker counters, when next-layer prefetch is enabled
+    /// (`prefetch: true` and a decoded cache configured).
+    pub fn prefetch_stats(&self) -> Option<&PrefetchStats> {
+        self.prefetcher.as_ref().map(|p| p.stats.as_ref())
     }
 
     /// The kernel registry this engine dispatches over.
@@ -247,8 +355,12 @@ impl RuntimeEngine {
 
     /// Computes `W · x` for a single activation column through the
     /// dispatched GEMV kernel — the decode fast path `PackedGemm::gemv`
-    /// routes into. Problems above `parallel_threshold` fall back to the
-    /// row-tiled parallel GEMM.
+    /// routes into. Problems above `parallel_threshold` split the
+    /// reduction over the work-stealing pool ([`Self::gemv_parallel`]):
+    /// single-stream decode no longer pins one core. Tile edges depend
+    /// only on the layer shape and engine config, and tiles stitch in
+    /// index order, so the parallel result is bitwise identical to the
+    /// serial one for every kernel, run to run.
     ///
     /// # Panics
     ///
@@ -262,11 +374,6 @@ impl RuntimeEngine {
             layer.d_col(),
             x.len()
         );
-        let work = layer.d_row() * layer.d_col();
-        if self.threads > 1 && work >= self.cfg.parallel_threshold {
-            let acts = Matrix::from_vec(x.len(), 1, x.to_vec());
-            return self.gemm(layer, &acts).as_slice().to_vec();
-        }
         let key = DispatchKey::for_call(layer, 1);
         let ctx = self.ctx(layer);
         let kernel = self.registry.select(self.cfg.policy, &key, &ctx);
@@ -276,8 +383,13 @@ impl RuntimeEngine {
             key.bits,
             layer.num_groups() as u64,
         );
+        let work = layer.d_row() * layer.d_col();
         let mut out = vec![0.0_f64; layer.d_row()];
-        kernel.gemv(&ctx, layer, x, &mut out);
+        if self.threads > 1 && work >= self.cfg.parallel_threshold {
+            self.gemv_parallel(kernel, &ctx, layer, x, &mut out);
+        } else {
+            kernel.gemv(&ctx, layer, x, &mut out);
+        }
         out
     }
 
@@ -366,6 +478,72 @@ impl RuntimeEngine {
         }
         out
     }
+
+    /// Parallel GEMV: the reduction splits over the same row tiles as
+    /// [`Self::gemm_parallel`], each worker running the kernel's
+    /// `gemv_rows` into a private partial buffer.
+    ///
+    /// **Determinism:** tile edges are a pure function of the layer shape
+    /// and engine config ([`Self::tile_edges`]), tiles own disjoint output
+    /// ranges, every kernel's restricted-range `gemv_rows` accumulates
+    /// each element in full-range order (the trait contract), and the
+    /// stitch happens in tile-index order regardless of which worker
+    /// finished first — so the result is bitwise identical to the serial
+    /// `gemv` and reproducible run to run.
+    fn gemv_parallel(
+        &self,
+        kernel: &dyn MicroKernel,
+        ctx: &KernelCtx<'_>,
+        layer: &PackedLayer,
+        x: &[f64],
+        out: &mut [f64],
+    ) {
+        let x32: Option<Vec<f32>> = kernel
+            .wants_f32_acts()
+            .then(|| x.iter().map(|&v| v as f32).collect());
+        let ctx = match &x32 {
+            Some(a) => ctx.with_acts32(a),
+            None => *ctx,
+        };
+        let ctx = &ctx;
+        let edges = self.tile_edges(layer);
+        let n_tiles = edges.len() - 1;
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n_tiles);
+        let mut tiles: Vec<Option<Vec<f64>>> = (0..n_tiles).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let next = &next;
+                let edges = &edges;
+                handles.push(scope.spawn(move || {
+                    let mut done: Vec<(usize, Vec<f64>)> = Vec::new();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= n_tiles {
+                            break;
+                        }
+                        let (lo, hi) = (edges[t], edges[t + 1]);
+                        let mut tile = vec![0.0_f64; hi - lo];
+                        kernel.gemv_rows(ctx, layer, x, lo, hi, &mut tile);
+                        done.push((t, tile));
+                    }
+                    done
+                }));
+            }
+            for h in handles {
+                for (t, tile) in h.join().expect("worker panicked") {
+                    tiles[t] = Some(tile);
+                }
+            }
+        });
+
+        for (t, tile) in tiles.into_iter().enumerate() {
+            let tile = tile.expect("every tile computed");
+            out[edges[t]..edges[t + 1]].copy_from_slice(&tile);
+        }
+    }
 }
 
 impl PackedGemm for RuntimeEngine {
@@ -379,6 +557,17 @@ impl PackedGemm for RuntimeEngine {
 
     fn gemv(&self, layer: &PackedLayer, x: &[f64]) -> Vec<f64> {
         self.gemv(layer, x)
+    }
+
+    /// Best-effort hint that `layer` executes soon: when next-layer
+    /// prefetch is enabled, the background worker decodes the layer's
+    /// groups into the shared cache while the current layer's GEMM runs.
+    /// A full queue drops the hint (counted) rather than blocking the
+    /// forward pass.
+    fn prefetch(&self, layer: &Arc<PackedLayer>) {
+        if let Some(p) = &self.prefetcher {
+            p.hint(layer);
+        }
     }
 }
 
@@ -404,6 +593,80 @@ impl EngineTelemetry for RuntimeEngine {
             MetricKind::Counter,
             collector_fn(move || kernel_metrics.group_samples()),
         );
+        // Kernel availability on this host: 1/0 per known kernel name, so
+        // bench/metric trajectories from hosts with and without SIMD stay
+        // comparable at a glance.
+        let registered = self.registry.names();
+        registry.register_collector(
+            "microscopiq_kernel_available",
+            "Whether each known kernel is registered on this host (1/0).",
+            MetricKind::Gauge,
+            collector_fn(move || {
+                use crate::kernels::{
+                    BUCKETED_KERNEL, BUCKETED_LANE_KERNEL, LANE_KERNEL, SCALAR_KERNEL, SIMD_KERNEL,
+                };
+                [
+                    SCALAR_KERNEL,
+                    LANE_KERNEL,
+                    BUCKETED_KERNEL,
+                    BUCKETED_LANE_KERNEL,
+                    SIMD_KERNEL,
+                ]
+                .into_iter()
+                .map(|name| Sample {
+                    labels: vec![("kernel", name.to_string())],
+                    value: SampleValue::Gauge(i64::from(registered.contains(&name))),
+                })
+                .collect()
+            }),
+        );
+        registry.register_collector(
+            "microscopiq_cpu_feature",
+            "Detected CPU features relevant to the SIMD kernel (1/0).",
+            MetricKind::Gauge,
+            collector_fn(move || {
+                crate::kernels::detected_cpu_features()
+                    .into_iter()
+                    .map(|(feature, present)| Sample {
+                        labels: vec![("feature", feature.to_string())],
+                        value: SampleValue::Gauge(i64::from(present)),
+                    })
+                    .collect()
+            }),
+        );
+        let threads = self.threads as i64;
+        registry.register_collector(
+            "microscopiq_engine_threads",
+            "Worker threads the engine tiles GEMM/GEMV calls over.",
+            MetricKind::Gauge,
+            collector_fn(move || {
+                vec![Sample {
+                    labels: Vec::new(),
+                    value: SampleValue::Gauge(threads),
+                }]
+            }),
+        );
+        if let Some(p) = &self.prefetcher {
+            let stats = p.stats.clone();
+            registry.register_collector(
+                "microscopiq_prefetch_events_total",
+                "Next-layer prefetch hints by outcome (issued/completed/dropped).",
+                MetricKind::Counter,
+                collector_fn(move || {
+                    [
+                        ("issued", stats.issued()),
+                        ("completed", stats.completed()),
+                        ("dropped", stats.dropped()),
+                    ]
+                    .into_iter()
+                    .map(|(event, n)| Sample {
+                        labels: vec![("event", event.to_string())],
+                        value: SampleValue::Counter(n),
+                    })
+                    .collect()
+                }),
+            );
+        }
         if let Some(cache) = &self.cache {
             let c = cache.clone();
             registry.register_collector(
@@ -673,11 +936,19 @@ mod tests {
             policy: KernelPolicy::Fast,
             ..EngineConfig::default()
         });
-        assert_eq!(fast.kernel_for(&layer, 9), LANE_KERNEL);
+        // At m = 9, Fast picks the SIMD kernel when this host has one,
+        // the lane kernel otherwise — both in the same tolerance class.
+        let expected = if crate::kernels::SimdKernel::try_new().is_some() {
+            crate::kernels::SIMD_KERNEL
+        } else {
+            LANE_KERNEL
+        };
+        let picked = fast.kernel_for(&layer, 9);
+        assert_eq!(picked, expected);
         let got = fast.gemm(&layer, &acts);
-        let tol = fast.registry().get(LANE_KERNEL).unwrap().tolerance();
+        let tol = fast.registry().get(picked).unwrap().tolerance();
         for (&a, &b) in got.as_slice().iter().zip(dense.as_slice().iter()) {
-            assert!(tol.accepts(a, b), "lane via engine: {a} vs {b}");
+            assert!(tol.accepts(a, b), "{picked} via engine: {a} vs {b}");
         }
         // With a cache configured, Fast prefers the bucketed kernel.
         let fast_cached = RuntimeEngine::new(EngineConfig {
@@ -688,5 +959,159 @@ mod tests {
             ..EngineConfig::default()
         });
         assert_eq!(fast_cached.kernel_for(&layer, 9), "bucketed-cache");
+    }
+
+    #[test]
+    fn parallel_gemv_is_bitwise_identical_to_serial_for_every_policy() {
+        for axis in [GroupAxis::DotProduct, GroupAxis::OutputChannel] {
+            let layer = packed_layer(64, 32, axis, 19);
+            let mut rng = SeededRng::new(20);
+            let x: Vec<f64> = (0..32).map(|_| rng.normal(0.0, 1.0)).collect();
+            for policy in [
+                KernelPolicy::Default,
+                KernelPolicy::Scalar,
+                KernelPolicy::Fast,
+            ] {
+                let serial = RuntimeEngine::new(EngineConfig {
+                    threads: 1,
+                    cache_bytes: 0,
+                    tile_rows: 0,
+                    parallel_threshold: usize::MAX,
+                    policy,
+                    ..EngineConfig::default()
+                })
+                .gemv(&layer, &x);
+                // Same kernel, reduction split across workers at several
+                // tile sizes and thread counts: the stitch must reproduce
+                // the serial result bit for bit, every run.
+                for threads in [2usize, 3, 4] {
+                    for tile_rows in [0usize, 8, 16, 48] {
+                        let engine = RuntimeEngine::new(EngineConfig {
+                            threads,
+                            cache_bytes: 0,
+                            tile_rows,
+                            parallel_threshold: 0,
+                            policy,
+                            ..EngineConfig::default()
+                        });
+                        let a = engine.gemv(&layer, &x);
+                        let b = engine.gemv(&layer, &x);
+                        assert_eq!(
+                            a, serial,
+                            "{axis:?} {policy:?} threads={threads} tile_rows={tile_rows}"
+                        );
+                        assert_eq!(a, b, "{axis:?} {policy:?} repeat run");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_gemv_through_cached_default_matches_serial_bitwise() {
+        let layer = packed_layer(64, 32, GroupAxis::DotProduct, 23);
+        let mut rng = SeededRng::new(24);
+        let x: Vec<f64> = (0..32).map(|_| rng.normal(0.0, 1.0)).collect();
+        let serial = RuntimeEngine::new(EngineConfig {
+            threads: 1,
+            cache_bytes: 1 << 20,
+            parallel_threshold: usize::MAX,
+            ..EngineConfig::default()
+        });
+        let parallel = RuntimeEngine::new(EngineConfig {
+            threads: 4,
+            cache_bytes: 1 << 20,
+            tile_rows: 16,
+            parallel_threshold: 0,
+            ..EngineConfig::default()
+        });
+        // Cold and warm cache passes must agree with the serial engine.
+        let s = serial.gemv(&layer, &x);
+        assert_eq!(parallel.gemv(&layer, &x), s, "cold cache");
+        assert_eq!(parallel.gemv(&layer, &x), s, "warm cache");
+    }
+
+    #[test]
+    fn prefetch_warms_the_cache_and_leaves_results_unchanged() {
+        let layer = Arc::new(packed_layer(64, 32, GroupAxis::DotProduct, 27));
+        let mut rng = SeededRng::new(28);
+        let x: Vec<f64> = (0..32).map(|_| rng.normal(0.0, 1.0)).collect();
+        let plain = RuntimeEngine::new(EngineConfig {
+            threads: 1,
+            cache_bytes: 1 << 20,
+            parallel_threshold: usize::MAX,
+            ..EngineConfig::default()
+        });
+        let prefetching = RuntimeEngine::new(EngineConfig {
+            threads: 1,
+            cache_bytes: 1 << 20,
+            parallel_threshold: usize::MAX,
+            prefetch: true,
+            ..EngineConfig::default()
+        });
+        assert!(plain.prefetch_stats().is_none());
+        let stats = || prefetching.prefetch_stats().expect("prefetcher enabled");
+
+        prefetching.prefetch(&layer);
+        // The worker decodes asynchronously; wait (bounded) for the layer
+        // to finish, then the first gemv must hit every group.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while stats().completed() < 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "prefetch worker never completed the hinted layer"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(stats().issued(), 1);
+        let misses_before = prefetching.cache_stats().unwrap().misses;
+        let warm = prefetching.gemv(&layer, &x);
+        let after = prefetching.cache_stats().unwrap();
+        assert_eq!(
+            after.misses, misses_before,
+            "post-prefetch gemv must not decode anything"
+        );
+        assert_eq!(after.hits, layer.num_groups() as u64);
+        // Prefetch is observational: identical output with it off.
+        assert_eq!(warm, plain.gemv(&layer, &x));
+    }
+
+    #[test]
+    fn prefetch_queue_overflow_drops_hints_without_blocking() {
+        let engine = RuntimeEngine::new(EngineConfig {
+            threads: 1,
+            cache_bytes: 1 << 20,
+            parallel_threshold: usize::MAX,
+            prefetch: true,
+            ..EngineConfig::default()
+        });
+        let layer = Arc::new(packed_layer(64, 32, GroupAxis::DotProduct, 29));
+        // Many more hints than the queue holds: every hint must return
+        // immediately, each either accepted or counted as dropped.
+        for _ in 0..64 {
+            engine.prefetch(&layer);
+        }
+        let stats = engine.prefetch_stats().unwrap();
+        assert_eq!(stats.issued() + stats.dropped(), 64);
+    }
+
+    #[test]
+    fn engine_telemetry_exposes_availability_features_and_threads() {
+        let engine = RuntimeEngine::new(EngineConfig {
+            threads: 3,
+            cache_bytes: 1 << 20,
+            prefetch: true,
+            ..EngineConfig::default()
+        });
+        let registry = MetricsRegistry::new();
+        engine.register_telemetry(&registry);
+        let text = registry.render_text();
+        assert!(text.contains("microscopiq_kernel_available"));
+        assert!(text.contains("kernel=\"scalar-f64\""));
+        assert!(text.contains("kernel=\"simd-f32\""));
+        assert!(text.contains("microscopiq_cpu_feature"));
+        assert!(text.contains("feature=\"avx2\""));
+        assert!(text.contains("microscopiq_engine_threads 3"));
+        assert!(text.contains("microscopiq_prefetch_events_total"));
     }
 }

@@ -282,8 +282,16 @@ impl MicroKernel for BucketedCacheKernel {
     /// staging copy: a column vector *is* a flat `d_col × 1` image, so it
     /// feeds the tile accumulators directly. Bit-identical to
     /// `gemm_rows` on the equivalent one-column matrix.
-    fn gemv(&self, ctx: &KernelCtx<'_>, layer: &PackedLayer, x: &[f64], out: &mut [f64]) {
-        self.run(ctx, layer, x, 1, 0, layer.d_row(), out);
+    fn gemv_rows(
+        &self,
+        ctx: &KernelCtx<'_>,
+        layer: &PackedLayer,
+        x: &[f64],
+        row_lo: usize,
+        row_hi: usize,
+        out: &mut [f64],
+    ) {
+        self.run(ctx, layer, x, 1, row_lo, row_hi, out);
     }
 }
 

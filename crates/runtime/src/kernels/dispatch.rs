@@ -12,11 +12,15 @@
 //! | [`KernelPolicy::Fast`] | first registered kernel whose `supports` accepts the call, in registry priority order; scalar as the universal fallback |
 //! | [`KernelPolicy::Named`] | that kernel if registered **and** it supports the call; scalar otherwise |
 //!
-//! With the default registration order, `Fast` resolves to: bucketed
-//! tiles when a cache is available, the lane-blocked `f32` kernel for
-//! uncached calls on supported shapes (group ≤ 256 slots, outlier
-//! density ≤ 0.5), and the scalar oracle for everything else (e.g.
-//! outlier-heavy layers, oversized groups).
+//! With the default registration order — bucketed-cache, explicit SIMD
+//! (when runtime feature detection passes), bucketed-lane, lane-blocked
+//! `f32`, scalar — `Fast` resolves to: bucketed tiles when a cache is
+//! available; the `simd-f32` kernel for uncached calls on supported
+//! shapes (group ≤ 256 slots, outlier density ≤ 0.5); on hosts without
+//! AVX2+FMA/NEON (or with `MICROSCOPIQ_SIMD=off`), the `bucketed-lane`
+//! kernel for the 2-bit m = 1 GEMV decode shape and the lane-blocked
+//! `f32` kernel otherwise; and the scalar oracle for everything else
+//! (e.g. outlier-heavy layers, oversized groups).
 //!
 //! # Registering a kernel
 //!
@@ -40,8 +44,10 @@
 //! ```
 
 use super::bucketed::{BucketedCacheKernel, BUCKETED_KERNEL};
+use super::bucketed_lane::BucketedLaneKernel;
 use super::lane::LaneKernel;
 use super::scalar::ScalarKernel;
+use super::simd::SimdKernel;
 use super::{DispatchKey, KernelCtx, MicroKernel};
 use crate::telemetry::metrics::{Counter, Sample, SampleValue};
 use std::sync::{Arc, RwLock};
@@ -217,15 +223,32 @@ impl Default for KernelRegistry {
 }
 
 impl KernelRegistry {
-    /// The standard registry: bucketed-cache, then lane-blocked `f32`,
-    /// then the scalar oracle.
+    /// The standard registry: bucketed-cache, then the explicit SIMD
+    /// kernel (iff runtime feature detection passes and
+    /// `MICROSCOPIQ_SIMD` does not force-disable it), then bucketed-lane,
+    /// then lane-blocked `f32`, then the scalar oracle.
     pub fn with_defaults() -> Self {
+        Self::assemble(SimdKernel::try_new())
+    }
+
+    /// The standard registry with the SIMD kernel unconditionally left
+    /// out — what `with_defaults` builds on a host without AVX2/NEON.
+    /// The graceful-fallback tests pin that this registry dispatches
+    /// bitwise-stably.
+    pub fn without_simd() -> Self {
+        Self::assemble(None)
+    }
+
+    fn assemble(simd: Option<SimdKernel>) -> Self {
+        let mut kernels: Vec<Arc<dyn MicroKernel>> = vec![Arc::new(BucketedCacheKernel)];
+        if let Some(s) = simd {
+            kernels.push(Arc::new(s));
+        }
+        kernels.push(Arc::new(BucketedLaneKernel));
+        kernels.push(Arc::new(LaneKernel));
+        kernels.push(Arc::new(ScalarKernel));
         Self {
-            kernels: vec![
-                Arc::new(BucketedCacheKernel),
-                Arc::new(LaneKernel),
-                Arc::new(ScalarKernel),
-            ],
+            kernels,
             scalar: Arc::new(ScalarKernel),
             metrics: Arc::new(KernelMetrics::default()),
         }
@@ -369,8 +392,23 @@ mod tests {
     fn fast_policy_prefers_lane_uncached_and_respects_supports() {
         let reg = KernelRegistry::with_defaults();
         let ctx = KernelCtx::uncached();
+        // At m = 8 bucketed-lane declines, so the pick is simd-f32 when
+        // detection passed on this host, lane-f32 otherwise.
+        let expected = if SimdKernel::try_new().is_some() {
+            super::super::simd::SIMD_KERNEL
+        } else {
+            LANE_KERNEL
+        };
         assert_eq!(
             reg.select(KernelPolicy::Fast, &key(8, 64, 0.03), &ctx)
+                .name(),
+            expected
+        );
+        // Without the SIMD kernel the same call resolves to lane-f32 —
+        // the graceful-fallback priority order.
+        assert_eq!(
+            KernelRegistry::without_simd()
+                .select(KernelPolicy::Fast, &key(8, 64, 0.03), &ctx)
                 .name(),
             LANE_KERNEL
         );

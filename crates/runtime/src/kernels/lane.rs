@@ -45,7 +45,7 @@ pub const MAX_GROUP: usize = 256;
 /// oracle: when most blocks carry outliers, the exact `f64` fixup loop
 /// dominates and the `f32` lane work is overhead. (The kernel stays
 /// *correct* beyond this density — `supports` is performance advice.)
-const MAX_OUTLIER_FRAC: f64 = 0.5;
+pub(crate) const MAX_OUTLIER_FRAC: f64 = 0.5;
 
 /// The lane-blocked `f32` kernel. Stateless; ignores the decoded cache.
 #[derive(Debug, Clone, Copy, Default)]
@@ -298,22 +298,46 @@ impl MicroKernel for LaneKernel {
         }
     }
 
-    fn gemv(&self, _ctx: &KernelCtx<'_>, layer: &PackedLayer, x: &[f64], out: &mut [f64]) {
+    fn gemv_rows(
+        &self,
+        ctx: &KernelCtx<'_>,
+        layer: &PackedLayer,
+        x: &[f64],
+        row_lo: usize,
+        row_hi: usize,
+        out: &mut [f64],
+    ) {
         assert!(
             layer.macro_block() <= MAX_GROUP,
             "lane kernel group plane holds at most {MAX_GROUP} slots"
         );
-        let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
-        let mut lane_acc = vec![0.0_f32; layer.d_row()];
+        // Restricted ranges visit the same groups in the same per-element
+        // order as the full range (groups_for_rows keeps per-row k
+        // ascending), so tiled GEMV stitches bitwise — the parallel-GEMV
+        // determinism contract.
+        let local32: Vec<f32>;
+        let x32: &[f32] = match ctx.acts32 {
+            Some(shared) => {
+                debug_assert_eq!(shared.len(), x.len(), "acts32 shape");
+                shared
+            }
+            None => {
+                local32 = x.iter().map(|&v| v as f32).collect();
+                &local32
+            }
+        };
+        let mut lane_acc = vec![0.0_f32; row_hi - row_lo];
         let mut plane = [0.0_f32; MAX_GROUP];
         let axis = layer.axis();
-        for view in layer.iter_groups() {
+        for g in groups_for_rows(layer, row_lo, row_hi) {
+            let view = layer.group(g);
             let span = view.span();
             let scale = view.isf().value() as f32;
             match axis {
                 GroupAxis::DotProduct => {
+                    let r = span.line - row_lo;
                     {
-                        let acc = &mut out[span.line];
+                        let acc = &mut out[r];
                         view.decode_codes_f32(&mut plane[..span.len], |slot, v| {
                             *acc += v * x[span.offset + slot];
                         });
@@ -322,18 +346,19 @@ impl MicroKernel for LaneKernel {
                         &plane[..span.len],
                         &x32[span.offset..span.offset + span.len],
                     );
-                    lane_acc[span.line] += scale * dot;
+                    lane_acc[r] += scale * dot;
                 }
                 GroupAxis::OutputChannel => {
                     {
                         let out_ref = &mut *out;
                         view.decode_codes_f32(&mut plane[..span.len], |slot, v| {
-                            out_ref[span.offset + slot] += v * x[span.line];
+                            out_ref[span.offset + slot - row_lo] += v * x[span.line];
                         });
                     }
                     let m = scale * x32[span.line];
                     if m != 0.0 {
-                        let orows = &mut lane_acc[span.offset..span.offset + span.len];
+                        let row0 = span.offset - row_lo;
+                        let orows = &mut lane_acc[row0..row0 + span.len];
                         for (o, &c) in orows.iter_mut().zip(plane[..span.len].iter()) {
                             *o += m * c;
                         }

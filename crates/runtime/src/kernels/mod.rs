@@ -20,6 +20,16 @@
 //!   engine's decoded-tile cache ([`crate::cache`]): code-bucketed tiles
 //!   at `bb = 2`, flat `f32` tiles at `bb = 4`. Requires a cache in the
 //!   [`KernelCtx`].
+//! * [`SimdKernel`] (`simd-f32`) — explicit `std::arch` SIMD: AVX2+FMA on
+//!   `x86_64`, NEON on `aarch64`, registered only when runtime feature
+//!   detection passes (and not force-disabled via `MICROSCOPIQ_SIMD=off`).
+//!   Fuses in-register code decode (shift-based sign extension) with the
+//!   FMA reduction; outliers fix up in exact `f64` like the lane kernel.
+//! * [`BucketedLaneKernel`] (`bucketed-lane`) — the paper's multiply-free
+//!   code-bucketing trick without the decoded-tile cache: per micro-block,
+//!   activations accumulate into per-code buckets and one dot with the
+//!   decoded code table finishes the group. Shape-specialized for the
+//!   `m = 1` GEMV decode path; composes with the `Fast` tier.
 //!
 //! Selection is governed by [`KernelPolicy`] — see [`dispatch`] for the
 //! policy table. The default policy reproduces the pre-dispatch engine
@@ -35,15 +45,19 @@
 //! [`PackedLayer::group`]: microscopiq_core::packed::PackedLayer::group
 
 pub mod bucketed;
+pub mod bucketed_lane;
 pub mod dispatch;
 pub mod lane;
 pub mod scalar;
+pub mod simd;
 pub mod synth;
 
 pub use bucketed::{BucketedCacheKernel, BUCKETED_KERNEL};
+pub use bucketed_lane::{BucketedLaneKernel, BUCKETED_LANE_KERNEL};
 pub use dispatch::{KernelMetrics, KernelOp, KernelPolicy, KernelRegistry};
 pub use lane::{LaneKernel, LANE_KERNEL, MAX_GROUP};
 pub use scalar::{fused_gemm_serial, fused_gemv_serial, ScalarKernel, SCALAR_KERNEL};
+pub use simd::{detected_cpu_features, SimdKernel, SIMD_KERNEL};
 
 use crate::cache::DecodedCache;
 use microscopiq_core::config::GroupAxis;
@@ -210,14 +224,46 @@ pub trait MicroKernel: Send + Sync + std::fmt::Debug {
         out: &mut [f64],
     );
 
-    /// Accumulates the full `W · x` product for a single activation
-    /// column into `out` (zeroed, `layer.d_row()` elements). The default
-    /// routes through [`MicroKernel::gemm_rows`]; kernels with a
-    /// shape-specialized GEMV override it.
-    fn gemv(&self, ctx: &KernelCtx<'_>, layer: &PackedLayer, x: &[f64], out: &mut [f64]) {
+    /// Accumulates output rows `[row_lo, row_hi)` of `W · x` for a single
+    /// activation column into `out` (zeroed, `row_hi − row_lo` elements).
+    /// The default routes through [`MicroKernel::gemm_rows`]; kernels with
+    /// a shape-specialized GEMV override it.
+    ///
+    /// The same `OutputChannel` alignment precondition as
+    /// [`MicroKernel::gemm_rows`] applies. Additionally — the
+    /// **parallel-GEMV determinism contract** — a restricted row range
+    /// must accumulate each output element in exactly the order the full
+    /// range would, so that tiles computed on separate threads and
+    /// stitched at fixed split points reproduce the serial result bit for
+    /// bit.
+    fn gemv_rows(
+        &self,
+        ctx: &KernelCtx<'_>,
+        layer: &PackedLayer,
+        x: &[f64],
+        row_lo: usize,
+        row_hi: usize,
+        out: &mut [f64],
+    ) {
         let acts = Matrix::from_vec(x.len(), 1, x.to_vec());
-        self.gemm_rows(ctx, layer, &acts, 0, layer.d_row(), out);
+        self.gemm_rows(ctx, layer, &acts, row_lo, row_hi, out);
     }
+
+    /// Accumulates the full `W · x` product for a single activation
+    /// column into `out` (zeroed, `layer.d_row()` elements). Routes
+    /// through [`MicroKernel::gemv_rows`] at the full row range.
+    fn gemv(&self, ctx: &KernelCtx<'_>, layer: &PackedLayer, x: &[f64], out: &mut [f64]) {
+        self.gemv_rows(ctx, layer, x, 0, layer.d_row(), out);
+    }
+}
+
+/// Decodes one inlier code byte as its two's-complement integer value at
+/// bit width `bb` — the shared scalar decode every kernel's remainder
+/// loop uses.
+#[inline]
+pub(crate) fn decode_code(c: u8, bb: u32) -> f32 {
+    let shift = 8 - bb;
+    ((c << shift) as i8 >> shift) as f32
 }
 
 /// Group indices contributing to output rows `[row_lo, row_hi)`, in an

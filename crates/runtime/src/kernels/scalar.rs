@@ -107,11 +107,19 @@ impl MicroKernel for ScalarKernel {
         });
     }
 
-    fn gemv(&self, _ctx: &KernelCtx<'_>, layer: &PackedLayer, x: &[f64], out: &mut [f64]) {
+    fn gemv_rows(
+        &self,
+        _ctx: &KernelCtx<'_>,
+        layer: &PackedLayer,
+        x: &[f64],
+        row_lo: usize,
+        row_hi: usize,
+        out: &mut [f64],
+    ) {
         let axis = layer.axis();
-        for_each_decoded_group(layer, 0, layer.d_row(), |span, w| match axis {
+        for_each_decoded_group(layer, row_lo, row_hi, |span, w| match axis {
             GroupAxis::DotProduct => {
-                let acc = &mut out[span.line];
+                let acc = &mut out[span.line - row_lo];
                 for (i, &wv) in w.iter().enumerate() {
                     if wv != 0.0 {
                         *acc += wv * x[span.offset + i];
@@ -122,7 +130,7 @@ impl MicroKernel for ScalarKernel {
                 let a = x[span.line];
                 for (i, &wv) in w.iter().enumerate() {
                     if wv != 0.0 {
-                        out[span.offset + i] += wv * a;
+                        out[span.offset + i - row_lo] += wv * a;
                     }
                 }
             }

@@ -1,0 +1,854 @@
+//! The explicit `std::arch` SIMD kernel: AVX2+FMA on `x86_64`, NEON on
+//! `aarch64`, selected by **runtime feature detection** so one binary
+//! runs everywhere and only fast hosts register the fast path.
+//!
+//! Strategy — the same shape as the lane kernel (stack-resident planes,
+//! hoisted per-group scale, exact `f64` outlier fixups), but with the
+//! decode *fused into the SIMD registers*: 8 code bytes load with one
+//! `movq`, widen to 32-bit lanes, sign-extend by a left/right shift pair
+//! (`8 − bb` bits — the same trick the scalar decode uses, vectorized),
+//! convert to `f32`, and feed an FMA against the activation lanes. On the
+//! GEMV path no decoded plane is ever materialized for meta-less
+//! micro-blocks: codes go from packed bytes to partial sums in registers,
+//! which is what closes the gap to the paper's PE datapath.
+//!
+//! Construction is fallible: [`SimdKernel::try_new`] returns `None` when
+//! the host lacks the features (or when `MICROSCOPIQ_SIMD=off` force-
+//! disables it), so a registered instance *proves* detection passed and
+//! the `unsafe` `#[target_feature]` calls are sound.
+//!
+//! Numerics match the lane kernel: `f32` inlier accumulation under
+//! [`Tolerance::Rel`], exact `f64` outliers.
+
+use super::lane::MAX_OUTLIER_FRAC;
+use super::{DispatchKey, KernelCtx, MicroKernel, Tolerance, MAX_GROUP};
+use microscopiq_core::packed::PackedLayer;
+use microscopiq_linalg::Matrix;
+
+/// Registry name of the explicit SIMD kernel.
+pub const SIMD_KERNEL: &str = "simd-f32";
+
+/// Which instruction set the kernel was validated for at construction.
+/// Uninhabited on architectures with no SIMD path, so the kernel cannot
+/// be built there.
+#[derive(Debug, Clone, Copy)]
+enum Isa {
+    #[cfg(target_arch = "x86_64")]
+    Avx2Fma,
+    #[cfg(target_arch = "aarch64")]
+    Neon,
+}
+
+/// Whether the value of `MICROSCOPIQ_SIMD` disables the SIMD kernel.
+/// Pure so tests can exercise the parsing without mutating the process
+/// environment.
+pub(crate) fn env_disables(value: Option<&str>) -> bool {
+    matches!(
+        value.map(str::trim).map(str::to_ascii_lowercase).as_deref(),
+        Some("off" | "0" | "false" | "no")
+    )
+}
+
+/// Every CPU feature the SIMD kernel can use, with whether this host has
+/// it — for bench reports and the `microscopiq_cpu_feature` metric, so
+/// bench trajectories across machines stay comparable.
+pub fn detected_cpu_features() -> Vec<(&'static str, bool)> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        vec![
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("fma", std::arch::is_x86_feature_detected!("fma")),
+            ("neon", false),
+        ]
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is baseline on aarch64.
+        vec![("avx2", false), ("fma", false), ("neon", true)]
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        vec![("avx2", false), ("fma", false), ("neon", false)]
+    }
+}
+
+/// The explicit SIMD kernel. Any instance proves runtime feature
+/// detection passed — there is no public constructor that skips it.
+#[derive(Debug, Clone, Copy)]
+pub struct SimdKernel {
+    isa: Isa,
+}
+
+impl SimdKernel {
+    /// Builds the kernel iff the host supports a SIMD path and
+    /// `MICROSCOPIQ_SIMD` does not force-disable it.
+    pub fn try_new() -> Option<Self> {
+        if env_disables(std::env::var("MICROSCOPIQ_SIMD").ok().as_deref()) {
+            return None;
+        }
+        Self::detect()
+    }
+
+    fn detect() -> Option<Self> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return Some(Self { isa: Isa::Avx2Fma });
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            return Some(Self { isa: Isa::Neon });
+        }
+        #[allow(unreachable_code)]
+        None
+    }
+
+    /// Human-readable name of the instruction set in use.
+    pub fn isa_name(&self) -> &'static str {
+        match self.isa {
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2Fma => "avx2+fma",
+            #[cfg(target_arch = "aarch64")]
+            Isa::Neon => "neon",
+        }
+    }
+}
+
+impl MicroKernel for SimdKernel {
+    fn name(&self) -> &'static str {
+        SIMD_KERNEL
+    }
+
+    fn tolerance(&self) -> Tolerance {
+        // Same numerics class as the lane kernel: f32 inlier accumulation,
+        // exact f64 outliers.
+        Tolerance::Rel(1e-3)
+    }
+
+    fn supports(&self, key: &DispatchKey, _ctx: &KernelCtx<'_>) -> bool {
+        key.group <= MAX_GROUP && key.outlier_frac <= MAX_OUTLIER_FRAC
+    }
+
+    fn wants_f32_acts(&self) -> bool {
+        true
+    }
+
+    fn gemm_rows(
+        &self,
+        ctx: &KernelCtx<'_>,
+        layer: &PackedLayer,
+        acts: &Matrix,
+        row_lo: usize,
+        row_hi: usize,
+        out: &mut [f64],
+    ) {
+        assert!(
+            layer.macro_block() <= MAX_GROUP,
+            "simd kernel group plane holds at most {MAX_GROUP} slots"
+        );
+        let local32: Vec<f32>;
+        let acts32: &[f32] = match ctx.acts32 {
+            Some(shared) => {
+                debug_assert_eq!(shared.len(), acts.as_slice().len(), "acts32 shape");
+                shared
+            }
+            None => {
+                local32 = acts.as_slice().iter().map(|&v| v as f32).collect();
+                &local32
+            }
+        };
+        match self.isa {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `self` exists only if AVX2+FMA detection passed.
+            Isa::Avx2Fma => unsafe { avx2::gemm_rows(layer, acts, acts32, row_lo, row_hi, out) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: NEON is baseline on aarch64.
+            Isa::Neon => unsafe { neon::gemm_rows(layer, acts, acts32, row_lo, row_hi, out) },
+        }
+    }
+
+    fn gemv_rows(
+        &self,
+        ctx: &KernelCtx<'_>,
+        layer: &PackedLayer,
+        x: &[f64],
+        row_lo: usize,
+        row_hi: usize,
+        out: &mut [f64],
+    ) {
+        assert!(
+            layer.macro_block() <= MAX_GROUP,
+            "simd kernel group plane holds at most {MAX_GROUP} slots"
+        );
+        let local32: Vec<f32>;
+        let x32: &[f32] = match ctx.acts32 {
+            Some(shared) => {
+                debug_assert_eq!(shared.len(), x.len(), "acts32 shape");
+                shared
+            }
+            None => {
+                local32 = x.iter().map(|&v| v as f32).collect();
+                &local32
+            }
+        };
+        match self.isa {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `self` exists only if AVX2+FMA detection passed.
+            Isa::Avx2Fma => unsafe { avx2::gemv_rows(layer, x, x32, row_lo, row_hi, out) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: NEON is baseline on aarch64.
+            Isa::Neon => unsafe { neon::gemv_rows(layer, x, x32, row_lo, row_hi, out) },
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::super::{decode_code, groups_for_rows, MAX_GROUP};
+    use microscopiq_core::config::GroupAxis;
+    use microscopiq_core::packed::{GroupView, PackedLayer};
+    use microscopiq_linalg::Matrix;
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of the 8 `f32` lanes.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps::<1>(v);
+        let lo = _mm256_castps256_ps128(v);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps::<1>(s, s));
+        _mm_cvtss_f32(s)
+    }
+
+    /// Decodes 8 packed code bytes to `f32` lanes: widen `u8 → i32`, then
+    /// sign-extend by a `<< (32−bb) >> (32−bb)` shift pair.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn decode8(codes: *const u8, shift: __m128i) -> __m256 {
+        let raw = _mm_loadl_epi64(codes as *const __m128i);
+        let wide = _mm256_cvtepu8_epi32(raw);
+        let ext = _mm256_sra_epi32(_mm256_sll_epi32(wide, shift), shift);
+        _mm256_cvtepi32_ps(ext)
+    }
+
+    /// Decodes one whole group's unscaled codes into `plane` with SIMD
+    /// (8 bytes per step), routing outlier-bearing micro-blocks through
+    /// the exact scalar decode and reporting each outlier's exact value
+    /// (group-relative slot) through `on_outlier`.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn decode_group_plane(
+        view: &GroupView<'_>,
+        bb: u32,
+        shift: __m128i,
+        plane: &mut [f32],
+        mut on_outlier: impl FnMut(usize, f64),
+    ) {
+        let mut base = 0usize;
+        for i in 0..view.micro_block_count() {
+            let codes = view.micro_block_codes(i);
+            if view.micro_block_has_outliers(i) {
+                view.decode_micro_block_codes_f32(i, &mut plane[base..], |slot, v| {
+                    on_outlier(base + slot, v);
+                });
+            } else {
+                let mut j = 0usize;
+                while j + 8 <= codes.len() {
+                    let w = decode8(codes.as_ptr().add(j), shift);
+                    _mm256_storeu_ps(plane.as_mut_ptr().add(base + j), w);
+                    j += 8;
+                }
+                for (k, &c) in codes.iter().enumerate().skip(j) {
+                    plane[base + k] = decode_code(c, bb);
+                }
+            }
+            base += codes.len();
+        }
+    }
+
+    /// The GEMV kernel body: for meta-less micro-blocks the codes decode
+    /// and FMA entirely in registers — no plane store.
+    ///
+    /// The `DotProduct` branch iterates line-outer / mab-inner with
+    /// incrementally computed spans. Each output element's contributions
+    /// still arrive in ascending-mab order — exactly the order
+    /// [`groups_for_rows`] produces for that element — so results are
+    /// bitwise identical to the generic walk, but the groups array and
+    /// the code bytes stream sequentially, there is no per-group
+    /// `div`/`mod` span math, and the FMA stream splits over two
+    /// accumulators to break the loop-carried dependency chain.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn gemv_rows(
+        layer: &PackedLayer,
+        x: &[f64],
+        x32: &[f32],
+        row_lo: usize,
+        row_hi: usize,
+        out: &mut [f64],
+    ) {
+        let bb = layer.inlier_bits();
+        let shift = _mm_cvtsi32_si128(32 - bb as i32);
+        let mut lane_acc = vec![0.0_f32; row_hi - row_lo];
+        let mut mb_buf = [0.0_f32; MAX_GROUP];
+        if layer.axis() == GroupAxis::DotProduct {
+            let per_line = layer.groups_per_line();
+            let line_len = layer.line_len();
+            let macro_block = layer.macro_block();
+            for line in row_lo..row_hi {
+                let r = line - row_lo;
+                for mab in 0..per_line {
+                    let offset = mab * macro_block;
+                    let view = layer.group(line * per_line + mab);
+                    let scale = view.isf().value() as f32;
+                    let mut acc0 = _mm256_setzero_ps();
+                    let mut acc1 = _mm256_setzero_ps();
+                    let mut tail = 0.0_f32;
+                    let mut base = offset;
+                    for (i, (codes, has_outliers)) in view.micro_blocks_raw().enumerate() {
+                        if has_outliers {
+                            let buf = &mut mb_buf[..codes.len()];
+                            view.decode_micro_block_codes_f32(i, buf, |slot, v| {
+                                out[r] += v * x[base + slot];
+                            });
+                            for (k, &w) in buf.iter().enumerate() {
+                                tail += w * x32[base + k];
+                            }
+                        } else {
+                            let mut j = 0usize;
+                            while j + 16 <= codes.len() {
+                                let w0 = decode8(codes.as_ptr().add(j), shift);
+                                let a0 = _mm256_loadu_ps(x32.as_ptr().add(base + j));
+                                acc0 = _mm256_fmadd_ps(w0, a0, acc0);
+                                let w1 = decode8(codes.as_ptr().add(j + 8), shift);
+                                let a1 = _mm256_loadu_ps(x32.as_ptr().add(base + j + 8));
+                                acc1 = _mm256_fmadd_ps(w1, a1, acc1);
+                                j += 16;
+                            }
+                            if j + 8 <= codes.len() {
+                                let w = decode8(codes.as_ptr().add(j), shift);
+                                let a = _mm256_loadu_ps(x32.as_ptr().add(base + j));
+                                // Alternate the spare 8-wide block between
+                                // accumulators by micro-block parity so
+                                // back-to-back micro-blocks don't stall on
+                                // one FMA chain.
+                                if i & 1 == 0 {
+                                    acc0 = _mm256_fmadd_ps(w, a, acc0);
+                                } else {
+                                    acc1 = _mm256_fmadd_ps(w, a, acc1);
+                                }
+                                j += 8;
+                            }
+                            for (k, &c) in codes.iter().enumerate().skip(j) {
+                                tail += decode_code(c, bb) * x32[base + k];
+                            }
+                        }
+                        base += codes.len();
+                    }
+                    debug_assert_eq!(base - offset, (line_len - offset).min(macro_block));
+                    lane_acc[r] += scale * (hsum256(_mm256_add_ps(acc0, acc1)) + tail);
+                }
+            }
+            for (o, &l) in out.iter_mut().zip(lane_acc.iter()) {
+                *o += l as f64;
+            }
+            return;
+        }
+        for g in groups_for_rows(layer, row_lo, row_hi) {
+            let view = layer.group(g);
+            let span = view.span();
+            let scale = view.isf().value() as f32;
+            match layer.axis() {
+                GroupAxis::DotProduct => unreachable!("handled above"),
+                GroupAxis::OutputChannel => {
+                    let row0 = span.offset - row_lo;
+                    let m = scale * x32[span.line];
+                    let mv = _mm256_set1_ps(m);
+                    let mut base = 0usize;
+                    for i in 0..view.micro_block_count() {
+                        let codes = view.micro_block_codes(i);
+                        if view.micro_block_has_outliers(i) {
+                            let buf = &mut mb_buf[..codes.len()];
+                            view.decode_micro_block_codes_f32(i, buf, |slot, v| {
+                                out[row0 + base + slot] += v * x[span.line];
+                            });
+                            if m != 0.0 {
+                                for (k, &w) in buf.iter().enumerate() {
+                                    lane_acc[row0 + base + k] += m * w;
+                                }
+                            }
+                        } else if m != 0.0 {
+                            let mut j = 0usize;
+                            while j + 8 <= codes.len() {
+                                let w = decode8(codes.as_ptr().add(j), shift);
+                                let o = _mm256_loadu_ps(lane_acc.as_ptr().add(row0 + base + j));
+                                _mm256_storeu_ps(
+                                    lane_acc.as_mut_ptr().add(row0 + base + j),
+                                    _mm256_fmadd_ps(w, mv, o),
+                                );
+                                j += 8;
+                            }
+                            for (k, &c) in codes.iter().enumerate().skip(j) {
+                                lane_acc[row0 + base + k] += m * decode_code(c, bb);
+                            }
+                        }
+                        base += codes.len();
+                    }
+                }
+            }
+        }
+        for (o, &l) in out.iter_mut().zip(lane_acc.iter()) {
+            *o += l as f64;
+        }
+    }
+
+    /// The GEMM kernel body: SIMD group decode into a stack plane, then
+    /// 8-wide column-block FMAs per plane element.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn gemm_rows(
+        layer: &PackedLayer,
+        acts: &Matrix,
+        acts32: &[f32],
+        row_lo: usize,
+        row_hi: usize,
+        out: &mut [f64],
+    ) {
+        let bb = layer.inlier_bits();
+        let shift = _mm_cvtsi32_si128(32 - bb as i32);
+        let n = acts.cols();
+        let mut lane_acc = vec![0.0_f32; (row_hi - row_lo) * n];
+        let mut plane = [0.0_f32; MAX_GROUP];
+        let axis = layer.axis();
+        for g in groups_for_rows(layer, row_lo, row_hi) {
+            let view = layer.group(g);
+            let span = view.span();
+            let scale = view.isf().value() as f32;
+            match axis {
+                GroupAxis::DotProduct => {
+                    let r = span.line - row_lo;
+                    {
+                        let orow64 = &mut out[r * n..(r + 1) * n];
+                        decode_group_plane(&view, bb, shift, &mut plane[..span.len], |slot, v| {
+                            let arow = acts.row(span.offset + slot);
+                            for (o, a) in orow64.iter_mut().zip(arow.iter()) {
+                                *o += v * a;
+                            }
+                        });
+                    }
+                    let sv = _mm256_set1_ps(scale);
+                    let orow32 = &mut lane_acc[r * n..(r + 1) * n];
+                    let mut c0 = 0usize;
+                    while c0 + 8 <= n {
+                        let mut acc = _mm256_setzero_ps();
+                        for (i, &w) in plane[..span.len].iter().enumerate() {
+                            let a =
+                                _mm256_loadu_ps(acts32.as_ptr().add((span.offset + i) * n + c0));
+                            acc = _mm256_fmadd_ps(_mm256_set1_ps(w), a, acc);
+                        }
+                        let o = _mm256_loadu_ps(orow32.as_ptr().add(c0));
+                        _mm256_storeu_ps(orow32.as_mut_ptr().add(c0), _mm256_fmadd_ps(sv, acc, o));
+                        c0 += 8;
+                    }
+                    for c in c0..n {
+                        let mut acc = 0.0_f32;
+                        for (i, &w) in plane[..span.len].iter().enumerate() {
+                            acc += w * acts32[(span.offset + i) * n + c];
+                        }
+                        orow32[c] += scale * acc;
+                    }
+                }
+                GroupAxis::OutputChannel => {
+                    {
+                        let arow = acts.row(span.line);
+                        let out_ref = &mut *out;
+                        decode_group_plane(&view, bb, shift, &mut plane[..span.len], |slot, v| {
+                            let r = span.offset + slot - row_lo;
+                            let orow64 = &mut out_ref[r * n..(r + 1) * n];
+                            for (o, a) in orow64.iter_mut().zip(arow.iter()) {
+                                *o += v * a;
+                            }
+                        });
+                    }
+                    let arow32 = &acts32[span.line * n..(span.line + 1) * n];
+                    let row0 = span.offset - row_lo;
+                    for (i, &w) in plane[..span.len].iter().enumerate() {
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let m = scale * w;
+                        let mv = _mm256_set1_ps(m);
+                        let orow32 = &mut lane_acc[(row0 + i) * n..(row0 + i + 1) * n];
+                        let mut c0 = 0usize;
+                        while c0 + 8 <= n {
+                            let a = _mm256_loadu_ps(arow32.as_ptr().add(c0));
+                            let o = _mm256_loadu_ps(orow32.as_ptr().add(c0));
+                            _mm256_storeu_ps(
+                                orow32.as_mut_ptr().add(c0),
+                                _mm256_fmadd_ps(mv, a, o),
+                            );
+                            c0 += 8;
+                        }
+                        for c in c0..n {
+                            orow32[c] += m * arow32[c];
+                        }
+                    }
+                }
+            }
+        }
+        for (o, &l) in out.iter_mut().zip(lane_acc.iter()) {
+            *o += l as f64;
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::super::{decode_code, groups_for_rows, MAX_GROUP};
+    use microscopiq_core::config::GroupAxis;
+    use microscopiq_core::packed::{GroupView, PackedLayer};
+    use microscopiq_linalg::Matrix;
+    use std::arch::aarch64::*;
+
+    /// Decodes 8 packed code bytes into two 4-lane `f32` vectors: widen
+    /// `u8 → u16 → i32`, sign-extend with a positive-then-negative shift
+    /// pair.
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn decode8(
+        codes: *const u8,
+        shl: int32x4_t,
+        shr: int32x4_t,
+    ) -> (float32x4_t, float32x4_t) {
+        let raw = vld1_u8(codes);
+        let wide16 = vmovl_u8(raw);
+        let lo = vreinterpretq_s32_u32(vmovl_u16(vget_low_u16(wide16)));
+        let hi = vreinterpretq_s32_u32(vmovl_u16(vget_high_u16(wide16)));
+        let lo = vshlq_s32(vshlq_s32(lo, shl), shr);
+        let hi = vshlq_s32(vshlq_s32(hi, shl), shr);
+        (vcvtq_f32_s32(lo), vcvtq_f32_s32(hi))
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn decode_group_plane(
+        view: &GroupView<'_>,
+        bb: u32,
+        shl: int32x4_t,
+        shr: int32x4_t,
+        plane: &mut [f32],
+        mut on_outlier: impl FnMut(usize, f64),
+    ) {
+        let mut base = 0usize;
+        for i in 0..view.micro_block_count() {
+            let codes = view.micro_block_codes(i);
+            if view.micro_block_has_outliers(i) {
+                view.decode_micro_block_codes_f32(i, &mut plane[base..], |slot, v| {
+                    on_outlier(base + slot, v);
+                });
+            } else {
+                let mut j = 0usize;
+                while j + 8 <= codes.len() {
+                    let (lo, hi) = decode8(codes.as_ptr().add(j), shl, shr);
+                    vst1q_f32(plane.as_mut_ptr().add(base + j), lo);
+                    vst1q_f32(plane.as_mut_ptr().add(base + j + 4), hi);
+                    j += 8;
+                }
+                for (k, &c) in codes.iter().enumerate().skip(j) {
+                    plane[base + k] = decode_code(c, bb);
+                }
+            }
+            base += codes.len();
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn gemv_rows(
+        layer: &PackedLayer,
+        x: &[f64],
+        x32: &[f32],
+        row_lo: usize,
+        row_hi: usize,
+        out: &mut [f64],
+    ) {
+        let bb = layer.inlier_bits();
+        let shl = vdupq_n_s32(32 - bb as i32);
+        let shr = vdupq_n_s32(-(32 - bb as i32));
+        let mut lane_acc = vec![0.0_f32; row_hi - row_lo];
+        let mut mb_buf = [0.0_f32; MAX_GROUP];
+        // Line-outer / mab-inner, like the AVX2 body: per-element
+        // accumulation order is still ascending-mab (bitwise identical to
+        // the groups_for_rows walk) while the groups array and code bytes
+        // stream sequentially.
+        if layer.axis() == GroupAxis::DotProduct {
+            let per_line = layer.groups_per_line();
+            let macro_block = layer.macro_block();
+            for line in row_lo..row_hi {
+                let r = line - row_lo;
+                for mab in 0..per_line {
+                    let offset = mab * macro_block;
+                    let view = layer.group(line * per_line + mab);
+                    let scale = view.isf().value() as f32;
+                    let mut acc0 = vdupq_n_f32(0.0);
+                    let mut acc1 = vdupq_n_f32(0.0);
+                    let mut tail = 0.0_f32;
+                    let mut base = offset;
+                    for (i, (codes, has_outliers)) in view.micro_blocks_raw().enumerate() {
+                        if has_outliers {
+                            let buf = &mut mb_buf[..codes.len()];
+                            view.decode_micro_block_codes_f32(i, buf, |slot, v| {
+                                out[r] += v * x[base + slot];
+                            });
+                            for (k, &w) in buf.iter().enumerate() {
+                                tail += w * x32[base + k];
+                            }
+                        } else {
+                            let mut j = 0usize;
+                            while j + 8 <= codes.len() {
+                                let (wlo, whi) = decode8(codes.as_ptr().add(j), shl, shr);
+                                let alo = vld1q_f32(x32.as_ptr().add(base + j));
+                                let ahi = vld1q_f32(x32.as_ptr().add(base + j + 4));
+                                acc0 = vfmaq_f32(acc0, wlo, alo);
+                                acc1 = vfmaq_f32(acc1, whi, ahi);
+                                j += 8;
+                            }
+                            for (k, &c) in codes.iter().enumerate().skip(j) {
+                                tail += decode_code(c, bb) * x32[base + k];
+                            }
+                        }
+                        base += codes.len();
+                    }
+                    lane_acc[r] += scale * (vaddvq_f32(vaddq_f32(acc0, acc1)) + tail);
+                }
+            }
+            for (o, &l) in out.iter_mut().zip(lane_acc.iter()) {
+                *o += l as f64;
+            }
+            return;
+        }
+        for g in groups_for_rows(layer, row_lo, row_hi) {
+            let view = layer.group(g);
+            let span = view.span();
+            let scale = view.isf().value() as f32;
+            match layer.axis() {
+                GroupAxis::DotProduct => unreachable!("handled above"),
+                GroupAxis::OutputChannel => {
+                    let row0 = span.offset - row_lo;
+                    let m = scale * x32[span.line];
+                    let mv = vdupq_n_f32(m);
+                    let mut base = 0usize;
+                    for i in 0..view.micro_block_count() {
+                        let codes = view.micro_block_codes(i);
+                        if view.micro_block_has_outliers(i) {
+                            let buf = &mut mb_buf[..codes.len()];
+                            view.decode_micro_block_codes_f32(i, buf, |slot, v| {
+                                out[row0 + base + slot] += v * x[span.line];
+                            });
+                            if m != 0.0 {
+                                for (k, &w) in buf.iter().enumerate() {
+                                    lane_acc[row0 + base + k] += m * w;
+                                }
+                            }
+                        } else if m != 0.0 {
+                            let mut j = 0usize;
+                            while j + 8 <= codes.len() {
+                                let (wlo, whi) = decode8(codes.as_ptr().add(j), shl, shr);
+                                let p = lane_acc.as_mut_ptr().add(row0 + base + j);
+                                vst1q_f32(p, vfmaq_f32(vld1q_f32(p), wlo, mv));
+                                let p4 = p.add(4);
+                                vst1q_f32(p4, vfmaq_f32(vld1q_f32(p4), whi, mv));
+                                j += 8;
+                            }
+                            for (k, &c) in codes.iter().enumerate().skip(j) {
+                                lane_acc[row0 + base + k] += m * decode_code(c, bb);
+                            }
+                        }
+                        base += codes.len();
+                    }
+                }
+            }
+        }
+        for (o, &l) in out.iter_mut().zip(lane_acc.iter()) {
+            *o += l as f64;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn gemm_rows(
+        layer: &PackedLayer,
+        acts: &Matrix,
+        acts32: &[f32],
+        row_lo: usize,
+        row_hi: usize,
+        out: &mut [f64],
+    ) {
+        let bb = layer.inlier_bits();
+        let shl = vdupq_n_s32(32 - bb as i32);
+        let shr = vdupq_n_s32(-(32 - bb as i32));
+        let n = acts.cols();
+        let mut lane_acc = vec![0.0_f32; (row_hi - row_lo) * n];
+        let mut plane = [0.0_f32; MAX_GROUP];
+        let axis = layer.axis();
+        for g in groups_for_rows(layer, row_lo, row_hi) {
+            let view = layer.group(g);
+            let span = view.span();
+            let scale = view.isf().value() as f32;
+            match axis {
+                GroupAxis::DotProduct => {
+                    let r = span.line - row_lo;
+                    {
+                        let orow64 = &mut out[r * n..(r + 1) * n];
+                        decode_group_plane(
+                            &view,
+                            bb,
+                            shl,
+                            shr,
+                            &mut plane[..span.len],
+                            |slot, v| {
+                                let arow = acts.row(span.offset + slot);
+                                for (o, a) in orow64.iter_mut().zip(arow.iter()) {
+                                    *o += v * a;
+                                }
+                            },
+                        );
+                    }
+                    let orow32 = &mut lane_acc[r * n..(r + 1) * n];
+                    let mut c0 = 0usize;
+                    while c0 + 4 <= n {
+                        let mut acc = vdupq_n_f32(0.0);
+                        for (i, &w) in plane[..span.len].iter().enumerate() {
+                            let a = vld1q_f32(acts32.as_ptr().add((span.offset + i) * n + c0));
+                            acc = vfmaq_f32(acc, vdupq_n_f32(w), a);
+                        }
+                        let p = orow32.as_mut_ptr().add(c0);
+                        vst1q_f32(p, vfmaq_f32(vld1q_f32(p), vdupq_n_f32(scale), acc));
+                        c0 += 4;
+                    }
+                    for c in c0..n {
+                        let mut acc = 0.0_f32;
+                        for (i, &w) in plane[..span.len].iter().enumerate() {
+                            acc += w * acts32[(span.offset + i) * n + c];
+                        }
+                        orow32[c] += scale * acc;
+                    }
+                }
+                GroupAxis::OutputChannel => {
+                    {
+                        let arow = acts.row(span.line);
+                        let out_ref = &mut *out;
+                        decode_group_plane(
+                            &view,
+                            bb,
+                            shl,
+                            shr,
+                            &mut plane[..span.len],
+                            |slot, v| {
+                                let r = span.offset + slot - row_lo;
+                                let orow64 = &mut out_ref[r * n..(r + 1) * n];
+                                for (o, a) in orow64.iter_mut().zip(arow.iter()) {
+                                    *o += v * a;
+                                }
+                            },
+                        );
+                    }
+                    let arow32 = &acts32[span.line * n..(span.line + 1) * n];
+                    let row0 = span.offset - row_lo;
+                    for (i, &w) in plane[..span.len].iter().enumerate() {
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let m = scale * w;
+                        let mv = vdupq_n_f32(m);
+                        let orow32 = &mut lane_acc[(row0 + i) * n..(row0 + i + 1) * n];
+                        let mut c0 = 0usize;
+                        while c0 + 4 <= n {
+                            let a = vld1q_f32(arow32.as_ptr().add(c0));
+                            let p = orow32.as_mut_ptr().add(c0);
+                            vst1q_f32(p, vfmaq_f32(vld1q_f32(p), mv, a));
+                            c0 += 4;
+                        }
+                        for c in c0..n {
+                            orow32[c] += m * arow32[c];
+                        }
+                    }
+                }
+            }
+        }
+        for (o, &l) in out.iter_mut().zip(lane_acc.iter()) {
+            *o += l as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::synth::{synth_packed, SynthSpec};
+    use super::super::{fused_gemm_serial, fused_gemv_serial};
+    use super::*;
+    use microscopiq_core::config::GroupAxis;
+    use microscopiq_linalg::SeededRng;
+
+    #[test]
+    fn env_knob_parsing() {
+        for v in ["off", "0", "false", "no", " OFF ", "False"] {
+            assert!(env_disables(Some(v)), "{v:?} must disable");
+        }
+        for v in [None, Some(""), Some("on"), Some("1"), Some("auto")] {
+            assert!(!env_disables(v), "{v:?} must not disable");
+        }
+    }
+
+    #[test]
+    fn detected_features_report_all_known_flags() {
+        let feats = detected_cpu_features();
+        let names: Vec<&str> = feats.iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, ["avx2", "fma", "neon"]);
+    }
+
+    #[test]
+    fn simd_matches_oracle_within_pin_when_available() {
+        let Some(kernel) = SimdKernel::try_new() else {
+            return; // host without a SIMD path: nothing to validate
+        };
+        assert!(!kernel.isa_name().is_empty());
+        for axis in [GroupAxis::DotProduct, GroupAxis::OutputChannel] {
+            for bits in [2u32, 4] {
+                for rate in [0.0, 0.1, 0.9] {
+                    let layer = synth_packed(&SynthSpec {
+                        axis,
+                        d_row: 48,
+                        d_col: 64,
+                        bits,
+                        outlier_rate: rate,
+                        seed: 13,
+                        ..SynthSpec::default()
+                    });
+                    let mut rng = SeededRng::new(8);
+                    let acts = Matrix::from_fn(64, 13, |_, _| rng.normal(0.0, 1.0));
+                    let oracle = fused_gemm_serial(&layer, &acts);
+                    let mut got = vec![0.0_f64; 48 * 13];
+                    kernel.gemm_rows(&KernelCtx::uncached(), &layer, &acts, 0, 48, &mut got);
+                    let tol = kernel.tolerance();
+                    for (&a, &b) in got.iter().zip(oracle.as_slice().iter()) {
+                        assert!(
+                            tol.accepts(a, b),
+                            "{axis:?} bits={bits} rate={rate}: {a} vs {b}"
+                        );
+                    }
+
+                    let x: Vec<f64> = (0..64).map(|_| rng.normal(0.0, 1.0)).collect();
+                    let goracle = fused_gemv_serial(&layer, &x);
+                    let mut gv = vec![0.0_f64; 48];
+                    kernel.gemv(&KernelCtx::uncached(), &layer, &x, &mut gv);
+                    for (&a, &b) in gv.iter().zip(goracle.iter()) {
+                        assert!(
+                            tol.accepts(a, b),
+                            "gemv {axis:?} bits={bits} rate={rate}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -14,7 +14,10 @@
 //!   into output tiles without ever materializing the dense weight matrix
 //!   — bit-identical to `dequantize().matmul(..)` by construction. The
 //!   lane-blocked `f32` kernel trades bitwise parity for an unrolled
-//!   8-wide FMA inner loop within a pinned relative tolerance.
+//!   8-wide FMA inner loop within a pinned relative tolerance; explicit
+//!   AVX2+FMA / NEON [`SimdKernel`]s register behind runtime feature
+//!   detection, and the [`BucketedLaneKernel`] runs the paper's
+//!   multiply-free code bucketing without a decode cache.
 //! * [`cache`] — lazily decoded per-macro-block tiles in execution-ready
 //!   bucketed form under an LRU residency cap, so repeated forward passes
 //!   amortize unpacking and run multiply-free inlier accumulation.
@@ -85,10 +88,11 @@ pub mod session;
 pub mod telemetry;
 
 pub use cache::{BucketTile, CacheStats, DecodedCache, DecodedTile, FlatTile};
-pub use executor::{EngineConfig, RuntimeEngine};
+pub use executor::{EngineConfig, PrefetchStats, RuntimeEngine};
 pub use kernels::{
-    fused_gemm_serial, fused_gemv_serial, BucketedCacheKernel, DispatchKey, KernelCtx,
-    KernelPolicy, KernelRegistry, LaneKernel, MicroKernel, ScalarKernel, Tolerance,
+    detected_cpu_features, fused_gemm_serial, fused_gemv_serial, BucketedCacheKernel,
+    BucketedLaneKernel, DispatchKey, KernelCtx, KernelPolicy, KernelRegistry, LaneKernel,
+    MicroKernel, ScalarKernel, SimdKernel, Tolerance,
 };
 pub use microscopiq_fm::{DecodeState, KvCacheConfig, KvMode};
 pub use server::{

@@ -15,7 +15,7 @@ use microscopiq_linalg::{Matrix, SeededRng};
 use microscopiq_runtime::kernels::synth::{synth_packed, SynthSpec};
 use microscopiq_runtime::kernels::{
     fused_gemm_serial, fused_gemv_serial, DispatchKey, KernelCtx, KernelRegistry, Tolerance,
-    BUCKETED_KERNEL, LANE_KERNEL, SCALAR_KERNEL,
+    BUCKETED_LANE_KERNEL, LANE_KERNEL, SCALAR_KERNEL, SIMD_KERNEL,
 };
 use microscopiq_runtime::{DecodedCache, EngineConfig, KernelPolicy, RuntimeEngine};
 
@@ -139,12 +139,18 @@ fn gemv_odd_k_with_tail_blocks_through_old_and_new_kernels() {
                     fused_gemm_serial(&layer, &acts).as_slice().to_vec(),
                     "scalar gemv/gemm parity {axis:?} bits={bits} k={k}"
                 );
-                // New kernel (lane): within its pin.
+                // Every registered kernel (lane, simd, bucketed-lane,
+                // cached, …): within its pin.
                 let cache = DecodedCache::new(1 << 20);
-                for name in [SCALAR_KERNEL, LANE_KERNEL, BUCKETED_KERNEL] {
+                for kernel in registry.kernels() {
+                    let name = kernel.name();
                     let got = run_kernel(&registry, name, &layer, &acts, &cache, true);
-                    let tol = registry.get(name).unwrap().tolerance();
-                    assert_within(tol, &got, &oracle, &format!("{name} {axis:?} k={k}"));
+                    assert_within(
+                        kernel.tolerance(),
+                        &got,
+                        &oracle,
+                        &format!("{name} {axis:?} k={k}"),
+                    );
                 }
             }
         }
@@ -253,11 +259,11 @@ fn outlier_heavy_rows_through_old_and_new_kernels() {
                 let acts = Matrix::from_fn(48, m, |_, _| rng.normal(0.0, 1.0));
                 let oracle = fused_gemm_serial(&layer, &acts);
                 assert_eq!(oracle, layer.dequantize().matmul(&acts), "oracle bitwise");
-                for name in [SCALAR_KERNEL, LANE_KERNEL, BUCKETED_KERNEL] {
+                for kernel in registry.kernels() {
+                    let name = kernel.name();
                     let got = run_kernel(&registry, name, &layer, &acts, &cache, m == 1);
-                    let tol = registry.get(name).unwrap().tolerance();
                     assert_within(
-                        tol,
+                        kernel.tolerance(),
                         &got,
                         oracle.as_slice(),
                         &format!("{name} heavy {axis:?} bits={bits} m={m}"),
@@ -266,6 +272,121 @@ fn outlier_heavy_rows_through_old_and_new_kernels() {
             }
         }
     }
+}
+
+#[test]
+fn gemv_row_tiles_stitch_bitwise_for_every_kernel() {
+    // The parallel-GEMV determinism contract: restricted-row-range GEMV
+    // calls must accumulate each output element in the same order as the
+    // full-range call, so disjoint tiles stitched in row order equal the
+    // one-shot gemv bit for bit — for every registered kernel, on both
+    // group axes. DotProduct tolerates ragged tile edges; OutputChannel
+    // tiles align to the macro-block quantum like the engine's splitter.
+    let registry = KernelRegistry::with_defaults();
+    let tilings: [(&[(usize, usize)], GroupAxis); 2] = [
+        (
+            &[(0, 5), (5, 16), (16, 23), (23, 48)],
+            GroupAxis::DotProduct,
+        ),
+        (&[(0, 16), (16, 32), (32, 48)], GroupAxis::OutputChannel),
+    ];
+    for (tiles, axis) in tilings {
+        let layer = synth_packed(&SynthSpec {
+            axis,
+            d_row: 48,
+            d_col: 64,
+            bits: 2,
+            micro: 8,
+            macro_block: 16,
+            outlier_rate: 0.15,
+            seed: 91,
+        });
+        let mut rng = SeededRng::new(92);
+        let x: Vec<f64> = (0..64).map(|_| rng.normal(0.0, 1.0)).collect();
+        let cache = DecodedCache::new(1 << 20);
+        for kernel in registry.kernels() {
+            let ctx = KernelCtx::cached(&cache, layer.content_fingerprint());
+            let mut full = vec![0.0_f64; 48];
+            kernel.gemv(&ctx, &layer, &x, &mut full);
+            let mut stitched = vec![0.0_f64; 48];
+            for &(lo, hi) in tiles {
+                let mut tile = vec![0.0_f64; hi - lo];
+                kernel.gemv_rows(&ctx, &layer, &x, lo, hi, &mut tile);
+                stitched[lo..hi].copy_from_slice(&tile);
+            }
+            assert_eq!(
+                full,
+                stitched,
+                "{} gemv tiling changed results on {axis:?}",
+                kernel.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn without_simd_registry_falls_back_gracefully() {
+    // The CI leg with SIMD force-disabled (and any host without AVX2 /
+    // NEON) must resolve Fast dispatch deterministically through the
+    // portable kernels — no simd-f32 in the registry, no behavior cliff.
+    let registry = KernelRegistry::without_simd();
+    assert!(
+        !registry.names().contains(&SIMD_KERNEL),
+        "without_simd must not register the SIMD kernel"
+    );
+    let ctx = KernelCtx::uncached();
+    // m = 1 at 2 bits: the bucketed-lane kernel is the Fast pick.
+    let gemv_key = DispatchKey {
+        m: 1,
+        bits: 2,
+        outlier_frac: 0.03,
+        group: 64,
+    };
+    assert_eq!(
+        registry.select(KernelPolicy::Fast, &gemv_key, &ctx).name(),
+        BUCKETED_LANE_KERNEL
+    );
+    // GEMM shapes fall back to the lane kernel.
+    let gemm_key = DispatchKey {
+        m: 8,
+        bits: 2,
+        outlier_frac: 0.03,
+        group: 64,
+    };
+    assert_eq!(
+        registry.select(KernelPolicy::Fast, &gemm_key, &ctx).name(),
+        LANE_KERNEL
+    );
+    // And the fallback serving path is bitwise stable run-to-run: two
+    // independent Fast engines over the portable registry agree exactly.
+    let layer = synth_packed(&SynthSpec {
+        axis: GroupAxis::DotProduct,
+        d_row: 48,
+        d_col: 64,
+        bits: 2,
+        micro: 8,
+        macro_block: 16,
+        outlier_rate: 0.03,
+        seed: 93,
+    });
+    let mut rng = SeededRng::new(94);
+    let x: Vec<f64> = (0..64).map(|_| rng.normal(0.0, 1.0)).collect();
+    let acts = Matrix::from_fn(64, 6, |_, _| rng.normal(0.0, 1.0));
+    let engine = |threads: usize| {
+        RuntimeEngine::with_registry(
+            EngineConfig {
+                threads,
+                cache_bytes: 0,
+                policy: KernelPolicy::Fast,
+                ..EngineConfig::default()
+            },
+            KernelRegistry::without_simd(),
+        )
+    };
+    let (a, b) = (engine(1), engine(3));
+    assert_eq!(a.gemv(&layer, &x), b.gemv(&layer, &x));
+    assert_eq!(a.gemm(&layer, &acts), b.gemm(&layer, &acts));
+    assert_eq!(a.gemv(&layer, &x), a.gemv(&layer, &x), "run-to-run");
 }
 
 #[test]

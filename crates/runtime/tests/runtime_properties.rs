@@ -104,6 +104,7 @@ proptest! {
             tile_rows: 0,
             parallel_threshold: usize::MAX,
             policy: KernelPolicy::Fast,
+            prefetch: false,
         });
         let picked = fast.kernel_for(&packed, batch);
         let tol = fast.registry().get(picked).expect("registered").tolerance();
