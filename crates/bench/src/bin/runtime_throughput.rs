@@ -223,6 +223,7 @@ fn main() {
                     max_new_tokens: 12,
                     temperature: 0.9,
                     seed: seed0 + i as u64,
+                    ..Default::default()
                 });
             }
         };

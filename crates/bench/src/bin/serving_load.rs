@@ -35,6 +35,15 @@
 //!   collector (exact count equality, percentile agreement within
 //!   tolerance); its trace exports to `results/TRACE_serving_load.json`.
 //!
+//! A **multi-tenant QoS fairness** section closes the run: the paced
+//! interactive workload is measured alone and then again under a
+//! combined batch and best-effort flood against a shedding server.
+//! Interactive p99 TTFT — read from the server's *own* per-class
+//! histograms, the same series `/metrics` exposes — must hold within
+//! bound of the uncontended baseline, best-effort rejections must
+//! actually be observed (the overload was real), and interactive must
+//! never be shed.
+//!
 //! Emits `results/BENCH_serving_load.json`. Acceptance: the flood level
 //! sustains ≥ 32 concurrent streams, the churn level reclaims every
 //! dropped/expired request (final KV occupancy 0), established-stream
@@ -47,8 +56,10 @@ use microscopiq_core::{MicroScopiQ, QuantConfig};
 use microscopiq_fm::{PackedTinyFm, TinyFm, TinyFmConfig};
 use microscopiq_linalg::SeededRng;
 use microscopiq_runtime::{
-    Deadline, GenRequest, RequestOptions, RuntimeEngine, Server, ServerConfig, StreamEvent,
+    AdmissionPolicy, Deadline, GenRequest, QosClass, RequestOptions, RuntimeEngine, Server,
+    ServerConfig, ServerHandle, ShedPolicy, StreamEvent, SubmitError,
 };
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -157,6 +168,7 @@ fn request(i: usize, vocab: usize) -> GenRequest {
         max_new_tokens: BUDGET,
         temperature: 0.8,
         seed: 3_000 + i as u64,
+        ..Default::default()
     }
 }
 
@@ -359,6 +371,7 @@ fn run_longprompt_phase(
                 max_new_tokens: EST_BUDGET,
                 temperature: 0.8,
                 seed: 6_000 + i as u64,
+                ..Default::default()
             };
             let stream = handle.submit(req).expect("submit established");
             let submitted = Instant::now();
@@ -379,6 +392,7 @@ fn run_longprompt_phase(
                     max_new_tokens: LONG_BUDGET,
                     temperature: 0.8,
                     seed: 8_000 + j as u64,
+                    ..Default::default()
                 };
                 let stream = handle.submit(req).expect("submit long prompt");
                 let submitted = Instant::now();
@@ -808,6 +822,201 @@ fn main() {
         Ok(()) => println!("[json] {}", trace_path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", trace_path.display()),
     }
+
+    // Multi-tenant QoS fairness: the same paced interactive workload is
+    // run twice against a shedding server — once alone (baseline), once
+    // while batch and best-effort flooder threads hammer the admission
+    // queue as fast as they are allowed in. The gates are read from the
+    // server's *own* per-class histograms and shed counters (the same
+    // series `/metrics` exposes): interactive p99 TTFT must hold within
+    // bound of its uncontended baseline, best-effort traffic must
+    // actually have been shed (the overload was real and the policy
+    // answered it), and interactive traffic must never have been shed.
+    let qos_cfg = ServerConfig {
+        max_batch: 8,
+        token_budget: 16,
+        queue_capacity: 128,
+        max_in_flight: 32,
+        admission: AdmissionPolicy::Reject,
+        shed: Some(ShedPolicy {
+            interactive_ttft_p99: Duration::from_millis(50),
+            min_samples: 32,
+            queue_high: 16,
+        }),
+        ..ServerConfig::default()
+    };
+    let fair_qps = 192.0;
+    // Paced interactive arrivals with one collector thread per stream.
+    // Interactive is never shed, but under `AdmissionPolicy::Reject` a
+    // flood burst can transiently fill the queue, so `QueueFull` retries
+    // with a short backoff — the server's own TTFT clock only starts at
+    // successful admission, which is exactly the latency the shed
+    // policy governs.
+    let run_interactive = |handle: &ServerHandle| -> Vec<Sample> {
+        let obs: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for i in 0..N_REQUESTS {
+                let due = Duration::from_secs_f64(i as f64 / fair_qps);
+                let now = t0.elapsed();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                let mut retries = 0u32;
+                let stream = loop {
+                    match handle.submit(request(i, vocab)) {
+                        Ok(s) => break s,
+                        Err(SubmitError::QueueFull) => {
+                            retries += 1;
+                            assert!(
+                                retries < 50_000,
+                                "interactive submission starved out of the queue"
+                            );
+                            std::thread::sleep(Duration::from_micros(100));
+                        }
+                        Err(e) => panic!("interactive submit must never be refused: {e:?}"),
+                    }
+                };
+                let submitted = Instant::now();
+                let obs = &obs;
+                scope.spawn(move || {
+                    let sample = collect_stream(stream, submitted, None);
+                    obs.lock().unwrap().push(sample);
+                });
+            }
+        });
+        obs.into_inner().unwrap()
+    };
+    let interactive_p99_ms = |handle: &ServerHandle| {
+        handle
+            .metrics_snapshot()
+            .histogram_with("microscopiq_ttft_us", &[("class", "interactive")])
+            .expect("per-class interactive ttft histogram")
+            .percentile(99.0)
+            / 1e3
+    };
+
+    // Baseline: interactive alone on the shedding config.
+    let server = spawn(&model, qos_cfg, Tier::Default);
+    let handle = server.handle();
+    let base_obs = run_interactive(&handle);
+    let base_p99 = interactive_p99_ms(&handle);
+    drop(handle);
+    server.shutdown();
+    assert!(
+        base_obs.iter().all(|s| s.completed),
+        "every baseline interactive request must complete"
+    );
+
+    // Multi-tenant: the same interactive pacing while one batch and one
+    // best-effort flooder submit back to back, backing off only when
+    // refused. Flooders hold their streams open (a flood tenant does
+    // not cancel) and drain them after the interactive phase ends.
+    let server = spawn(&model, qos_cfg, Tier::Default);
+    let handle = server.handle();
+    let stop = AtomicBool::new(false);
+    let flood: Mutex<Vec<(&str, usize, usize)>> = Mutex::new(Vec::new());
+    let multi_obs = std::thread::scope(|scope| {
+        for (label, class, seed_base) in [
+            ("batch", QosClass::Batch, 50_000u64),
+            ("best_effort", QosClass::BestEffort, 60_000u64),
+        ] {
+            let flooder = handle.clone();
+            let stop = &stop;
+            let flood = &flood;
+            scope.spawn(move || {
+                let mut streams = Vec::new();
+                let mut accepted = 0usize;
+                let mut refused = 0usize;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let req = GenRequest {
+                        prompt: vec![1, 2, 3],
+                        max_new_tokens: 4,
+                        temperature: 0.8,
+                        seed: seed_base + i,
+                        class,
+                    };
+                    i += 1;
+                    match flooder.submit(req) {
+                        Ok(s) => {
+                            accepted += 1;
+                            streams.push(s);
+                        }
+                        Err(SubmitError::Shed) | Err(SubmitError::QueueFull) => {
+                            refused += 1;
+                            std::thread::sleep(Duration::from_micros(100));
+                        }
+                        Err(SubmitError::ServerClosed) => break,
+                    }
+                }
+                for mut s in streams {
+                    while s.next_event().is_some() {}
+                }
+                flood.lock().unwrap().push((label, accepted, refused));
+            });
+        }
+        let obs = run_interactive(&handle);
+        stop.store(true, Ordering::Relaxed);
+        obs
+    });
+    let snap = handle.metrics_snapshot();
+    let multi_p99 = interactive_p99_ms(&handle);
+    drop(handle);
+    server.shutdown();
+    assert!(
+        multi_obs.iter().all(|s| s.completed),
+        "every flooded interactive request must complete"
+    );
+
+    let shed_of = |class: &str| {
+        snap.counter_with("microscopiq_requests_shed_total", &[("class", class)])
+            .unwrap_or(0)
+    };
+    let be_shed = shed_of("best_effort");
+    let batch_shed = shed_of("batch");
+    let int_shed = shed_of("interactive");
+    let flood = flood.into_inner().unwrap();
+    let flood_accepted: usize = flood.iter().map(|(_, a, _)| a).sum();
+    let flood_refused: usize = flood.iter().map(|(_, _, r)| r).sum();
+    for (label, accepted, refused) in &flood {
+        println!("qos fairness: {label} flooder accepted={accepted} refused={refused}");
+    }
+    println!("qos fairness: sheds interactive={int_shed} batch={batch_shed} best_effort={be_shed}");
+    // Bound: generous against CI scheduling noise, but far below what an
+    // unprotected queue shows (without shedding the flood pins the
+    // 128-deep queue and interactive TTFT grows by orders of magnitude).
+    let p99_bound = (base_p99 * 10.0).max(base_p99 + 50.0);
+    println!(
+        "qos fairness: interactive ttft p99 alone {base_p99:.3} ms vs flooded \
+         {multi_p99:.3} ms (bound {p99_bound:.3} ms, {})",
+        if multi_p99 <= p99_bound {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    assert!(
+        multi_p99 <= p99_bound,
+        "interactive p99 TTFT must hold under a batch/best-effort flood \
+         (alone {base_p99:.3} ms, flooded {multi_p99:.3} ms, bound {p99_bound:.3} ms)"
+    );
+    assert!(
+        be_shed > 0,
+        "the flood must overload the server enough that best-effort \
+         traffic is shed (shed counter is 0 — the fairness run proved nothing)"
+    );
+    assert_eq!(int_shed, 0, "interactive traffic must never be shed");
+    metrics.push(("qos_interactive_p99_ms_alone".to_string(), base_p99));
+    metrics.push(("qos_interactive_p99_ms_flooded".to_string(), multi_p99));
+    metrics.push((
+        "qos_interactive_p99_ratio".to_string(),
+        multi_p99 / base_p99.max(1e-9),
+    ));
+    metrics.push(("qos_best_effort_shed_total".to_string(), be_shed as f64));
+    metrics.push(("qos_batch_shed_total".to_string(), batch_shed as f64));
+    metrics.push(("qos_flood_accepted".to_string(), flood_accepted as f64));
+    metrics.push(("qos_flood_refused".to_string(), flood_refused as f64));
 
     let metric_refs: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     table.write_json("serving_load", &metric_refs);

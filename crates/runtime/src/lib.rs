@@ -83,6 +83,7 @@
 pub mod cache;
 pub mod executor;
 pub mod kernels;
+pub mod net;
 pub mod server;
 pub mod session;
 pub mod telemetry;
@@ -95,13 +96,14 @@ pub use kernels::{
     MicroKernel, ScalarKernel, SimdKernel, Tolerance,
 };
 pub use microscopiq_fm::{DecodeState, KvCacheConfig, KvMode};
+pub use net::{Fleet, FleetConfig, FleetHandle, FleetReport, HttpConfig, HttpServer};
 pub use server::{
     AdmissionPolicy, Deadline, RequestOptions, ResponseStream, ServeError, Server, ServerConfig,
-    ServerHandle, ServerReport, StreamEvent, SubmitError,
+    ServerHandle, ServerReport, ShedPolicy, StreamEvent, SubmitError,
 };
 pub use session::{
-    BatchScheduler, GenRequest, GenResult, RequestId, SchedulerConfig, Session, SessionStats,
-    StepBatch, StepReport,
+    BatchScheduler, GenRequest, GenResult, QosClass, QosShares, RequestId, SchedulerConfig,
+    Session, SessionStats, StepBatch, StepReport,
 };
 pub use telemetry::{
     EngineTelemetry, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, TraceSink,

@@ -1,0 +1,281 @@
+//! Minimal blocking HTTP/1.1 client for the wire protocol — what the
+//! conformance and failure-injection suites (and the example) speak to
+//! the fleet with. One [`HttpClient`] is one TCP connection; keep-alive
+//! reuse across requests is the default, and *dropping* the client
+//! mid-stream is an abrupt TCP disconnect — exactly the failure the
+//! server must map onto request cancellation.
+
+use super::json::Json;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A complete (non-streaming) HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code from the response line.
+    pub status: u16,
+    /// `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The full body (chunked responses are de-chunked).
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header matching `name` (any case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// One keep-alive connection to the wire front-end.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// `GET path`, reading the complete response.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors or a malformed response.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: fleet\r\n\r\n").as_bytes())?;
+        self.read_response()
+    }
+
+    /// `POST path` with a JSON body, reading the complete response
+    /// (including de-chunking a streamed one — use
+    /// [`HttpClient::generate`] to consume events incrementally).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors or a malformed response.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.write_post(path, body)?;
+        self.read_response()
+    }
+
+    /// Starts a `POST /v1/generate` and returns the response head plus
+    /// a [`GenStream`] over the SSE events. For a non-200 status the
+    /// stream is already terminated and the error body is in
+    /// [`GenStream::error_body`].
+    ///
+    /// # Errors
+    ///
+    /// Socket errors or a malformed response head.
+    pub fn generate(&mut self, body: &str) -> io::Result<GenStream<'_>> {
+        self.write_post("/v1/generate", body)?;
+        let (status, headers) = self.read_head()?;
+        if status != 200 {
+            let body = self.read_body(&headers)?;
+            return Ok(GenStream {
+                client: self,
+                status,
+                done: true,
+                error_body: body,
+            });
+        }
+        Ok(GenStream {
+            client: self,
+            status,
+            done: false,
+            error_body: Vec::new(),
+        })
+    }
+
+    fn write_post(&mut self, path: &str, body: &str) -> io::Result<()> {
+        self.stream.write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: fleet\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len(),
+            )
+            .as_bytes(),
+        )
+    }
+
+    fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let (status, headers) = self.read_head()?;
+        let body = self.read_body(&headers)?;
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    fn read_head(&mut self) -> io::Result<(u16, Vec<(String, String)>)> {
+        let status_line = self.read_line()?;
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                return Ok((status, headers));
+            }
+            let colon = line
+                .find(':')
+                .ok_or_else(|| bad(format!("bad header line {line:?}")))?;
+            headers.push((
+                line[..colon].to_ascii_lowercase(),
+                line[colon + 1..].trim().to_string(),
+            ));
+        }
+    }
+
+    fn read_body(&mut self, headers: &[(String, String)]) -> io::Result<Vec<u8>> {
+        let chunked = headers
+            .iter()
+            .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+        if chunked {
+            let mut body = Vec::new();
+            while let Some(chunk) = self.read_chunk()? {
+                body.extend_from_slice(&chunk);
+            }
+            return Ok(body);
+        }
+        let len = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        self.read_exact_buffered(len)
+    }
+
+    /// One transfer chunk; `None` for the terminal zero-length chunk.
+    fn read_chunk(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let size_line = self.read_line()?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| bad(format!("bad chunk size {size_line:?}")))?;
+        if size == 0 {
+            // Trailer-less end: consume the final blank line.
+            let _ = self.read_line()?;
+            return Ok(None);
+        }
+        let data = self.read_exact_buffered(size)?;
+        let crlf = self.read_line()?;
+        if !crlf.is_empty() {
+            return Err(bad("chunk not CRLF-terminated"));
+        }
+        Ok(Some(data))
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                let text = std::str::from_utf8(&line)
+                    .map_err(|_| bad("non-UTF-8 response line"))?
+                    .trim_end_matches(['\r', '\n'])
+                    .to_string();
+                return Ok(text);
+            }
+            self.fill()?;
+        }
+    }
+
+    fn read_exact_buffered(&mut self, len: usize) -> io::Result<Vec<u8>> {
+        while self.buf.len() < len {
+            self.fill()?;
+        }
+        Ok(self.buf.drain(..len).collect())
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// An in-flight `/v1/generate` SSE stream. Borrowing the client keeps
+/// the connection alive; after the stream drains (terminal event plus
+/// the zero chunk) the same client can issue the next request.
+pub struct GenStream<'a> {
+    client: &'a mut HttpClient,
+    /// Response status (200 for a live stream).
+    pub status: u16,
+    done: bool,
+    error_body: Vec<u8>,
+}
+
+impl GenStream<'_> {
+    /// The error body of a non-200 response (empty for a live stream).
+    pub fn error_body(&self) -> &[u8] {
+        &self.error_body
+    }
+
+    /// The next SSE event's JSON payload; `None` once the stream ends.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or [`io::ErrorKind::InvalidData`] for a frame
+    /// that is not a well-formed `data: <json>` event.
+    pub fn next_event(&mut self) -> io::Result<Option<Json>> {
+        if self.done {
+            return Ok(None);
+        }
+        let Some(chunk) = self.client.read_chunk()? else {
+            self.done = true;
+            return Ok(None);
+        };
+        let text = std::str::from_utf8(&chunk).map_err(|_| bad("non-UTF-8 SSE frame"))?;
+        let payload = text
+            .trim_end_matches('\n')
+            .strip_prefix("data: ")
+            .ok_or_else(|| bad(format!("not an SSE data frame: {text:?}")))?;
+        let json = Json::parse(payload).map_err(bad)?;
+        Ok(Some(json))
+    }
+
+    /// Drains the stream, returning every event in order.
+    ///
+    /// # Errors
+    ///
+    /// As [`GenStream::next_event`].
+    pub fn collect_events(mut self) -> io::Result<Vec<Json>> {
+        let mut events = Vec::new();
+        while let Some(ev) = self.next_event()? {
+            events.push(ev);
+        }
+        Ok(events)
+    }
+}

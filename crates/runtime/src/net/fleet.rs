@@ -1,0 +1,282 @@
+//! Multi-worker fleet router: N replicated [`Server`] workers behind one
+//! submission surface. Each worker owns its engine and session (no
+//! shared mutable state), so determinism composes: a request produces
+//! the same token stream whichever worker serves it, which is what lets
+//! the conformance suite pin fleet output bitwise against the offline
+//! single-session reference at any worker count.
+//!
+//! Routing is least-loaded: the router scores every *alive* worker by
+//! `queue_depth + live_streams` (tie-broken by KV rows, then index) and
+//! submits there. A worker whose handle reports
+//! [`SubmitError::ServerClosed`] — its thread died, e.g. via the
+//! failure-injection hook — is marked dead and removed from rotation on
+//! the spot; the submission retries on the remaining workers, so one
+//! crash never takes the fleet down.
+
+use crate::server::{
+    RequestOptions, ResponseStream, Server, ServerConfig, ServerHandle, ServerReport, SubmitError,
+};
+use crate::session::GenRequest;
+use crate::telemetry::EngineTelemetry;
+use microscopiq_core::error::QuantError;
+use microscopiq_fm::{PackedGemm, PackedTinyFm};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Fleet-level configuration: one [`ServerConfig`] stamped onto every
+/// worker, plus the worker count.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of replicated workers (≥ 1).
+    pub workers: usize,
+    /// Per-worker serving configuration (queue, QoS, shedding, …).
+    pub server: ServerConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+struct Worker {
+    handle: ServerHandle,
+    alive: Arc<AtomicBool>,
+}
+
+impl Worker {
+    /// In rotation: not yet marked dead by a failed submit, and the
+    /// worker thread itself still reports alive (its exit flag flips
+    /// during unwinding, so a crash is visible without probing).
+    fn in_rotation(&self) -> bool {
+        if !self.alive.load(Ordering::Relaxed) {
+            return false;
+        }
+        if self.handle.worker_alive() {
+            return true;
+        }
+        self.alive.store(false, Ordering::Relaxed);
+        false
+    }
+}
+
+/// Shared routing state: per-worker handles plus liveness flags.
+/// Cloning a [`FleetHandle`] clones the `Arc`, so every connection
+/// thread routes over the same liveness view.
+pub struct FleetHandle {
+    workers: Arc<Vec<Worker>>,
+}
+
+impl Clone for FleetHandle {
+    fn clone(&self) -> Self {
+        Self {
+            workers: Arc::clone(&self.workers),
+        }
+    }
+}
+
+impl FleetHandle {
+    /// Number of workers still in rotation.
+    pub fn alive_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.in_rotation()).count()
+    }
+
+    /// Total workers, dead or alive.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The handle of worker `idx` (for tests and failure injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn worker(&self, idx: usize) -> &ServerHandle {
+        &self.workers[idx].handle
+    }
+
+    /// Submits to the least-loaded alive worker; returns the worker
+    /// index that accepted alongside the stream. Workers found dead
+    /// ([`SubmitError::ServerClosed`]) are dropped from rotation and
+    /// the submission retries elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ServerClosed`] once no worker is alive; other
+    /// errors ([`SubmitError::QueueFull`], [`SubmitError::Shed`]) come
+    /// from the chosen worker and are not retried — backpressure and
+    /// shedding are per-worker signals the caller must surface.
+    pub fn submit(&self, req: GenRequest) -> Result<(usize, ResponseStream), SubmitError> {
+        self.submit_with(req, RequestOptions::default())
+    }
+
+    /// [`FleetHandle::submit`] with explicit [`RequestOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetHandle::submit`].
+    pub fn submit_with(
+        &self,
+        req: GenRequest,
+        opts: RequestOptions,
+    ) -> Result<(usize, ResponseStream), SubmitError> {
+        loop {
+            // Least-loaded among alive workers: fewest queued + live
+            // requests, then fewest KV rows, then lowest index.
+            let mut best: Option<(usize, (usize, usize))> = None;
+            for (i, w) in self.workers.iter().enumerate() {
+                if !w.in_rotation() {
+                    continue;
+                }
+                let load = w.handle.queue_depth() + w.handle.live_streams();
+                let key = (load, w.handle.kv_rows());
+                if best.is_none_or(|(_, bk)| key < bk) {
+                    best = Some((i, key));
+                }
+            }
+            let Some((idx, _)) = best else {
+                return Err(SubmitError::ServerClosed);
+            };
+            match self.workers[idx].handle.submit_with(req.clone(), opts) {
+                Ok(stream) => return Ok((idx, stream)),
+                Err(SubmitError::ServerClosed) => {
+                    // Worker thread died: pull it from rotation and
+                    // retry the submission on the survivors.
+                    self.workers[idx].alive.store(false, Ordering::Relaxed);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Concatenated Prometheus exposition text of every worker, each
+    /// section introduced by a `# ---- worker N ----` comment line
+    /// (comments are legal exposition syntax, so scrapers that split on
+    /// metric names still parse the whole document).
+    pub fn render_metrics(&self) -> String {
+        let mut out = String::new();
+        for (i, w) in self.workers.iter().enumerate() {
+            out.push_str(&format!("# ---- worker {i} ----\n"));
+            if w.in_rotation() {
+                out.push_str(&w.handle.render_metrics());
+            } else {
+                out.push_str("# worker dead\n");
+            }
+        }
+        out
+    }
+
+    /// Sum of [`ServerHandle::kv_rows`] over alive workers.
+    pub fn kv_rows(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.in_rotation())
+            .map(|w| w.handle.kv_rows())
+            .sum()
+    }
+}
+
+/// Final fleet accounting from [`Fleet::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct FleetReport {
+    /// Per-worker reports, index-aligned with spawn order; `None` for a
+    /// worker that died (its panic message is in `panics`).
+    pub per_worker: Vec<Option<ServerReport>>,
+    /// Panic messages of workers that died, in worker order.
+    pub panics: Vec<String>,
+}
+
+impl FleetReport {
+    /// Workers that did not survive to shutdown.
+    pub fn lost(&self) -> usize {
+        self.panics.len()
+    }
+
+    /// Sums a field across surviving workers.
+    pub fn total(&self, field: impl Fn(&ServerReport) -> usize) -> usize {
+        self.per_worker.iter().flatten().map(field).sum()
+    }
+}
+
+/// N replicated serving workers behind one router. Construction takes a
+/// factory so every worker gets its *own* engine instance (engines may
+/// hold caches or thread pools that must not be shared); the model is
+/// cloned per worker — packed weights are immutable, so replicas stay
+/// bitwise identical.
+pub struct Fleet {
+    // Field order matters: the handle must drop before the servers —
+    // `Server::drop` joins its worker, and workers only exit once
+    // every routing handle (admission-channel sender) is gone.
+    handle: FleetHandle,
+    servers: Vec<Server>,
+}
+
+impl Fleet {
+    /// Spawns `cfg.workers` servers over clones of `model`, one engine
+    /// from `mk_engine(worker_index)` each.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuantError`] from the first worker whose serving
+    /// config is invalid (already-spawned workers are dropped cleanly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers` is zero.
+    pub fn spawn<E, F>(
+        model: PackedTinyFm,
+        mk_engine: F,
+        cfg: FleetConfig,
+    ) -> Result<Self, QuantError>
+    where
+        E: PackedGemm + EngineTelemetry + Send + 'static,
+        F: Fn(usize) -> E,
+    {
+        assert!(cfg.workers >= 1, "fleet needs at least one worker");
+        let mut servers = Vec::with_capacity(cfg.workers);
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let server = Server::spawn(model.clone(), mk_engine(i), cfg.server)?;
+            workers.push(Worker {
+                handle: server.handle(),
+                alive: Arc::new(AtomicBool::new(true)),
+            });
+            servers.push(server);
+        }
+        Ok(Self {
+            servers,
+            handle: FleetHandle {
+                workers: Arc::new(workers),
+            },
+        })
+    }
+
+    /// The routing handle (cloneable; one per connection thread).
+    pub fn handle(&self) -> FleetHandle {
+        self.handle.clone()
+    }
+
+    /// Drains every worker and collects the fleet report. Dead workers
+    /// contribute their panic message instead of a report; the fleet
+    /// itself never panics on shutdown.
+    pub fn shutdown(self) -> FleetReport {
+        // Drop the router's own handle references first so workers see
+        // their channels close once external handles are gone.
+        let Fleet { servers, handle } = self;
+        drop(handle);
+        let mut report = FleetReport::default();
+        for server in servers {
+            match server.try_shutdown() {
+                Ok(r) => report.per_worker.push(Some(r)),
+                Err(panic) => {
+                    report.per_worker.push(None);
+                    report.panics.push(panic);
+                }
+            }
+        }
+        report
+    }
+}

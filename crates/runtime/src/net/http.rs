@@ -1,0 +1,383 @@
+//! Incremental HTTP/1.1 request parser for the wire front-end.
+//!
+//! The parser is a byte-feed state machine: callers push whatever a
+//! `read()` returned into [`RequestParser::feed`] and get back a
+//! complete [`HttpRequest`] once one is buffered, `None` while more
+//! bytes are needed, or a typed [`HttpParseError`] that maps onto a
+//! clean 4xx/5xx status. It never panics on any input — the property
+//! suite in `tests/http_parser.rs` feeds it arbitrary splits,
+//! mutations, and random bytes.
+//!
+//! Scope matches what the serving fleet speaks, deliberately nothing
+//! more: request line + headers terminated by a blank line (`\r\n` or
+//! bare `\n` line endings), bodies sized by `Content-Length` only
+//! (`Transfer-Encoding` in a *request* is refused with 501), bounded
+//! head and body sizes, and leftover bytes retained so keep-alive
+//! clients can pipeline back-to-back requests.
+
+use std::collections::VecDeque;
+
+/// Size caps enforced while a request is being buffered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParserLimits {
+    /// Most bytes the request line + headers may occupy before the
+    /// blank-line terminator (431 when exceeded).
+    pub max_head_bytes: usize,
+    /// Largest accepted `Content-Length` (413 when exceeded).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ParserLimits {
+    fn default() -> Self {
+        Self {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request. Header names are stored lowercased; lookups via
+/// [`HttpRequest::header`] are case-insensitive by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, as sent (e.g. `GET`, `POST`).
+    pub method: String,
+    /// Request target, as sent (e.g. `/v1/generate`).
+    pub target: String,
+    /// `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First header matching `name` (any case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// request (`Connection: close`); HTTP/1.1 defaults to keep-alive.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a buffered request could not be parsed. Each variant maps onto
+/// the status code the server answers with before closing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpParseError {
+    /// Request line or a header line is structurally invalid (400).
+    Malformed(&'static str),
+    /// Head exceeded [`ParserLimits::max_head_bytes`] (431).
+    HeadTooLarge,
+    /// `Content-Length` exceeded [`ParserLimits::max_body_bytes`] (413).
+    BodyTooLarge,
+    /// The request carried a `Transfer-Encoding`; this server only
+    /// accepts `Content-Length` bodies (501).
+    UnsupportedEncoding,
+}
+
+impl HttpParseError {
+    /// The HTTP status code this error is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            Self::Malformed(_) => 400,
+            Self::HeadTooLarge => 431,
+            Self::BodyTooLarge => 413,
+            Self::UnsupportedEncoding => 501,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Malformed(what) => write!(f, "malformed request: {what}"),
+            Self::HeadTooLarge => write!(f, "request head too large"),
+            Self::BodyTooLarge => write!(f, "request body too large"),
+            Self::UnsupportedEncoding => write!(f, "transfer-encoding not supported"),
+        }
+    }
+}
+
+impl std::error::Error for HttpParseError {}
+
+/// Incremental parser over one connection's byte stream. Feed raw reads
+/// in; complete requests come out. After an error the parser is poisoned
+/// (every later feed repeats the error) — the connection must be closed,
+/// which is the only sound recovery once framing is lost.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: VecDeque<u8>,
+    limits: ParserLimits,
+    poisoned: Option<HttpParseError>,
+}
+
+impl RequestParser {
+    /// A parser with default [`ParserLimits`].
+    pub fn new() -> Self {
+        Self::with_limits(ParserLimits::default())
+    }
+
+    /// A parser with explicit size caps.
+    pub fn with_limits(limits: ParserLimits) -> Self {
+        Self {
+            buf: VecDeque::new(),
+            limits,
+            poisoned: None,
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by a parsed request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends `bytes` and tries to parse one complete request.
+    ///
+    /// Returns `Ok(Some(..))` when a full request (head + body) is
+    /// buffered — leftover bytes stay queued for the next call, so
+    /// pipelined requests parse one per call (including with an empty
+    /// `bytes`). Returns `Ok(None)` while more input is needed.
+    ///
+    /// # Errors
+    ///
+    /// A [`HttpParseError`] the caller should answer with
+    /// [`HttpParseError::status`] and then close the connection; the
+    /// parser stays poisoned with the same error afterwards.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<HttpRequest>, HttpParseError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        self.buf.extend(bytes.iter().copied());
+        match self.try_parse() {
+            Ok(req) => Ok(req),
+            Err(err) => {
+                self.poisoned = Some(err.clone());
+                Err(err)
+            }
+        }
+    }
+
+    fn try_parse(&mut self) -> Result<Option<HttpRequest>, HttpParseError> {
+        let head = self.buf.make_contiguous();
+        let Some((head_len, body_start)) = find_head_end(head) else {
+            // No terminator yet: the head must still fit the cap once
+            // complete, so an oversized partial head fails early.
+            if self.buf.len() > self.limits.max_head_bytes {
+                return Err(HttpParseError::HeadTooLarge);
+            }
+            return Ok(None);
+        };
+        if head_len > self.limits.max_head_bytes {
+            return Err(HttpParseError::HeadTooLarge);
+        }
+        let head_bytes = &self.buf.make_contiguous()[..head_len];
+        let head_text: Vec<u8> = head_bytes.to_vec();
+        let (method, target, headers) = parse_head(&head_text)?;
+        let mut content_len = 0usize;
+        for (name, value) in &headers {
+            if name == "transfer-encoding" {
+                return Err(HttpParseError::UnsupportedEncoding);
+            }
+            if name == "content-length" {
+                content_len = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| HttpParseError::Malformed("content-length not a number"))?;
+            }
+        }
+        if content_len > self.limits.max_body_bytes {
+            return Err(HttpParseError::BodyTooLarge);
+        }
+        if self.buf.len() < body_start + content_len {
+            return Ok(None);
+        }
+        // Full request buffered: consume head + body, keep the rest.
+        self.buf.drain(..body_start);
+        let body: Vec<u8> = self.buf.drain(..content_len).collect();
+        Ok(Some(HttpRequest {
+            method,
+            target,
+            headers,
+            body,
+        }))
+    }
+}
+
+/// Finds the end of the head: `(head_len, body_start)` where `head_len`
+/// excludes the blank-line terminator. Accepts `\r\n\r\n` or `\n\n`
+/// (and the mixed `\r\n\n` / `\n\r\n` forms a lenient reader sees when
+/// a client mixes endings).
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] != b'\n' {
+            i += 1;
+            continue;
+        }
+        // `i` ends a line; a blank line follows if the next bytes are
+        // `\n` or `\r\n`.
+        if buf.get(i + 1) == Some(&b'\n') {
+            return Some((i + 1, i + 2));
+        }
+        if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+            return Some((i + 1, i + 3));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// `(method, target, headers)` from a parsed head.
+type ParsedHead = (String, String, Vec<(String, String)>);
+
+/// Splits the head into the request line and header lines, tolerating
+/// `\r\n` or bare `\n` endings.
+fn parse_head(head: &[u8]) -> Result<ParsedHead, HttpParseError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| HttpParseError::Malformed("head is not valid UTF-8"))?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines
+        .next()
+        .ok_or(HttpParseError::Malformed("empty head"))?;
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let method = parts
+        .next()
+        .ok_or(HttpParseError::Malformed("missing method"))?;
+    let target = parts
+        .next()
+        .ok_or(HttpParseError::Malformed("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpParseError::Malformed("missing HTTP version"))?;
+    if parts.next().is_some() {
+        return Err(HttpParseError::Malformed("extra tokens in request line"));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpParseError::Malformed("unsupported HTTP version"));
+    }
+    if method.is_empty()
+        || !method
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+    {
+        return Err(HttpParseError::Malformed("invalid method"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the blank terminator line
+        }
+        let Some(colon) = line.find(':') else {
+            return Err(HttpParseError::Malformed("header line missing colon"));
+        };
+        let name = &line[..colon];
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(HttpParseError::Malformed("invalid header name"));
+        }
+        let value = line[colon + 1..].trim();
+        headers.push((name.to_ascii_lowercase(), value.to_string()));
+    }
+    Ok((method.to_string(), target.to_string(), headers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_get() {
+        let mut p = RequestParser::new();
+        let req = p
+            .feed(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.body.is_empty());
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn parses_body_and_pipelined_next_request() {
+        let mut p = RequestParser::new();
+        let wire =
+            b"POST /v1/generate HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET / HTTP/1.1\r\n\r\n";
+        let first = p.feed(wire).unwrap().unwrap();
+        assert_eq!(first.body, b"abcd");
+        let second = p.feed(b"").unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+    }
+
+    #[test]
+    fn byte_at_a_time_feed_parses() {
+        let wire = b"POST /x HTTP/1.1\nContent-Length: 2\n\nhi";
+        let mut p = RequestParser::new();
+        let mut got = None;
+        for &b in wire.iter() {
+            if let Some(req) = p.feed(&[b]).unwrap() {
+                got = Some(req);
+            }
+        }
+        let req = got.expect("parsed");
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn transfer_encoding_is_501() {
+        let mut p = RequestParser::new();
+        let err = p
+            .feed(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .unwrap_err();
+        assert_eq!(err.status(), 501);
+        // Poisoned: later feeds repeat the error.
+        assert_eq!(p.feed(b"GET / HTTP/1.1\r\n\r\n").unwrap_err().status(), 501);
+    }
+
+    #[test]
+    fn oversized_head_is_431_even_without_terminator() {
+        let mut p = RequestParser::with_limits(ParserLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 64,
+        });
+        let long = vec![b'a'; 100];
+        assert_eq!(p.feed(&long).unwrap_err().status(), 431);
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let mut p = RequestParser::with_limits(ParserLimits {
+            max_head_bytes: 1024,
+            max_body_bytes: 8,
+        });
+        let err = p
+            .feed(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n")
+            .unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn malformed_request_line_is_400() {
+        for bad in [
+            &b"GET\r\n\r\n"[..],
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/2 extra\r\n\r\n",
+            b"GET / SPDY/9\r\n\r\n",
+            b"G@T / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad name: x\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            let mut p = RequestParser::new();
+            assert_eq!(p.feed(bad).unwrap_err().status(), 400, "{bad:?}");
+        }
+    }
+}

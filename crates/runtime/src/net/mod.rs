@@ -1,0 +1,43 @@
+//! The networked serving fleet: an HTTP/1.1 wire protocol over
+//! `std::net::TcpListener` (no async runtime), a [`Fleet`] router
+//! fanning requests across N replicated [`Server`](crate::Server)
+//! workers, and the blocking [`HttpClient`] the test suites drive it
+//! with.
+//!
+//! ```text
+//! TCP clients            HttpServer                    Fleet
+//! ───────────            ─────────────────────────     ─────────────────
+//! POST /v1/generate ──▶  accept loop; thread per  ──▶  least-loaded alive
+//!   (JSON body)          connection; RequestParser     worker (queue depth
+//!       ◀── SSE tokens   per connection (keep-alive    + live streams) ──▶
+//!           (chunked)    + pipelining); /metrics,      Server worker per
+//!                        /healthz                      replica: own engine,
+//!                                                      session, QoS + shed
+//! ```
+//!
+//! Layering, bottom up:
+//!
+//! * [`http`] — incremental request parser (bytes in, requests out),
+//!   pinned by the property suite: arbitrary read splits, malformed
+//!   heads, size caps; never panics, always a clean 4xx/5xx.
+//! * [`json`] — the hand-rolled JSON the wire speaks.
+//! * [`fleet`] — worker replication + least-loaded routing + dead-worker
+//!   removal. Determinism composes: every worker serves bitwise the
+//!   same streams, so fleet output is worker-count-invariant.
+//! * [`server`] — the `TcpListener` front-end: SSE streaming over
+//!   chunked transfer-encoding, keep-alive connections, and the
+//!   client-disconnect → drop-stream → cancel mapping that makes a TCP
+//!   reset reclaim KV eagerly.
+//! * [`client`] — the blocking client used by tests and examples.
+
+pub mod client;
+pub mod fleet;
+pub mod http;
+pub mod json;
+pub mod server;
+
+pub use client::{GenStream, HttpClient, HttpResponse};
+pub use fleet::{Fleet, FleetConfig, FleetHandle, FleetReport};
+pub use http::{HttpParseError, HttpRequest, ParserLimits, RequestParser};
+pub use json::Json;
+pub use server::{HttpConfig, HttpServer, NetError};

@@ -2,7 +2,7 @@
 //! per-request options, and the submit-time error surface.
 
 use super::stream::StreamEvent;
-use crate::session::GenRequest;
+use crate::session::{GenRequest, QosClass, QosShares};
 use microscopiq_fm::KvMode;
 use std::sync::atomic::AtomicBool;
 use std::sync::{mpsc, Arc};
@@ -72,6 +72,15 @@ pub struct ServerConfig {
     /// [`ServerHandle::export_trace`](super::ServerHandle::export_trace)
     /// as Chrome trace-event JSON.
     pub trace_events: usize,
+    /// Weighted guaranteed shares of batch slots / token budget per
+    /// [`QosClass`] when classes compete (forwarded to
+    /// [`SchedulerConfig::qos`](crate::SchedulerConfig)).
+    pub qos: QosShares,
+    /// Optional overload shedding. When set, the worker continuously
+    /// grades its own per-class TTFT histograms and queue backlog
+    /// against the policy and rejects lower QoS classes first; `None`
+    /// (the default) never sheds.
+    pub shed: Option<ShedPolicy>,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +96,58 @@ impl Default for ServerConfig {
             pace: Duration::ZERO,
             telemetry: true,
             trace_events: 0,
+            qos: QosShares::default(),
+            shed: None,
+        }
+    }
+}
+
+/// Load-shedding policy, evaluated by the worker between decode steps
+/// from the server's *own* per-class latency histograms (the same ones
+/// `/metrics` exposes) rather than blind queue length. The worker
+/// publishes a shed level; submissions of sheddable classes are then
+/// refused at the handle with [`SubmitError::Shed`] (and any already
+/// queued are retired at admission with
+/// [`ServeError::Shed`](super::ServeError::Shed)):
+///
+/// * level 1 — interactive p99 TTFT above `interactive_ttft_p99`, or
+///   backlog above `queue_high`: shed [`QosClass::BestEffort`].
+/// * level 2 — p99 above twice the target, or backlog above twice
+///   `queue_high`: also shed [`QosClass::Batch`].
+///
+/// [`QosClass::Interactive`] is never shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedPolicy {
+    /// Target p99 enqueue-to-first-token latency for interactive
+    /// traffic.
+    pub interactive_ttft_p99: Duration,
+    /// Interactive TTFT samples required before the latency trigger
+    /// engages (the histogram is unreliable before that).
+    pub min_samples: u64,
+    /// Backlog high-water mark (admission queue + requests waiting or
+    /// in flight in the session) for the queue-pressure trigger;
+    /// [`usize::MAX`] (the default) disables it.
+    pub queue_high: usize,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        Self {
+            interactive_ttft_p99: Duration::from_millis(500),
+            min_samples: 32,
+            queue_high: usize::MAX,
+        }
+    }
+}
+
+impl ShedPolicy {
+    /// The lowest shed level at which `class` is refused;
+    /// `u8::MAX` for classes that are never shed.
+    pub(crate) fn shed_at(class: QosClass) -> u8 {
+        match class {
+            QosClass::Interactive => u8::MAX,
+            QosClass::Batch => 2,
+            QosClass::BestEffort => 1,
         }
     }
 }
@@ -121,6 +182,9 @@ pub enum SubmitError {
     /// The admission queue is full and the policy is
     /// [`AdmissionPolicy::Reject`].
     QueueFull,
+    /// The request's QoS class is being shed under the server's
+    /// [`ShedPolicy`] (overload). Interactive requests never see this.
+    Shed,
     /// The server has shut down.
     ServerClosed,
 }
@@ -129,6 +193,7 @@ impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::QueueFull => write!(f, "admission queue full"),
+            Self::Shed => write!(f, "shed under overload"),
             Self::ServerClosed => write!(f, "server closed"),
         }
     }
@@ -145,4 +210,14 @@ pub(crate) struct Incoming {
     /// Client-side enqueue instant, stamped in `submit` — the zero
     /// point for queue-wait and TTFT measurements.
     pub(crate) submitted: Instant,
+}
+
+/// What flows over the admission channel to the worker.
+pub(crate) enum WorkerMsg {
+    /// A client submission.
+    Submit(Incoming),
+    /// Failure-injection hook: the worker panics *outside* its per-step
+    /// panic guard, killing the worker thread as an unexpected crash
+    /// would. Used by the fleet chaos tests.
+    InjectPanic,
 }

@@ -50,20 +50,22 @@
 mod admission;
 mod stream;
 
-pub use admission::{AdmissionPolicy, Deadline, RequestOptions, ServerConfig, SubmitError};
+pub use admission::{
+    AdmissionPolicy, Deadline, RequestOptions, ServerConfig, ShedPolicy, SubmitError,
+};
 pub use stream::{ResponseStream, ServeError, StreamEvent};
 
-use crate::session::{GenRequest, RequestId, Session, SessionStats};
+use crate::session::{GenRequest, QosClass, RequestId, Session, SessionStats};
 use crate::telemetry::{
     Counter, EngineTelemetry, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, TraceArg,
     TraceSink,
 };
-use admission::Incoming;
+use admission::{Incoming, WorkerMsg};
 use microscopiq_core::error::QuantError;
 use microscopiq_fm::{PackedGemm, PackedTinyFm};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -89,8 +91,15 @@ struct ServerMetrics {
     kv_rows: Arc<Gauge>,
     queue_wait_us: Arc<Histogram>,
     admit_to_first_token_us: Arc<Histogram>,
-    ttft_us: Arc<Histogram>,
-    inter_token_us: Arc<Histogram>,
+    /// Per-[`QosClass`] series (indexed by [`QosClass::index`]) of the
+    /// `microscopiq_ttft_us{class=..}` family — the substrate the
+    /// [`ShedPolicy`] latency trigger reads.
+    ttft_us: [Arc<Histogram>; 3],
+    /// Per-class series of `microscopiq_inter_token_us{class=..}`.
+    inter_token_us: [Arc<Histogram>; 3],
+    /// Per-class `microscopiq_requests_shed_total{class=..}`: refused at
+    /// submit or retired at admission by the shed policy.
+    shed: [Arc<Counter>; 3],
 }
 
 impl ServerMetrics {
@@ -147,15 +156,29 @@ impl ServerMetrics {
                 "microscopiq_admit_to_first_token_us",
                 "Admission-to-first-token latency per request, microseconds.",
             ),
-            ttft_us: reg.histogram(
-                "microscopiq_ttft_us",
-                "Enqueue-to-first-token latency per request, microseconds (the \
-                 client-observed TTFT).",
-            ),
-            inter_token_us: reg.histogram(
-                "microscopiq_inter_token_us",
-                "Gap between consecutive streamed tokens of one request, microseconds.",
-            ),
+            ttft_us: QosClass::ALL.map(|c| {
+                reg.histogram_labeled(
+                    "microscopiq_ttft_us",
+                    "Enqueue-to-first-token latency per request, microseconds (the \
+                     client-observed TTFT), by QoS class.",
+                    vec![("class", c.label().to_string())],
+                )
+            }),
+            inter_token_us: QosClass::ALL.map(|c| {
+                reg.histogram_labeled(
+                    "microscopiq_inter_token_us",
+                    "Gap between consecutive streamed tokens of one request, \
+                     microseconds, by QoS class.",
+                    vec![("class", c.label().to_string())],
+                )
+            }),
+            shed: QosClass::ALL.map(|c| {
+                reg.counter_labeled(
+                    "microscopiq_requests_shed_total",
+                    "Requests refused or retired by the shed policy, by QoS class.",
+                    vec![("class", c.label().to_string())],
+                )
+            }),
         }
     }
 }
@@ -169,6 +192,27 @@ struct Shared {
     trace: Option<Arc<TraceSink>>,
     /// Mirror of [`ServerConfig::telemetry`] for the worker's hot path.
     telemetry: bool,
+    /// Current overload shed level, published by the worker between
+    /// steps and read by every handle at submit time. 0 = serve all;
+    /// 1 = shed best-effort; 2 = shed batch too. Stays 0 without a
+    /// [`ShedPolicy`].
+    shed_level: AtomicU8,
+    /// Set once the worker thread exits — through a drop guard, so a
+    /// panicking worker (even one that died outside its per-request
+    /// guards) flips it during unwinding. A fleet router uses this to
+    /// pull dead workers from rotation without having to probe them
+    /// with a doomed submission.
+    worker_exited: AtomicBool,
+}
+
+/// Flips [`Shared::worker_exited`] when the worker's stack unwinds,
+/// whether by normal return or panic.
+struct ExitFlag(Arc<Shared>);
+
+impl Drop for ExitFlag {
+    fn drop(&mut self) {
+        self.0.worker_exited.store(true, Ordering::SeqCst);
+    }
 }
 
 /// Final accounting returned by [`Server::shutdown`].
@@ -184,6 +228,11 @@ pub struct ServerReport {
     pub expired: usize,
     /// Streams terminated by a worker panic.
     pub faulted: usize,
+    /// Queued requests retired at admission by the shed policy
+    /// (submit-time refusals are counted only in the
+    /// `microscopiq_requests_shed_total` metric — they were never
+    /// admitted).
+    pub shed: usize,
     /// KV rows still held at exit — 0 unless the worker died abnormally.
     pub final_kv_rows: usize,
     /// Most streams ever live at once (admitted and unfinished).
@@ -193,7 +242,7 @@ pub struct ServerReport {
 /// Cheap, cloneable submission endpoint for a running [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerHandle {
-    tx: mpsc::SyncSender<Incoming>,
+    tx: mpsc::SyncSender<WorkerMsg>,
     policy: AdmissionPolicy,
     shared: Arc<Shared>,
 }
@@ -220,12 +269,22 @@ impl ServerHandle {
     ///
     /// # Errors
     ///
-    /// Same as [`ServerHandle::submit`].
+    /// Same as [`ServerHandle::submit`], plus [`SubmitError::Shed`]
+    /// when the worker's [`ShedPolicy`] is currently shedding the
+    /// request's QoS class.
     pub fn submit_with(
         &self,
         req: GenRequest,
         opts: RequestOptions,
     ) -> Result<ResponseStream, SubmitError> {
+        // Fast-path overload rejection: the worker publishes its shed
+        // level between steps; sheddable classes are refused here
+        // before they ever consume a queue slot.
+        let level = self.shared.shed_level.load(Ordering::Relaxed);
+        if level >= ShedPolicy::shed_at(req.class) {
+            self.shared.metrics.shed[req.class.index()].inc();
+            return Err(SubmitError::Shed);
+        }
         let (events, rx) = mpsc::channel();
         let cancelled = Arc::new(AtomicBool::new(false));
         let inc = Incoming {
@@ -243,11 +302,18 @@ impl ServerHandle {
         let depth = &self.shared.metrics.queue_depth;
         depth.add(1);
         let sent = match self.policy {
-            AdmissionPolicy::Block => self.tx.send(inc).map_err(|_| SubmitError::ServerClosed),
-            AdmissionPolicy::Reject => self.tx.try_send(inc).map_err(|e| match e {
-                mpsc::TrySendError::Full(_) => SubmitError::QueueFull,
-                mpsc::TrySendError::Disconnected(_) => SubmitError::ServerClosed,
-            }),
+            AdmissionPolicy::Block => self
+                .tx
+                .send(WorkerMsg::Submit(inc))
+                .map_err(|_| SubmitError::ServerClosed),
+            AdmissionPolicy::Reject => {
+                self.tx
+                    .try_send(WorkerMsg::Submit(inc))
+                    .map_err(|e| match e {
+                        mpsc::TrySendError::Full(_) => SubmitError::QueueFull,
+                        mpsc::TrySendError::Disconnected(_) => SubmitError::ServerClosed,
+                    })
+            }
         };
         if let Err(e) = sent {
             depth.add(-1);
@@ -261,6 +327,32 @@ impl ServerHandle {
             cancelled,
             terminated: false,
         })
+    }
+
+    /// The current overload shed level: 0 = serving every class, 1 =
+    /// shedding best-effort, 2 = shedding batch too. Always 0 without a
+    /// [`ShedPolicy`].
+    pub fn shed_level(&self) -> u8 {
+        self.shared.shed_level.load(Ordering::Relaxed)
+    }
+
+    /// Whether the worker thread is still running. Flips to `false`
+    /// the moment the worker exits — normal shutdown drain *or* a
+    /// crash (set by a drop guard during unwinding) — so a router can
+    /// pull a dead worker from rotation without probing it with a
+    /// doomed submission.
+    pub fn worker_alive(&self) -> bool {
+        !self.shared.worker_exited.load(Ordering::SeqCst)
+    }
+
+    /// Failure-injection hook: makes the worker thread panic *outside*
+    /// its per-step panic guard, killing it the way an unexpected crash
+    /// would — live streams see [`ServeError::Disconnected`], later
+    /// submissions fail with [`SubmitError::ServerClosed`], and a
+    /// [`Fleet`](crate::net::Fleet) drops the worker from rotation.
+    /// Used by the chaos tests; never called in normal operation.
+    pub fn inject_worker_panic(&self) {
+        let _ = self.tx.send(WorkerMsg::InjectPanic);
     }
 
     /// Streams currently live (admitted and unfinished).
@@ -337,7 +429,8 @@ impl Server {
     ) -> Result<Self, QuantError> {
         let sched = crate::session::SchedulerConfig::new(cfg.max_batch)
             .prefill_chunk(cfg.prefill_chunk)
-            .token_budget(cfg.token_budget);
+            .token_budget(cfg.token_budget)
+            .qos(cfg.qos);
         let session = Session::with_config(model, engine, sched, cfg.kv_mode)?;
         // One registry for the whole stack: the session created it and
         // registered its scheduler instruments; the engine contributes
@@ -352,6 +445,8 @@ impl Server {
             metrics,
             trace,
             telemetry: cfg.telemetry,
+            shed_level: AtomicU8::new(0),
+            worker_exited: AtomicBool::new(false),
         });
         let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
         let worker_shared = Arc::clone(&shared);
@@ -377,12 +472,29 @@ impl Server {
     /// Stops admission, drains every in-flight request to its terminal
     /// event, joins the worker, and returns the final accounting.
     /// Blocks until all cloned handles are dropped.
-    pub fn shutdown(mut self) -> ServerReport {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread crashed outside its panic guard
+    /// (e.g. via [`ServerHandle::inject_worker_panic`]); use
+    /// [`Server::try_shutdown`] to observe that instead.
+    pub fn shutdown(self) -> ServerReport {
+        self.try_shutdown()
+            .expect("serving worker crashed outside its panic guard")
+    }
+
+    /// Like [`Server::shutdown`], but a worker that died outside its
+    /// panic guard returns `Err(panic message)` instead of propagating
+    /// the panic — how a [`Fleet`](crate::net::Fleet) drains dead
+    /// workers without dying itself.
+    ///
+    /// # Errors
+    ///
+    /// The worker thread's panic message, if it crashed.
+    pub fn try_shutdown(mut self) -> Result<ServerReport, String> {
         self.handle.take();
         let worker = self.worker.take().expect("worker not yet joined");
-        worker
-            .join()
-            .expect("serving worker crashed outside its panic guard")
+        worker.join().map_err(panic_message)
     }
 }
 
@@ -400,6 +512,7 @@ struct Live {
     events: mpsc::Sender<StreamEvent>,
     cancelled: Arc<AtomicBool>,
     deadline: Option<Deadline>,
+    class: QosClass,
     admitted_step: usize,
     /// Client-side enqueue instant (zero point for TTFT).
     submitted: Instant,
@@ -429,13 +542,15 @@ fn request_tid(id: RequestId) -> u64 {
 
 fn worker_loop<E: PackedGemm>(
     mut session: Session<E>,
-    rx: mpsc::Receiver<Incoming>,
+    rx: mpsc::Receiver<WorkerMsg>,
     cfg: ServerConfig,
     shared: Arc<Shared>,
 ) -> ServerReport {
     let mut live: HashMap<RequestId, Live> = HashMap::new();
     let mut report = ServerReport::default();
     let mut rx_open = true;
+    let mut shed_state = ShedState::default();
+    let _exit_flag = ExitFlag(Arc::clone(&shared));
 
     loop {
         // One clock sample per loop iteration: admission stamps and every
@@ -443,12 +558,26 @@ fn worker_loop<E: PackedGemm>(
         // with the same deadline expire on the same step.
         let mut now = Instant::now();
 
+        // Re-grade overload before admitting: the published level gates
+        // both submit-time refusals (on client threads) and the
+        // admission-time retirement below.
+        if let Some(policy) = &cfg.shed {
+            let backlog = shared.metrics.queue_depth.get().max(0) as usize + session.pending();
+            let level = shed_state.grade(policy, &shared.metrics, backlog);
+            shared.shed_level.store(level, Ordering::Relaxed);
+        }
+
         // Continuous admission: pull waiting submissions into the
         // session between steps, up to the in-flight cap. Leaving the
         // rest queued is what gives the bounded queue its backpressure.
         while rx_open && live.len() < cfg.max_in_flight {
             match rx.try_recv() {
-                Ok(inc) => admit(&mut session, &mut live, &mut report, inc, now, &shared),
+                Ok(WorkerMsg::Submit(inc)) => {
+                    admit(&mut session, &mut live, &mut report, inc, now, &shared)
+                }
+                Ok(WorkerMsg::InjectPanic) => {
+                    panic!("injected worker panic (failure-injection hook)")
+                }
                 Err(mpsc::TryRecvError::Empty) => break,
                 Err(mpsc::TryRecvError::Disconnected) => rx_open = false,
             }
@@ -460,9 +589,12 @@ fn worker_loop<E: PackedGemm>(
             // Idle: park until the next submission (or shutdown). The
             // park is unbounded, so restamp the clock before admitting.
             match rx.recv() {
-                Ok(inc) => {
+                Ok(WorkerMsg::Submit(inc)) => {
                     now = Instant::now();
                     admit(&mut session, &mut live, &mut report, inc, now, &shared);
+                }
+                Ok(WorkerMsg::InjectPanic) => {
+                    panic!("injected worker panic (failure-injection hook)")
                 }
                 Err(_) => rx_open = false,
             }
@@ -549,16 +681,56 @@ fn worker_loop<E: PackedGemm>(
     report
 }
 
+/// Worker-side shed controller state. The queue-pressure trigger is
+/// graded fresh every call; the latency trigger is graded over
+/// *windows* of [`ShedPolicy::min_samples`] interactive TTFT samples
+/// (via [`HistogramSnapshot::since`]) so that a breach long past cannot
+/// latch shedding forever — the level recovers one window after
+/// latencies do.
+#[derive(Default)]
+struct ShedState {
+    /// Interactive TTFT snapshot at the start of the current window.
+    window_start: crate::telemetry::HistogramSnapshot,
+    /// Level from the last completed latency window.
+    latency_level: u8,
+}
+
+impl ShedState {
+    fn grade(&mut self, policy: &ShedPolicy, metrics: &ServerMetrics, backlog: usize) -> u8 {
+        let current = metrics.ttft_us[QosClass::Interactive.index()].snapshot();
+        let window = current.since(&self.window_start);
+        if window.count >= policy.min_samples.max(1) {
+            let p99 = window.percentile(99.0);
+            let target = policy.interactive_ttft_p99.as_micros().max(1) as f64;
+            self.latency_level = if p99 > 2.0 * target {
+                2
+            } else if p99 > target {
+                1
+            } else {
+                0
+            };
+            self.window_start = current;
+        }
+        let queue_level = if backlog > policy.queue_high.saturating_mul(2) {
+            2
+        } else if backlog > policy.queue_high {
+            1
+        } else {
+            0
+        };
+        self.latency_level.max(queue_level)
+    }
+}
+
 /// Records per-token latency metrics and first-token trace events for
 /// one stream. Every token emitted by a step shares one timestamp `at`.
 fn record_token(shared: &Shared, id: RequestId, l: &mut Live, at: Instant) {
     if shared.telemetry {
         shared.metrics.tokens_streamed.inc();
+        let class = l.class.index();
         match l.last_token_at {
             None => {
-                shared
-                    .metrics
-                    .ttft_us
+                shared.metrics.ttft_us[class]
                     .record_duration(at.saturating_duration_since(l.submitted));
                 shared
                     .metrics
@@ -566,9 +738,7 @@ fn record_token(shared: &Shared, id: RequestId, l: &mut Live, at: Instant) {
                     .record_duration(at.saturating_duration_since(l.admitted_at));
             }
             Some(prev) => {
-                shared
-                    .metrics
-                    .inter_token_us
+                shared.metrics.inter_token_us[class]
                     .record_duration(at.saturating_duration_since(prev));
             }
         }
@@ -642,6 +812,18 @@ fn admit<E: PackedGemm>(
         shared.metrics.cancelled.inc();
         return;
     }
+    // A request that was queued when the shed level rose past its class
+    // is retired here without running: counted as admitted + shed so
+    // the accounting identity (admitted = finished + cancelled +
+    // expired + faulted + shed + live) still holds.
+    let level = shared.shed_level.load(Ordering::Relaxed);
+    if level >= ShedPolicy::shed_at(inc.req.class) {
+        report.shed += 1;
+        shared.metrics.admitted.inc();
+        shared.metrics.shed[inc.req.class.index()].inc();
+        let _ = inc.events.send(StreamEvent::Error(ServeError::Shed));
+        return;
+    }
     let admitted_step = session.stats().steps;
     let Incoming {
         req,
@@ -652,6 +834,7 @@ fn admit<E: PackedGemm>(
     } = inc;
     let prompt_tokens = req.prompt.len();
     let max_new_tokens = req.max_new_tokens;
+    let class = req.class;
     // `Session::submit` validates the prompt and panics on malformed
     // input; caught here, that faults only the offending stream.
     match catch_unwind(AssertUnwindSafe(|| session.submit(req))) {
@@ -681,6 +864,7 @@ fn admit<E: PackedGemm>(
                     events,
                     cancelled,
                     deadline: opts.deadline,
+                    class,
                     admitted_step,
                     submitted,
                     admitted_at: now,

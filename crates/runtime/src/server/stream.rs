@@ -33,6 +33,10 @@ pub enum ServeError {
     /// payload is the panic message. Admission-time panics (e.g. a
     /// malformed prompt) fault only the offending stream.
     WorkerPanicked(String),
+    /// The request was queued when the server's
+    /// [`ShedPolicy`](super::ShedPolicy) started shedding its QoS
+    /// class; it was retired at admission without running.
+    Shed,
     /// The worker vanished without a terminal event (server bug or
     /// hard crash); the request's fate is unknown.
     Disconnected,
@@ -43,6 +47,7 @@ impl std::fmt::Display for ServeError {
         match self {
             Self::DeadlineExceeded => write!(f, "deadline exceeded"),
             Self::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+            Self::Shed => write!(f, "shed under overload"),
             Self::Disconnected => write!(f, "server disconnected"),
         }
     }

@@ -54,8 +54,88 @@ use microscopiq_linalg::SeededRng;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+/// Priority class of a request — the unit of QoS isolation. Classes are
+/// a pure *scheduling* signal: they decide when a request's tokens are
+/// computed, never which tokens (the determinism contract is
+/// class-blind). [`BatchScheduler`] plans classes in priority order with
+/// guaranteed weighted shares ([`QosShares`]), and the serving
+/// front-end's load shedding rejects lower classes first.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum QosClass {
+    /// Latency-sensitive traffic; planned first, never shed.
+    #[default]
+    Interactive,
+    /// Throughput traffic; shed only under severe overload.
+    Batch,
+    /// Scavenger traffic; first to be shed, smallest guaranteed share.
+    BestEffort,
+}
+
+impl QosClass {
+    /// Every class, in scheduling priority order.
+    pub const ALL: [QosClass; 3] = [QosClass::Interactive, QosClass::Batch, QosClass::BestEffort];
+
+    /// Stable index (priority order) for per-class tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            QosClass::Interactive => 0,
+            QosClass::Batch => 1,
+            QosClass::BestEffort => 2,
+        }
+    }
+
+    /// The metric-label / wire spelling of the class.
+    pub fn label(self) -> &'static str {
+        match self {
+            QosClass::Interactive => "interactive",
+            QosClass::Batch => "batch",
+            QosClass::BestEffort => "best_effort",
+        }
+    }
+
+    /// Parses the wire spelling (`best-effort` is accepted alongside
+    /// `best_effort`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "interactive" => Some(QosClass::Interactive),
+            "batch" => Some(QosClass::Batch),
+            "best_effort" | "best-effort" => Some(QosClass::BestEffort),
+            _ => None,
+        }
+    }
+}
+
+/// Relative token-budget weights per [`QosClass`] under contention.
+/// When more than one class has pending work, each present class is
+/// guaranteed `max(1, budget · weight / Σ present weights)` of the
+/// per-step token budget (and the analogous share of batch slots)
+/// before leftovers spill in priority order — so interactive traffic
+/// dominates without ever starving batch or best-effort completely.
+/// With a single class present the weights are irrelevant and planning
+/// is exactly the historical FCFS behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QosShares {
+    /// Weight of [`QosClass::Interactive`].
+    pub interactive: u32,
+    /// Weight of [`QosClass::Batch`].
+    pub batch: u32,
+    /// Weight of [`QosClass::BestEffort`].
+    pub best_effort: u32,
+}
+
+impl Default for QosShares {
+    fn default() -> Self {
+        Self {
+            interactive: 8,
+            batch: 3,
+            best_effort: 1,
+        }
+    }
+}
+
 /// One generation request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct GenRequest {
     /// Prompt tokens (must be non-empty and in-vocabulary).
     pub prompt: Vec<usize>,
@@ -66,6 +146,9 @@ pub struct GenRequest {
     /// Sampling seed; identical (model, prompt, seed, temperature) yield
     /// identical outputs regardless of batching.
     pub seed: u64,
+    /// QoS class — scheduling priority and shed order only; never
+    /// affects which tokens are generated.
+    pub class: QosClass,
 }
 
 /// Identifier assigned by [`Session::submit`], in submission order.
@@ -128,6 +211,10 @@ pub struct SchedulerConfig {
     /// Budget is consumed in queue order, so established decode streams
     /// at the queue front are served before prefill chunks behind them.
     pub token_budget: usize,
+    /// Weighted guaranteed shares of slots and token budget per
+    /// [`QosClass`] when classes compete (see [`QosShares`]). Irrelevant
+    /// while only one class has pending work.
+    pub qos: QosShares,
 }
 
 impl Default for SchedulerConfig {
@@ -136,6 +223,7 @@ impl Default for SchedulerConfig {
             max_batch: 8,
             prefill_chunk: usize::MAX,
             token_budget: usize::MAX,
+            qos: QosShares::default(),
         }
     }
 }
@@ -162,10 +250,20 @@ impl SchedulerConfig {
         self
     }
 
+    /// Sets the per-class QoS share weights.
+    pub fn qos(mut self, shares: QosShares) -> Self {
+        self.qos = shares;
+        self
+    }
+
     fn validate(&self) {
         assert!(self.max_batch > 0, "batch size must be positive");
         assert!(self.prefill_chunk > 0, "prefill chunk must be positive");
         assert!(self.token_budget > 0, "token budget must be positive");
+        assert!(
+            self.qos.interactive > 0 && self.qos.batch > 0 && self.qos.best_effort > 0,
+            "QoS share weights must be positive"
+        );
     }
 }
 
@@ -212,6 +310,9 @@ pub struct StepBatch {
     /// `(request, tokens advanced)` for each prefill chunk in the batch,
     /// so a tracing front-end can emit per-request chunk spans.
     pub prefilled: Vec<(RequestId, usize)>,
+    /// Requests per [`QosClass`] in the batch, indexed by
+    /// [`QosClass::index`] — how the weighted shares actually landed.
+    pub class_requests: [usize; 3],
 }
 
 #[derive(Debug)]
@@ -221,6 +322,7 @@ struct InFlight {
     prompt_len: usize,
     remaining: usize,
     temperature: f64,
+    class: QosClass,
     rng: SeededRng,
     /// Incremental decode state; created the first step this request is
     /// scheduled and advanced chunk by chunk until the prompt is done.
@@ -250,13 +352,19 @@ impl InFlight {
     }
 }
 
-/// Packs pending requests into decode batches: arrival order, bounded by
-/// [`SchedulerConfig::max_batch`] requests and
+/// Packs pending requests into decode batches: arrival order within each
+/// [`QosClass`], bounded by [`SchedulerConfig::max_batch`] requests and
 /// [`SchedulerConfig::token_budget`] new tokens per step, advancing
 /// prefills at most [`SchedulerConfig::prefill_chunk`] tokens at a time.
+/// When more than one class has pending work, each present class is first
+/// granted its weighted guaranteed share of slots and budget
+/// ([`QosShares`], priority order), then leftovers spill in priority
+/// order; with a single class present the plan is exactly the historical
+/// FCFS plan.
 #[derive(Debug)]
 pub struct BatchScheduler {
-    queue: VecDeque<InFlight>,
+    /// One FIFO per class, indexed by [`QosClass::index`].
+    queues: [VecDeque<InFlight>; 3],
     cfg: SchedulerConfig,
 }
 
@@ -279,39 +387,133 @@ impl BatchScheduler {
     pub fn with_config(cfg: SchedulerConfig) -> Self {
         cfg.validate();
         Self {
-            queue: VecDeque::new(),
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
             cfg,
         }
     }
 
     fn push(&mut self, req: InFlight) {
-        self.queue.push_back(req);
+        self.queues[req.class.index()].push_back(req);
     }
 
-    /// Plans one step: pops requests from the queue front until the
-    /// batch or token budget is exhausted, deciding how many new tokens
-    /// each rides with. Every planned request advances at least one
-    /// token, so prefills always make progress; a request whose chunk
-    /// would not fit the remaining budget rides with the clipped chunk
-    /// (any split is exact-KV-bitwise-safe).
-    fn take_planned(&mut self) -> Vec<(InFlight, usize)> {
-        let mut budget = self.cfg.token_budget;
-        let mut planned = Vec::new();
-        while planned.len() < self.cfg.max_batch && budget > 0 {
-            let Some(front) = self.queue.front() else {
+    /// Returns a mid-step request to the front of its class queue,
+    /// preserving arrival order within the class.
+    fn requeue_front(&mut self, req: InFlight) {
+        self.queues[req.class.index()].push_front(req);
+    }
+
+    /// All pending requests, priority order across classes, arrival order
+    /// within each class.
+    fn iter(&self) -> impl Iterator<Item = &InFlight> {
+        self.queues.iter().flat_map(|q| q.iter())
+    }
+
+    /// Removes and returns the pending request with the given id.
+    fn remove(&mut self, id: RequestId) -> Option<InFlight> {
+        for q in &mut self.queues {
+            if let Some(pos) = q.iter().position(|r| r.id == id) {
+                return q.remove(pos);
+            }
+        }
+        None
+    }
+
+    /// Plans from one class queue: pops requests from its front while the
+    /// global and per-class slot/token allowances all have room, deciding
+    /// how many new tokens each rides with. Every planned request
+    /// advances at least one token, so prefills always make progress; a
+    /// request whose chunk would not fit the remaining allowance rides
+    /// with the clipped chunk (any split is exact-KV-bitwise-safe).
+    fn plan_from(
+        &mut self,
+        class: usize,
+        mut class_slots: usize,
+        mut class_tokens: usize,
+        slots: &mut usize,
+        budget: &mut usize,
+        planned: &mut Vec<(InFlight, usize)>,
+    ) {
+        while *slots > 0 && *budget > 0 && class_slots > 0 && class_tokens > 0 {
+            let Some(front) = self.queues[class].front() else {
                 break;
             };
-            let take = front.step_tokens(self.cfg.prefill_chunk).min(budget);
-            let req = self.queue.pop_front().expect("front exists");
-            budget -= take;
+            let take = front
+                .step_tokens(self.cfg.prefill_chunk)
+                .min(*budget)
+                .min(class_tokens);
+            let req = self.queues[class].pop_front().expect("front exists");
+            *slots -= 1;
+            *budget -= take;
+            class_slots -= 1;
+            class_tokens = class_tokens.saturating_sub(take);
             planned.push((req, take));
+        }
+    }
+
+    /// Plans one step. Pass 1 (only when classes compete) grants each
+    /// present class `max(1, allowance · weight / Σ present weights)` of
+    /// the batch slots and token budget, priority order; pass 2 spills
+    /// whatever remains, priority order. Class never affects *which*
+    /// tokens a request generates — only when they are computed.
+    fn take_planned(&mut self) -> Vec<(InFlight, usize)> {
+        let mut slots = self.cfg.max_batch;
+        let mut budget = self.cfg.token_budget;
+        let mut planned = Vec::new();
+        let present: Vec<usize> = (0..3).filter(|&c| !self.queues[c].is_empty()).collect();
+        if present.len() > 1 {
+            let weights = [
+                u64::from(self.cfg.qos.interactive),
+                u64::from(self.cfg.qos.batch),
+                u64::from(self.cfg.qos.best_effort),
+            ];
+            let total: u64 = present.iter().map(|&c| weights[c]).sum();
+            // Shares come from the *initial* allowances so a lower
+            // class's guarantee is not eroded by what higher classes
+            // consumed first.
+            let share = |allowance: usize, c: usize| -> usize {
+                if allowance == usize::MAX {
+                    // Unbounded allowances are shared by slots alone.
+                    usize::MAX
+                } else {
+                    ((allowance as u64 * weights[c] / total).max(1)) as usize
+                }
+            };
+            let shares: Vec<(usize, usize, usize)> = present
+                .iter()
+                .map(|&c| (c, share(slots, c), share(budget, c)))
+                .collect();
+            for (c, slot_share, token_share) in shares {
+                self.plan_from(
+                    c,
+                    slot_share,
+                    token_share,
+                    &mut slots,
+                    &mut budget,
+                    &mut planned,
+                );
+            }
+        }
+        for &c in &present {
+            self.plan_from(
+                c,
+                usize::MAX,
+                usize::MAX,
+                &mut slots,
+                &mut budget,
+                &mut planned,
+            );
         }
         planned
     }
 
     /// Requests waiting or in flight.
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Requests waiting or in flight in one class.
+    pub fn pending_class(&self, class: QosClass) -> usize {
+        self.queues[class.index()].len()
     }
 
     /// The scheduling knobs.
@@ -513,7 +715,7 @@ impl<E: PackedGemm> Session<E> {
     /// queue, or finished-but-undrained (zero-budget submissions before
     /// the next [`Session::step`]).
     pub fn is_live(&self, id: RequestId) -> bool {
-        self.scheduler.queue.iter().any(|r| r.id == id) || self.finished.iter().any(|r| r.id == id)
+        self.scheduler.iter().any(|r| r.id == id) || self.finished.iter().any(|r| r.id == id)
     }
 
     /// Enqueues a request, returning its id. Requests with a zero token
@@ -545,6 +747,7 @@ impl<E: PackedGemm> Session<E> {
             tokens: req.prompt,
             remaining: req.max_new_tokens,
             temperature: req.temperature,
+            class: req.class,
             rng: SeededRng::new(req.seed),
             state: None,
         });
@@ -561,10 +764,10 @@ impl<E: PackedGemm> Session<E> {
     /// through [`Session::step`] is also cancellable — its result is
     /// discarded.
     pub fn cancel(&mut self, id: RequestId) -> bool {
-        if let Some(pos) = self.scheduler.queue.iter().position(|r| r.id == id) {
+        if let Some(req) = self.scheduler.remove(id) {
             // Dropping the InFlight drops its DecodeState: the KV cache
             // is reclaimed now, not at some later step.
-            self.scheduler.queue.remove(pos);
+            drop(req);
             self.stats.cancelled += 1;
             self.metrics.cancelled.inc();
             self.record_occupancy();
@@ -595,7 +798,6 @@ impl<E: PackedGemm> Session<E> {
     /// always reports 0.
     pub fn kv_occupancy(&self) -> usize {
         self.scheduler
-            .queue
             .iter()
             .map(|r| r.state.as_ref().map_or(0, |s| s.kv_rows()))
             .sum()
@@ -605,7 +807,6 @@ impl<E: PackedGemm> Session<E> {
     /// [`microscopiq_fm::DecodeState::kv_bytes`]).
     pub fn kv_occupancy_bytes(&self) -> usize {
         self.scheduler
-            .queue
             .iter()
             .map(|r| r.state.as_ref().map_or(0, |s| s.kv_bytes()))
             .sum()
@@ -641,6 +842,7 @@ impl<E: PackedGemm> Session<E> {
                 ..StepBatch::default()
             };
             for (req, take) in batch.iter_mut() {
+                sb.class_requests[req.class.index()] += 1;
                 if req.state.is_none() {
                     req.state = Some(
                         DecodeState::new(self.model.config(), self.kv_mode)
@@ -696,9 +898,10 @@ impl<E: PackedGemm> Session<E> {
                 generated += 1;
             }
             self.stats.tokens_generated += generated;
-            // Retire finished requests; the rest return to the queue's
-            // front in order, keeping arrival-order fairness (a request
-            // parked mid-prefill keeps its place in line).
+            // Retire finished requests; the rest return to their class
+            // queue's front in order, keeping arrival-order fairness
+            // within the class (a request parked mid-prefill keeps its
+            // place in line).
             for (req, _) in batch.into_iter().rev() {
                 if req.remaining == 0 {
                     let InFlight {
@@ -718,7 +921,7 @@ impl<E: PackedGemm> Session<E> {
                         tokens,
                     });
                 } else {
-                    self.scheduler.queue.push_front(req);
+                    self.scheduler.requeue_front(req);
                 }
             }
             let sb = step_batch.as_mut().expect("set when batch non-empty");
@@ -815,6 +1018,7 @@ mod tests {
                 max_new_tokens: 4 + i,
                 temperature: 0.8,
                 seed: 100 + i as u64,
+                ..Default::default()
             })
             .collect();
         let expected: Vec<Vec<usize>> = reqs.iter().map(|r| solo_generate(&packed, r)).collect();
@@ -847,6 +1051,7 @@ mod tests {
                 max_new_tokens: 2,
                 temperature: 0.7,
                 seed: i as u64,
+                ..Default::default()
             });
         }
         let results = session.run_to_completion();
@@ -866,6 +1071,7 @@ mod tests {
             max_new_tokens: 0,
             temperature: 1.0,
             seed: 1,
+            ..Default::default()
         });
         let results = session.run_to_completion();
         assert_eq!(results.len(), 1);
@@ -888,6 +1094,7 @@ mod tests {
                     max_new_tokens: budget,
                     temperature: 0.8,
                     seed: budget as u64,
+                    ..Default::default()
                 })
             })
             .collect();
@@ -912,6 +1119,7 @@ mod tests {
             max_new_tokens: 0,
             temperature: 1.0,
             seed: 9,
+            ..Default::default()
         });
         let done = session.step();
         assert_eq!(done.len(), 1);
@@ -929,6 +1137,7 @@ mod tests {
                 max_new_tokens: 5,
                 temperature: 0.8,
                 seed: i,
+                ..Default::default()
             });
         }
         session.run_to_completion();
@@ -959,6 +1168,7 @@ mod tests {
             max_new_tokens: 24,
             temperature: 0.8,
             seed: 5,
+            ..Default::default()
         });
         let results = session.run_to_completion();
         assert_eq!(results.len(), 1);
@@ -992,6 +1202,7 @@ mod tests {
                     max_new_tokens: 3,
                     temperature: 0.8,
                     seed: 70 + i as u64,
+                    ..Default::default()
                 })
             })
             .collect();
@@ -1027,12 +1238,14 @@ mod tests {
             max_new_tokens: 4,
             temperature: 0.8,
             seed: 1,
+            ..Default::default()
         });
         let drop_id = session.submit(GenRequest {
             prompt: vec![3, 4, 5],
             max_new_tokens: 4,
             temperature: 0.8,
             seed: 2,
+            ..Default::default()
         });
         session.step();
         // Both prompts prefilled; each step's sampled token reaches the
@@ -1063,6 +1276,7 @@ mod tests {
             max_new_tokens: 2,
             temperature: 0.8,
             seed: 3,
+            ..Default::default()
         });
         assert_eq!(session.kv_occupancy(), 0, "nothing prefilled yet");
         assert!(session.step().is_empty());
@@ -1085,6 +1299,7 @@ mod tests {
             max_new_tokens: 0,
             temperature: 1.0,
             seed: 4,
+            ..Default::default()
         });
         assert!(session.cancel(id));
         assert!(session.step().is_empty(), "cancelled result never drains");
@@ -1099,6 +1314,7 @@ mod tests {
                 max_new_tokens: 3 + i,
                 temperature: 0.8,
                 seed: 500 + i as u64,
+                ..Default::default()
             })
             .collect();
         let mut whole = Session::new(packed.clone(), DequantGemm, 3);
@@ -1137,6 +1353,7 @@ mod tests {
             max_new_tokens: 2,
             temperature: 0.8,
             seed: 7,
+            ..Default::default()
         });
         // Chunks of 3/3/3/1, no token sampled until the prompt completes.
         for expect_prefilled in [3usize, 6, 9] {
@@ -1174,6 +1391,7 @@ mod tests {
                 max_new_tokens: 2,
                 temperature: 0.8,
                 seed: i as u64,
+                ..Default::default()
             });
         }
         let results = session.run_to_completion();
@@ -1196,12 +1414,14 @@ mod tests {
             max_new_tokens: 2,
             temperature: 0.8,
             seed: 1,
+            ..Default::default()
         });
         let victim = session.submit(GenRequest {
             prompt: (0..20).map(|t| t % 50).collect(),
             max_new_tokens: 4,
             temperature: 0.8,
             seed: 2,
+            ..Default::default()
         });
         session.step();
         // keep: 2-token prompt fully prefilled; victim: one 4-token chunk.
@@ -1241,6 +1461,203 @@ mod tests {
             max_new_tokens: 1,
             temperature: 1.0,
             seed: 0,
+            ..Default::default()
         });
+    }
+
+    #[test]
+    fn qos_class_never_changes_outputs() {
+        // Class is a pure scheduling signal: a mixed-class fleet must
+        // produce bitwise the same tokens as the same fleet all-default.
+        let (_, packed) = packed_model(61);
+        let mk = |classed: bool| {
+            let mut session = Session::with_config(
+                packed.clone(),
+                DequantGemm,
+                SchedulerConfig::new(3).token_budget(4),
+                KvMode::Exact,
+            )
+            .unwrap();
+            for i in 0..6usize {
+                session.submit(GenRequest {
+                    prompt: vec![1 + i, 2],
+                    max_new_tokens: 3 + i % 3,
+                    temperature: 0.8,
+                    seed: 40 + i as u64,
+                    class: if classed {
+                        QosClass::ALL[i % 3]
+                    } else {
+                        QosClass::default()
+                    },
+                });
+            }
+            session.run_to_completion()
+        };
+        let classed = mk(true);
+        let plain = mk(false);
+        assert_eq!(classed.len(), plain.len());
+        for (a, b) in classed.iter().zip(plain.iter()) {
+            assert_eq!(a.tokens, b.tokens, "request {} diverged by class", a.id);
+        }
+    }
+
+    #[test]
+    fn qos_interactive_preempts_batch_backlog() {
+        // One slot per step: a batch-class backlog must not delay an
+        // interactive arrival once classes compete.
+        let (_, packed) = packed_model(62);
+        let mut session =
+            Session::with_config(packed, DequantGemm, SchedulerConfig::new(1), KvMode::Exact)
+                .unwrap();
+        for i in 0..4usize {
+            session.submit(GenRequest {
+                prompt: vec![1 + i],
+                max_new_tokens: 4,
+                temperature: 0.8,
+                seed: i as u64,
+                class: QosClass::Batch,
+            });
+        }
+        let interactive = session.submit(GenRequest {
+            prompt: vec![9],
+            max_new_tokens: 2,
+            temperature: 0.8,
+            seed: 99,
+            class: QosClass::Interactive,
+        });
+        // The very next step must ride the interactive request even
+        // though four batch requests arrived first.
+        let report = session.step_report();
+        let batch = report.batch.expect("a step ran");
+        assert_eq!(batch.class_requests, [1, 0, 0]);
+        assert!(report.emitted.iter().any(|&(id, _)| id == interactive));
+    }
+
+    #[test]
+    fn qos_shares_split_token_budget_under_contention() {
+        // 4 interactive + 4 batch decode streams, budget 6, default
+        // shares 8:3 → pass 1 grants interactive 4 (all it has) and
+        // batch 1; the spill grants batch 1 more.
+        let (_, packed) = packed_model(63);
+        let mut session = Session::with_config(
+            packed,
+            DequantGemm,
+            SchedulerConfig::new(8).token_budget(6),
+            KvMode::Exact,
+        )
+        .unwrap();
+        for i in 0..4usize {
+            session.submit(GenRequest {
+                prompt: vec![1 + i],
+                max_new_tokens: 8,
+                temperature: 0.8,
+                seed: i as u64,
+                class: QosClass::Interactive,
+            });
+            session.submit(GenRequest {
+                prompt: vec![2 + i],
+                max_new_tokens: 8,
+                temperature: 0.8,
+                seed: 10 + i as u64,
+                class: QosClass::Batch,
+            });
+        }
+        // First step prefills; from the second step on, all 8 are
+        // single-token decode streams competing for the budget of 6.
+        session.step_report();
+        let report = session.step_report();
+        let batch = report.batch.expect("a step ran");
+        assert_eq!(batch.new_tokens, 6, "token budget fully used");
+        assert_eq!(
+            batch.class_requests,
+            [4, 2, 0],
+            "weighted shares: interactive 4, batch 1 + 1 spilled"
+        );
+    }
+
+    #[test]
+    fn qos_best_effort_is_not_starved() {
+        // An interactive flood competes with one best-effort request;
+        // the guaranteed max(1, ..) share must keep it progressing.
+        let (_, packed) = packed_model(64);
+        let mut session = Session::with_config(
+            packed,
+            DequantGemm,
+            SchedulerConfig::new(8).token_budget(4),
+            KvMode::Exact,
+        )
+        .unwrap();
+        for i in 0..8usize {
+            session.submit(GenRequest {
+                prompt: vec![1 + i],
+                max_new_tokens: 16,
+                temperature: 0.8,
+                seed: i as u64,
+                class: QosClass::Interactive,
+            });
+        }
+        let be = session.submit(GenRequest {
+            prompt: vec![11],
+            max_new_tokens: 3,
+            temperature: 0.8,
+            seed: 77,
+            class: QosClass::BestEffort,
+        });
+        let mut finished_at = None;
+        for step in 0..64 {
+            let done = session.step();
+            if done.iter().any(|r| r.id == be) {
+                finished_at = Some(step);
+                break;
+            }
+        }
+        // 1 prefill + 3 decode steps of guaranteed share, plus slack.
+        let at = finished_at.expect("best-effort request finished");
+        assert!(at <= 8, "best-effort starved: finished at step {at}");
+    }
+
+    #[test]
+    fn single_class_plan_is_fcfs_regardless_of_class() {
+        // With only one class present the weighted pass is skipped:
+        // a batch-only queue plans exactly like an interactive-only one.
+        let (_, packed) = packed_model(65);
+        let run = |class: QosClass| {
+            let mut session = Session::with_config(
+                packed.clone(),
+                DequantGemm,
+                SchedulerConfig::new(2).token_budget(3),
+                KvMode::Exact,
+            )
+            .unwrap();
+            for i in 0..4usize {
+                session.submit(GenRequest {
+                    prompt: vec![1 + i, 2],
+                    max_new_tokens: 3,
+                    temperature: 0.8,
+                    seed: i as u64,
+                    class,
+                });
+            }
+            let results = session.run_to_completion();
+            (results, session.stats())
+        };
+        let (r_int, s_int) = run(QosClass::Interactive);
+        let (r_be, s_be) = run(QosClass::BestEffort);
+        assert_eq!(s_int, s_be, "identical step/batch accounting");
+        for (a, b) in r_int.iter().zip(r_be.iter()) {
+            assert_eq!(a.tokens, b.tokens);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "QoS share weights must be positive")]
+    fn zero_qos_weight_is_rejected() {
+        let (_, packed) = packed_model(66);
+        let cfg = SchedulerConfig::new(2).qos(QosShares {
+            interactive: 8,
+            batch: 0,
+            best_effort: 1,
+        });
+        let _ = Session::with_config(packed, DequantGemm, cfg, KvMode::Exact);
     }
 }

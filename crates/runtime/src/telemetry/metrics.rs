@@ -268,6 +268,35 @@ impl HistogramSnapshot {
         self.buckets = merged;
     }
 
+    /// The samples recorded between `earlier` and `self`, where
+    /// `earlier` is a previous snapshot of the same (monotonically
+    /// growing) histogram — the windowed view an overload controller
+    /// grades so old samples cannot latch a breach forever.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        let mut e = earlier.buckets.iter().peekable();
+        for &(idx, n) in &self.buckets {
+            let prev = loop {
+                match e.peek() {
+                    Some(&&(ei, _)) if ei < idx => {
+                        e.next();
+                    }
+                    Some(&&(ei, en)) if ei == idx => break en,
+                    _ => break 0,
+                }
+            };
+            let delta = n.saturating_sub(prev);
+            if delta > 0 {
+                buckets.push((idx, delta));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets,
+        }
+    }
+
     /// Mean of the recorded values (exact — from the running sum), or
     /// 0.0 when empty.
     pub fn mean(&self) -> f64 {
@@ -476,6 +505,25 @@ impl MetricsRegistry {
         h
     }
 
+    /// Registers and returns a histogram carrying fixed labels — one
+    /// series of a multi-series family (e.g. per-QoS-class latency).
+    pub fn histogram_labeled(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.push(Entry {
+            name,
+            help,
+            labels,
+            kind: MetricKind::Histogram,
+            instrument: Instrument::Histogram(h.clone()),
+        });
+        h
+    }
+
     /// Registers a dynamic family; every sample it collects is exposed
     /// under `name` with the family's `kind`.
     pub fn register_collector(
@@ -618,6 +666,43 @@ impl MetricsSnapshot {
                 SampleValue::Histogram(h) => Some(h),
                 _ => None,
             })
+    }
+
+    /// The histogram sample named `name` whose labels include every
+    /// `(key, value)` in `labels` — one series of a labeled family.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter(|s| {
+                labels
+                    .iter()
+                    .all(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+            })
+            .find_map(|s| match &s.value {
+                SampleValue::Histogram(h) => Some(h),
+                _ => None,
+            })
+    }
+
+    /// All histogram series named `name` merged bucket-wise into one
+    /// distribution (`None` when the family is absent) — the
+    /// class-blind view of a per-class latency family.
+    pub fn histogram_merged(&self, name: &str) -> Option<HistogramSnapshot> {
+        let mut merged: Option<HistogramSnapshot> = None;
+        for s in self.samples.iter().filter(|s| s.name == name) {
+            if let SampleValue::Histogram(h) = &s.value {
+                match &mut merged {
+                    Some(m) => m.merge(h),
+                    None => merged = Some(h.clone()),
+                }
+            }
+        }
+        merged
     }
 
     /// Renders the snapshot in Prometheus text exposition format:

@@ -75,6 +75,7 @@ fn fleet(n: usize, vocab: usize, seed: u64, max_prompt: usize) -> Vec<GenRequest
             max_new_tokens: 1 + rng.below(5),
             temperature: 0.7 + 0.1 * (i % 3) as f64,
             seed: 4_000 + i as u64,
+            ..Default::default()
         })
         .collect()
 }
@@ -110,6 +111,7 @@ proptest! {
             max_new_tokens: 1 + rng.below(4),
             temperature: 0.8,
             seed: 7_000 + seed,
+            ..Default::default()
         };
         let sides = fleet(3, vocab, seed ^ 0x51de, 24);
         // The victim's long prompt guarantees it is still mid-prefill
@@ -119,6 +121,7 @@ proptest! {
             max_new_tokens: 4,
             temperature: 0.8,
             seed: 9_000 + seed,
+            ..Default::default()
         };
 
         // Reference: whole-prompt prefill, everything submitted upfront

@@ -151,6 +151,7 @@ fn fast_server_streams_match_exact_reference_at_near_greedy_temperature() {
             max_new_tokens: 6,
             temperature: 1e-6,
             seed: 600 + i as u64,
+            ..Default::default()
         })
         .collect();
     let mut offline = Session::new(model.clone(), DequantGemm, 4);
@@ -207,6 +208,7 @@ fn fast_tier_chunked_serving_reproduces_whole_prompt_tokens_on_pinned_fleet() {
             max_new_tokens: 4,
             temperature: 0.8,
             seed: 700 + i as u64,
+            ..Default::default()
         })
         .collect();
     let mut whole = Session::new(model.clone(), RuntimeEngine::fast(), 3);

@@ -1,0 +1,304 @@
+//! Fleet conformance: tokens streamed over the wire (HTTP/1.1 + SSE,
+//! multiple concurrent connections) must be **bitwise identical** to
+//! the offline [`Session::run_to_completion`] output on the exact
+//! engine — across fleet sizes 1, 2, and 4. Worker choice, routing,
+//! connection interleaving, and chunked framing must never leak into
+//! token streams.
+//!
+//! Also pinned here: keep-alive connection reuse, the `/metrics` and
+//! `/healthz` routes, QoS class round-tripping (a scheduling signal
+//! only — never changes outputs), and clean 4xx behavior at the edge.
+
+use microscopiq_core::{MicroScopiQ, QuantConfig};
+use microscopiq_fm::{DequantGemm, KvMode, PackedTinyFm, TinyFm, TinyFmConfig};
+use microscopiq_linalg::SeededRng;
+use microscopiq_runtime::net::{HttpClient, HttpConfig, HttpServer, Json};
+use microscopiq_runtime::{FleetConfig, GenRequest, GenResult, ServerConfig, Session};
+use std::sync::OnceLock;
+
+fn packed_model() -> &'static PackedTinyFm {
+    static MODEL: OnceLock<PackedTinyFm> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let cfg = TinyFmConfig {
+            d_model: 32,
+            n_heads: 2,
+            d_ff: 64,
+            n_layers: 2,
+            vocab: 48,
+        };
+        let fm = TinyFm::teacher(cfg, 77);
+        let mut rng = SeededRng::new(0xfee1);
+        let calib: Vec<Vec<usize>> = (0..3).map(|_| fm.generate(10, 0.9, &mut rng)).collect();
+        let q = MicroScopiQ::new(
+            QuantConfig::w4()
+                .macro_block(32)
+                .row_block(32)
+                .build()
+                .unwrap(),
+        );
+        PackedTinyFm::quantize_from(&fm, &q, &calib).unwrap()
+    })
+}
+
+fn request_fleet(n: usize, seed: u64) -> Vec<GenRequest> {
+    let vocab = packed_model().config().vocab;
+    let mut rng = SeededRng::new(seed);
+    (0..n)
+        .map(|i| GenRequest {
+            prompt: (0..1 + rng.below(6)).map(|_| rng.below(vocab)).collect(),
+            max_new_tokens: 1 + rng.below(5),
+            temperature: 0.7 + 0.1 * (i % 3) as f64,
+            seed: 2000 + i as u64,
+            ..Default::default()
+        })
+        .collect()
+}
+
+fn offline_reference(reqs: &[GenRequest]) -> Vec<GenResult> {
+    let mut session =
+        Session::with_kv_mode(packed_model().clone(), DequantGemm, 4, KvMode::Exact).unwrap();
+    for r in reqs {
+        session.submit(r.clone());
+    }
+    session.run_to_completion()
+}
+
+fn body_for(req: &GenRequest) -> String {
+    let prompt = req
+        .prompt
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        r#"{{"prompt":[{prompt}],"max_new_tokens":{},"temperature":{},"seed":{}}}"#,
+        req.max_new_tokens, req.temperature, req.seed,
+    )
+}
+
+/// Drives one generate call and returns `(streamed, done_tokens, worker)`.
+fn run_over_wire(client: &mut HttpClient, req: &GenRequest) -> (Vec<usize>, Vec<usize>, usize) {
+    let stream = client.generate(&body_for(req)).expect("generate");
+    assert_eq!(
+        stream.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(stream.error_body())
+    );
+    let events = stream.collect_events().expect("SSE events");
+    let mut streamed = Vec::new();
+    let mut done: Option<(Vec<usize>, usize)> = None;
+    for ev in events {
+        if let Some(tok) = ev.get("token").and_then(Json::as_usize) {
+            assert!(done.is_none(), "token after terminal event");
+            streamed.push(tok);
+        } else if ev.get("done").is_some() {
+            let tokens = ev
+                .get("tokens")
+                .and_then(Json::as_arr)
+                .expect("done carries tokens")
+                .iter()
+                .map(|t| t.as_usize().expect("token id"))
+                .collect();
+            let worker = ev
+                .get("worker")
+                .and_then(Json::as_usize)
+                .expect("worker id");
+            done = Some((tokens, worker));
+        } else {
+            panic!("unexpected event: {ev:?}");
+        }
+    }
+    let (tokens, worker) = done.expect("stream ended without a done event");
+    (streamed, tokens, worker)
+}
+
+fn spawn_fleet(workers: usize) -> HttpServer {
+    HttpServer::bind(
+        "127.0.0.1:0",
+        packed_model().clone(),
+        |_| DequantGemm,
+        HttpConfig {
+            fleet: FleetConfig {
+                workers,
+                server: ServerConfig {
+                    max_batch: 4,
+                    queue_capacity: 64,
+                    max_in_flight: 64,
+                    ..ServerConfig::default()
+                },
+            },
+            ..HttpConfig::default()
+        },
+    )
+    .expect("bind fleet")
+}
+
+#[test]
+fn wire_streams_match_offline_across_worker_counts() {
+    for workers in [1usize, 2, 4] {
+        let reqs = request_fleet(24, 31 + workers as u64);
+        let expected = offline_reference(&reqs);
+        let server = spawn_fleet(workers);
+        let addr = server.addr();
+
+        // 4 concurrent connections, each running its slice of requests
+        // back-to-back over one keep-alive connection.
+        let mut slices: Vec<Vec<(usize, GenRequest)>> = vec![Vec::new(); 4];
+        for (i, r) in reqs.iter().enumerate() {
+            slices[i % 4].push((i, r.clone()));
+        }
+        let outputs: Vec<(usize, Vec<usize>, Vec<usize>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = slices
+                .into_iter()
+                .map(|slice| {
+                    s.spawn(move || {
+                        let mut client = HttpClient::connect(addr).expect("connect");
+                        slice
+                            .into_iter()
+                            .map(|(i, req)| {
+                                let (streamed, tokens, worker) = run_over_wire(&mut client, &req);
+                                assert!(worker < workers, "worker id in range");
+                                (i, streamed, tokens)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+
+        for (i, streamed, tokens) in outputs {
+            let want = &expected[i];
+            assert_eq!(
+                tokens, want.tokens,
+                "worker_count={workers} request {i}: wire result differs from offline"
+            );
+            assert_eq!(
+                streamed,
+                want.tokens[reqs[i].prompt.len()..],
+                "worker_count={workers} request {i}: streamed tokens differ"
+            );
+        }
+        let report = server.shutdown();
+        assert_eq!(report.lost(), 0);
+        assert_eq!(report.total(|r| r.served), 24);
+    }
+}
+
+#[test]
+fn fleet_spreads_load_across_workers() {
+    let reqs = request_fleet(16, 99);
+    let server = spawn_fleet(4);
+    let addr = server.addr();
+    let workers_seen: Vec<usize> = std::thread::scope(|s| {
+        let handles: Vec<_> = reqs
+            .iter()
+            .map(|req| {
+                s.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    run_over_wire(&mut client, req).2
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // 16 concurrent requests over 4 workers: least-loaded routing must
+    // not funnel everything into one replica.
+    let distinct: std::collections::HashSet<_> = workers_seen.iter().collect();
+    assert!(
+        distinct.len() >= 2,
+        "all {} requests landed on one worker",
+        workers_seen.len()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn qos_class_round_trips_without_changing_outputs() {
+    let server = spawn_fleet(2);
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+    let base = r#""prompt":[1,2,3],"max_new_tokens":4,"temperature":0.8,"seed":5"#;
+    let mut outputs = Vec::new();
+    for class in ["interactive", "batch", "best_effort", "best-effort"] {
+        let body = format!(r#"{{{base},"class":"{class}"}}"#);
+        let stream = client.generate(&body).expect("generate");
+        assert_eq!(stream.status, 200, "class {class}");
+        let events = stream.collect_events().expect("events");
+        let done = events.last().expect("done event");
+        let tokens: Vec<usize> = done
+            .get("tokens")
+            .and_then(Json::as_arr)
+            .expect("tokens")
+            .iter()
+            .map(|t| t.as_usize().unwrap())
+            .collect();
+        outputs.push(tokens);
+    }
+    for pair in outputs.windows(2) {
+        assert_eq!(pair[0], pair[1], "class changed the token stream");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn metrics_and_healthz_routes() {
+    let server = spawn_fleet(2);
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+
+    // Serve one request so counters move.
+    let req = &request_fleet(1, 7)[0];
+    run_over_wire(&mut client, req);
+
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    let health_json = Json::parse(&health.text()).expect("healthz JSON");
+    assert_eq!(health_json.get("workers").and_then(Json::as_usize), Some(2));
+    assert_eq!(health_json.get("alive").and_then(Json::as_usize), Some(2));
+
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    assert!(text.contains("# ---- worker 0 ----"));
+    assert!(text.contains("# ---- worker 1 ----"));
+    assert!(text.contains("microscopiq_requests_admitted_total"));
+    assert!(text.contains("microscopiq_ttft_us_bucket{class=\"interactive\""));
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_get_clean_4xx() {
+    let server = spawn_fleet(1);
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+    let vocab = packed_model().config().vocab;
+    for (body, why) in [
+        (r#"{"max_new_tokens":4}"#.to_string(), "missing prompt"),
+        (r#"{"prompt":[]}"#.to_string(), "empty prompt"),
+        (format!(r#"{{"prompt":[{vocab}]}}"#), "OOV token"),
+        (
+            r#"{"prompt":[1],"class":"platinum"}"#.to_string(),
+            "unknown class",
+        ),
+        (r#"not json"#.to_string(), "invalid JSON"),
+        (
+            r#"{"prompt":[1],"temperature":0}"#.to_string(),
+            "zero temperature",
+        ),
+    ] {
+        let resp = client.post("/v1/generate", &body).expect("post");
+        assert_eq!(resp.status, 400, "{why}: {}", resp.text());
+    }
+    // Unknown route and method.
+    assert_eq!(client.get("/nope").expect("get").status, 404);
+
+    // The connection (and the fleet) still serves after every rejection.
+    let req = &request_fleet(1, 8)[0];
+    let expected = offline_reference(std::slice::from_ref(req));
+    let (_, tokens, _) = run_over_wire(&mut client, req);
+    assert_eq!(tokens, expected[0].tokens);
+    let report = server.shutdown();
+    assert_eq!(report.total(|r| r.served), 1);
+}

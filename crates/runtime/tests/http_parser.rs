@@ -1,0 +1,215 @@
+//! Property suite for the wire front-end's HTTP request parser.
+//!
+//! The parser sits directly on `read()` boundaries, so the properties
+//! are framed the way the socket delivers bytes: a valid request must
+//! parse identically however its bytes are split across feeds
+//! (including byte-at-a-time), pipelined requests must come out one per
+//! parse with nothing lost, and *no* input — truncations, flipped
+//! bytes, inserted garbage, or pure random soup — may ever panic the
+//! parser: every failure is a typed error carrying a clean 4xx/5xx
+//! status.
+
+use microscopiq_linalg::SeededRng;
+use microscopiq_runtime::net::{HttpParseError, HttpRequest, ParserLimits, RequestParser};
+use proptest::prelude::*;
+
+/// A generated valid request: wire bytes plus the expected parse.
+fn gen_request(rng: &mut SeededRng) -> (Vec<u8>, HttpRequest) {
+    let methods = ["GET", "POST", "PUT", "DELETE", "PATCH"];
+    let method = methods[rng.below(methods.len())];
+    let target = match rng.below(3) {
+        0 => "/v1/generate".to_string(),
+        1 => "/metrics".to_string(),
+        _ => format!("/path/{}", rng.below(1000)),
+    };
+    let crlf = if rng.below(2) == 0 { "\r\n" } else { "\n" };
+    let mut wire = format!("{method} {target} HTTP/1.1{crlf}");
+    let mut headers = Vec::new();
+    let body_len = rng.below(200);
+    let body: Vec<u8> = (0..body_len).map(|_| rng.below(256) as u8).collect();
+    if body_len > 0 || rng.below(2) == 0 {
+        wire.push_str(&format!("Content-Length: {body_len}{crlf}"));
+        headers.push(("content-length".to_string(), body_len.to_string()));
+    }
+    for i in 0..rng.below(4) {
+        let name = format!("X-Extra-{i}");
+        let value = format!("value-{}", rng.below(100));
+        wire.push_str(&format!("{name}: {value}{crlf}"));
+        headers.push((name.to_ascii_lowercase(), value));
+    }
+    wire.push_str(crlf);
+    let mut bytes = wire.into_bytes();
+    bytes.extend_from_slice(&body);
+    let expected = HttpRequest {
+        method: method.to_string(),
+        target,
+        headers,
+        body,
+    };
+    (bytes, expected)
+}
+
+/// Feeds `wire` split at `cuts` random boundaries; returns every
+/// request parsed along the way.
+fn feed_split(
+    parser: &mut RequestParser,
+    wire: &[u8],
+    rng: &mut SeededRng,
+    pieces: usize,
+) -> Result<Vec<HttpRequest>, HttpParseError> {
+    let mut cuts: Vec<usize> = (0..pieces.saturating_sub(1))
+        .map(|_| rng.below(wire.len().max(1)))
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.push(wire.len());
+    let mut parsed = Vec::new();
+    let mut start = 0;
+    for cut in cuts {
+        if let Some(req) = parser.feed(&wire[start..cut])? {
+            parsed.push(req);
+        }
+        start = cut;
+    }
+    // Drain any further requests already buffered (pipelining).
+    while let Some(req) = parser.feed(&[])? {
+        parsed.push(req);
+    }
+    Ok(parsed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A valid request parses to the same [`HttpRequest`] no matter how
+    /// its bytes are split across `read()` boundaries.
+    #[test]
+    fn valid_request_parses_under_arbitrary_splits(
+        seed in 0u64..100_000,
+        pieces in 1usize..12,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let (wire, expected) = gen_request(&mut rng);
+        let mut parser = RequestParser::new();
+        let parsed = feed_split(&mut parser, &wire, &mut rng, pieces)
+            .expect("valid request must parse");
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(&parsed[0], &expected);
+        prop_assert_eq!(parser.buffered(), 0);
+    }
+
+    /// Pipelined back-to-back requests parse one per call, in order,
+    /// regardless of how the concatenated bytes are split.
+    #[test]
+    fn pipelined_requests_parse_in_order(
+        seed in 0u64..100_000,
+        count in 2usize..5,
+        pieces in 1usize..16,
+    ) {
+        let mut rng = SeededRng::new(seed ^ 0x9e37);
+        let mut wire = Vec::new();
+        let mut expected = Vec::new();
+        for _ in 0..count {
+            let (bytes, req) = gen_request(&mut rng);
+            wire.extend_from_slice(&bytes);
+            expected.push(req);
+        }
+        let mut parser = RequestParser::new();
+        let parsed = feed_split(&mut parser, &wire, &mut rng, pieces)
+            .expect("valid pipeline must parse");
+        prop_assert_eq!(parsed, expected);
+        prop_assert_eq!(parser.buffered(), 0);
+    }
+
+    /// Mutating a valid request (flip / insert / delete bytes,
+    /// truncate) never panics: the parser returns a parsed request, a
+    /// need-more-bytes `None`, or an error whose status is a clean
+    /// 4xx/5xx.
+    #[test]
+    fn mutated_requests_never_panic(
+        seed in 0u64..100_000,
+        mutations in 1usize..8,
+        pieces in 1usize..8,
+    ) {
+        let mut rng = SeededRng::new(seed ^ 0xdead);
+        let (mut wire, _) = gen_request(&mut rng);
+        for _ in 0..mutations {
+            if wire.is_empty() {
+                break;
+            }
+            match rng.below(4) {
+                0 => {
+                    let i = rng.below(wire.len());
+                    wire[i] = rng.below(256) as u8;
+                }
+                1 => {
+                    let i = rng.below(wire.len() + 1);
+                    wire.insert(i, rng.below(256) as u8);
+                }
+                2 => {
+                    let i = rng.below(wire.len());
+                    wire.remove(i);
+                }
+                _ => {
+                    wire.truncate(rng.below(wire.len() + 1));
+                }
+            }
+        }
+        let mut parser = RequestParser::new();
+        match feed_split(&mut parser, &wire, &mut rng, pieces) {
+            Ok(_) => {}
+            Err(err) => {
+                prop_assert!(
+                    matches!(err.status(), 400 | 413 | 431 | 501),
+                    "unexpected status {} for {:?}", err.status(), err
+                );
+            }
+        }
+    }
+
+    /// Pure random byte soup never panics either, and oversized heads
+    /// are bounded by the limits even when no terminator ever arrives.
+    #[test]
+    fn random_bytes_never_panic(
+        seed in 0u64..100_000,
+        len in 0usize..4096,
+        pieces in 1usize..8,
+    ) {
+        let mut rng = SeededRng::new(seed ^ 0xbeef);
+        let wire: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        let mut parser = RequestParser::with_limits(ParserLimits {
+            max_head_bytes: 512,
+            max_body_bytes: 512,
+        });
+        match feed_split(&mut parser, &wire, &mut rng, pieces) {
+            Ok(_) => {
+                // Anything still buffered must be under the head cap
+                // plus one read's worth of slack.
+                prop_assert!(parser.buffered() <= 4096);
+            }
+            Err(err) => {
+                prop_assert!(matches!(err.status(), 400 | 413 | 431 | 501));
+            }
+        }
+    }
+
+    /// An oversized `Content-Length` is refused with 413 at header
+    /// parse time — before any body bytes are buffered — however the
+    /// request is split.
+    #[test]
+    fn oversized_bodies_rejected_before_buffering(
+        seed in 0u64..100_000,
+        pieces in 1usize..6,
+    ) {
+        let mut rng = SeededRng::new(seed ^ 0x7777);
+        let wire =
+            format!("POST /v1/generate HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1 << 20);
+        let mut parser = RequestParser::with_limits(ParserLimits {
+            max_head_bytes: 1024,
+            max_body_bytes: 4096,
+        });
+        let err = feed_split(&mut parser, wire.as_bytes(), &mut rng, pieces)
+            .expect_err("must reject oversized body");
+        prop_assert_eq!(err.status(), 413);
+    }
+}

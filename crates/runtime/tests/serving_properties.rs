@@ -49,6 +49,7 @@ fn request_fleet(n: usize, vocab: usize, seed: u64) -> Vec<GenRequest> {
             max_new_tokens: if i == n / 2 { 0 } else { 1 + rng.below(5) },
             temperature: 0.7 + 0.1 * (i % 3) as f64,
             seed: 1000 + i as u64,
+            ..Default::default()
         })
         .collect()
 }
@@ -246,6 +247,7 @@ proptest! {
                 max_new_tokens: 1 + rng.below(BMAX),
                 temperature: 0.8,
                 seed: rng.below(1 << 30) as u64,
+                ..Default::default()
             });
             admitted.push((id, ahead, at_step));
         };

@@ -50,6 +50,7 @@ fn request_fleet(n: usize, vocab: usize, seed: u64) -> Vec<GenRequest> {
             max_new_tokens: if i == n / 2 { 0 } else { 1 + rng.below(5) },
             temperature: 0.7 + 0.1 * (i % 3) as f64,
             seed: 1000 + i as u64,
+            ..Default::default()
         })
         .collect()
 }
@@ -165,6 +166,9 @@ fn drain(mut stream: microscopiq_runtime::ResponseStream, obs: &mut Observed) {
                 obs.cancelled += 1;
                 return;
             }
+            Some(StreamEvent::Error(ServeError::Shed)) => {
+                unreachable!("no shed policy configured in this test")
+            }
         }
     }
 }
@@ -213,6 +217,7 @@ fn metrics_identity_holds_under_submit_cancel_deadline_churn() {
                         max_new_tokens: 1 + rng.below(4),
                         temperature: 0.8,
                         seed: t * 1000 + i as u64,
+                        ..Default::default()
                     };
                     let opts = if i % 4 == 3 {
                         RequestOptions {
@@ -366,6 +371,7 @@ fn queue_depth_surfaces_backpressure_and_drains_to_zero() {
                     max_new_tokens: 4,
                     temperature: 0.8,
                     seed: i as u64,
+                    ..Default::default()
                 })
                 .unwrap()
         })
@@ -492,9 +498,10 @@ fn render_text_emits_prometheus_exposition_format() {
         "# TYPE microscopiq_requests_admitted_total counter",
         "# TYPE microscopiq_queue_depth gauge",
         "# TYPE microscopiq_ttft_us histogram",
-        "microscopiq_ttft_us_bucket{le=\"+Inf\"}",
-        "microscopiq_ttft_us_sum",
-        "microscopiq_ttft_us_count",
+        "microscopiq_ttft_us_bucket{class=\"interactive\",le=\"+Inf\"}",
+        "microscopiq_ttft_us_sum{class=\"interactive\"}",
+        "microscopiq_ttft_us_count{class=\"interactive\"}",
+        "microscopiq_requests_shed_total{class=\"best_effort\"} 0",
         "microscopiq_scheduler_steps_total",
     ] {
         assert!(

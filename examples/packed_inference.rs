@@ -55,6 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_new_tokens: 10 + (i % 3),
             temperature: 0.9,
             seed: 1000 + i as u64,
+            ..Default::default()
         })
         .collect();
     let mut session = Session::new(packed.clone(), engine, 4);

@@ -64,6 +64,7 @@ fn main() {
                         max_new_tokens: 12,
                         temperature: 1.2,
                         seed: 40 + client as u64,
+                        ..Default::default()
                     })
                     .expect("submit");
                 let mut tokens = Vec::new();
@@ -92,6 +93,7 @@ fn main() {
             max_new_tokens: 1_000,
             temperature: 0.9,
             seed: 99,
+            ..Default::default()
         })
         .unwrap();
     if let Some(StreamEvent::Token(t)) = impatient.next_event() {
@@ -108,6 +110,7 @@ fn main() {
                 max_new_tokens: 50,
                 temperature: 0.8,
                 seed: 100,
+                ..Default::default()
             },
             RequestOptions {
                 deadline: Some(Deadline::Steps(4)),

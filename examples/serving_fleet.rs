@@ -1,0 +1,135 @@
+//! Serving-fleet walkthrough: the HTTP/1.1 wire front-end over a
+//! multi-worker fleet — JSON requests over real TCP sockets, SSE-style
+//! token streaming, QoS classes on the wire, the `/metrics` and
+//! `/healthz` routes, and a graceful drain.
+//!
+//! ```sh
+//! cargo run --release --example serving_fleet
+//! ```
+
+use microscopiq::core::{MicroScopiQ, QuantConfig};
+use microscopiq::fm::{PackedTinyFm, TinyFm, TinyFmConfig};
+use microscopiq::linalg::SeededRng;
+use microscopiq::runtime::net::{json, HttpClient, HttpConfig, HttpServer, Json};
+use microscopiq::runtime::{FleetConfig, RuntimeEngine, ServerConfig};
+
+fn main() {
+    // 1. A quantized model behind the fused packed-weight engine —
+    //    every fleet worker gets a clone of the same packed weights, so
+    //    replicas are bitwise identical and any worker may serve any
+    //    request.
+    let cfg = TinyFmConfig {
+        d_model: 32,
+        n_heads: 2,
+        d_ff: 64,
+        n_layers: 2,
+        vocab: 64,
+    };
+    let fm = TinyFm::teacher(cfg, 5);
+    let mut rng = SeededRng::new(6);
+    let calib: Vec<Vec<usize>> = (0..4).map(|_| fm.generate(12, 0.9, &mut rng)).collect();
+    let quantizer = MicroScopiQ::new(
+        QuantConfig::w4()
+            .macro_block(32)
+            .row_block(32)
+            .build()
+            .unwrap(),
+    );
+    let packed = PackedTinyFm::quantize_from(&fm, &quantizer, &calib).unwrap();
+
+    // 2. Bind the wire front-end on an OS-assigned port: two replicated
+    //    workers behind a least-loaded router, each with its own engine
+    //    and continuous-batching session.
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        packed,
+        |_worker| RuntimeEngine::parallel(),
+        HttpConfig {
+            fleet: FleetConfig {
+                workers: 2,
+                server: ServerConfig {
+                    max_batch: 8,
+                    queue_capacity: 32,
+                    ..ServerConfig::default()
+                },
+            },
+            ..HttpConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    println!("fleet listening on http://{addr} (2 workers)");
+
+    // 3. Three clients over real TCP connections, one per QoS class.
+    //    Tokens stream back as SSE `data:` events while decode steps
+    //    complete; the terminal event carries the full result and the
+    //    worker index that served it.
+    std::thread::scope(|scope| {
+        for (client, class) in ["interactive", "batch", "best_effort"]
+            .into_iter()
+            .enumerate()
+        {
+            scope.spawn(move || {
+                let mut conn = HttpClient::connect(addr).expect("connect");
+                let body = json::obj([
+                    (
+                        "prompt",
+                        Json::Arr(vec![
+                            Json::Num(1.0 + client as f64),
+                            Json::Num(2.0),
+                            Json::Num(3.0),
+                        ]),
+                    ),
+                    ("max_new_tokens", Json::Num(8.0)),
+                    ("temperature", Json::Num(1.2)),
+                    ("seed", Json::Num(40.0 + client as f64)),
+                    ("class", Json::Str(class.to_string())),
+                ])
+                .render();
+                let mut stream = conn.generate(&body).expect("generate");
+                let mut streamed = Vec::new();
+                while let Some(ev) = stream.next_event().expect("stream") {
+                    if let Some(t) = ev.get("token").and_then(Json::as_usize) {
+                        streamed.push(t);
+                    } else if ev.get("done").is_some() {
+                        let worker = ev.get("worker").and_then(Json::as_usize).unwrap();
+                        println!(
+                            "{class} client: worker {worker} streamed {} tokens -> {streamed:?}",
+                            streamed.len()
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // 4. Observability routes: `/healthz` reports fleet liveness as
+    //    JSON; `/metrics` concatenates every worker's Prometheus
+    //    exposition text, sectioned by worker index.
+    let mut conn = HttpClient::connect(addr).unwrap();
+    let health = conn.get("/healthz").unwrap();
+    println!("healthz: {} {}", health.status, health.text().trim());
+    let metrics = conn.get("/metrics").unwrap();
+    let served_lines = metrics
+        .text()
+        .lines()
+        .filter(|l| {
+            l.starts_with("# ---- worker") || l.starts_with("microscopiq_requests_finished_total")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    println!("metrics (request counters per worker):\n{served_lines}");
+    drop(conn);
+
+    // 5. Graceful shutdown: stop accepting, join connection threads,
+    //    drain every worker, aggregate the per-worker reports.
+    let report = server.shutdown();
+    println!(
+        "fleet report: served {} across {} workers, final KV rows {}",
+        report.total(|r| r.served),
+        report.per_worker.len(),
+        report.total(|r| r.final_kv_rows)
+    );
+    assert_eq!(report.lost(), 0);
+    assert_eq!(report.total(|r| r.final_kv_rows), 0);
+}

@@ -188,6 +188,7 @@ fn bystander_request() -> GenRequest {
         max_new_tokens: 8,
         temperature: 0.8,
         seed: 11,
+        ..Default::default()
     }
 }
 
@@ -214,6 +215,7 @@ fn dropped_stream_frees_slot_and_leaves_other_streams_unaffected() {
             max_new_tokens: 200,
             temperature: 0.8,
             seed: 12,
+            ..Default::default()
         })
         .unwrap();
     let bystander = handle.submit(bystander_request()).unwrap();
@@ -255,6 +257,7 @@ fn deadline_expires_mid_prefill_without_consuming_compute() {
                 max_new_tokens: 50,
                 temperature: 0.8,
                 seed: 13,
+                ..Default::default()
             },
             RequestOptions {
                 deadline: Some(Deadline::Steps(0)),
@@ -308,6 +311,7 @@ fn deadline_expires_mid_chunked_prefill_and_reclaims_partial_kv() {
                 max_new_tokens: 50,
                 temperature: 0.8,
                 seed: 15,
+                ..Default::default()
             },
             RequestOptions {
                 deadline: Some(Deadline::Steps(2)),
@@ -353,6 +357,7 @@ fn worker_panic_faults_only_the_affected_stream() {
             max_new_tokens: 4,
             temperature: 0.8,
             seed: 14,
+            ..Default::default()
         })
         .unwrap();
     match poisoned.collect() {
@@ -400,6 +405,7 @@ fn full_admission_queue_rejects_instead_of_blocking() {
         max_new_tokens: 100,
         temperature: 0.8,
         seed,
+        ..Default::default()
     };
     let first = handle.submit(req(1)).expect("first request admitted");
     // One slot in flight, one queue slot: saturating both must produce
@@ -420,4 +426,168 @@ fn full_admission_queue_rejects_instead_of_blocking() {
     drop((first, parked, handle));
     let report = server.shutdown();
     assert_eq!(report.session.tokens_generated, report.session.steps);
+}
+
+// ---- wire-level failure injection ----------------------------------
+
+/// A mid-stream TCP disconnect must cancel exactly the victim request:
+/// the server maps the failed SSE write onto the drop-to-cancel path,
+/// the bystander's stream stays bitwise identical to offline, and the
+/// victim's KV cache drains to zero.
+#[test]
+fn tcp_disconnect_mid_stream_cancels_only_that_request() {
+    use microscopiq::runtime::net::{HttpClient, HttpConfig, HttpServer, Json};
+    use microscopiq::runtime::FleetConfig;
+
+    let model = serving_model(70);
+    let expected = offline_tokens(&model, &bystander_request());
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        model,
+        |_| DequantGemm,
+        HttpConfig {
+            fleet: FleetConfig {
+                workers: 1,
+                server: ServerConfig {
+                    max_batch: 4,
+                    // Pace the worker so the hang-up lands well before
+                    // the victim's token budget could run out.
+                    pace: Duration::from_millis(2),
+                    ..ServerConfig::default()
+                },
+            },
+            ..HttpConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let mut victim_client = HttpClient::connect(addr).expect("connect victim");
+    let mut victim = victim_client
+        .generate(r#"{"prompt":[5,6],"max_new_tokens":2000,"temperature":0.8,"seed":12}"#)
+        .expect("victim stream");
+    assert_eq!(victim.status, 200);
+
+    let bystander = std::thread::spawn(move || {
+        let mut client = HttpClient::connect(addr).expect("connect bystander");
+        let stream = client
+            .generate(r#"{"prompt":[1,2,3],"max_new_tokens":8,"temperature":0.8,"seed":11}"#)
+            .expect("bystander stream");
+        let events = stream.collect_events().expect("bystander events");
+        let done = events.last().expect("done event");
+        done.get("tokens")
+            .and_then(Json::as_arr)
+            .expect("tokens")
+            .iter()
+            .map(|t| t.as_usize().unwrap())
+            .collect::<Vec<usize>>()
+    });
+
+    // The victim must be mid-generation before the hang-up.
+    for _ in 0..4 {
+        let ev = victim.next_event().expect("victim event").expect("token");
+        assert!(
+            ev.get("token").is_some(),
+            "expected a token event, got {ev:?}"
+        );
+    }
+    drop(victim);
+    drop(victim_client); // abrupt TCP close mid-stream
+
+    assert_eq!(
+        bystander.join().expect("bystander thread"),
+        expected,
+        "a dropped neighbour must not perturb another stream's output"
+    );
+
+    // The cancelled victim's KV must drain to zero.
+    let fleet = server.fleet();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while fleet.worker(0).kv_rows() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "victim KV never reclaimed: {} rows live",
+            fleet.worker(0).kv_rows()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(fleet);
+
+    let report = server.shutdown();
+    assert_eq!(report.lost(), 0);
+    let worker = report.per_worker[0].as_ref().expect("worker report");
+    assert_eq!(worker.cancelled, 1, "victim retired via cancellation");
+    assert_eq!(worker.served, 1, "bystander finished normally");
+    assert_eq!(worker.final_kv_rows, 0);
+}
+
+/// A panicking worker must drop out of the fleet's routing rotation
+/// while the surviving workers keep serving bitwise-correct streams;
+/// shutdown reports the loss instead of propagating the panic.
+#[test]
+fn fleet_worker_panic_is_removed_from_rotation() {
+    use microscopiq::runtime::net::{Fleet, FleetConfig};
+
+    let model = serving_model(71);
+    let reqs: Vec<GenRequest> = (0..6)
+        .map(|i| GenRequest {
+            prompt: vec![1 + i, 2],
+            max_new_tokens: 4,
+            temperature: 0.8,
+            seed: 100 + i as u64,
+            ..Default::default()
+        })
+        .collect();
+    let expected: Vec<Vec<usize>> = reqs.iter().map(|r| offline_tokens(&model, r)).collect();
+
+    let fleet = Fleet::spawn(
+        model,
+        |_| DequantGemm,
+        FleetConfig {
+            workers: 2,
+            server: ServerConfig::default(),
+        },
+    )
+    .expect("spawn fleet");
+    let handle = fleet.handle();
+    assert_eq!(handle.alive_workers(), 2);
+
+    handle.worker(0).inject_worker_panic();
+    // Wait for the worker thread to actually die: direct submissions
+    // start failing with ServerClosed. A probe that races in before the
+    // crash just dies with the worker (its stream is dropped here).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match handle.worker(0).submit(reqs[0].clone()) {
+            Err(SubmitError::ServerClosed) => break,
+            Ok(_racing_probe) => {}
+            Err(e) => panic!("unexpected probe error: {e}"),
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker 0 never died after panic injection"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The fleet keeps serving through the survivor, bitwise-correct.
+    for (req, want) in reqs.iter().zip(&expected) {
+        let (worker, stream) = handle.submit(req.clone()).expect("fleet still serves");
+        assert_eq!(worker, 1, "dead worker must leave the rotation");
+        let got = stream.collect().expect("stream completes");
+        assert_eq!(&got.tokens, want, "survivor output diverged");
+    }
+    assert_eq!(handle.alive_workers(), 1);
+
+    drop(handle);
+    let report = fleet.shutdown();
+    assert_eq!(report.lost(), 1, "exactly one worker lost");
+    assert!(report.per_worker[0].is_none());
+    assert!(
+        report.panics[0].contains("injected worker panic"),
+        "panic message propagated: {:?}",
+        report.panics[0]
+    );
+    let survivor = report.per_worker[1].as_ref().expect("survivor report");
+    assert_eq!(survivor.served, 6);
 }
