@@ -35,6 +35,13 @@
 //!   collector (exact count equality, percentile agreement within
 //!   tolerance); its trace exports to `results/TRACE_serving_load.json`.
 //!
+//! A **shared-prefix reuse** section serves a wave where 90% of requests
+//! share one 256-token prompt prefix, cold (no cache) and warm (prefix
+//! cache seeded by one warmer): warm TTFT p95 must come in at or under
+//! 0.35x of cold, and after the wave — which includes streams that hang
+//! up mid-generation — shrinking the cache budget to zero must drain
+//! every resident byte.
+//!
 //! A **multi-tenant QoS fairness** section closes the run: the paced
 //! interactive workload is measured alone and then again under a
 //! combined batch and best-effort flood against a shedding server.
@@ -56,8 +63,9 @@ use microscopiq_core::{MicroScopiQ, QuantConfig};
 use microscopiq_fm::{PackedTinyFm, TinyFm, TinyFmConfig};
 use microscopiq_linalg::SeededRng;
 use microscopiq_runtime::{
-    AdmissionPolicy, Deadline, GenRequest, QosClass, RequestOptions, RuntimeEngine, Server,
-    ServerConfig, ServerHandle, ShedPolicy, StreamEvent, SubmitError,
+    AdmissionPolicy, Deadline, GenRequest, PrefixCacheConfig, PrefixCacheStats, QosClass,
+    RequestOptions, RuntimeEngine, Server, ServerConfig, ServerHandle, ShedPolicy, StreamEvent,
+    SubmitError,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -77,6 +85,13 @@ const LONG_PROMPT_LEN: usize = 512;
 const LONG_BUDGET: usize = 2;
 const CHURN_CHUNK: usize = 4;
 const CHURN_TOKEN_BUDGET: usize = 12;
+
+// Shared-prefix phase: a wave where 90% of requests share one 256-token
+// prompt prefix (short unique suffixes), served cold (no cache) vs warm
+// (prefix cache seeded by one warmer request).
+const PREFIX_SHARED_LEN: usize = 256;
+const PREFIX_WAVE: usize = 32;
+const PREFIX_SUFFIX_LEN: usize = 6;
 
 fn percentile(samples: &mut [f64], p: f64) -> f64 {
     if samples.is_empty() {
@@ -237,6 +252,7 @@ fn collect_stream(
                     break; // dropping `stream` cancels it
                 }
             }
+            StreamEvent::Sample { .. } => {}
             StreamEvent::Finished(_) => sample.completed = true,
             StreamEvent::Error(_) => {}
         }
@@ -423,6 +439,121 @@ fn run_longprompt_phase(
     }
 }
 
+struct PrefixOutcome {
+    samples: Vec<Sample>,
+    /// Cache counters at the end of the wave; `None` for the cold run.
+    stats: Option<PrefixCacheStats>,
+    span_s: f64,
+    peak_live: usize,
+    final_kv_rows: usize,
+}
+
+/// The shared-prefix wave: `PREFIX_WAVE` requests flood in, 90% sharing
+/// one `PREFIX_SHARED_LEN`-token prompt prefix with short unique
+/// suffixes, 10% unrelated. With `cache` on, one warmer request seeds
+/// the trie first (the cold run serves the same warmer so both waves
+/// start from an identical idle server); every fifth stream hangs up
+/// after its first token so the drain check below also covers churned
+/// copy-on-write references. After the wave the cache is shrunk to a
+/// zero budget and must drain to nothing resident.
+fn run_prefix_phase(model: &PackedTinyFm, cache: bool) -> PrefixOutcome {
+    let server = spawn(
+        model,
+        ServerConfig {
+            max_batch: 8,
+            prefill_chunk: 32,
+            token_budget: 64,
+            queue_capacity: 64,
+            max_in_flight: 64,
+            prefix_cache: cache.then(PrefixCacheConfig::default),
+            ..ServerConfig::default()
+        },
+        Tier::Default,
+    );
+    let handle = server.handle();
+    let vocab = model.config().vocab;
+    let mut rng = SeededRng::new(9_900);
+    let shared: Vec<usize> = (0..PREFIX_SHARED_LEN).map(|_| rng.below(vocab)).collect();
+    let warmer = GenRequest {
+        prompt: shared.clone(),
+        max_new_tokens: 2,
+        temperature: 0.8,
+        seed: 9_990,
+        ..Default::default()
+    };
+    handle
+        .submit(warmer)
+        .expect("submit warmer")
+        .collect()
+        .expect("warmer finished");
+
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..PREFIX_WAVE {
+            let mut rng = SeededRng::new(10_000 + i as u64);
+            let prompt: Vec<usize> = if i % 10 != 9 {
+                let mut p = shared.clone();
+                p.extend((0..PREFIX_SUFFIX_LEN).map(|_| rng.below(vocab)));
+                p
+            } else {
+                (0..PREFIX_SUFFIX_LEN + 8)
+                    .map(|_| rng.below(vocab))
+                    .collect()
+            };
+            let req = GenRequest {
+                prompt,
+                max_new_tokens: 4,
+                temperature: 0.8,
+                seed: 11_000 + i as u64,
+                ..Default::default()
+            };
+            let stream = handle.submit(req).expect("submit prefix wave");
+            let submitted = Instant::now();
+            let samples = &samples;
+            scope.spawn(move || {
+                let drop_after = (i % 5 == 4).then_some(1);
+                let sample = collect_stream(stream, submitted, drop_after);
+                samples.lock().unwrap().push(sample);
+            });
+        }
+    });
+    let span_s = t0.elapsed().as_secs_f64();
+    let peak_live = handle.peak_live_streams();
+    let stats = cache.then(|| {
+        let stats = handle.prefix_cache_stats().expect("cache enabled");
+        // Drain: once the wave (including its hung-up streams) retires,
+        // nothing references the trie, so a zero budget must evict every
+        // resident byte. The request is re-sent while polling because a
+        // cancelled stream is only swept between worker steps — a drain
+        // applied before that sweep leaves its still-referenced nodes
+        // resident.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            handle.set_prefix_cache_capacity(0);
+            std::thread::sleep(Duration::from_millis(5));
+            let s = handle.prefix_cache_stats().expect("cache enabled");
+            if s.resident_bytes == 0 && s.resident_nodes == 0 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "prefix cache failed to drain after churn: {s:?}"
+            );
+        }
+        stats
+    });
+    drop(handle);
+    let report = server.shutdown();
+    PrefixOutcome {
+        samples: samples.into_inner().unwrap(),
+        stats,
+        span_s,
+        peak_live,
+        final_kv_rows: report.final_kv_rows,
+    }
+}
+
 fn main() {
     let model = bench_model();
     let mut table = Table::new(
@@ -570,6 +701,57 @@ fn main() {
         );
         assert_eq!(out.final_kv_rows, 0, "{name}: all KV reclaimed");
     }
+    // Shared-prefix reuse: the same 90%-shared wave served cold (every
+    // prompt prefilled in full) vs warm (the cached 256-token prefix
+    // attached copy-on-write, only the suffix prefilled). The attach
+    // skips ~256 of ~262 prompt tokens per shared request, so warm TTFT
+    // p95 must come in at or under 0.35x of cold; afterwards the cache
+    // must drain to zero resident bytes — no leaked segments, even with
+    // every fifth stream hanging up after its first token.
+    let mut prefix_p95 = [f64::NAN; 2];
+    let mut prefix_stats: Option<PrefixCacheStats> = None;
+    for (p, (name, cache)) in [("prefix cold", false), ("prefix warm", true)]
+        .into_iter()
+        .enumerate()
+    {
+        let out = run_prefix_phase(&long_model, cache);
+        let done = out.samples.iter().filter(|s| s.completed).count();
+        let tokens: usize = out.samples.iter().map(|s| s.tokens).sum();
+        let mut ttft: Vec<f64> = out
+            .samples
+            .iter()
+            .map(|s| s.ttft_ms)
+            .filter(|v| v.is_finite())
+            .collect();
+        let mut gaps: Vec<f64> = out
+            .samples
+            .iter()
+            .flat_map(|s| s.gaps_ms.iter().copied())
+            .collect();
+        prefix_p95[p] = percentile(&mut ttft, 95.0);
+        let slug = name.replace(' ', "_");
+        table.row(vec![
+            name.to_string(),
+            PREFIX_WAVE.to_string(),
+            done.to_string(),
+            f2(tokens as f64 / out.span_s),
+            f2(percentile(&mut ttft, 50.0)),
+            f2(prefix_p95[p]),
+            f2(percentile(&mut ttft, 99.0)),
+            f2(max_of(&ttft)),
+            f2(percentile(&mut gaps, 50.0)),
+            f2(percentile(&mut gaps, 95.0)),
+            out.peak_live.to_string(),
+        ]);
+        metrics.push((format!("ttft_p50_ms_{slug}"), percentile(&mut ttft, 50.0)));
+        metrics.push((format!("ttft_p95_ms_{slug}"), prefix_p95[p]));
+        assert_eq!(out.final_kv_rows, 0, "{name}: all live KV reclaimed");
+        // Streams that hang up after their first token never complete;
+        // everyone else must.
+        let dropped = (0..PREFIX_WAVE).filter(|i| i % 5 == 4).count();
+        assert_eq!(done, PREFIX_WAVE - dropped, "{name}: completions");
+        prefix_stats = prefix_stats.or(out.stats);
+    }
     table.print();
 
     let sustained = flood_peak >= 32;
@@ -653,6 +835,50 @@ fn main() {
          removes (p99 whole {:.2} ms vs chunked {:.2} ms)",
         est_p99[1],
         est_p99[2]
+    );
+
+    // Shared-prefix reuse gates (the phase itself ran above, before the
+    // table printed).
+    let stats = prefix_stats.expect("warm run reports cache stats");
+    let [prefix_cold_p95, prefix_warm_p95] = prefix_p95;
+    let warm_ratio = prefix_warm_p95 / prefix_cold_p95;
+    println!(
+        "prefix cache: shared-prefix wave ttft p95 cold={prefix_cold_p95:.2} ms vs \
+         warm={prefix_warm_p95:.2} ms (ratio {warm_ratio:.3}, {})",
+        if warm_ratio <= 0.35 {
+            "PASS <= 0.35"
+        } else {
+            "FAIL > 0.35"
+        }
+    );
+    println!(
+        "prefix cache: hits={} misses={} tokens_reused={} evictions={} (drained to 0 bytes)",
+        stats.hits, stats.misses, stats.tokens_reused, stats.evictions
+    );
+    metrics.push(("prefix_warm_vs_cold_ttft_p95_ratio".to_string(), warm_ratio));
+    metrics.push(("prefix_cache_hits".to_string(), stats.hits as f64));
+    metrics.push((
+        "prefix_cache_tokens_reused".to_string(),
+        stats.tokens_reused as f64,
+    ));
+    metrics.push(("prefix_cache_evictions".to_string(), stats.evictions as f64));
+    assert!(
+        warm_ratio <= 0.35,
+        "warm shared-prefix TTFT p95 must be <= 0.35x cold \
+         (cold {prefix_cold_p95:.2} ms, warm {prefix_warm_p95:.2} ms)"
+    );
+    // 90% of the wave shares the warmed prefix; every one of those
+    // admissions must hit and reuse the whole 256-token prefix.
+    let shared_reqs = (0..PREFIX_WAVE).filter(|i| i % 10 != 9).count() as u64;
+    assert!(
+        stats.hits >= shared_reqs,
+        "every shared-prefix admission must hit (got {} of {shared_reqs})",
+        stats.hits
+    );
+    assert!(
+        stats.tokens_reused >= shared_reqs * PREFIX_SHARED_LEN as u64,
+        "each hit must reuse the full shared prefix (reused {})",
+        stats.tokens_reused
     );
 
     // Telemetry overhead gate: best-of-3 wide-model floods with server
@@ -936,6 +1162,7 @@ fn main() {
                         temperature: 0.8,
                         seed: seed_base + i,
                         class,
+                        ..Default::default()
                     };
                     i += 1;
                     match flooder.submit(req) {

@@ -16,6 +16,7 @@
 use crate::error::QuantError;
 use microscopiq_linalg::Matrix;
 use microscopiq_mx::mxint::MxIntBlock;
+use std::sync::Arc;
 
 /// Configuration for KV-cache quantization.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -138,11 +139,25 @@ pub enum KvMode {
     Quantized(KvCacheConfig),
 }
 
-/// A read-only view of a cache's serving values (`tokens × channels`).
+/// One contiguous run of serving rows inside a [`KvView`].
 #[derive(Debug, Clone, Copy)]
-pub struct KvView<'a> {
+struct KvSpan<'a> {
+    /// Global token index of the span's first row.
+    start: usize,
     keys: &'a [f64],
     values: &'a [f64],
+}
+
+/// A read-only view of a cache's serving values (`tokens × channels`).
+///
+/// The view may stitch together several storage runs — shared prefix
+/// segments attached copy-on-write plus the cache's private tail — so
+/// row lookups resolve the owning span first. A cache with no shared
+/// segments produces a single-span view, which is the common decode
+/// fast path.
+#[derive(Debug, Clone)]
+pub struct KvView<'a> {
+    spans: Vec<KvSpan<'a>>,
     tokens: usize,
     channels: usize,
 }
@@ -166,20 +181,188 @@ impl<'a> KvView<'a> {
     /// Key row for token `t` (serving values: exact inside the residual
     /// window, dequantized outside it).
     pub fn key_row(&self, t: usize) -> &'a [f64] {
-        &self.keys[t * self.channels..(t + 1) * self.channels]
+        let span = self.span_for(t);
+        let o = (t - span.start) * self.channels;
+        &span.keys[o..o + self.channels]
     }
 
     /// Value row for token `t`.
     pub fn value_row(&self, t: usize) -> &'a [f64] {
-        &self.values[t * self.channels..(t + 1) * self.channels]
+        let span = self.span_for(t);
+        let o = (t - span.start) * self.channels;
+        &span.values[o..o + self.channels]
+    }
+
+    fn span_for(&self, t: usize) -> &KvSpan<'a> {
+        // Spans are ordered by start; scan from the back so decode-time
+        // lookups into the private tail resolve on the first probe.
+        self.spans
+            .iter()
+            .rev()
+            .find(|s| t >= s.start)
+            .unwrap_or_else(|| panic!("token {t} outside view of {} tokens", self.tokens))
     }
 
     /// Materializes the view as `(keys, values)` matrices
     /// (`tokens × channels`), the shape [`attention_output_error`] takes.
     pub fn to_matrices(&self) -> (Matrix, Matrix) {
-        let k = Matrix::from_vec(self.tokens, self.channels, self.keys.to_vec());
-        let v = Matrix::from_vec(self.tokens, self.channels, self.values.to_vec());
+        let mut keys = Vec::with_capacity(self.tokens * self.channels);
+        let mut values = Vec::with_capacity(self.tokens * self.channels);
+        for span in &self.spans {
+            keys.extend_from_slice(span.keys);
+            values.extend_from_slice(span.values);
+        }
+        let k = Matrix::from_vec(self.tokens, self.channels, keys);
+        let v = Matrix::from_vec(self.tokens, self.channels, values);
         (k, v)
+    }
+}
+
+/// An immutable run of KV rows shared between caches by refcount.
+///
+/// Segments are produced by [`LayerKvCache::share_prefix`] (freezing a
+/// cache's own rows) or [`KvSegment::from_cache`] (copying a row range
+/// out of a live cache), and consumed by [`LayerKvCache::attach`]. Once
+/// built, a segment's rows never change: attachees append into their own
+/// private tails and the segment is dropped when its last holder goes
+/// away. In quantized mode every row of a segment is already quantized
+/// (its serving values are frozen by the quantize-at-most-once
+/// invariant) and its length is a whole number of groups, so attaching
+/// it preserves the group-aligned boundary invariant of the aging
+/// machinery.
+#[derive(Debug, Clone)]
+pub struct KvSegment {
+    channels: usize,
+    mode: KvMode,
+    /// Serving keys, `tokens × channels` row-major by token.
+    keys: Vec<f64>,
+    /// Serving values, same layout.
+    values: Vec<f64>,
+}
+
+impl KvSegment {
+    /// Copies serving rows `[lo, hi)` out of `cache` into a new
+    /// immutable segment. Rows are copied bitwise — for an exact cache
+    /// the segment reproduces a cold prefill exactly; for a quantized
+    /// cache the rows carry their frozen post-quantization serving
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `hi > cache.len()`; in quantized mode,
+    /// panics unless `lo` and `hi` are group-aligned and the range lies
+    /// entirely inside the cache's quantized prefix (unquantized rows
+    /// are still mutable and cannot be shared).
+    pub fn from_cache(cache: &LayerKvCache, lo: usize, hi: usize) -> Self {
+        assert!(
+            lo < hi && hi <= cache.len(),
+            "bad segment range [{lo}, {hi})"
+        );
+        if let KvMode::Quantized(cfg) = cache.mode {
+            assert!(
+                lo.is_multiple_of(cfg.group) && hi.is_multiple_of(cfg.group),
+                "quantized KV segment boundaries must be group-aligned: \
+                 [{lo}, {hi}), group = {}",
+                cfg.group
+            );
+            assert!(
+                hi <= cache.quantized_len(),
+                "quantized KV segment must lie inside the quantized prefix: \
+                 hi = {hi}, quantized = {}",
+                cache.quantized_len()
+            );
+        }
+        let ch = cache.channels;
+        let mut keys = Vec::with_capacity((hi - lo) * ch);
+        let mut values = Vec::with_capacity((hi - lo) * ch);
+        for t in lo..hi {
+            keys.extend_from_slice(cache.key_row(t));
+            values.extend_from_slice(cache.value_row(t));
+        }
+        Self {
+            channels: ch,
+            mode: cache.mode,
+            keys,
+            values,
+        }
+    }
+
+    /// Copies rows `[lo, hi)` of this segment into a new segment —
+    /// the split primitive for prefix-trie nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds; in quantized mode,
+    /// panics on a misaligned split (`lo` or `hi` off a group boundary).
+    pub fn slice(&self, lo: usize, hi: usize) -> Self {
+        assert!(
+            lo < hi && hi <= self.len(),
+            "bad segment range [{lo}, {hi})"
+        );
+        if let KvMode::Quantized(cfg) = self.mode {
+            assert!(
+                lo.is_multiple_of(cfg.group) && hi.is_multiple_of(cfg.group),
+                "quantized KV segment split must be group-aligned: \
+                 [{lo}, {hi}), group = {}",
+                cfg.group
+            );
+        }
+        let ch = self.channels;
+        Self {
+            channels: ch,
+            mode: self.mode,
+            keys: self.keys[lo * ch..hi * ch].to_vec(),
+            values: self.values[lo * ch..hi * ch].to_vec(),
+        }
+    }
+
+    /// Tokens in the segment.
+    pub fn len(&self) -> usize {
+        self.keys.len() / self.channels.max(1)
+    }
+
+    /// Whether the segment holds no tokens (never true for segments
+    /// built through the public constructors).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Channels per token.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The storage mode the segment's rows were produced under.
+    pub fn mode(&self) -> KvMode {
+        self.mode
+    }
+
+    /// Serving key row for token `t` (segment-relative).
+    pub fn key_row(&self, t: usize) -> &[f64] {
+        &self.keys[t * self.channels..(t + 1) * self.channels]
+    }
+
+    /// Serving value row for token `t` (segment-relative).
+    pub fn value_row(&self, t: usize) -> &[f64] {
+        &self.values[t * self.channels..(t + 1) * self.channels]
+    }
+
+    /// Storage-format bytes for the segment's rows, with the same
+    /// accounting as [`LayerKvCache::storage_bytes`]. In quantized mode
+    /// every row is quantized, so this is the quantized payload plus
+    /// exponent bytes; in exact mode it is plain fp64 rows.
+    pub fn storage_bytes(&self) -> usize {
+        let n = self.len();
+        match self.mode {
+            KvMode::Exact => 2 * n * self.channels * 8,
+            KvMode::Quantized(cfg) if cfg.group > 0 => {
+                let payload = 2 * n * self.channels * cfg.bits as usize / 8;
+                let key_blocks = n.div_ceil(cfg.group) * self.channels;
+                let value_blocks = n * self.channels.div_ceil(cfg.group);
+                payload + key_blocks + value_blocks
+            }
+            KvMode::Quantized(_) => 0,
+        }
     }
 }
 
@@ -195,15 +378,35 @@ impl<'a> KvView<'a> {
 /// span is group-aligned matches the one-shot path exactly) and served
 /// dequantized from then on. A token is quantized at most once; its
 /// serving value never changes again afterwards.
+///
+/// # Copy-on-write prefix sharing
+///
+/// A cache is a run of refcounted immutable *shared segments*
+/// ([`KvSegment`], attached via [`LayerKvCache::attach`] while the cache
+/// is still empty of private rows) followed by a *private tail* that
+/// appends normally. Shared segments are never mutated — every holder
+/// serves the same frozen rows — and [`LayerKvCache::share_prefix`]
+/// moves a cache's own completed rows into a new shared segment so
+/// clones of the cache (generation forks) reference them instead of
+/// copying. Token indices are always global: accessors and `len()` span
+/// shared and private rows alike, so attention code is oblivious to
+/// where a row is stored.
 #[derive(Debug, Clone)]
 pub struct LayerKvCache {
     channels: usize,
     mode: KvMode,
-    /// Serving keys, `tokens × channels` row-major by token.
+    /// Immutable shared prefix segments, in token order.
+    shared: Vec<Arc<KvSegment>>,
+    /// Total tokens covered by `shared`.
+    base: usize,
+    /// Private-tail serving keys, `tokens × channels` row-major; row 0
+    /// is global token `base`.
     keys: Vec<f64>,
-    /// Serving values, same layout.
+    /// Private-tail serving values, same layout.
     values: Vec<f64>,
-    /// Tokens `[0, quantized_tokens)` have been quantized in place.
+    /// Tokens `[0, quantized_tokens)` (global) have quantized storage.
+    /// Always `>= base` in quantized mode (shared segments are fully
+    /// quantized); always 0 in exact mode.
     quantized_tokens: usize,
 }
 
@@ -213,6 +416,8 @@ impl LayerKvCache {
         Self {
             channels,
             mode: KvMode::Exact,
+            shared: Vec::new(),
+            base: 0,
             keys: Vec::new(),
             values: Vec::new(),
             quantized_tokens: 0,
@@ -233,6 +438,8 @@ impl LayerKvCache {
         Ok(Self {
             channels,
             mode: KvMode::Quantized(cfg),
+            shared: Vec::new(),
+            base: 0,
             keys: Vec::new(),
             values: Vec::new(),
             quantized_tokens: 0,
@@ -257,14 +464,33 @@ impl LayerKvCache {
         self.channels
     }
 
-    /// Tokens appended so far.
+    /// Total tokens the cache serves: attached shared rows plus the
+    /// private tail.
     pub fn len(&self) -> usize {
-        self.keys.len() / self.channels.max(1)
+        self.base + self.keys.len() / self.channels.max(1)
     }
 
     /// Whether the cache holds no tokens.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.len() == 0
+    }
+
+    /// Tokens the cache owns privately (excludes attached shared
+    /// segments). This is what per-request occupancy gauges charge: a
+    /// shared prefix is accounted once by whoever retains its segments
+    /// (e.g. a prefix cache), not per attachee.
+    pub fn owned_len(&self) -> usize {
+        self.keys.len() / self.channels.max(1)
+    }
+
+    /// Tokens covered by attached shared segments.
+    pub fn shared_len(&self) -> usize {
+        self.base
+    }
+
+    /// The attached shared segments, in token order.
+    pub fn shared_segments(&self) -> &[Arc<KvSegment>] {
+        &self.shared
     }
 
     /// The storage mode.
@@ -287,18 +513,113 @@ impl LayerKvCache {
     /// is the accounting figure eviction policies and occupancy gauges
     /// budget against.
     pub fn storage_bytes(&self) -> usize {
-        let exact_tokens = self.len() - self.quantized_tokens;
+        self.shared.iter().map(|s| s.storage_bytes()).sum::<usize>() + self.owned_storage_bytes()
+    }
+
+    /// Storage-format bytes of the private tail only — the per-request
+    /// share of [`Self::storage_bytes`] once attached segments are
+    /// accounted by their retaining owner instead.
+    pub fn owned_storage_bytes(&self) -> usize {
+        let owned_quantized = self.quantized_tokens.saturating_sub(self.base);
+        let exact_tokens = self.owned_len() - owned_quantized;
         let exact = 2 * exact_tokens * self.channels * 8;
         let quantized = match self.mode {
             KvMode::Quantized(cfg) if cfg.group > 0 => {
-                let payload = 2 * self.quantized_tokens * self.channels * cfg.bits as usize / 8;
-                let key_blocks = self.quantized_tokens.div_ceil(cfg.group) * self.channels;
-                let value_blocks = self.quantized_tokens * self.channels.div_ceil(cfg.group);
+                let payload = 2 * owned_quantized * self.channels * cfg.bits as usize / 8;
+                let key_blocks = owned_quantized.div_ceil(cfg.group) * self.channels;
+                let value_blocks = owned_quantized * self.channels.div_ceil(cfg.group);
                 payload + key_blocks + value_blocks
             }
             _ => 0,
         };
         exact + quantized
+    }
+
+    /// Attaches an immutable shared segment to the end of the shared
+    /// prefix, copy-on-write: the segment's rows are served in place and
+    /// never mutated; subsequent [`Self::append`]s go to the private
+    /// tail. In quantized mode the cache's quantized prefix extends over
+    /// the attached rows (they are fully quantized by construction), so
+    /// aging resumes group-aligned from the new base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache already has private rows (attach is an
+    /// admission-time operation, before any suffix prefill), if the
+    /// segment's channels or mode disagree with the cache's, or — in
+    /// quantized mode — if the segment's length is not group-aligned.
+    pub fn attach(&mut self, seg: Arc<KvSegment>) {
+        assert!(
+            self.keys.is_empty(),
+            "attach requires an empty private tail (cache has {} private rows)",
+            self.owned_len()
+        );
+        assert_eq!(seg.channels(), self.channels, "segment channel width");
+        assert_eq!(seg.mode(), self.mode, "segment storage mode");
+        if let KvMode::Quantized(cfg) = self.mode {
+            assert!(
+                seg.len().is_multiple_of(cfg.group),
+                "quantized KV segment must be group-aligned: len = {}, group = {}",
+                seg.len(),
+                cfg.group
+            );
+        }
+        self.base += seg.len();
+        if matches!(self.mode, KvMode::Quantized(_)) {
+            self.quantized_tokens = self.base;
+        }
+        self.shared.push(seg);
+    }
+
+    /// Freezes the cache's own rows `[base, upto)` into a new refcounted
+    /// shared segment, leaving the cache serving them through the
+    /// segment instead. Returns the segment so callers can hand it to
+    /// other caches ([`Self::attach`]) or retain it in a prefix cache;
+    /// returns `None` when `upto` is already covered by shared segments
+    /// (nothing new to share). After sharing, cloning the cache is cheap
+    /// for the shared prefix — only the remaining private tail is
+    /// copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upto > len()`; in quantized mode, panics unless `upto`
+    /// is group-aligned and within the quantized prefix (mutable rows
+    /// cannot be frozen).
+    pub fn share_prefix(&mut self, upto: usize) -> Option<Arc<KvSegment>> {
+        if upto <= self.base {
+            return None;
+        }
+        assert!(
+            upto <= self.len(),
+            "share_prefix past end: {upto} > {}",
+            self.len()
+        );
+        if let KvMode::Quantized(cfg) = self.mode {
+            assert!(
+                upto.is_multiple_of(cfg.group),
+                "quantized KV share boundary must be group-aligned: \
+                 upto = {upto}, group = {}",
+                cfg.group
+            );
+            assert!(
+                upto <= self.quantized_tokens,
+                "cannot share unquantized rows: upto = {upto}, quantized = {}",
+                self.quantized_tokens
+            );
+        }
+        let ch = self.channels;
+        let cut = (upto - self.base) * ch;
+        let seg = Arc::new(KvSegment {
+            channels: ch,
+            mode: self.mode,
+            keys: self.keys[..cut].to_vec(),
+            values: self.values[..cut].to_vec(),
+        });
+        self.keys.drain(..cut);
+        self.values.drain(..cut);
+        self.base = upto;
+        self.shared.push(Arc::clone(&seg));
+        Some(seg)
     }
 
     /// Appends one token's key/value rows, then (in quantized mode)
@@ -328,43 +649,88 @@ impl LayerKvCache {
     /// place: keys per channel along the token chunk, values per token in
     /// channel chunks.
     fn quantize_group(&mut self, cfg: KvCacheConfig) {
+        // Global token range; rows live in the private tail (attached
+        // shared segments are already quantized, so
+        // `quantized_tokens >= base` always holds here).
         let lo = self.quantized_tokens;
         let hi = lo + cfg.group;
+        debug_assert!(lo >= self.base, "quantizing into shared rows");
         let ch = self.channels;
+        let base = self.base;
         for c in 0..ch {
-            let col: Vec<f64> = (lo..hi).map(|t| self.keys[t * ch + c]).collect();
+            let col: Vec<f64> = (lo..hi).map(|t| self.keys[(t - base) * ch + c]).collect();
             let block = MxIntBlock::quantize(&col, cfg.bits);
             for (i, v) in block.dequantize().into_iter().enumerate() {
-                self.keys[(lo + i) * ch + c] = v;
+                self.keys[(lo + i - base) * ch + c] = v;
             }
         }
         for t in lo..hi {
-            let row = self.values[t * ch..(t + 1) * ch].to_vec();
+            let p = t - base;
+            let row = self.values[p * ch..(p + 1) * ch].to_vec();
             for (g, chunk) in row.chunks(cfg.group).enumerate() {
                 let block = MxIntBlock::quantize(chunk, cfg.bits);
                 for (i, v) in block.dequantize().into_iter().enumerate() {
-                    self.values[t * ch + g * cfg.group + i] = v;
+                    self.values[p * ch + g * cfg.group + i] = v;
                 }
             }
         }
         self.quantized_tokens = hi;
     }
 
-    /// Serving key row for token `t`.
+    /// Serving key row for (global) token `t`, resolved to the shared
+    /// segment or private tail that stores it.
     pub fn key_row(&self, t: usize) -> &[f64] {
-        &self.keys[t * self.channels..(t + 1) * self.channels]
+        if t >= self.base {
+            let o = (t - self.base) * self.channels;
+            return &self.keys[o..o + self.channels];
+        }
+        let (seg, rel) = self.resolve_shared(t);
+        seg.key_row(rel)
     }
 
-    /// Serving value row for token `t`.
+    /// Serving value row for (global) token `t`.
     pub fn value_row(&self, t: usize) -> &[f64] {
-        &self.values[t * self.channels..(t + 1) * self.channels]
+        if t >= self.base {
+            let o = (t - self.base) * self.channels;
+            return &self.values[o..o + self.channels];
+        }
+        let (seg, rel) = self.resolve_shared(t);
+        seg.value_row(rel)
     }
 
-    /// A read-only view over every token's serving values.
+    fn resolve_shared(&self, t: usize) -> (&KvSegment, usize) {
+        let mut rem = t;
+        for seg in &self.shared {
+            if rem < seg.len() {
+                return (seg, rem);
+            }
+            rem -= seg.len();
+        }
+        panic!("token {t} outside cache of {} tokens", self.len())
+    }
+
+    /// A read-only view over every token's serving values — shared
+    /// segments and private tail stitched into one token-indexed view.
     pub fn view(&self) -> KvView<'_> {
+        let mut spans = Vec::with_capacity(self.shared.len() + 1);
+        let mut start = 0;
+        for seg in &self.shared {
+            spans.push(KvSpan {
+                start,
+                keys: &seg.keys,
+                values: &seg.values,
+            });
+            start += seg.len();
+        }
+        if !self.keys.is_empty() {
+            spans.push(KvSpan {
+                start,
+                keys: &self.keys,
+                values: &self.values,
+            });
+        }
         KvView {
-            keys: &self.keys,
-            values: &self.values,
+            spans,
             tokens: self.len(),
             channels: self.channels,
         }
@@ -381,12 +747,36 @@ impl LayerKvCache {
     /// partial block whose exponent was fit to tokens that no longer
     /// exist.
     ///
+    /// With attached shared segments, truncation below the shared base
+    /// is legal only on whole-segment boundaries: trailing segments are
+    /// detached (their refcount drops; the rows themselves are immutable
+    /// and other holders are unaffected), but a cut strictly inside a
+    /// shared segment panics — shared rows cannot be partially disowned.
+    ///
     /// # Panics
     ///
     /// Panics in quantized mode when `n` lands strictly inside the
-    /// quantized prefix off a group boundary.
+    /// quantized prefix off a group boundary, or in any mode when `n`
+    /// lands strictly inside an attached shared segment.
     pub fn truncate(&mut self, n: usize) {
         if n >= self.len() {
+            return;
+        }
+        if n < self.base {
+            self.keys.clear();
+            self.values.clear();
+            while self.base > n {
+                let start = self.base - self.shared.last().expect("base covered").len();
+                assert!(
+                    start >= n,
+                    "truncation inside a shared KV segment: n = {n}, \
+                     segment covers [{start}, {})",
+                    self.base
+                );
+                self.shared.pop();
+                self.base = start;
+            }
+            self.quantized_tokens = self.quantized_tokens.min(n);
             return;
         }
         if let KvMode::Quantized(cfg) = self.mode {
@@ -401,8 +791,8 @@ impl LayerKvCache {
                 self.quantized_tokens = n;
             }
         }
-        self.keys.truncate(n * self.channels);
-        self.values.truncate(n * self.channels);
+        self.keys.truncate((n - self.base) * self.channels);
+        self.values.truncate((n - self.base) * self.channels);
     }
 }
 
@@ -785,6 +1175,227 @@ mod tests {
         assert!(LayerKvCache::quantized(8, cfg).is_err());
         assert!(LayerKvCache::with_mode(8, KvMode::Quantized(cfg)).is_err());
         assert!(LayerKvCache::with_mode(8, KvMode::Exact).is_ok());
+    }
+
+    fn random_rows(seed: u64, n: usize, ch: usize) -> Vec<(Vec<f64>, Vec<f64>)> {
+        let mut rng = SeededRng::new(seed);
+        (0..n)
+            .map(|_| {
+                let k: Vec<f64> = (0..ch).map(|_| rng.normal(0.0, 1.0)).collect();
+                let v: Vec<f64> = (0..ch).map(|_| rng.normal(0.0, 1.0)).collect();
+                (k, v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shared_prefix_attach_serves_bitwise_identical_rows() {
+        let ch = 8;
+        let rows = random_rows(20, 24, ch);
+        // Donor appends 16 rows and freezes them into a shared segment.
+        let mut donor = LayerKvCache::exact(ch);
+        for (k, v) in &rows[..16] {
+            donor.append(k, v);
+        }
+        let seg = donor.share_prefix(16).expect("fresh rows to share");
+        assert_eq!(donor.len(), 16);
+        assert_eq!(donor.owned_len(), 0);
+        assert_eq!(donor.shared_len(), 16);
+
+        // Attachee reuses the segment and appends its own suffix.
+        let mut attachee = LayerKvCache::exact(ch);
+        attachee.attach(Arc::clone(&seg));
+        for (k, v) in &rows[16..] {
+            attachee.append(k, v);
+        }
+        // A cold cache over the same rows must match bitwise.
+        let mut cold = LayerKvCache::exact(ch);
+        for (k, v) in &rows {
+            cold.append(k, v);
+        }
+        assert_eq!(attachee.len(), cold.len());
+        assert_eq!(attachee.owned_len(), 8);
+        let view = attachee.view();
+        for t in 0..cold.len() {
+            assert_eq!(attachee.key_row(t), cold.key_row(t), "key row {t}");
+            assert_eq!(attachee.value_row(t), cold.value_row(t), "value row {t}");
+            assert_eq!(view.key_row(t), cold.key_row(t), "view key row {t}");
+            assert_eq!(view.value_row(t), cold.value_row(t), "view value row {t}");
+        }
+        // Three holders: donor, attachee, and the returned handle.
+        assert_eq!(Arc::strong_count(&seg), 3);
+        drop(donor);
+        drop(attachee);
+        assert_eq!(Arc::strong_count(&seg), 1, "holders release on drop");
+    }
+
+    #[test]
+    fn forked_clones_share_prefix_and_diverge_independently() {
+        let ch = 4;
+        let rows = random_rows(21, 12, ch);
+        let mut leader = LayerKvCache::exact(ch);
+        for (k, v) in &rows[..10] {
+            leader.append(k, v);
+        }
+        let seg = leader.share_prefix(10).unwrap();
+        let mut fork = leader.clone();
+        // Divergent tails: each appends different rows past the fork.
+        leader.append(&rows[10].0, &rows[10].1);
+        fork.append(&rows[11].0, &rows[11].1);
+        assert_eq!(leader.key_row(10), rows[10].0.as_slice());
+        assert_eq!(fork.key_row(10), rows[11].0.as_slice());
+        for t in 0..10 {
+            assert_eq!(leader.key_row(t), fork.key_row(t), "shared row {t}");
+        }
+        // Both clones plus the returned handle hold the segment.
+        assert_eq!(Arc::strong_count(&seg), 3);
+        // truncate back into the shared prefix detaches on the segment
+        // boundary without disturbing the other fork.
+        fork.truncate(0);
+        assert_eq!(fork.len(), 0);
+        assert_eq!(Arc::strong_count(&seg), 2);
+        assert_eq!(leader.len(), 11);
+        assert_eq!(leader.key_row(3), rows[3].0.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty private tail")]
+    fn attach_after_private_rows_panics() {
+        let ch = 4;
+        let mut donor = LayerKvCache::exact(ch);
+        let row = vec![1.0; ch];
+        donor.append(&row, &row);
+        let seg = donor.share_prefix(1).unwrap();
+        let mut cache = LayerKvCache::exact(ch);
+        cache.append(&row, &row);
+        cache.attach(seg);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside a shared KV segment")]
+    fn truncate_inside_shared_segment_panics() {
+        let ch = 4;
+        let rows = random_rows(22, 8, ch);
+        let mut cache = LayerKvCache::exact(ch);
+        for (k, v) in &rows {
+            cache.append(k, v);
+        }
+        cache.share_prefix(8).unwrap();
+        cache.truncate(3);
+    }
+
+    #[test]
+    fn quantized_share_and_attach_keep_group_invariants() {
+        let ch = 8;
+        let cfg = KvCacheConfig {
+            bits: 4,
+            group: 8,
+            residual: 8,
+        };
+        let rows = random_rows(23, 40, ch);
+        let mut donor = LayerKvCache::quantized(ch, cfg).unwrap();
+        for (k, v) in &rows[..32] {
+            donor.append(k, v);
+        }
+        // 32 appended, residual 8 → tokens [0, 24) quantized; the share
+        // boundary must sit inside that prefix on a group boundary.
+        assert_eq!(donor.quantized_len(), 24);
+        let donor_rows: Vec<Vec<f64>> = (0..24).map(|t| donor.key_row(t).to_vec()).collect();
+        let seg = donor.share_prefix(16).unwrap();
+        assert_eq!(seg.len(), 16);
+
+        let mut attachee = LayerKvCache::quantized(ch, cfg).unwrap();
+        attachee.attach(seg);
+        assert_eq!(attachee.len(), 16);
+        assert_eq!(attachee.quantized_len(), 16, "attached rows are quantized");
+        for (k, v) in &rows[16..40] {
+            attachee.append(k, v);
+        }
+        // Aging resumed group-aligned past the attached base; the shared
+        // rows serve the donor's frozen post-quantization values.
+        assert_eq!(attachee.len(), 40);
+        assert_eq!(attachee.quantized_len(), 32);
+        for (t, row) in donor_rows.iter().take(16).enumerate() {
+            assert_eq!(attachee.key_row(t), row.as_slice(), "frozen row {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "group-aligned")]
+    fn quantized_share_off_group_boundary_panics() {
+        let ch = 8;
+        let cfg = KvCacheConfig {
+            bits: 4,
+            group: 8,
+            residual: 0,
+        };
+        let rows = random_rows(24, 16, ch);
+        let mut cache = LayerKvCache::quantized(ch, cfg).unwrap();
+        for (k, v) in &rows {
+            cache.append(k, v);
+        }
+        cache.share_prefix(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "group-aligned")]
+    fn quantized_segment_misaligned_split_panics() {
+        let ch = 8;
+        let cfg = KvCacheConfig {
+            bits: 4,
+            group: 8,
+            residual: 0,
+        };
+        let rows = random_rows(25, 16, ch);
+        let mut cache = LayerKvCache::quantized(ch, cfg).unwrap();
+        for (k, v) in &rows {
+            cache.append(k, v);
+        }
+        let seg = cache.share_prefix(16).unwrap();
+        let _ = seg.slice(0, 3);
+    }
+
+    #[test]
+    fn segment_slice_splits_exact_rows_bitwise() {
+        let ch = 4;
+        let rows = random_rows(26, 10, ch);
+        let mut cache = LayerKvCache::exact(ch);
+        for (k, v) in &rows {
+            cache.append(k, v);
+        }
+        let seg = cache.share_prefix(10).unwrap();
+        let left = seg.slice(0, 6);
+        let right = seg.slice(6, 10);
+        assert_eq!(left.len(), 6);
+        assert_eq!(right.len(), 4);
+        for t in 0..6 {
+            assert_eq!(left.key_row(t), seg.key_row(t));
+            assert_eq!(left.value_row(t), seg.value_row(t));
+        }
+        for t in 0..4 {
+            assert_eq!(right.key_row(t), seg.key_row(6 + t));
+        }
+        assert_eq!(
+            left.storage_bytes() + right.storage_bytes(),
+            seg.storage_bytes()
+        );
+    }
+
+    #[test]
+    fn owned_accounting_excludes_shared_segments() {
+        let ch = 16;
+        let rows = random_rows(27, 24, ch);
+        let mut cache = LayerKvCache::exact(ch);
+        for (k, v) in &rows {
+            cache.append(k, v);
+        }
+        let total = cache.storage_bytes();
+        assert_eq!(cache.owned_storage_bytes(), total);
+        let seg = cache.share_prefix(16).unwrap();
+        // Total footprint unchanged; the owned share shrank to the tail.
+        assert_eq!(cache.storage_bytes(), total);
+        assert_eq!(cache.owned_storage_bytes(), 8 * 2 * ch * 8);
+        assert_eq!(seg.storage_bytes(), 16 * 2 * ch * 8);
     }
 
     #[test]

@@ -32,8 +32,9 @@
 use crate::packed::{PackedGemm, PackedTinyFm};
 use crate::tinyfm::{rmsnorm_col, silu, LinearId, TinyFm, TinyFmConfig};
 use microscopiq_core::error::QuantError;
-use microscopiq_core::kv_cache::{KvMode, LayerKvCache};
+use microscopiq_core::kv_cache::{KvMode, KvSegment, LayerKvCache};
 use microscopiq_linalg::Matrix;
+use std::sync::Arc;
 
 /// How a model executes the shared forward math: configuration access
 /// plus one `linear` hook per packed/dense weight representation.
@@ -148,6 +149,95 @@ impl DecodeState {
         Self::new(cfg, KvMode::Exact).expect("exact mode is always valid")
     }
 
+    /// Creates a state that starts from a cached prompt prefix: every
+    /// layer cache attaches the corresponding shared segments
+    /// copy-on-write and the state's token cursor is set to `prefix`, so
+    /// [`Self::remaining_prompt`] resumes at the first uncached token.
+    /// `bundles` is ordered outer-by-run, inner-by-layer: each entry
+    /// holds one [`KvSegment`] per transformer block and the entries'
+    /// token lengths must sum to `prefix.len()`.
+    ///
+    /// In [`KvMode::Exact`] the attached rows are bitwise the rows a
+    /// cold prefill of `prefix` would have produced, so everything
+    /// downstream (suffix prefill, sampling) is bit-identical to a cold
+    /// request. In [`KvMode::Quantized`] the rows carry frozen
+    /// post-quantization serving values and group-aligned boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] for an invalid quantized KV
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bundle's layer count disagrees with the model or the
+    /// segment lengths do not sum to `prefix.len()` (segment/mode
+    /// mismatches panic inside [`LayerKvCache::attach`]).
+    pub fn with_prefix(
+        cfg: TinyFmConfig,
+        mode: KvMode,
+        prefix: &[usize],
+        bundles: &[Vec<Arc<KvSegment>>],
+    ) -> Result<Self, QuantError> {
+        let mut state = Self::new(cfg, mode)?;
+        let mut covered = 0;
+        for bundle in bundles {
+            assert_eq!(
+                bundle.len(),
+                cfg.n_layers,
+                "prefix bundle must hold one segment per layer"
+            );
+            covered += bundle[0].len();
+            for (layer, seg) in bundle.iter().enumerate() {
+                assert_eq!(seg.len(), bundle[0].len(), "ragged prefix bundle");
+                state.caches[layer].attach(Arc::clone(seg));
+            }
+        }
+        assert_eq!(
+            covered,
+            prefix.len(),
+            "attached segments must cover exactly the matched prefix"
+        );
+        state.tokens = prefix.to_vec();
+        Ok(state)
+    }
+
+    /// The longest prefix of this state's rows that can be frozen into
+    /// shared segments right now: everything in [`KvMode::Exact`], only
+    /// the (group-aligned, quantize-once) quantized prefix in
+    /// [`KvMode::Quantized`] — rows still inside the residual window are
+    /// mutable and cannot be shared.
+    pub fn shareable_len(&self) -> usize {
+        match self.mode {
+            KvMode::Exact => self.len(),
+            KvMode::Quantized(_) => self.caches.first().map_or(0, |c| c.quantized_len()),
+        }
+    }
+
+    /// Freezes rows `[0, upto)` of every layer cache into refcounted
+    /// shared segments (see [`LayerKvCache::share_prefix`]); afterwards
+    /// cloning the state copies only the private tails, so N-way
+    /// generation forks share one prefill. Returns one segment per layer
+    /// covering the newly frozen rows, or `None` when the range was
+    /// already shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upto` exceeds [`Self::shareable_len`]'s bound (past
+    /// the end, or unquantized/misaligned rows in quantized mode).
+    pub fn share_prefix(&mut self, upto: usize) -> Option<Vec<Arc<KvSegment>>> {
+        let segs: Vec<_> = self
+            .caches
+            .iter_mut()
+            .filter_map(|c| c.share_prefix(upto))
+            .collect();
+        if segs.is_empty() {
+            return None;
+        }
+        assert_eq!(segs.len(), self.caches.len(), "ragged share across layers");
+        Some(segs)
+    }
+
     /// Tokens processed so far (prompt plus decoded continuations).
     pub fn tokens(&self) -> &[usize] {
         &self.tokens
@@ -178,18 +268,24 @@ impl DecodeState {
         &self.caches[layer]
     }
 
-    /// Total K/V rows held across all layer caches — the per-request
-    /// occupancy figure a serving scheduler charges against its KV
-    /// budget (equals `tokens × n_layers` once a pass has run).
+    /// K/V rows this request *owns* across all layer caches — the
+    /// per-request occupancy figure a serving scheduler charges against
+    /// its KV budget. Attached shared segments are excluded: a shared
+    /// prefix is accounted once by whoever retains its segments (a
+    /// prefix cache, or nobody for ad-hoc forks), so retiring every
+    /// request drains this figure to zero even when prefixes were
+    /// reused. Without sharing this equals `tokens × n_layers` once a
+    /// pass has run.
     pub fn kv_rows(&self) -> usize {
-        self.caches.iter().map(|c| c.len()).sum()
+        self.caches.iter().map(|c| c.owned_len()).sum()
     }
 
-    /// Storage bytes of this request's KV footprint across all layers
-    /// (see [`LayerKvCache::storage_bytes`]) — what an eviction policy
-    /// reclaims by retiring the request.
+    /// Storage bytes of this request's *owned* KV footprint across all
+    /// layers (see [`LayerKvCache::owned_storage_bytes`]) — what
+    /// retiring the request reclaims immediately. Shared segments are
+    /// freed when their last holder drops.
     pub fn kv_bytes(&self) -> usize {
-        self.caches.iter().map(|c| c.storage_bytes()).sum()
+        self.caches.iter().map(|c| c.owned_storage_bytes()).sum()
     }
 
     /// Resumable partial-prefill cursor: the suffix of `tokens` this

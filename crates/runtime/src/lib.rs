@@ -84,6 +84,7 @@ pub mod cache;
 pub mod executor;
 pub mod kernels;
 pub mod net;
+pub mod prefix;
 pub mod server;
 pub mod session;
 pub mod telemetry;
@@ -97,6 +98,7 @@ pub use kernels::{
 };
 pub use microscopiq_fm::{DecodeState, KvCacheConfig, KvMode};
 pub use net::{Fleet, FleetConfig, FleetHandle, FleetReport, HttpConfig, HttpServer};
+pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixCacheStats, PrefixMatch, PrefixMetrics};
 pub use server::{
     AdmissionPolicy, Deadline, RequestOptions, ResponseStream, ServeError, Server, ServerConfig,
     ServerHandle, ServerReport, ShedPolicy, StreamEvent, SubmitError,

@@ -7,13 +7,17 @@
 //! * `POST /v1/generate` — body is a JSON object: `prompt` (required,
 //!   array of token ids), `max_new_tokens` (default 16), `temperature`
 //!   (default 1.0), `seed` (default 0), `class` (`"interactive"` |
-//!   `"batch"` | `"best_effort"`, default interactive). Answers with an
-//!   SSE stream over chunked transfer-encoding: one
-//!   `data: {"token":N}\n\n` event per generated token as its decode
-//!   step completes, then a terminal
+//!   `"batch"` | `"best_effort"`, default interactive), `n_samples`
+//!   (default 1 — N-way generation sharing one prefill). Answers with
+//!   an SSE stream over chunked transfer-encoding: one
+//!   `data: {"token":N}\n\n` event per generated token of sample 0 as
+//!   its decode step completes, one
+//!   `data: {"sample":I,"tokens":[..],"new_tokens":K}\n\n` event per
+//!   extra sample as it finishes, then a terminal
 //!   `data: {"done":true,"tokens":[..],"worker":W}\n\n` event carrying
-//!   the full sequence and the worker that served it. Invalid requests
-//!   get 400 before any tokens; overload gets 503 (`Retry-After`).
+//!   sample 0's full sequence and the worker that served it. Invalid
+//!   requests get 400 before any tokens; overload gets 503
+//!   (`Retry-After`).
 //! * `GET /metrics` — the fleet's concatenated Prometheus exposition.
 //! * `GET /healthz` — worker liveness as JSON.
 //!
@@ -367,12 +371,20 @@ fn parse_gen_request(body: &[u8], vocab: usize) -> Result<GenRequest, String> {
             })?
         }
     };
+    let n_samples = match json.get("n_samples") {
+        None => 1,
+        Some(v) => v
+            .as_usize()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| "\"n_samples\" must be a positive integer".to_string())?,
+    };
     Ok(GenRequest {
         prompt,
         max_new_tokens,
         temperature,
         seed,
         class,
+        n_samples,
     })
 }
 
@@ -414,6 +426,19 @@ fn generate(
         match event {
             StreamEvent::Token(tok) => {
                 write_sse_chunk(stream, &obj([("token", Json::Num(tok as f64))]).render())?;
+            }
+            StreamEvent::Sample { index, result } => {
+                let tokens =
+                    Json::Arr(result.tokens.iter().map(|&t| Json::Num(t as f64)).collect());
+                write_sse_chunk(
+                    stream,
+                    &obj([
+                        ("sample", Json::Num(index as f64)),
+                        ("tokens", tokens),
+                        ("new_tokens", Json::Num(result.new_tokens as f64)),
+                    ])
+                    .render(),
+                )?;
             }
             StreamEvent::Finished(result) => {
                 let tokens =

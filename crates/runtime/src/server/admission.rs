@@ -2,6 +2,7 @@
 //! per-request options, and the submit-time error surface.
 
 use super::stream::StreamEvent;
+use crate::prefix::PrefixCacheConfig;
 use crate::session::{GenRequest, QosClass, QosShares};
 use microscopiq_fm::KvMode;
 use std::sync::atomic::AtomicBool;
@@ -81,6 +82,13 @@ pub struct ServerConfig {
     /// against the policy and rejects lower QoS classes first; `None`
     /// (the default) never sheds.
     pub shed: Option<ShedPolicy>,
+    /// Optional shared-prompt KV reuse (see
+    /// [`Session::enable_prefix_cache`](crate::Session::enable_prefix_cache)):
+    /// completed prompts are retained in a byte-budgeted prefix trie and
+    /// later admissions attach the longest cached prefix copy-on-write,
+    /// prefilling only the suffix. `None` (the default) serves every
+    /// prompt cold.
+    pub prefix_cache: Option<PrefixCacheConfig>,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +106,7 @@ impl Default for ServerConfig {
             trace_events: 0,
             qos: QosShares::default(),
             shed: None,
+            prefix_cache: None,
         }
     }
 }
@@ -220,4 +229,9 @@ pub(crate) enum WorkerMsg {
     /// panic guard, killing the worker thread as an unexpected crash
     /// would. Used by the fleet chaos tests.
     InjectPanic,
+    /// Replaces the prefix-cache byte budget (evicting down to it
+    /// immediately); no-op when the cache is disabled. Shrinking to 0
+    /// drains every unreferenced trie node — the bench and tests use
+    /// this to prove nothing leaked after traffic retires.
+    SetPrefixCapacity(usize),
 }

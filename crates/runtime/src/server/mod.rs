@@ -55,7 +55,8 @@ pub use admission::{
 };
 pub use stream::{ResponseStream, ServeError, StreamEvent};
 
-use crate::session::{GenRequest, QosClass, RequestId, Session, SessionStats};
+use crate::prefix::{PrefixCacheStats, PrefixMetrics};
+use crate::session::{GenRequest, GenResult, QosClass, RequestId, Session, SessionStats};
 use crate::telemetry::{
     Counter, EngineTelemetry, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, TraceArg,
     TraceSink,
@@ -190,6 +191,11 @@ struct Shared {
     metrics: ServerMetrics,
     /// Present only when [`ServerConfig::trace_events`] > 0.
     trace: Option<Arc<TraceSink>>,
+    /// Prefix-cache metric handles, present only when
+    /// [`ServerConfig::prefix_cache`] is set — lets
+    /// [`ServerHandle::prefix_cache_stats`] read counters without
+    /// crossing into the worker thread.
+    prefix: Option<PrefixMetrics>,
     /// Mirror of [`ServerConfig::telemetry`] for the worker's hot path.
     telemetry: bool,
     /// Current overload shed level, published by the worker between
@@ -371,6 +377,20 @@ impl ServerHandle {
         self.shared.metrics.kv_rows.get().max(0) as usize
     }
 
+    /// Prefix-cache counters and residency; `None` unless the server
+    /// was spawned with [`ServerConfig::prefix_cache`] set. Reads the
+    /// shared metric handles — no worker round-trip.
+    pub fn prefix_cache_stats(&self) -> Option<PrefixCacheStats> {
+        self.shared.prefix.as_ref().map(|m| m.snapshot())
+    }
+
+    /// Asks the worker to replace the prefix-cache byte budget, evicting
+    /// down to it between steps (0 drains every unreferenced trie
+    /// node). No-op when the cache is disabled or the worker is gone.
+    pub fn set_prefix_cache_capacity(&self, capacity_bytes: usize) {
+        let _ = self.tx.send(WorkerMsg::SetPrefixCapacity(capacity_bytes));
+    }
+
     /// Submissions currently waiting in (or blocked entering) the
     /// admission queue — the backpressure a client would face right
     /// now. Under [`AdmissionPolicy::Reject`] a positive depth warns
@@ -431,7 +451,10 @@ impl Server {
             .prefill_chunk(cfg.prefill_chunk)
             .token_budget(cfg.token_budget)
             .qos(cfg.qos);
-        let session = Session::with_config(model, engine, sched, cfg.kv_mode)?;
+        let mut session = Session::with_config(model, engine, sched, cfg.kv_mode)?;
+        if let Some(prefix_cfg) = cfg.prefix_cache {
+            session.enable_prefix_cache(prefix_cfg);
+        }
         // One registry for the whole stack: the session created it and
         // registered its scheduler instruments; the engine contributes
         // kernel/cache collectors; the server adds lifecycle metrics.
@@ -440,10 +463,12 @@ impl Server {
         let (kv_rows, _kv_bytes) = session.kv_gauges();
         let metrics = ServerMetrics::register(&registry, kv_rows);
         let trace = (cfg.trace_events > 0).then(|| Arc::new(TraceSink::new(cfg.trace_events)));
+        let prefix = session.prefix_metrics();
         let shared = Arc::new(Shared {
             registry,
             metrics,
             trace,
+            prefix,
             telemetry: cfg.telemetry,
             shed_level: AtomicU8::new(0),
             worker_exited: AtomicBool::new(false),
@@ -520,6 +545,14 @@ struct Live {
     admitted_at: Instant,
     /// When the latest token was streamed; `None` until the first.
     last_token_at: Option<Instant>,
+    /// Sample ids of this request not yet finished, leader included —
+    /// a singleton for plain requests, `n` consecutive ids for N-way
+    /// generation ([`GenRequest::n_samples`]). The stream terminates
+    /// only once this empties.
+    outstanding: Vec<RequestId>,
+    /// The leader sample's result, held back until every extra sample
+    /// has been delivered as a [`StreamEvent::Sample`].
+    leader_result: Option<GenResult>,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -547,6 +580,9 @@ fn worker_loop<E: PackedGemm>(
     shared: Arc<Shared>,
 ) -> ServerReport {
     let mut live: HashMap<RequestId, Live> = HashMap::new();
+    // Extra-sample id → leader id, for routing fork results onto the
+    // leader's stream. Entries are removed as samples finish or retire.
+    let mut sample_of: HashMap<RequestId, RequestId> = HashMap::new();
     let mut report = ServerReport::default();
     let mut rx_open = true;
     let mut shed_state = ShedState::default();
@@ -572,12 +608,19 @@ fn worker_loop<E: PackedGemm>(
         // rest queued is what gives the bounded queue its backpressure.
         while rx_open && live.len() < cfg.max_in_flight {
             match rx.try_recv() {
-                Ok(WorkerMsg::Submit(inc)) => {
-                    admit(&mut session, &mut live, &mut report, inc, now, &shared)
-                }
+                Ok(WorkerMsg::Submit(inc)) => admit(
+                    &mut session,
+                    &mut live,
+                    &mut sample_of,
+                    &mut report,
+                    inc,
+                    now,
+                    &shared,
+                ),
                 Ok(WorkerMsg::InjectPanic) => {
                     panic!("injected worker panic (failure-injection hook)")
                 }
+                Ok(WorkerMsg::SetPrefixCapacity(bytes)) => session.set_prefix_cache_capacity(bytes),
                 Err(mpsc::TryRecvError::Empty) => break,
                 Err(mpsc::TryRecvError::Disconnected) => rx_open = false,
             }
@@ -591,11 +634,20 @@ fn worker_loop<E: PackedGemm>(
             match rx.recv() {
                 Ok(WorkerMsg::Submit(inc)) => {
                     now = Instant::now();
-                    admit(&mut session, &mut live, &mut report, inc, now, &shared);
+                    admit(
+                        &mut session,
+                        &mut live,
+                        &mut sample_of,
+                        &mut report,
+                        inc,
+                        now,
+                        &shared,
+                    );
                 }
                 Ok(WorkerMsg::InjectPanic) => {
                     panic!("injected worker panic (failure-injection hook)")
                 }
+                Ok(WorkerMsg::SetPrefixCapacity(bytes)) => session.set_prefix_cache_capacity(bytes),
                 Err(_) => rx_open = false,
             }
             publish(&shared, &live);
@@ -605,7 +657,14 @@ fn worker_loop<E: PackedGemm>(
         // Sweep before the step so a dropped stream frees its slot
         // without another forward, and a deadline of zero steps expires
         // before the request is ever prefilled.
-        sweep(&mut session, &mut live, &mut report, now, &shared);
+        sweep(
+            &mut session,
+            &mut live,
+            &mut sample_of,
+            &mut report,
+            now,
+            &shared,
+        );
 
         if !live.is_empty() {
             let step_start = shared.trace.as_deref().map(|t| t.ts(Instant::now()));
@@ -627,13 +686,41 @@ fn worker_loop<E: PackedGemm>(
                         }
                     }
                     for res in step.finished {
-                        if let Some(l) = live.remove(&res.id) {
+                        // Route a fork sample's result onto its
+                        // leader's stream; a plain request is its own
+                        // leader with a singleton group.
+                        let leader = if live.contains_key(&res.id) {
+                            res.id
+                        } else if let Some(&leader) = sample_of.get(&res.id) {
+                            leader
+                        } else {
+                            continue;
+                        };
+                        let Some(l) = live.get_mut(&leader) else {
+                            continue;
+                        };
+                        l.outstanding.retain(|&s| s != res.id);
+                        if res.id == leader {
+                            l.leader_result = Some(res);
+                        } else {
+                            sample_of.remove(&res.id);
+                            let _ = l.events.send(StreamEvent::Sample {
+                                index: res.id - leader,
+                                result: res,
+                            });
+                        }
+                        if l.outstanding.is_empty() {
+                            let mut l = live.remove(&leader).expect("leader is live");
                             report.served += 1;
                             shared.metrics.finished.inc();
                             if let Some(t) = shared.trace.as_deref() {
-                                t.instant("finished", request_tid(res.id), t.ts(now), vec![]);
+                                t.instant("finished", request_tid(leader), t.ts(now), vec![]);
                             }
-                            let _ = l.events.send(StreamEvent::Finished(res));
+                            let result = l
+                                .leader_result
+                                .take()
+                                .expect("leader finished before its group emptied");
+                            let _ = l.events.send(StreamEvent::Finished(result));
                         }
                     }
                     if let (Some(t), Some(start), Some(batch)) =
@@ -653,8 +740,16 @@ fn worker_loop<E: PackedGemm>(
                     let msg = panic_message(payload);
                     let ids: Vec<RequestId> = live.keys().copied().collect();
                     for id in ids {
-                        if !session.is_live(id) {
+                        // A stream faults if *any* of its samples died
+                        // in the panicked batch; surviving group members
+                        // are cancelled — their stream is gone.
+                        let dead = live[&id].outstanding.iter().any(|&s| !session.is_live(s));
+                        if dead {
                             let l = live.remove(&id).expect("id collected from live");
+                            for s in &l.outstanding {
+                                session.cancel(*s);
+                                sample_of.remove(s);
+                            }
                             report.faulted += 1;
                             shared.metrics.faulted.inc();
                             if let Some(t) = shared.trace.as_deref() {
@@ -794,6 +889,7 @@ fn publish(shared: &Shared, live: &HashMap<RequestId, Live>) {
 fn admit<E: PackedGemm>(
     session: &mut Session<E>,
     live: &mut HashMap<RequestId, Live>,
+    sample_of: &mut HashMap<RequestId, RequestId>,
     report: &mut ServerReport,
     inc: Incoming,
     now: Instant,
@@ -835,6 +931,8 @@ fn admit<E: PackedGemm>(
     let prompt_tokens = req.prompt.len();
     let max_new_tokens = req.max_new_tokens;
     let class = req.class;
+    let n_samples = req.n_samples.max(1);
+    let prefix_before = session.stats();
     // `Session::submit` validates the prompt and panics on malformed
     // input; caught here, that faults only the offending stream.
     match catch_unwind(AssertUnwindSafe(|| session.submit(req))) {
@@ -857,6 +955,19 @@ fn admit<E: PackedGemm>(
                     ],
                 );
                 t.instant("admitted", request_tid(id), t.ts(now), vec![]);
+                let after = session.stats();
+                if after.prefix_hits > prefix_before.prefix_hits {
+                    let reused = after.prefix_tokens_reused - prefix_before.prefix_tokens_reused;
+                    t.instant(
+                        "prefix_hit",
+                        request_tid(id),
+                        t.ts(now),
+                        vec![("reused_tokens", TraceArg::U64(reused as u64))],
+                    );
+                }
+            }
+            for i in 1..n_samples {
+                sample_of.insert(id + i, id);
             }
             live.insert(
                 id,
@@ -869,6 +980,8 @@ fn admit<E: PackedGemm>(
                     submitted,
                     admitted_at: now,
                     last_token_at: None,
+                    outstanding: (id..id + n_samples).collect(),
+                    leader_result: None,
                 },
             );
         }
@@ -890,6 +1003,7 @@ fn admit<E: PackedGemm>(
 fn sweep<E: PackedGemm>(
     session: &mut Session<E>,
     live: &mut HashMap<RequestId, Live>,
+    sample_of: &mut HashMap<RequestId, RequestId>,
     report: &mut ServerReport,
     now: Instant,
     shared: &Shared,
@@ -909,7 +1023,13 @@ fn sweep<E: PackedGemm>(
         .collect();
     for id in retire {
         let l = live.remove(&id).expect("id collected from live");
-        session.cancel(id);
+        // Retire the whole sample group: the leader first (which also
+        // reclaims any not-yet-dispersed forks), then dispersed
+        // followers, which are ordinary session requests by now.
+        for s in &l.outstanding {
+            session.cancel(*s);
+            sample_of.remove(s);
+        }
         if l.cancelled.load(Ordering::Relaxed) {
             report.cancelled += 1;
             shared.metrics.cancelled.inc();

@@ -9,17 +9,39 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 /// One event on a response stream. Every stream is a sequence of zero or
-/// more `Token`s followed by exactly one terminal event (`Finished` or
-/// `Error`); tokens arrive as the decode steps that sampled them
-/// complete, not at end of generation.
+/// more non-terminal events (`Token`s, and for N-way requests `Sample`s)
+/// followed by exactly one terminal event (`Finished` or `Error`);
+/// tokens arrive as the decode steps that sampled them complete, not at
+/// end of generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StreamEvent {
-    /// One generated token, streamed as its decode step completes.
+    /// One generated token of sample 0, streamed as its decode step
+    /// completes.
     Token(usize),
-    /// Terminal: the request ran to its token budget.
+    /// One completed extra sample of an N-way request
+    /// ([`GenRequest::n_samples`](crate::GenRequest::n_samples) `> 1`),
+    /// delivered whole as it finishes; `index` is the sample number in
+    /// `1..n`. Non-terminal — the stream stays open until every sample
+    /// (including sample 0, whose result is the `Finished` payload) is
+    /// done.
+    Sample {
+        /// Sample number, `1..n` (sample 0 is the streamed-token one).
+        index: usize,
+        /// The sample's full result (prompt plus its continuation).
+        result: GenResult,
+    },
+    /// Terminal: the request ran to its token budget; the payload is
+    /// sample 0's result.
     Finished(GenResult),
     /// Terminal: the request died before finishing.
     Error(ServeError),
+}
+
+impl StreamEvent {
+    /// Whether this event ends its stream.
+    fn is_terminal(&self) -> bool {
+        matches!(self, StreamEvent::Finished(_) | StreamEvent::Error(_))
+    }
 }
 
 /// Why a stream terminated without a full result.
@@ -80,7 +102,7 @@ impl ResponseStream {
             .rx
             .recv()
             .unwrap_or(StreamEvent::Error(ServeError::Disconnected));
-        if !matches!(ev, StreamEvent::Token(_)) {
+        if ev.is_terminal() {
             self.terminated = true;
         }
         Some(ev)
@@ -94,7 +116,7 @@ impl ResponseStream {
         }
         match self.rx.try_recv() {
             Ok(ev) => {
-                if !matches!(ev, StreamEvent::Token(_)) {
+                if ev.is_terminal() {
                     self.terminated = true;
                 }
                 Some(ev)
@@ -115,7 +137,7 @@ impl ResponseStream {
         }
         match self.rx.recv_timeout(timeout) {
             Ok(ev) => {
-                if !matches!(ev, StreamEvent::Token(_)) {
+                if ev.is_terminal() {
                     self.terminated = true;
                 }
                 Some(ev)
@@ -146,6 +168,9 @@ impl ResponseStream {
         while let Some(ev) = self.next_event() {
             match ev {
                 StreamEvent::Token(t) => streamed.push(t),
+                // Extra N-way samples are dropped here; use
+                // `collect_samples` to keep them.
+                StreamEvent::Sample { .. } => {}
                 StreamEvent::Finished(res) => {
                     // Events peeked before `collect` are absent from
                     // `streamed`, so check suffix containment only.
@@ -154,6 +179,28 @@ impl ResponseStream {
                         "streamed tokens must be a suffix of the final result"
                     );
                     return Ok(res);
+                }
+                StreamEvent::Error(e) => return Err(e),
+            }
+        }
+        Err(ServeError::Disconnected)
+    }
+
+    /// Drains an N-way request to completion, returning every sample's
+    /// result ordered by sample index — sample 0 (the streamed-token
+    /// one, whose result is the `Finished` payload) first, then samples
+    /// `1..n` from their [`StreamEvent::Sample`] events. A plain
+    /// single-sample request yields a one-element vector.
+    pub fn collect_samples(mut self) -> Result<Vec<GenResult>, ServeError> {
+        let mut samples: Vec<(usize, GenResult)> = Vec::new();
+        while let Some(ev) = self.next_event() {
+            match ev {
+                StreamEvent::Token(_) => {}
+                StreamEvent::Sample { index, result } => samples.push((index, result)),
+                StreamEvent::Finished(res) => {
+                    samples.push((0, res));
+                    samples.sort_by_key(|&(i, _)| i);
+                    return Ok(samples.into_iter().map(|(_, r)| r).collect());
                 }
                 StreamEvent::Error(e) => return Err(e),
             }

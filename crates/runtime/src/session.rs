@@ -47,11 +47,12 @@
 //! [`KvMode::Quantized`] aged cache tokens are served dequantized
 //! (bounded attention error, see `microscopiq_core::kv_cache`).
 
+use crate::prefix::{PrefixCache, PrefixCacheConfig, PrefixCacheStats, PrefixMatch, PrefixMetrics};
 use crate::telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use microscopiq_core::error::QuantError;
 use microscopiq_fm::{sample_logits, DecodeJob, DecodeState, KvMode, PackedGemm, PackedTinyFm};
 use microscopiq_linalg::SeededRng;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Priority class of a request — the unit of QoS isolation. Classes are
@@ -149,6 +150,17 @@ pub struct GenRequest {
     /// QoS class — scheduling priority and shed order only; never
     /// affects which tokens are generated.
     pub class: QosClass,
+    /// Sampled continuations to generate from this one prompt (`0` and
+    /// `1` both mean a single sample). With `n > 1` the request occupies
+    /// `n` consecutive ids — [`Session::submit`] returns the first (the
+    /// *leader*), samples `i = 1..n` get `leader + i`. All samples share
+    /// one prefill: at prompt completion the leader's KV prefix is
+    /// frozen into shared segments ([`DecodeState::share_prefix`]) and
+    /// each fork diverges copy-on-write, drawing with seed `seed + i` —
+    /// so in exact-KV mode on a bit-exact engine, sample `i`'s tokens
+    /// are bitwise what a solo request with seed `seed + i` would have
+    /// generated.
+    pub n_samples: usize,
 }
 
 /// Identifier assigned by [`Session::submit`], in submission order.
@@ -183,6 +195,11 @@ pub struct SessionStats {
     pub prefill_chunks: usize,
     /// Requests removed via [`Session::cancel`] before finishing.
     pub cancelled: usize,
+    /// Admissions that attached a non-empty cached prompt prefix (always
+    /// 0 unless [`Session::enable_prefix_cache`] was called).
+    pub prefix_hits: usize,
+    /// Prompt tokens served from the prefix cache instead of prefilled.
+    pub prefix_tokens_reused: usize,
 }
 
 /// Scheduling knobs for a [`Session`]'s [`BatchScheduler`].
@@ -327,12 +344,21 @@ struct InFlight {
     /// Incremental decode state; created the first step this request is
     /// scheduled and advanced chunk by chunk until the prompt is done.
     state: Option<DecodeState>,
+    /// Cached prompt prefix matched at admission, attached copy-on-write
+    /// when the state is created (holding it keeps the segments alive
+    /// across evictions). `None` once consumed or on a cache miss.
+    attach: Option<PrefixMatch>,
 }
 
 impl InFlight {
-    /// Prompt tokens the decode state has already processed.
+    /// Prompt tokens already in the KV cache: the decode state's length
+    /// once it exists, else the admission-time prefix match about to be
+    /// attached — so the scheduler plans (and counts) only the suffix.
     fn prefilled(&self) -> usize {
-        self.state.as_ref().map_or(0, |s| s.len())
+        match &self.state {
+            Some(s) => s.len(),
+            None => self.attach.as_ref().map_or(0, |m| m.tokens),
+        }
     }
 
     /// Whether the prompt is fully in the KV cache.
@@ -598,6 +624,12 @@ pub struct Session<E: PackedGemm> {
     stats: SessionStats,
     telemetry: MetricsRegistry,
     metrics: SchedMetrics,
+    /// Shared-prompt KV reuse, opt-in via
+    /// [`Session::enable_prefix_cache`].
+    prefix: Option<PrefixCache>,
+    /// N-way fork groups awaiting their leader's prompt completion:
+    /// leader id → `(sample id, sampling seed)` per pending follower.
+    pending_forks: HashMap<RequestId, Vec<(RequestId, u64)>>,
 }
 
 impl<E: PackedGemm> Session<E> {
@@ -664,7 +696,48 @@ impl<E: PackedGemm> Session<E> {
             stats: SessionStats::default(),
             telemetry,
             metrics,
+            prefix: None,
+            pending_forks: HashMap::new(),
         })
+    }
+
+    /// Enables shared-prompt KV reuse: completed prompts are frozen into
+    /// a byte-budgeted prefix trie ([`PrefixCache`]) and later
+    /// admissions attach the longest cached prefix copy-on-write,
+    /// prefilling only the suffix. Metrics register as the
+    /// `microscopiq_prefix_cache_*` family in the session registry. In
+    /// [`KvMode::Exact`] reuse is bitwise invisible; in
+    /// [`KvMode::Quantized`] it stays inside the bounded-attention-error
+    /// contract (group-aligned, quantize-once segments only). Call
+    /// before submitting traffic; re-enabling replaces the cache.
+    pub fn enable_prefix_cache(&mut self, cfg: PrefixCacheConfig) {
+        self.prefix = Some(PrefixCache::with_metrics(
+            cfg,
+            self.model.config().n_layers,
+            self.kv_mode,
+            &self.telemetry,
+        ));
+    }
+
+    /// Prefix-cache counters and residency, `None` unless
+    /// [`Session::enable_prefix_cache`] was called.
+    pub fn prefix_cache_stats(&self) -> Option<PrefixCacheStats> {
+        self.prefix.as_ref().map(|c| c.stats())
+    }
+
+    /// Replaces the prefix-cache byte budget, evicting down to it
+    /// immediately (shrinking to 0 drains every unreferenced node).
+    /// No-op when the cache is disabled.
+    pub fn set_prefix_cache_capacity(&mut self, capacity_bytes: usize) {
+        if let Some(cache) = self.prefix.as_mut() {
+            cache.set_capacity(capacity_bytes);
+        }
+    }
+
+    /// The prefix cache's shared metric handles, for front-ends that
+    /// read stats without crossing into the worker thread.
+    pub(crate) fn prefix_metrics(&self) -> Option<PrefixMetrics> {
+        self.prefix.as_ref().and_then(|c| c.metrics().cloned())
     }
 
     /// The session's metrics registry: scheduler instruments are already
@@ -715,11 +788,20 @@ impl<E: PackedGemm> Session<E> {
     /// queue, or finished-but-undrained (zero-budget submissions before
     /// the next [`Session::step`]).
     pub fn is_live(&self, id: RequestId) -> bool {
-        self.scheduler.iter().any(|r| r.id == id) || self.finished.iter().any(|r| r.id == id)
+        self.scheduler.iter().any(|r| r.id == id)
+            || self.finished.iter().any(|r| r.id == id)
+            || self
+                .pending_forks
+                .values()
+                .any(|fs| fs.iter().any(|&(f, _)| f == id))
     }
 
-    /// Enqueues a request, returning its id. Requests with a zero token
-    /// budget finish immediately.
+    /// Enqueues a request, returning its id — the *leader* id when
+    /// [`GenRequest::n_samples`] `> 1`, with samples `i = 1..n` assigned
+    /// the consecutive ids `leader + i`. Requests with a zero token
+    /// budget finish immediately (every sample returns the bare prompt).
+    /// With a prefix cache enabled, admission matches the longest cached
+    /// prompt prefix and the request prefills only the suffix.
     ///
     /// # Panics
     ///
@@ -731,15 +813,31 @@ impl<E: PackedGemm> Session<E> {
             req.prompt.iter().all(|&t| t < vocab),
             "prompt token out of vocabulary"
         );
+        let n_samples = req.n_samples.max(1);
         let id = self.next_id;
-        self.next_id += 1;
+        self.next_id += n_samples;
         if req.max_new_tokens == 0 {
-            self.finished.push(GenResult {
-                id,
-                tokens: req.prompt,
-                new_tokens: 0,
-            });
+            for i in 0..n_samples {
+                self.finished.push(GenResult {
+                    id: id + i,
+                    tokens: req.prompt.clone(),
+                    new_tokens: 0,
+                });
+            }
             return id;
+        }
+        let attach = self.prefix.as_mut().and_then(|c| c.lookup(&req.prompt));
+        if let Some(m) = &attach {
+            self.stats.prefix_hits += 1;
+            self.stats.prefix_tokens_reused += m.tokens;
+        }
+        if n_samples > 1 {
+            self.pending_forks.insert(
+                id,
+                (1..n_samples)
+                    .map(|i| (id + i, req.seed.wrapping_add(i as u64)))
+                    .collect(),
+            );
         }
         self.scheduler.push(InFlight {
             id,
@@ -750,6 +848,7 @@ impl<E: PackedGemm> Session<E> {
             class: req.class,
             rng: SeededRng::new(req.seed),
             state: None,
+            attach,
         });
         self.metrics
             .queue_depth
@@ -764,7 +863,24 @@ impl<E: PackedGemm> Session<E> {
     /// through [`Session::step`] is also cancellable — its result is
     /// discarded.
     pub fn cancel(&mut self, id: RequestId) -> bool {
+        // A fork sample whose leader has not completed its prompt yet:
+        // drop it from the pending group (it never entered the queue).
+        for followers in self.pending_forks.values_mut() {
+            if let Some(pos) = followers.iter().position(|&(f, _)| f == id) {
+                followers.remove(pos);
+                self.stats.cancelled += 1;
+                self.metrics.cancelled.inc();
+                return true;
+            }
+        }
         if let Some(req) = self.scheduler.remove(id) {
+            // Cancelling a fork leader before its prompt completes takes
+            // its undispersed samples with it — they cannot exist
+            // without the leader's prefill.
+            if let Some(followers) = self.pending_forks.remove(&id) {
+                self.stats.cancelled += followers.len();
+                self.metrics.cancelled.add(followers.len() as u64);
+            }
             // Dropping the InFlight drops its DecodeState: the KV cache
             // is reclaimed now, not at some later step.
             drop(req);
@@ -844,10 +960,19 @@ impl<E: PackedGemm> Session<E> {
             for (req, take) in batch.iter_mut() {
                 sb.class_requests[req.class.index()] += 1;
                 if req.state.is_none() {
-                    req.state = Some(
-                        DecodeState::new(self.model.config(), self.kv_mode)
+                    req.state = Some(match req.attach.take() {
+                        // Admission matched a cached prefix: attach its
+                        // segments copy-on-write and prefill the suffix.
+                        Some(m) => DecodeState::with_prefix(
+                            self.model.config(),
+                            self.kv_mode,
+                            &req.tokens[..m.tokens],
+                            &m.bundles,
+                        )
+                        .expect("kv mode validated at construction"),
+                        None => DecodeState::new(self.model.config(), self.kv_mode)
                             .expect("kv mode validated at construction"),
-                    );
+                    });
                 }
                 if !req.prefill_done() {
                     // Prompt tokens are counted on the step whose chunk
@@ -890,12 +1015,73 @@ impl<E: PackedGemm> Session<E> {
                 if state.len() < req.tokens.len() {
                     continue;
                 }
+                // True exactly once per request: the step whose chunk
+                // completed the prompt (no continuation pushed yet).
+                let prompt_complete = req.tokens.len() == req.prompt_len;
+                if prompt_complete {
+                    if let Some(cache) = self.prefix.as_mut() {
+                        cache.insert(
+                            req.state.as_ref().expect("state created above"),
+                            req.prompt_len,
+                        );
+                    }
+                }
                 let last = logit.col(logit.cols() - 1);
                 let tok = sample_logits(&last, req.temperature, &mut req.rng);
-                req.tokens.push(tok);
-                req.remaining -= 1;
                 emitted.push((req.id, tok));
                 generated += 1;
+                if prompt_complete {
+                    if let Some(followers) = self.pending_forks.remove(&req.id) {
+                        // Disperse the fork group: freeze the leader's
+                        // prompt rows into shared segments, then give
+                        // each sample a copy-on-write clone plus its
+                        // first token, drawn from the same final-chunk
+                        // logits with its own seed — bitwise the draw a
+                        // solo request with that seed would make.
+                        let state = req.state.as_mut().expect("state created above");
+                        let seal = match self.kv_mode {
+                            KvMode::Exact => state.len(),
+                            // Rows inside the residual window are still
+                            // mutable; only the frozen prefix is shared,
+                            // the remainder is deep-copied per fork.
+                            KvMode::Quantized(_) => state.shareable_len(),
+                        };
+                        if seal > 0 {
+                            state.share_prefix(seal);
+                        }
+                        for (fid, seed) in followers {
+                            let mut rng = SeededRng::new(seed);
+                            let fork_tok = sample_logits(&last, req.temperature, &mut rng);
+                            emitted.push((fid, fork_tok));
+                            generated += 1;
+                            let mut tokens = req.tokens.clone();
+                            tokens.push(fork_tok);
+                            if req.remaining == 1 {
+                                done.push(GenResult {
+                                    id: fid,
+                                    new_tokens: 1,
+                                    tokens,
+                                });
+                            } else {
+                                self.scheduler.push(InFlight {
+                                    id: fid,
+                                    prompt_len: req.prompt_len,
+                                    tokens,
+                                    remaining: req.remaining - 1,
+                                    temperature: req.temperature,
+                                    class: req.class,
+                                    rng,
+                                    state: Some(
+                                        req.state.as_ref().expect("state created above").clone(),
+                                    ),
+                                    attach: None,
+                                });
+                            }
+                        }
+                    }
+                }
+                req.tokens.push(tok);
+                req.remaining -= 1;
             }
             self.stats.tokens_generated += generated;
             // Retire finished requests; the rest return to their class
@@ -1489,6 +1675,7 @@ mod tests {
                     } else {
                         QosClass::default()
                     },
+                    ..Default::default()
                 });
             }
             session.run_to_completion()
@@ -1516,6 +1703,7 @@ mod tests {
                 temperature: 0.8,
                 seed: i as u64,
                 class: QosClass::Batch,
+                ..Default::default()
             });
         }
         let interactive = session.submit(GenRequest {
@@ -1524,6 +1712,7 @@ mod tests {
             temperature: 0.8,
             seed: 99,
             class: QosClass::Interactive,
+            ..Default::default()
         });
         // The very next step must ride the interactive request even
         // though four batch requests arrived first.
@@ -1553,6 +1742,7 @@ mod tests {
                 temperature: 0.8,
                 seed: i as u64,
                 class: QosClass::Interactive,
+                ..Default::default()
             });
             session.submit(GenRequest {
                 prompt: vec![2 + i],
@@ -1560,6 +1750,7 @@ mod tests {
                 temperature: 0.8,
                 seed: 10 + i as u64,
                 class: QosClass::Batch,
+                ..Default::default()
             });
         }
         // First step prefills; from the second step on, all 8 are
@@ -1594,6 +1785,7 @@ mod tests {
                 temperature: 0.8,
                 seed: i as u64,
                 class: QosClass::Interactive,
+                ..Default::default()
             });
         }
         let be = session.submit(GenRequest {
@@ -1602,6 +1794,7 @@ mod tests {
             temperature: 0.8,
             seed: 77,
             class: QosClass::BestEffort,
+            ..Default::default()
         });
         let mut finished_at = None;
         for step in 0..64 {
@@ -1636,6 +1829,7 @@ mod tests {
                     temperature: 0.8,
                     seed: i as u64,
                     class,
+                    ..Default::default()
                 });
             }
             let results = session.run_to_completion();

@@ -13,7 +13,9 @@ use microscopiq_core::{MicroScopiQ, QuantConfig};
 use microscopiq_fm::{DequantGemm, KvMode, PackedTinyFm, TinyFm, TinyFmConfig};
 use microscopiq_linalg::SeededRng;
 use microscopiq_runtime::net::{HttpClient, HttpConfig, HttpServer, Json};
-use microscopiq_runtime::{FleetConfig, GenRequest, GenResult, ServerConfig, Session};
+use microscopiq_runtime::{
+    FleetConfig, GenRequest, GenResult, PrefixCacheConfig, ServerConfig, Session,
+};
 use std::sync::OnceLock;
 
 fn packed_model() -> &'static PackedTinyFm {
@@ -125,6 +127,9 @@ fn spawn_fleet(workers: usize) -> HttpServer {
                     max_batch: 4,
                     queue_capacity: 64,
                     max_in_flight: 64,
+                    // Exact-KV prefix reuse is bitwise invisible, so the
+                    // wire-vs-offline suites double as reuse conformance.
+                    prefix_cache: Some(PrefixCacheConfig::default()),
                     ..ServerConfig::default()
                 },
             },
@@ -266,6 +271,9 @@ fn metrics_and_healthz_routes() {
     assert!(text.contains("# ---- worker 1 ----"));
     assert!(text.contains("microscopiq_requests_admitted_total"));
     assert!(text.contains("microscopiq_ttft_us_bucket{class=\"interactive\""));
+    // The prefix-cache family rides along in each worker's section.
+    assert!(text.contains("microscopiq_prefix_cache_hits"));
+    assert!(text.contains("microscopiq_prefix_cache_resident_bytes"));
     server.shutdown();
 }
 

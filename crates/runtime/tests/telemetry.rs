@@ -150,6 +150,7 @@ fn drain(mut stream: microscopiq_runtime::ResponseStream, obs: &mut Observed) {
     loop {
         match stream.next_event() {
             Some(StreamEvent::Token(_)) => obs.tokens += 1,
+            Some(StreamEvent::Sample { .. }) => {}
             Some(StreamEvent::Finished(_)) => {
                 obs.finished += 1;
                 return;

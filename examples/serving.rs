@@ -71,6 +71,7 @@ fn main() {
                 for ev in stream {
                     match ev {
                         StreamEvent::Token(t) => tokens.push(t),
+                        StreamEvent::Sample { .. } => {}
                         StreamEvent::Finished(res) => {
                             println!(
                                 "client {client}: streamed {} tokens -> {:?}",
