@@ -63,9 +63,9 @@ use microscopiq_core::{MicroScopiQ, QuantConfig};
 use microscopiq_fm::{PackedTinyFm, TinyFm, TinyFmConfig};
 use microscopiq_linalg::SeededRng;
 use microscopiq_runtime::{
-    AdmissionPolicy, Deadline, GenRequest, PrefixCacheConfig, PrefixCacheStats, QosClass,
-    RequestOptions, RuntimeEngine, Server, ServerConfig, ServerHandle, ShedPolicy, StreamEvent,
-    SubmitError,
+    AdmissionPolicy, Deadline, Fleet, FleetConfig, GenRequest, PrefixCacheConfig, PrefixCacheStats,
+    QosClass, RequestOptions, RuntimeEngine, Server, ServerConfig, ServerHandle, ShedPolicy,
+    StreamEvent, SubmitError, SupervisionConfig,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -314,6 +314,7 @@ fn run_level(
             };
             let opts = RequestOptions {
                 deadline: (behaviour == Churn::Deadline).then_some(Deadline::Steps(8)),
+                ..RequestOptions::default()
             };
             let stream = handle.submit_with(request(i, vocab), opts).expect("submit");
             let submitted = Instant::now();
@@ -1244,6 +1245,120 @@ fn main() {
     metrics.push(("qos_batch_shed_total".to_string(), batch_shed as f64));
     metrics.push(("qos_flood_accepted".to_string(), flood_accepted as f64));
     metrics.push(("qos_flood_refused".to_string(), flood_refused as f64));
+
+    // ---- Self-healing: kill-and-recover ------------------------------
+    // A supervised two-worker fleet serves three closed-loop waves of
+    // failover streams: a pre-kill baseline, a wave with worker 0
+    // panicking mid-flight (failover must still complete every stream),
+    // and a post-respawn wave once the supervisor heals the fleet.
+    // Gate: the healed fleet sustains at least 0.8x the pre-kill
+    // throughput — a respawned worker is a full replacement, not a
+    // degraded survivor.
+    {
+        let vocab = model.config().vocab;
+        let fleet = Fleet::spawn(
+            model.clone(),
+            |_| RuntimeEngine::parallel(),
+            FleetConfig {
+                workers: 2,
+                server: ServerConfig {
+                    max_batch: 8,
+                    queue_capacity: 128,
+                    max_in_flight: 64,
+                    ..ServerConfig::default()
+                },
+                supervision: Some(SupervisionConfig {
+                    max_restarts: 4,
+                    backoff: Duration::from_millis(2),
+                    max_backoff: Duration::from_millis(50),
+                    interval: Duration::from_millis(5),
+                }),
+            },
+        )
+        .expect("spawn supervised fleet");
+        let handle = fleet.handle();
+        // One closed-loop wave of failover streams; returns generated
+        // tokens/s. `kill` panics worker 0 shortly after launch.
+        let wave = |kill: bool| -> f64 {
+            let t0 = Instant::now();
+            let tokens: usize = std::thread::scope(|scope| {
+                let collectors: Vec<_> = (0..N_REQUESTS)
+                    .map(|i| {
+                        let handle = handle.clone();
+                        scope.spawn(move || {
+                            let (_, stream) = handle
+                                .submit_with(
+                                    request(i, vocab),
+                                    RequestOptions {
+                                        failover: true,
+                                        ..RequestOptions::default()
+                                    },
+                                )
+                                .expect("fleet submit");
+                            collect_stream(stream, Instant::now(), None)
+                        })
+                    })
+                    .collect();
+                if kill {
+                    std::thread::sleep(Duration::from_millis(2));
+                    handle.worker(0).inject_worker_panic();
+                }
+                collectors
+                    .into_iter()
+                    .map(|c| {
+                        let s = c.join().expect("collector thread");
+                        assert!(s.completed, "every failover stream must complete");
+                        s.tokens
+                    })
+                    .sum()
+            });
+            tokens as f64 / t0.elapsed().as_secs_f64()
+        };
+
+        // Best-of-two on the measured waves blunts scheduler noise on
+        // shared CI runners without moving the gate.
+        let pre = wave(false).max(wave(false));
+        wave(true); // the kill wave is not timed — it measures survival
+        let failovers = handle.failovers();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while handle.respawns() < 1 || handle.alive_workers() < 2 {
+            assert!(
+                Instant::now() < deadline,
+                "fleet failed to heal within 10 s of the kill"
+            );
+            handle.supervise();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let post = wave(false).max(wave(false));
+        let ratio = post / pre.max(1e-9);
+        let respawns = handle.respawns();
+        drop(handle);
+        let report = fleet.shutdown();
+        assert_eq!(
+            report.lost(),
+            1,
+            "exactly the killed incarnation is lost: {report:?}"
+        );
+        println!(
+            "kill-and-recover: pre {pre:.0} tok/s, post-respawn {post:.0} tok/s \
+             (ratio {ratio:.2}, respawns {respawns}, failovers {failovers}, {})",
+            if ratio >= 0.8 { "PASS" } else { "FAIL" }
+        );
+        assert!(
+            respawns >= 1,
+            "the supervisor must have respawned the killed worker"
+        );
+        assert!(
+            ratio >= 0.8,
+            "post-respawn throughput must hold at >= 0.8x pre-kill \
+             (pre {pre:.0} tok/s, post {post:.0} tok/s, ratio {ratio:.2})"
+        );
+        metrics.push(("recover_pre_kill_tokens_per_s".to_string(), pre));
+        metrics.push(("recover_post_respawn_tokens_per_s".to_string(), post));
+        metrics.push(("recover_throughput_ratio".to_string(), ratio));
+        metrics.push(("recover_respawns".to_string(), respawns as f64));
+        metrics.push(("recover_failovers".to_string(), failovers as f64));
+    }
 
     let metric_refs: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     table.write_json("serving_load", &metric_refs);

@@ -97,7 +97,9 @@ pub use kernels::{
     MicroKernel, ScalarKernel, SimdKernel, Tolerance,
 };
 pub use microscopiq_fm::{DecodeState, KvCacheConfig, KvMode};
-pub use net::{Fleet, FleetConfig, FleetHandle, FleetReport, HttpConfig, HttpServer};
+pub use net::{
+    Fleet, FleetConfig, FleetHandle, FleetReport, HttpConfig, HttpServer, SupervisionConfig,
+};
 pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixCacheStats, PrefixMatch, PrefixMetrics};
 pub use server::{
     AdmissionPolicy, Deadline, RequestOptions, ResponseStream, ServeError, Server, ServerConfig,

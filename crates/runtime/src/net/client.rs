@@ -8,6 +8,58 @@
 use super::json::Json;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side robustness knobs. The default is bitwise-compatible with
+/// the original client: no timeouts, no retries.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpClientConfig {
+    /// Bound on TCP connect; `None` (the default) blocks until the OS
+    /// gives up.
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout; a server silent for this long surfaces as
+    /// [`io::ErrorKind::WouldBlock`]/[`io::ErrorKind::TimedOut`] from
+    /// whatever call was reading. `None` (the default) waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Retries after a 503 response (overload shedding, queue-full, or
+    /// fleet-wide death): the client sleeps out the server's
+    /// `Retry-After` header — capped at `max_retry_delay` — and resends
+    /// the request on the same keep-alive connection. 0 (the default)
+    /// surfaces 503 immediately.
+    pub retry_503: usize,
+    /// Backoff before retry `n` when the 503 carried no `Retry-After`:
+    /// `retry_backoff × 2ⁿ`, capped at `max_retry_delay`.
+    pub retry_backoff: Duration,
+    /// Ceiling on any single retry delay, including server-requested
+    /// ones (a confused server cannot stall the client for minutes).
+    pub max_retry_delay: Duration,
+}
+
+impl Default for HttpClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: None,
+            read_timeout: None,
+            retry_503: 0,
+            retry_backoff: Duration::from_millis(100),
+            max_retry_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl HttpClientConfig {
+    /// The delay before retry `attempt` (0-based) of a 503 whose
+    /// `Retry-After` header was `retry_after`.
+    fn retry_delay(&self, retry_after: Option<&str>, attempt: usize) -> Duration {
+        let requested = retry_after
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_secs);
+        let fallback = self
+            .retry_backoff
+            .saturating_mul(1u32 << attempt.min(20) as u32);
+        requested.unwrap_or(fallback).min(self.max_retry_delay)
+    }
+}
 
 /// A complete (non-streaming) HTTP response.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,59 +91,120 @@ impl HttpResponse {
 pub struct HttpClient {
     stream: TcpStream,
     buf: Vec<u8>,
+    cfg: HttpClientConfig,
 }
 
 impl HttpClient {
-    /// Connects to `addr`.
+    /// Connects to `addr` with default (timeout-less, retry-less)
+    /// configuration.
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, HttpClientConfig::default())
+    }
+
+    /// Connects to `addr` honoring `cfg.connect_timeout` and installing
+    /// `cfg.read_timeout` on the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors, including
+    /// [`io::ErrorKind::TimedOut`] when the connect timeout expires.
+    pub fn connect_with(addr: SocketAddr, cfg: HttpClientConfig) -> io::Result<Self> {
+        let stream = match cfg.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(&addr, t)?,
+            None => TcpStream::connect(addr)?,
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(cfg.read_timeout)?;
         Ok(Self {
             stream,
             buf: Vec::new(),
+            cfg,
         })
     }
 
-    /// `GET path`, reading the complete response.
+    /// `GET path`, reading the complete response. A 503 is retried up
+    /// to [`HttpClientConfig::retry_503`] times, sleeping out the
+    /// server's `Retry-After` (capped) between attempts.
     ///
     /// # Errors
     ///
     /// Socket errors or a malformed response.
     pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
-        self.stream
-            .write_all(format!("GET {path} HTTP/1.1\r\nHost: fleet\r\n\r\n").as_bytes())?;
+        for attempt in 0..self.cfg.retry_503 {
+            self.write_get(path)?;
+            let resp = self.read_response()?;
+            if resp.status != 503 {
+                return Ok(resp);
+            }
+            // The 503 body is fully read, so the keep-alive connection
+            // stays aligned for the resend.
+            std::thread::sleep(self.cfg.retry_delay(resp.header("retry-after"), attempt));
+        }
+        self.write_get(path)?;
         self.read_response()
     }
 
     /// `POST path` with a JSON body, reading the complete response
     /// (including de-chunking a streamed one — use
-    /// [`HttpClient::generate`] to consume events incrementally).
+    /// [`HttpClient::generate`] to consume events incrementally). A 503
+    /// is retried like [`HttpClient::get`].
     ///
     /// # Errors
     ///
     /// Socket errors or a malformed response.
     pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        for attempt in 0..self.cfg.retry_503 {
+            self.write_post(path, body)?;
+            let resp = self.read_response()?;
+            if resp.status != 503 {
+                return Ok(resp);
+            }
+            std::thread::sleep(self.cfg.retry_delay(resp.header("retry-after"), attempt));
+        }
         self.write_post(path, body)?;
         self.read_response()
     }
 
     /// Starts a `POST /v1/generate` and returns the response head plus
-    /// a [`GenStream`] over the SSE events. For a non-200 status the
-    /// stream is already terminated and the error body is in
+    /// a [`GenStream`] over the SSE events. A 503 head is retried like
+    /// [`HttpClient::get`] before surfacing; for any remaining non-200
+    /// status the stream is already terminated and the error body is in
     /// [`GenStream::error_body`].
     ///
     /// # Errors
     ///
     /// Socket errors or a malformed response head.
     pub fn generate(&mut self, body: &str) -> io::Result<GenStream<'_>> {
+        for attempt in 0..self.cfg.retry_503 {
+            self.write_post("/v1/generate", body)?;
+            let (status, headers) = self.read_head()?;
+            if status != 503 {
+                return self.finish_generate(status, &headers);
+            }
+            let retry_after = headers
+                .iter()
+                .find(|(n, _)| n == "retry-after")
+                .map(|(_, v)| v.as_str());
+            let delay = self.cfg.retry_delay(retry_after, attempt);
+            let _ = self.read_body(&headers)?; // drain to stay aligned
+            std::thread::sleep(delay);
+        }
         self.write_post("/v1/generate", body)?;
         let (status, headers) = self.read_head()?;
+        self.finish_generate(status, &headers)
+    }
+
+    fn finish_generate(
+        &mut self,
+        status: u16,
+        headers: &[(String, String)],
+    ) -> io::Result<GenStream<'_>> {
         if status != 200 {
-            let body = self.read_body(&headers)?;
+            let body = self.read_body(headers)?;
             return Ok(GenStream {
                 client: self,
                 status,
@@ -105,6 +218,11 @@ impl HttpClient {
             done: false,
             error_body: Vec::new(),
         })
+    }
+
+    fn write_get(&mut self, path: &str) -> io::Result<()> {
+        self.stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: fleet\r\n\r\n").as_bytes())
     }
 
     fn write_post(&mut self, path: &str, body: &str) -> io::Result<()> {

@@ -12,25 +12,70 @@
 //! failure-injection hook — is marked dead and removed from rotation on
 //! the spot; the submission retries on the remaining workers, so one
 //! crash never takes the fleet down.
+//!
+//! With [`FleetConfig::supervision`] set the fleet goes further and
+//! *self-heals*: the fleet keeps the model and engine factory, and a
+//! supervisor sweep ([`FleetHandle::supervise`], driven from the routing
+//! path and/or the [`HttpServer`](super::HttpServer) supervisor thread)
+//! harvests each dead worker's panic and respawns a fresh [`Server`] in
+//! its slot, bounded by `max_restarts` with exponential backoff.
+//! Determinism is what makes the companion failover feature
+//! ([`RequestOptions::failover`]) exactly-once: a request orphaned by a
+//! crash is resubmitted to a survivor, and the router-side stream skips
+//! the bitwise-identical replay of whatever it already delivered.
 
 use crate::server::{
-    RequestOptions, ResponseStream, Server, ServerConfig, ServerHandle, ServerReport, SubmitError,
+    FailoverCtx, RequestOptions, ResponseStream, Server, ServerConfig, ServerHandle, ServerReport,
+    SubmitError,
 };
 use crate::session::GenRequest;
-use crate::telemetry::EngineTelemetry;
+use crate::telemetry::{Counter, EngineTelemetry, Gauge, MetricsRegistry};
 use microscopiq_core::error::QuantError;
 use microscopiq_fm::{PackedGemm, PackedTinyFm};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Supervised-respawn policy for [`FleetConfig::supervision`].
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisionConfig {
+    /// Respawns allowed per worker slot over the fleet's lifetime;
+    /// a slot that exhausts its budget stays dead (crash-loop guard).
+    pub max_restarts: usize,
+    /// Base delay before the *second* respawn of the same slot (the
+    /// first is immediate); doubles per respawn up to `max_backoff`.
+    pub backoff: Duration,
+    /// Ceiling on the per-slot respawn backoff.
+    pub max_backoff: Duration,
+    /// Sweep period of the [`HttpServer`](super::HttpServer) supervisor
+    /// thread. Router-driven sweeps (every [`FleetHandle::submit`]) are
+    /// not paced by this — they piggyback on traffic.
+    pub interval: Duration,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        Self {
+            max_restarts: 4,
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            interval: Duration::from_millis(25),
+        }
+    }
+}
 
 /// Fleet-level configuration: one [`ServerConfig`] stamped onto every
-/// worker, plus the worker count.
+/// worker, plus the worker count and the optional supervision policy.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Number of replicated workers (≥ 1).
     pub workers: usize,
     /// Per-worker serving configuration (queue, QoS, shedding, …).
     pub server: ServerConfig,
+    /// Optional supervised respawn. `None` (the default) keeps the
+    /// PR-8 behavior: a dead worker leaves rotation forever and its
+    /// capacity is lost.
+    pub supervision: Option<SupervisionConfig>,
 }
 
 impl Default for FleetConfig {
@@ -38,70 +83,215 @@ impl Default for FleetConfig {
         Self {
             workers: 1,
             server: ServerConfig::default(),
+            supervision: None,
         }
     }
 }
 
-struct Worker {
-    handle: ServerHandle,
-    alive: Arc<AtomicBool>,
+/// Everything about one worker slot that changes across incarnations.
+struct SlotState {
+    /// The current incarnation (owns the worker thread); `None` only
+    /// transiently while a corpse is being harvested.
+    server: Option<Server>,
+    /// Routing handle of the current incarnation.
+    handle: Option<ServerHandle>,
+    /// Respawns performed on this slot so far.
+    restarts: usize,
+    /// Earliest instant the next respawn may run (backoff).
+    next_restart_at: Option<Instant>,
+    /// Panic messages harvested from dead incarnations of this slot.
+    panics: Vec<String>,
 }
 
-impl Worker {
-    /// In rotation: not yet marked dead by a failed submit, and the
-    /// worker thread itself still reports alive (its exit flag flips
-    /// during unwinding, so a crash is visible without probing).
-    fn in_rotation(&self) -> bool {
-        if !self.alive.load(Ordering::Relaxed) {
-            return false;
+struct WorkerSlot {
+    /// Rotation flag: flipped false on death detection, true on respawn.
+    /// Kept outside the mutex so the routing fast path stays lock-free
+    /// for dead slots.
+    alive: AtomicBool,
+    state: Mutex<SlotState>,
+}
+
+type ServerFactory = Box<dyn Fn(usize) -> Result<Server, QuantError> + Send + Sync>;
+
+/// State shared by every [`FleetHandle`] clone and the [`Fleet`] itself.
+struct FleetShared {
+    slots: Vec<WorkerSlot>,
+    /// Spawns a replacement [`Server`] for slot `i` (captures the model
+    /// and the engine factory).
+    factory: ServerFactory,
+    supervision: Option<SupervisionConfig>,
+    /// Fleet-level instruments, rendered ahead of the per-worker
+    /// sections in [`FleetHandle::render_metrics`].
+    registry: MetricsRegistry,
+    workers_alive: Arc<Gauge>,
+    respawns: Arc<Counter>,
+    failovers: Arc<Counter>,
+}
+
+impl FleetShared {
+    /// Marks slot `i` out of rotation; the CAS guarantees the liveness
+    /// gauge decrements exactly once per death even under racing
+    /// submitters.
+    fn mark_dead(&self, i: usize) {
+        if self.slots[i]
+            .alive
+            .compare_exchange(true, false, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.workers_alive.add(-1);
         }
-        if self.handle.worker_alive() {
-            return true;
+    }
+
+    /// Marks slot `i` back in rotation (after a respawn, or when a
+    /// blind `mark_dead` raced a respawn and hit the fresh incarnation).
+    fn mark_alive(&self, i: usize) {
+        if self.slots[i]
+            .alive
+            .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.workers_alive.add(1);
         }
-        self.alive.store(false, Ordering::Relaxed);
-        false
+    }
+
+    /// The routing handle of slot `i` if the slot is in rotation and its
+    /// worker thread still reports alive (the exit flag flips during
+    /// unwinding, so a crash is visible without probing). A freshly
+    /// discovered death is recorded on the spot.
+    fn slot_handle(&self, i: usize) -> Option<ServerHandle> {
+        if !self.slots[i].alive.load(Ordering::Relaxed) {
+            return None;
+        }
+        let handle = self.slots[i].state.lock().unwrap().handle.clone()?;
+        if handle.worker_alive() {
+            return Some(handle);
+        }
+        self.mark_dead(i);
+        None
     }
 }
 
-/// Shared routing state: per-worker handles plus liveness flags.
-/// Cloning a [`FleetHandle`] clones the `Arc`, so every connection
-/// thread routes over the same liveness view.
+/// Shared routing state: per-worker slots plus liveness flags and fleet
+/// metrics. Cloning a [`FleetHandle`] clones the `Arc`, so every
+/// connection thread routes over the same liveness view.
 pub struct FleetHandle {
-    workers: Arc<Vec<Worker>>,
+    shared: Arc<FleetShared>,
 }
 
 impl Clone for FleetHandle {
     fn clone(&self) -> Self {
         Self {
-            workers: Arc::clone(&self.workers),
+            shared: Arc::clone(&self.shared),
         }
     }
 }
 
 impl FleetHandle {
-    /// Number of workers still in rotation.
+    /// Number of workers currently in rotation.
     pub fn alive_workers(&self) -> usize {
-        self.workers.iter().filter(|w| w.in_rotation()).count()
+        (0..self.shared.slots.len())
+            .filter(|&i| self.shared.slot_handle(i).is_some())
+            .count()
     }
 
-    /// Total workers, dead or alive.
+    /// Total worker slots, dead or alive.
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        self.shared.slots.len()
     }
 
-    /// The handle of worker `idx` (for tests and failure injection).
+    /// Respawns performed by the supervisor so far.
+    pub fn respawns(&self) -> u64 {
+        self.shared.respawns.get()
+    }
+
+    /// Failovers performed so far (orphaned streams respliced onto a
+    /// survivor).
+    pub fn failovers(&self) -> u64 {
+        self.shared.failovers.get()
+    }
+
+    /// The handle of worker `idx`'s *current* incarnation (for tests and
+    /// failure injection). After a respawn this is the replacement, not
+    /// the corpse.
     ///
     /// # Panics
     ///
     /// Panics if `idx` is out of range.
-    pub fn worker(&self, idx: usize) -> &ServerHandle {
-        &self.workers[idx].handle
+    pub fn worker(&self, idx: usize) -> ServerHandle {
+        self.shared.slots[idx]
+            .state
+            .lock()
+            .unwrap()
+            .handle
+            .clone()
+            .expect("worker slot has a handle")
+    }
+
+    /// One supervisor sweep: for every dead slot with restart budget and
+    /// elapsed backoff, harvest the corpse's panic and spawn a fresh
+    /// [`Server`] in its place. Returns the number of respawns
+    /// performed. No-op (returns 0) without [`FleetConfig::supervision`];
+    /// the fast path over an all-alive fleet takes no locks.
+    pub fn supervise(&self) -> usize {
+        let Some(sup) = self.shared.supervision else {
+            return 0;
+        };
+        let mut respawned = 0;
+        for (i, slot) in self.shared.slots.iter().enumerate() {
+            if self.shared.slot_handle(i).is_some() {
+                continue; // alive — nothing to do
+            }
+            let mut st = slot.state.lock().unwrap();
+            // Re-check under the lock: a racing supervisor may have
+            // respawned already, or a blind `mark_dead` may have raced a
+            // respawn and flagged a healthy incarnation.
+            if st.handle.as_ref().is_some_and(ServerHandle::worker_alive) {
+                drop(st);
+                self.shared.mark_alive(i);
+                continue;
+            }
+            if st.restarts >= sup.max_restarts {
+                continue; // crash-loop guard: slot stays dead
+            }
+            if st.next_restart_at.is_some_and(|t| Instant::now() < t) {
+                continue; // backoff pending
+            }
+            // Harvest the corpse: the dead thread joins immediately and
+            // yields its panic message for the fleet report.
+            st.handle = None;
+            if let Some(server) = st.server.take() {
+                if let Err(panic) = server.try_shutdown() {
+                    st.panics.push(panic);
+                }
+            }
+            st.restarts += 1;
+            let exp = (st.restarts - 1).min(20) as u32;
+            let delay = sup.backoff.saturating_mul(1 << exp).min(sup.max_backoff);
+            st.next_restart_at = Some(Instant::now() + delay);
+            match (self.shared.factory)(i) {
+                Ok(server) => {
+                    st.handle = Some(server.handle());
+                    st.server = Some(server);
+                    drop(st);
+                    self.shared.mark_alive(i);
+                    self.shared.respawns.inc();
+                    respawned += 1;
+                }
+                Err(_) => {
+                    // Spawn failure burns a restart and waits out the
+                    // backoff like a crash would.
+                }
+            }
+        }
+        respawned
     }
 
     /// Submits to the least-loaded alive worker; returns the worker
     /// index that accepted alongside the stream. Workers found dead
     /// ([`SubmitError::ServerClosed`]) are dropped from rotation and
-    /// the submission retries elsewhere.
+    /// the submission retries elsewhere. Under supervision each submit
+    /// also runs one supervisor sweep first, so a router-only fleet
+    /// (no [`HttpServer`](super::HttpServer)) still heals.
     ///
     /// # Errors
     ///
@@ -113,7 +303,12 @@ impl FleetHandle {
         self.submit_with(req, RequestOptions::default())
     }
 
-    /// [`FleetHandle::submit`] with explicit [`RequestOptions`].
+    /// [`FleetHandle::submit`] with explicit [`RequestOptions`]. With
+    /// [`RequestOptions::failover`] set, the returned stream carries a
+    /// resubmit hook: if its worker dies mid-stream the request replays
+    /// on a survivor and the stream splices the continuation after the
+    /// already-delivered prefix — bitwise seamless, because every worker
+    /// generates the identical token sequence for the same request.
     ///
     /// # Errors
     ///
@@ -123,47 +318,89 @@ impl FleetHandle {
         req: GenRequest,
         opts: RequestOptions,
     ) -> Result<(usize, ResponseStream), SubmitError> {
+        self.supervise();
+        let (idx, mut stream) = self.route(req.clone(), opts)?;
+        if opts.failover {
+            // Bounded: enough attempts to ride out every slot dying once
+            // plus a respawn wave, but never an unbounded retry loop.
+            let attempts = self.worker_count().max(2) * 2;
+            let this = self.clone();
+            let resubmit: Arc<dyn Fn() -> Option<ResponseStream> + Send + Sync> =
+                Arc::new(move || {
+                    this.supervise();
+                    match this.route(req.clone(), opts) {
+                        Ok((_, fresh)) => {
+                            this.shared.failovers.inc();
+                            Some(fresh)
+                        }
+                        Err(_) => None,
+                    }
+                });
+            stream.failover = Some(FailoverCtx {
+                resubmit,
+                delivered_tokens: 0,
+                skip_tokens: 0,
+                delivered_samples: Vec::new(),
+                attempts_left: attempts,
+            });
+        }
+        Ok((idx, stream))
+    }
+
+    /// Least-loaded routing over alive slots, with dead-worker retry.
+    /// The slot lock is never held across a submit: the handle is
+    /// cloned out first, so a slow admission queue cannot stall the
+    /// supervisor or other routers.
+    fn route(
+        &self,
+        req: GenRequest,
+        opts: RequestOptions,
+    ) -> Result<(usize, ResponseStream), SubmitError> {
         loop {
             // Least-loaded among alive workers: fewest queued + live
             // requests, then fewest KV rows, then lowest index.
-            let mut best: Option<(usize, (usize, usize))> = None;
-            for (i, w) in self.workers.iter().enumerate() {
-                if !w.in_rotation() {
+            let mut best: Option<(usize, ServerHandle, (usize, usize))> = None;
+            for i in 0..self.shared.slots.len() {
+                let Some(handle) = self.shared.slot_handle(i) else {
                     continue;
-                }
-                let load = w.handle.queue_depth() + w.handle.live_streams();
-                let key = (load, w.handle.kv_rows());
-                if best.is_none_or(|(_, bk)| key < bk) {
-                    best = Some((i, key));
+                };
+                let load = handle.queue_depth() + handle.live_streams();
+                let key = (load, handle.kv_rows());
+                if best.as_ref().is_none_or(|(_, _, bk)| key < *bk) {
+                    best = Some((i, handle, key));
                 }
             }
-            let Some((idx, _)) = best else {
+            let Some((idx, handle, _)) = best else {
                 return Err(SubmitError::ServerClosed);
             };
-            match self.workers[idx].handle.submit_with(req.clone(), opts) {
+            match handle.submit_with(req.clone(), opts) {
                 Ok(stream) => return Ok((idx, stream)),
                 Err(SubmitError::ServerClosed) => {
-                    // Worker thread died: pull it from rotation and
-                    // retry the submission on the survivors.
-                    self.workers[idx].alive.store(false, Ordering::Relaxed);
+                    // Worker thread died between the liveness check and
+                    // the submit: pull it from rotation and retry on the
+                    // survivors. (If this races a respawn and flags a
+                    // fresh incarnation, the next supervisor sweep
+                    // corrects the flag.)
+                    self.shared.mark_dead(idx);
                 }
                 Err(other) => return Err(other),
             }
         }
     }
 
-    /// Concatenated Prometheus exposition text of every worker, each
-    /// section introduced by a `# ---- worker N ----` comment line
-    /// (comments are legal exposition syntax, so scrapers that split on
-    /// metric names still parse the whole document).
+    /// Concatenated Prometheus exposition text: a `# ---- fleet ----`
+    /// section (liveness gauge, respawn/failover counters) followed by
+    /// every worker's section introduced by a `# ---- worker N ----`
+    /// comment line (comments are legal exposition syntax, so scrapers
+    /// that split on metric names still parse the whole document).
     pub fn render_metrics(&self) -> String {
-        let mut out = String::new();
-        for (i, w) in self.workers.iter().enumerate() {
+        let mut out = String::from("# ---- fleet ----\n");
+        out.push_str(&self.shared.registry.render_text());
+        for i in 0..self.shared.slots.len() {
             out.push_str(&format!("# ---- worker {i} ----\n"));
-            if w.in_rotation() {
-                out.push_str(&w.handle.render_metrics());
-            } else {
-                out.push_str("# worker dead\n");
+            match self.shared.slot_handle(i) {
+                Some(handle) => out.push_str(&handle.render_metrics()),
+                None => out.push_str("# worker dead\n"),
             }
         }
         out
@@ -171,10 +408,9 @@ impl FleetHandle {
 
     /// Sum of [`ServerHandle::kv_rows`] over alive workers.
     pub fn kv_rows(&self) -> usize {
-        self.workers
-            .iter()
-            .filter(|w| w.in_rotation())
-            .map(|w| w.handle.kv_rows())
+        (0..self.shared.slots.len())
+            .filter_map(|i| self.shared.slot_handle(i))
+            .map(|h| h.kv_rows())
             .sum()
     }
 }
@@ -182,15 +418,21 @@ impl FleetHandle {
 /// Final fleet accounting from [`Fleet::shutdown`].
 #[derive(Debug, Clone, Default)]
 pub struct FleetReport {
-    /// Per-worker reports, index-aligned with spawn order; `None` for a
-    /// worker that died (its panic message is in `panics`).
+    /// Per-worker reports of the incarnation serving each slot at
+    /// shutdown, index-aligned with spawn order; `None` for a slot whose
+    /// worker died (its panic message is in `panics`).
     pub per_worker: Vec<Option<ServerReport>>,
-    /// Panic messages of workers that died, in worker order.
+    /// Panic messages of every incarnation that died over the fleet's
+    /// lifetime, grouped by slot in worker order — with supervision a
+    /// slot can contribute several.
     pub panics: Vec<String>,
+    /// Respawns performed by the supervisor (0 without supervision).
+    pub respawns: usize,
 }
 
 impl FleetReport {
-    /// Workers that did not survive to shutdown.
+    /// Worker incarnations that died (with supervision this counts
+    /// harvested corpses too, not just slots empty at shutdown).
     pub fn lost(&self) -> usize {
         self.panics.len()
     }
@@ -205,13 +447,10 @@ impl FleetReport {
 /// factory so every worker gets its *own* engine instance (engines may
 /// hold caches or thread pools that must not be shared); the model is
 /// cloned per worker — packed weights are immutable, so replicas stay
-/// bitwise identical.
+/// bitwise identical. The factory is retained for the fleet's lifetime:
+/// it is what lets the supervisor respawn a dead worker's slot.
 pub struct Fleet {
-    // Field order matters: the handle must drop before the servers —
-    // `Server::drop` joins its worker, and workers only exit once
-    // every routing handle (admission-channel sender) is gone.
     handle: FleetHandle,
-    servers: Vec<Server>,
 }
 
 impl Fleet {
@@ -233,23 +472,51 @@ impl Fleet {
     ) -> Result<Self, QuantError>
     where
         E: PackedGemm + EngineTelemetry + Send + 'static,
-        F: Fn(usize) -> E,
+        F: Fn(usize) -> E + Send + Sync + 'static,
     {
         assert!(cfg.workers >= 1, "fleet needs at least one worker");
-        let mut servers = Vec::with_capacity(cfg.workers);
-        let mut workers = Vec::with_capacity(cfg.workers);
+        let server_cfg = cfg.server;
+        let factory: ServerFactory =
+            Box::new(move |i| Server::spawn(model.clone(), mk_engine(i), server_cfg));
+        let mut slots = Vec::with_capacity(cfg.workers);
         for i in 0..cfg.workers {
-            let server = Server::spawn(model.clone(), mk_engine(i), cfg.server)?;
-            workers.push(Worker {
-                handle: server.handle(),
-                alive: Arc::new(AtomicBool::new(true)),
+            let server = factory(i)?;
+            slots.push(WorkerSlot {
+                alive: AtomicBool::new(true),
+                state: Mutex::new(SlotState {
+                    handle: Some(server.handle()),
+                    server: Some(server),
+                    restarts: 0,
+                    next_restart_at: None,
+                    panics: Vec::new(),
+                }),
             });
-            servers.push(server);
         }
+        let registry = MetricsRegistry::new();
+        let workers_alive = registry.gauge(
+            "microscopiq_fleet_workers_alive",
+            "Worker slots currently in rotation",
+        );
+        workers_alive.set(cfg.workers as i64);
+        let respawns = registry.counter(
+            "microscopiq_fleet_respawns_total",
+            "Dead workers respawned by the supervisor",
+        );
+        let failovers = registry.counter(
+            "microscopiq_fleet_failovers_total",
+            "Orphaned streams respliced onto a surviving worker",
+        );
         Ok(Self {
-            servers,
             handle: FleetHandle {
-                workers: Arc::new(workers),
+                shared: Arc::new(FleetShared {
+                    slots,
+                    factory,
+                    supervision: cfg.supervision,
+                    registry,
+                    workers_alive,
+                    respawns,
+                    failovers,
+                }),
             },
         })
     }
@@ -263,18 +530,28 @@ impl Fleet {
     /// contribute their panic message instead of a report; the fleet
     /// itself never panics on shutdown.
     pub fn shutdown(self) -> FleetReport {
-        // Drop the router's own handle references first so workers see
-        // their channels close once external handles are gone.
-        let Fleet { servers, handle } = self;
-        drop(handle);
-        let mut report = FleetReport::default();
-        for server in servers {
-            match server.try_shutdown() {
-                Ok(r) => report.per_worker.push(Some(r)),
-                Err(panic) => {
+        let shared = self.handle.shared;
+        let mut report = FleetReport {
+            respawns: shared.respawns.get() as usize,
+            ..FleetReport::default()
+        };
+        for slot in &shared.slots {
+            // Take the slot apart under the lock, then join outside it:
+            // dropping the routing handle first is what lets the worker
+            // see its admission channel close.
+            let mut st = slot.state.lock().unwrap();
+            st.handle = None;
+            let server = st.server.take();
+            let panics = std::mem::take(&mut st.panics);
+            drop(st);
+            report.panics.extend(panics);
+            match server.map(Server::try_shutdown) {
+                Some(Ok(r)) => report.per_worker.push(Some(r)),
+                Some(Err(panic)) => {
                     report.per_worker.push(None);
                     report.panics.push(panic);
                 }
+                None => report.per_worker.push(None),
             }
         }
         report

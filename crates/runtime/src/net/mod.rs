@@ -36,8 +36,8 @@ pub mod http;
 pub mod json;
 pub mod server;
 
-pub use client::{GenStream, HttpClient, HttpResponse};
-pub use fleet::{Fleet, FleetConfig, FleetHandle, FleetReport};
+pub use client::{GenStream, HttpClient, HttpClientConfig, HttpResponse};
+pub use fleet::{Fleet, FleetConfig, FleetHandle, FleetReport, SupervisionConfig};
 pub use http::{HttpParseError, HttpRequest, ParserLimits, RequestParser};
 pub use json::Json;
 pub use server::{HttpConfig, HttpServer, NetError};

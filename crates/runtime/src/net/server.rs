@@ -8,7 +8,9 @@
 //!   array of token ids), `max_new_tokens` (default 16), `temperature`
 //!   (default 1.0), `seed` (default 0), `class` (`"interactive"` |
 //!   `"batch"` | `"best_effort"`, default interactive), `n_samples`
-//!   (default 1 — N-way generation sharing one prefill). Answers with
+//!   (default 1 — N-way generation sharing one prefill), `failover`
+//!   (default false — deterministic resubmission to a surviving worker
+//!   if the serving worker dies mid-stream). Answers with
 //!   an SSE stream over chunked transfer-encoding: one
 //!   `data: {"token":N}\n\n` event per generated token of sample 0 as
 //!   its decode step completes, one
@@ -19,7 +21,10 @@
 //!   requests get 400 before any tokens; overload gets 503
 //!   (`Retry-After`).
 //! * `GET /metrics` — the fleet's concatenated Prometheus exposition.
-//! * `GET /healthz` — worker liveness as JSON.
+//! * `GET /healthz` — fleet liveness as JSON
+//!   (`status`/`workers_total`/`workers_alive`/`respawns`): 200 only
+//!   with every worker alive, 503 `degraded` on partial capacity, 503
+//!   `down` with none.
 //!
 //! Connections are keep-alive by default; the per-connection parser
 //! retains leftover bytes so pipelined requests work. A client that
@@ -31,7 +36,7 @@
 use super::fleet::{Fleet, FleetConfig, FleetHandle, FleetReport};
 use super::http::{HttpParseError, HttpRequest, ParserLimits, RequestParser};
 use super::json::{obj, Json};
-use crate::server::{StreamEvent, SubmitError};
+use crate::server::{RequestOptions, StreamEvent, SubmitError};
 use crate::session::{GenRequest, QosClass};
 use crate::telemetry::EngineTelemetry;
 use microscopiq_core::error::QuantError;
@@ -121,6 +126,10 @@ pub struct HttpServer {
     addr: SocketAddr,
     inner: Arc<Inner>,
     accept: Option<JoinHandle<()>>,
+    /// Supervisor sweep thread; present only with
+    /// [`FleetConfig::supervision`] set. Joined before the fleet drains
+    /// so a respawn can never race shutdown.
+    supervisor: Option<JoinHandle<()>>,
     fleet: Option<Fleet>,
 }
 
@@ -141,9 +150,10 @@ impl HttpServer {
     ) -> Result<Self, NetError>
     where
         E: PackedGemm + EngineTelemetry + Send + 'static,
-        F: Fn(usize) -> E,
+        F: Fn(usize) -> E + Send + Sync + 'static,
     {
         let vocab = model.config().vocab;
+        let supervision = cfg.fleet.supervision;
         let fleet = Fleet::spawn(model, mk_engine, cfg.fleet)?;
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -160,10 +170,36 @@ impl HttpServer {
             .name("microscopiq-http-accept".into())
             .spawn(move || accept_loop(listener, accept_inner))
             .expect("spawn accept thread");
+        // Periodic supervisor sweep: respawns dead workers even while no
+        // traffic is flowing (the routing path also sweeps per submit).
+        let supervisor = supervision.map(|sup| {
+            let handle = fleet.handle();
+            let sup_inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("microscopiq-http-supervisor".into())
+                .spawn(move || {
+                    while !sup_inner.stop.load(Ordering::SeqCst) {
+                        // Sleep in short slices so shutdown is prompt
+                        // whatever the sweep interval.
+                        let mut slept = Duration::ZERO;
+                        while slept < sup.interval && !sup_inner.stop.load(Ordering::SeqCst) {
+                            let slice = Duration::from_millis(10).min(sup.interval - slept);
+                            std::thread::sleep(slice);
+                            slept += slice;
+                        }
+                        if sup_inner.stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        handle.supervise();
+                    }
+                })
+                .expect("spawn supervisor thread")
+        });
         Ok(Self {
             addr: local,
             inner,
             accept: Some(accept),
+            supervisor,
             fleet: Some(fleet),
         })
     }
@@ -198,6 +234,9 @@ impl HttpServer {
         let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
         let conns = std::mem::take(&mut *self.inner.conns.lock().expect("conn registry"));
         for conn in conns {
@@ -302,22 +341,32 @@ fn route(stream: &mut TcpStream, req: &HttpRequest, inner: &Inner) -> io::Result
             respond(stream, 200, "text/plain; version=0.0.4", body.as_bytes())
         }
         ("GET", "/healthz") => {
+            // Degradation-aware health: 200 only at full strength, so a
+            // load balancer can drain a fleet running on survivors.
+            let total = fleet.worker_count();
+            let alive = fleet.alive_workers();
+            let (status, state) = match alive {
+                a if a == total => (200, "ok"),
+                0 => (503, "down"),
+                _ => (503, "degraded"),
+            };
             let body = obj([
-                ("status", Json::Str("ok".into())),
-                ("workers", Json::Num(fleet.worker_count() as f64)),
-                ("alive", Json::Num(fleet.alive_workers() as f64)),
+                ("status", Json::Str(state.into())),
+                ("workers_total", Json::Num(total as f64)),
+                ("workers_alive", Json::Num(alive as f64)),
+                ("respawns", Json::Num(fleet.respawns() as f64)),
             ])
             .render();
-            respond(stream, 200, "application/json", body.as_bytes())
+            respond(stream, status, "application/json", body.as_bytes())
         }
         ("GET" | "POST", _) => respond_status(stream, 404, "not found"),
         _ => respond_status(stream, 405, "method not allowed"),
     }
 }
 
-/// Parses the generate body into a [`GenRequest`]; `Err` is the 400
-/// message sent back.
-fn parse_gen_request(body: &[u8], vocab: usize) -> Result<GenRequest, String> {
+/// Parses the generate body into a [`GenRequest`] plus per-request
+/// options; `Err` is the 400 message sent back.
+fn parse_gen_request(body: &[u8], vocab: usize) -> Result<(GenRequest, RequestOptions), String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     let json = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let prompt_json = json
@@ -378,14 +427,25 @@ fn parse_gen_request(body: &[u8], vocab: usize) -> Result<GenRequest, String> {
             .filter(|&n| n >= 1)
             .ok_or_else(|| "\"n_samples\" must be a positive integer".to_string())?,
     };
-    Ok(GenRequest {
-        prompt,
-        max_new_tokens,
-        temperature,
-        seed,
-        class,
-        n_samples,
-    })
+    let failover = match json.get("failover") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err("\"failover\" must be a boolean".into()),
+    };
+    Ok((
+        GenRequest {
+            prompt,
+            max_new_tokens,
+            temperature,
+            seed,
+            class,
+            n_samples,
+        },
+        RequestOptions {
+            failover,
+            ..RequestOptions::default()
+        },
+    ))
 }
 
 fn generate(
@@ -394,11 +454,11 @@ fn generate(
     fleet: &FleetHandle,
     inner: &Inner,
 ) -> io::Result<()> {
-    let gen = match parse_gen_request(&req.body, inner.vocab) {
-        Ok(gen) => gen,
+    let (gen, opts) = match parse_gen_request(&req.body, inner.vocab) {
+        Ok(parsed) => parsed,
         Err(msg) => return respond_status(stream, 400, &msg),
     };
-    let (worker, mut events) = match fleet.submit(gen) {
+    let (worker, mut events) = match fleet.submit_with(gen, opts) {
         Ok(accepted) => accepted,
         Err(SubmitError::Shed) => return respond_overloaded(stream, "shed under overload"),
         Err(SubmitError::QueueFull) => return respond_overloaded(stream, "admission queue full"),

@@ -82,6 +82,18 @@ pub struct ServerConfig {
     /// against the policy and rejects lower QoS classes first; `None`
     /// (the default) never sheds.
     pub shed: Option<ShedPolicy>,
+    /// Optional KV memory-pressure ceiling in storage bytes (see
+    /// [`Session::set_kv_byte_budget`](crate::Session::set_kv_byte_budget)).
+    /// When a step's worst-case KV growth would push occupancy past the
+    /// budget, the worker preempts victims in QoS order — best-effort
+    /// first, then batch, never interactive — releasing their KV and
+    /// re-advancing them later as chunked recompute segments. Resumed
+    /// streams are bitwise identical to unpreempted ones. Size it at
+    /// least `max_batch × prefill_chunk × n_layers × 2 × d_model × 8`
+    /// bytes above the working set you want to retain, or every step's
+    /// projection will thrash the sheddable classes. `None` (the
+    /// default) never preempts.
+    pub kv_byte_budget: Option<usize>,
     /// Optional shared-prompt KV reuse (see
     /// [`Session::enable_prefix_cache`](crate::Session::enable_prefix_cache)):
     /// completed prompts are retained in a byte-budgeted prefix trie and
@@ -106,6 +118,7 @@ impl Default for ServerConfig {
             trace_events: 0,
             qos: QosShares::default(),
             shed: None,
+            kv_byte_budget: None,
             prefix_cache: None,
         }
     }
@@ -183,6 +196,17 @@ pub struct RequestOptions {
     /// Optional completion deadline; `None` means the request may run to
     /// its token budget.
     pub deadline: Option<Deadline>,
+    /// Opt-in deterministic failover, honored by
+    /// [`FleetHandle::submit_with`](crate::net::FleetHandle::submit_with):
+    /// if the serving worker dies mid-stream, the fleet resubmits the
+    /// request to a survivor and the router-side stream splices the
+    /// replayed continuation after skipping the already-delivered prefix
+    /// — bitwise seamless, because any worker generates the identical
+    /// token sequence for the same request. `false` (the default) keeps
+    /// today's behavior: a dead worker faults the stream. Ignored on
+    /// direct [`ServerHandle`](crate::ServerHandle) submissions — a
+    /// single server has nowhere to fail over to.
+    pub failover: bool,
 }
 
 /// Why a submission was not accepted.

@@ -53,6 +53,7 @@ mod stream;
 pub use admission::{
     AdmissionPolicy, Deadline, RequestOptions, ServerConfig, ShedPolicy, SubmitError,
 };
+pub(crate) use stream::FailoverCtx;
 pub use stream::{ResponseStream, ServeError, StreamEvent};
 
 use crate::prefix::{PrefixCacheStats, PrefixMetrics};
@@ -90,6 +91,11 @@ struct ServerMetrics {
     /// The session's KV-rows gauge (registered by the session; shared
     /// here so [`ServerHandle::kv_rows`] reads it without a snapshot).
     kv_rows: Arc<Gauge>,
+    /// The session's KV-bytes gauge — what
+    /// [`ServerConfig::kv_byte_budget`] is enforced against.
+    kv_bytes: Arc<Gauge>,
+    /// The session's in-step peak KV-bytes gauge (high-water mark).
+    kv_peak_bytes: Arc<Gauge>,
     queue_wait_us: Arc<Histogram>,
     admit_to_first_token_us: Arc<Histogram>,
     /// Per-[`QosClass`] series (indexed by [`QosClass::index`]) of the
@@ -104,7 +110,12 @@ struct ServerMetrics {
 }
 
 impl ServerMetrics {
-    fn register(reg: &MetricsRegistry, kv_rows: Arc<Gauge>) -> Self {
+    fn register(
+        reg: &MetricsRegistry,
+        kv_rows: Arc<Gauge>,
+        kv_bytes: Arc<Gauge>,
+        kv_peak_bytes: Arc<Gauge>,
+    ) -> Self {
         Self {
             admitted: reg.counter(
                 "microscopiq_requests_admitted_total",
@@ -149,6 +160,8 @@ impl ServerMetrics {
                  pulled by the worker.",
             ),
             kv_rows,
+            kv_bytes,
+            kv_peak_bytes,
             queue_wait_us: reg.histogram(
                 "microscopiq_queue_wait_us",
                 "Enqueue-to-admission latency per request, microseconds.",
@@ -332,6 +345,7 @@ impl ServerHandle {
             rx,
             cancelled,
             terminated: false,
+            failover: None,
         })
     }
 
@@ -375,6 +389,21 @@ impl ServerHandle {
     /// [`Session::kv_occupancy`]).
     pub fn kv_rows(&self) -> usize {
         self.shared.metrics.kv_rows.get().max(0) as usize
+    }
+
+    /// KV storage bytes currently held by live requests (see
+    /// [`Session::kv_occupancy_bytes`]) — the figure
+    /// [`ServerConfig::kv_byte_budget`] bounds.
+    pub fn kv_bytes(&self) -> usize {
+        self.shared.metrics.kv_bytes.get().max(0) as usize
+    }
+
+    /// Largest KV byte occupancy ever observed inside a step (after the
+    /// forward, before finished requests release). With
+    /// [`ServerConfig::kv_byte_budget`] set this never exceeds the
+    /// budget unless interactive demand alone exceeds it.
+    pub fn peak_kv_bytes(&self) -> usize {
+        self.shared.metrics.kv_peak_bytes.get().max(0) as usize
     }
 
     /// Prefix-cache counters and residency; `None` unless the server
@@ -455,13 +484,14 @@ impl Server {
         if let Some(prefix_cfg) = cfg.prefix_cache {
             session.enable_prefix_cache(prefix_cfg);
         }
+        session.set_kv_byte_budget(cfg.kv_byte_budget);
         // One registry for the whole stack: the session created it and
         // registered its scheduler instruments; the engine contributes
         // kernel/cache collectors; the server adds lifecycle metrics.
         let registry = session.metrics_registry().clone();
         session.engine().register_telemetry(&registry);
-        let (kv_rows, _kv_bytes) = session.kv_gauges();
-        let metrics = ServerMetrics::register(&registry, kv_rows);
+        let (kv_rows, kv_bytes, kv_peak_bytes) = session.kv_gauges();
+        let metrics = ServerMetrics::register(&registry, kv_rows, kv_bytes, kv_peak_bytes);
         let trace = (cfg.trace_events > 0).then(|| Arc::new(TraceSink::new(cfg.trace_events)));
         let prefix = session.prefix_metrics();
         let shared = Arc::new(Shared {

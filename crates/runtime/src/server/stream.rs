@@ -77,6 +77,53 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Router-side failover state, attached by
+/// [`FleetHandle::submit_with`](crate::net::FleetHandle::submit_with)
+/// when [`RequestOptions::failover`](super::RequestOptions) is set.
+///
+/// Determinism is what makes this sound: every worker generates the
+/// bitwise-identical token sequence for the same request, so when the
+/// serving worker dies the request is resubmitted to a survivor and the
+/// replayed stream's already-delivered prefix (`delivered_tokens`
+/// tokens of sample 0, plus any whole samples in `delivered_samples`)
+/// is skipped — the consumer observes one uninterrupted, exactly-once
+/// stream.
+pub(crate) struct FailoverCtx {
+    /// Resubmits the original request to a surviving worker, returning
+    /// the replacement inner stream (`None` when no survivor accepted —
+    /// the stream then terminates with the underlying error).
+    pub(crate) resubmit: Arc<dyn Fn() -> Option<ResponseStream> + Send + Sync>,
+    /// Tokens of sample 0 already delivered to the consumer.
+    pub(crate) delivered_tokens: usize,
+    /// Replayed tokens still to swallow before delivery resumes.
+    pub(crate) skip_tokens: usize,
+    /// Sample indices (N-way generation) already delivered whole.
+    pub(crate) delivered_samples: Vec<usize>,
+    /// Failover attempts left before the underlying error surfaces.
+    pub(crate) attempts_left: usize,
+}
+
+impl std::fmt::Debug for FailoverCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailoverCtx")
+            .field("delivered_tokens", &self.delivered_tokens)
+            .field("skip_tokens", &self.skip_tokens)
+            .field("delivered_samples", &self.delivered_samples)
+            .field("attempts_left", &self.attempts_left)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What [`ResponseStream::sift`] decided about one raw event.
+enum Sift {
+    /// Hand the event to the consumer.
+    Deliver(StreamEvent),
+    /// Already delivered before a failover — swallow it.
+    Skip,
+    /// The inner stream was replaced; receive again.
+    Swapped,
+}
+
 /// The receiving half of one generation request. Produced by
 /// [`ServerHandle::submit`](super::ServerHandle::submit); events arrive
 /// as the worker generates them. Dropping the stream (or calling
@@ -88,24 +135,106 @@ pub struct ResponseStream {
     pub(crate) rx: mpsc::Receiver<StreamEvent>,
     pub(crate) cancelled: Arc<AtomicBool>,
     pub(crate) terminated: bool,
+    /// Present only on fleet streams submitted with
+    /// [`RequestOptions::failover`](super::RequestOptions).
+    pub(crate) failover: Option<FailoverCtx>,
 }
 
 impl ResponseStream {
+    /// Routes one raw inner event through the failover filter. Without a
+    /// [`FailoverCtx`] every event is delivered as-is.
+    fn sift(&mut self, ev: StreamEvent) -> Sift {
+        let Some(ctx) = self.failover.as_mut() else {
+            return Sift::Deliver(ev);
+        };
+        match ev {
+            StreamEvent::Token(t) => {
+                if ctx.skip_tokens > 0 {
+                    ctx.skip_tokens -= 1;
+                    Sift::Skip
+                } else {
+                    ctx.delivered_tokens += 1;
+                    Sift::Deliver(StreamEvent::Token(t))
+                }
+            }
+            StreamEvent::Sample { index, result } => {
+                if ctx.delivered_samples.contains(&index) {
+                    Sift::Skip
+                } else {
+                    ctx.delivered_samples.push(index);
+                    Sift::Deliver(StreamEvent::Sample { index, result })
+                }
+            }
+            StreamEvent::Finished(res) => Sift::Deliver(StreamEvent::Finished(res)),
+            StreamEvent::Error(err) => match err {
+                // The worker died under this request (thread gone, or
+                // its batch faulted): replay on a survivor.
+                ServeError::Disconnected | ServeError::WorkerPanicked(_) => {
+                    if self.swap_inner() {
+                        Sift::Swapped
+                    } else {
+                        Sift::Deliver(StreamEvent::Error(err))
+                    }
+                }
+                // Deadline expiry and shedding are policy outcomes, not
+                // worker deaths — replaying would subvert them.
+                ServeError::DeadlineExceeded | ServeError::Shed => {
+                    Sift::Deliver(StreamEvent::Error(err))
+                }
+            },
+        }
+    }
+
+    /// Attempts one failover: resubmit, then splice the fresh inner
+    /// stream in place of the dead one. Returns `false` when attempts
+    /// are exhausted or no survivor accepted.
+    fn swap_inner(&mut self) -> bool {
+        let Some(ctx) = self.failover.as_mut() else {
+            return false;
+        };
+        if ctx.attempts_left == 0 {
+            return false;
+        }
+        ctx.attempts_left -= 1;
+        let Some(mut fresh) = (ctx.resubmit)() else {
+            return false;
+        };
+        // Swallow the replay of everything already delivered.
+        ctx.skip_tokens = ctx.delivered_tokens;
+        std::mem::swap(&mut self.rx, &mut fresh.rx);
+        std::mem::swap(&mut self.cancelled, &mut fresh.cancelled);
+        // `fresh` now holds the dead request's channel and cancel flag;
+        // dropping it marks the old request cancelled (harmless — it is
+        // already gone with its worker).
+        drop(fresh);
+        true
+    }
+
     /// Blocks for the next event. Returns `None` once a terminal event
     /// has been delivered. A worker that vanishes mid-stream surfaces as
-    /// one final [`StreamEvent::Error`] ([`ServeError::Disconnected`]).
+    /// one final [`StreamEvent::Error`] ([`ServeError::Disconnected`]) —
+    /// unless the stream was submitted with failover, in which case the
+    /// request replays on a surviving worker and delivery resumes
+    /// seamlessly where it left off.
     pub fn next_event(&mut self) -> Option<StreamEvent> {
         if self.terminated {
             return None;
         }
-        let ev = self
-            .rx
-            .recv()
-            .unwrap_or(StreamEvent::Error(ServeError::Disconnected));
-        if ev.is_terminal() {
-            self.terminated = true;
+        loop {
+            let ev = self
+                .rx
+                .recv()
+                .unwrap_or(StreamEvent::Error(ServeError::Disconnected));
+            match self.sift(ev) {
+                Sift::Deliver(ev) => {
+                    if ev.is_terminal() {
+                        self.terminated = true;
+                    }
+                    return Some(ev);
+                }
+                Sift::Skip | Sift::Swapped => continue,
+            }
         }
-        Some(ev)
     }
 
     /// Non-blocking variant of [`ResponseStream::next_event`]: `None`
@@ -114,38 +243,50 @@ impl ResponseStream {
         if self.terminated {
             return None;
         }
-        match self.rx.try_recv() {
-            Ok(ev) => {
-                if ev.is_terminal() {
-                    self.terminated = true;
+        loop {
+            let ev = match self.rx.try_recv() {
+                Ok(ev) => ev,
+                Err(mpsc::TryRecvError::Empty) => return None,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    StreamEvent::Error(ServeError::Disconnected)
                 }
-                Some(ev)
-            }
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => {
-                self.terminated = true;
-                Some(StreamEvent::Error(ServeError::Disconnected))
+            };
+            match self.sift(ev) {
+                Sift::Deliver(ev) => {
+                    if ev.is_terminal() {
+                        self.terminated = true;
+                    }
+                    return Some(ev);
+                }
+                Sift::Skip | Sift::Swapped => continue,
             }
         }
     }
 
     /// Blocks for the next event up to `timeout`; `None` on timeout or
-    /// after termination.
+    /// after termination. (Replay skips and failover swaps each restart
+    /// the wait, so a failover-enabled stream can wait longer than
+    /// `timeout` in total — per-delivery, not per-call.)
     pub fn recv_timeout(&mut self, timeout: Duration) -> Option<StreamEvent> {
         if self.terminated {
             return None;
         }
-        match self.rx.recv_timeout(timeout) {
-            Ok(ev) => {
-                if ev.is_terminal() {
-                    self.terminated = true;
+        loop {
+            let ev = match self.rx.recv_timeout(timeout) {
+                Ok(ev) => ev,
+                Err(mpsc::RecvTimeoutError::Timeout) => return None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    StreamEvent::Error(ServeError::Disconnected)
                 }
-                Some(ev)
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => None,
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                self.terminated = true;
-                Some(StreamEvent::Error(ServeError::Disconnected))
+            };
+            match self.sift(ev) {
+                Sift::Deliver(ev) => {
+                    if ev.is_terminal() {
+                        self.terminated = true;
+                    }
+                    return Some(ev);
+                }
+                Sift::Skip | Sift::Swapped => continue,
             }
         }
     }

@@ -200,6 +200,27 @@ pub struct SessionStats {
     pub prefix_hits: usize,
     /// Prompt tokens served from the prefix cache instead of prefilled.
     pub prefix_tokens_reused: usize,
+    /// Requests preempted under the KV byte budget (or via
+    /// [`Session::preempt`]), per [`QosClass::index`]. The budget policy
+    /// never preempts interactive traffic, so index 0 stays 0 unless
+    /// `preempt` was called directly.
+    pub preemptions: [usize; 3],
+    /// Tokens re-prefilled after preemption (prompt and generated tokens
+    /// recomputed back into the KV cache). Disjoint from
+    /// `prefill_tokens`: a token a preempted request re-advances counts
+    /// here, never there.
+    pub recompute_tokens: usize,
+    /// Largest KV byte occupancy ever observed inside a step (measured
+    /// after the forward, before finished requests release) — what
+    /// [`Session::kv_byte_budget`] actually bounds.
+    pub peak_kv_bytes: usize,
+}
+
+impl SessionStats {
+    /// Total preemptions across all QoS classes.
+    pub fn preempted(&self) -> usize {
+        self.preemptions.iter().sum()
+    }
 }
 
 /// Scheduling knobs for a [`Session`]'s [`BatchScheduler`].
@@ -324,6 +345,11 @@ pub struct StepBatch {
     pub kv_rows: usize,
     /// KV bytes resident after the step.
     pub kv_bytes: usize,
+    /// Recompute segments in the batch: preempted requests re-advancing
+    /// their prompt + generated history back into the KV cache.
+    pub recompute_chunks: usize,
+    /// Tokens advanced across those recompute segments.
+    pub recompute_tokens: usize,
     /// `(request, tokens advanced)` for each prefill chunk in the batch,
     /// so a tracing front-end can emit per-request chunk spans.
     pub prefilled: Vec<(RequestId, usize)>,
@@ -344,16 +370,23 @@ struct InFlight {
     /// Incremental decode state; created the first step this request is
     /// scheduled and advanced chunk by chunk until the prompt is done.
     state: Option<DecodeState>,
-    /// Cached prompt prefix matched at admission, attached copy-on-write
-    /// when the state is created (holding it keeps the segments alive
-    /// across evictions). `None` once consumed or on a cache miss.
+    /// Cached prompt prefix matched at admission (or re-matched at
+    /// preemption), attached copy-on-write when the state is created
+    /// (holding it keeps the segments alive across evictions). `None`
+    /// once consumed or on a cache miss.
     attach: Option<PrefixMatch>,
+    /// Set by [`Session::preempt`]: the request's KV cache was released
+    /// and it is re-advancing its full history (prompt + generated
+    /// tokens) as chunked recompute segments. Cleared on the step whose
+    /// chunk catches the cache back up; while set, advanced tokens count
+    /// as `recompute_tokens`, never `prefill_tokens`.
+    recomputing: bool,
 }
 
 impl InFlight {
-    /// Prompt tokens already in the KV cache: the decode state's length
-    /// once it exists, else the admission-time prefix match about to be
-    /// attached — so the scheduler plans (and counts) only the suffix.
+    /// Tokens already in the KV cache: the decode state's length once it
+    /// exists, else the admission-time prefix match about to be attached
+    /// — so the scheduler plans (and counts) only the suffix.
     fn prefilled(&self) -> usize {
         match &self.state {
             Some(s) => s.len(),
@@ -366,15 +399,13 @@ impl InFlight {
         self.prefilled() >= self.prompt_len
     }
 
-    /// New tokens this request wants on its next step: the next prefill
-    /// chunk while the prompt is incomplete, exactly one (the previously
-    /// sampled token) afterwards.
+    /// New tokens this request wants on its next step: the gap between
+    /// its known tokens and its KV cache, chunk-capped. While prefilling
+    /// (or recomputing after preemption) that is the next history chunk;
+    /// in steady-state decode the gap is exactly one — the previously
+    /// sampled token.
     fn step_tokens(&self, prefill_chunk: usize) -> usize {
-        if self.prefill_done() {
-            1
-        } else {
-            (self.prompt_len - self.prefilled()).min(prefill_chunk)
-        }
+        (self.tokens.len() - self.prefilled()).min(prefill_chunk)
     }
 }
 
@@ -432,6 +463,14 @@ impl BatchScheduler {
     /// within each class.
     fn iter(&self) -> impl Iterator<Item = &InFlight> {
         self.queues.iter().flat_map(|q| q.iter())
+    }
+
+    /// Mutable view of all pending requests, in the same order as
+    /// [`BatchScheduler::iter`]. Queue membership and order are fixed;
+    /// only request-internal state (e.g. a preemption releasing its
+    /// [`DecodeState`]) may change.
+    fn iter_mut(&mut self) -> impl Iterator<Item = &mut InFlight> {
+        self.queues.iter_mut().flat_map(|q| q.iter_mut())
     }
 
     /// Removes and returns the pending request with the given id.
@@ -563,6 +602,10 @@ struct SchedMetrics {
     queue_depth: Arc<Gauge>,
     kv_rows: Arc<Gauge>,
     kv_bytes: Arc<Gauge>,
+    kv_peak_bytes: Arc<Gauge>,
+    /// Per-[`QosClass`] series of `microscopiq_preemptions_total`.
+    preemptions: [Arc<Counter>; 3],
+    recompute_tokens: Arc<Counter>,
 }
 
 impl SchedMetrics {
@@ -608,6 +651,24 @@ impl SchedMetrics {
                 "microscopiq_kv_bytes",
                 "KV cache bytes resident across live requests.",
             ),
+            kv_peak_bytes: reg.gauge(
+                "microscopiq_kv_peak_bytes",
+                "Largest KV byte occupancy ever observed inside a step (after the \
+                 forward, before finished requests release).",
+            ),
+            preemptions: QosClass::ALL.map(|c| {
+                reg.counter_labeled(
+                    "microscopiq_preemptions_total",
+                    "Requests preempted under the KV byte budget (KV released, \
+                     re-enqueued for chunked recompute), by QoS class.",
+                    vec![("class", c.label().to_string())],
+                )
+            }),
+            recompute_tokens: reg.counter(
+                "microscopiq_recompute_tokens_total",
+                "Tokens re-prefilled after preemption (prompt + generated history \
+                 recomputed back into the KV cache).",
+            ),
         }
     }
 }
@@ -630,6 +691,11 @@ pub struct Session<E: PackedGemm> {
     /// N-way fork groups awaiting their leader's prompt completion:
     /// leader id → `(sample id, sampling seed)` per pending follower.
     pending_forks: HashMap<RequestId, Vec<(RequestId, u64)>>,
+    /// Memory-pressure ceiling, opt-in via
+    /// [`Session::set_kv_byte_budget`]: before planning a step whose
+    /// worst-case KV growth would push occupancy past this, victims are
+    /// preempted in QoS order (best-effort → batch, interactive never).
+    kv_byte_budget: Option<usize>,
 }
 
 impl<E: PackedGemm> Session<E> {
@@ -698,7 +764,30 @@ impl<E: PackedGemm> Session<E> {
             metrics,
             prefix: None,
             pending_forks: HashMap::new(),
+            kv_byte_budget: None,
         })
+    }
+
+    /// Sets (or clears) the KV memory-pressure ceiling. Before each
+    /// planned step, if current occupancy plus the step's worst-case KV
+    /// growth would exceed the budget, the session preempts victims —
+    /// [`QosClass::BestEffort`] first, then [`QosClass::Batch`], never
+    /// [`QosClass::Interactive`] — releasing their [`DecodeState`] and
+    /// re-advancing them later as chunked recompute segments through the
+    /// prefix cache. Preemption is invisible in the token streams:
+    /// the victim's RNG and sampled history are retained, so its
+    /// resumed output is bitwise identical to an unpreempted run (the
+    /// same argument as chunked prefill). When every sheddable victim
+    /// is already released and interactive demand alone exceeds the
+    /// budget, the step runs anyway — the budget bounds reclaimable
+    /// pressure, it never starves interactive traffic.
+    pub fn set_kv_byte_budget(&mut self, budget: Option<usize>) {
+        self.kv_byte_budget = budget;
+    }
+
+    /// The KV memory-pressure ceiling, if set.
+    pub fn kv_byte_budget(&self) -> Option<usize> {
+        self.kv_byte_budget
     }
 
     /// Enables shared-prompt KV reuse: completed prompts are frozen into
@@ -748,10 +837,15 @@ impl<E: PackedGemm> Session<E> {
         &self.telemetry
     }
 
-    /// The KV occupancy gauges, shared with the serving front-end so
-    /// `ServerHandle` accessors read them without a snapshot.
-    pub(crate) fn kv_gauges(&self) -> (Arc<Gauge>, Arc<Gauge>) {
-        (self.metrics.kv_rows.clone(), self.metrics.kv_bytes.clone())
+    /// The KV occupancy gauges (rows, bytes, in-step peak bytes), shared
+    /// with the serving front-end so `ServerHandle` accessors read them
+    /// without a snapshot.
+    pub(crate) fn kv_gauges(&self) -> (Arc<Gauge>, Arc<Gauge>, Arc<Gauge>) {
+        (
+            self.metrics.kv_rows.clone(),
+            self.metrics.kv_bytes.clone(),
+            self.metrics.kv_peak_bytes.clone(),
+        )
     }
 
     /// The session's KV storage mode.
@@ -849,6 +943,7 @@ impl<E: PackedGemm> Session<E> {
             rng: SeededRng::new(req.seed),
             state: None,
             attach,
+            recomputing: false,
         });
         self.metrics
             .queue_depth
@@ -928,6 +1023,172 @@ impl<E: PackedGemm> Session<E> {
             .sum()
     }
 
+    /// Upper bound on the KV bytes one new token adds across all layers:
+    /// the exact-mode figure (fp64 K + V rows per layer), which also
+    /// bounds every quantized mode (quantized storage per token is
+    /// strictly smaller than two fp64 rows). Used to project a step's
+    /// worst-case growth against [`Session::kv_byte_budget`].
+    fn kv_bytes_per_token_bound(&self) -> usize {
+        let cfg = self.model.config();
+        cfg.n_layers * 2 * cfg.d_model * 8
+    }
+
+    /// Preempts a live request: releases its [`DecodeState`] (KV rows
+    /// and bytes reclaimed immediately) while keeping its sampled
+    /// tokens, its RNG — already fast-forwarded by every draw it has
+    /// made — and its queue position. The request later re-advances its
+    /// full history (prompt + generated tokens) as chunked recompute
+    /// segments, attaching the longest cached prefix when a prefix cache
+    /// is enabled, and resumes sampling bitwise exactly where it left
+    /// off: logits are only drawn once the cache has caught back up, so
+    /// the RNG stream is untouched by the recompute (the same argument
+    /// that makes chunked prefill bitwise-invisible).
+    ///
+    /// Returns `false` (and does nothing) if `id` is not live or holds
+    /// no KV yet — preempting a request that never prefilled is a no-op.
+    pub fn preempt(&mut self, id: RequestId) -> bool {
+        let cached = self.prefix.is_some();
+        let Some(req) = self.scheduler.iter_mut().find(|r| r.id == id) else {
+            return false;
+        };
+        let holds_kv = req.state.as_ref().is_some_and(|s| s.kv_bytes() > 0);
+        if !holds_kv {
+            return false;
+        }
+        req.state = None;
+        req.recomputing = true;
+        let class = req.class;
+        // Re-match the prefix cache over the full history so the
+        // recompute reuses whatever is cached (at minimum the request's
+        // own prompt, if it completed prompt prefill and was inserted).
+        if cached {
+            let tokens = std::mem::take(&mut req.tokens);
+            let attach = self.prefix.as_mut().and_then(|c| c.lookup(&tokens));
+            let req = self
+                .scheduler
+                .iter_mut()
+                .find(|r| r.id == id)
+                .expect("request found above");
+            req.tokens = tokens;
+            req.attach = attach;
+        }
+        self.stats.preemptions[class.index()] += 1;
+        self.metrics.preemptions[class.index()].inc();
+        self.record_occupancy();
+        true
+    }
+
+    /// The preemption half of [`Session::kv_byte_budget`] enforcement,
+    /// run ahead of planning: while current occupancy plus the
+    /// *interactive* requests' next-step growth (their largest
+    /// `max_batch` chunk gaps, token-budget-capped, times the per-token
+    /// byte bound) projects past the budget, preempt a sheddable victim
+    /// — best-effort before batch, newest (highest id) first,
+    /// interactive never. Only interactive growth triggers preemption:
+    /// sheddable growth is held back for free by [`Session::gate_planned`],
+    /// so reclaiming KV for it would waste recompute work. The victim
+    /// key `(class, id)` is a fixed total order over live requests, so
+    /// repeated enforcement keeps sacrificing the same newest requests
+    /// while older ones run to completion — two sheddable requests can
+    /// never ping-pong preempting each other. Deterministic: depends
+    /// only on queue state.
+    fn enforce_kv_budget(&mut self) {
+        let Some(budget) = self.kv_byte_budget else {
+            return;
+        };
+        let per_token = self.kv_bytes_per_token_bound();
+        let cfg = self.scheduler.config();
+        loop {
+            let occupancy = self.kv_occupancy_bytes();
+            let mut gaps: Vec<usize> = self
+                .scheduler
+                .iter()
+                .filter(|r| r.class == QosClass::Interactive)
+                .map(|r| r.step_tokens(cfg.prefill_chunk))
+                .collect();
+            gaps.sort_unstable_by(|a, b| b.cmp(a));
+            let growth: usize = gaps
+                .iter()
+                .take(cfg.max_batch)
+                .sum::<usize>()
+                .min(cfg.token_budget);
+            if occupancy.saturating_add(growth.saturating_mul(per_token)) <= budget {
+                return;
+            }
+            let victim = self
+                .scheduler
+                .iter()
+                .filter(|r| r.class != QosClass::Interactive)
+                .filter(|r| r.state.as_ref().is_some_and(|s| s.kv_bytes() > 0))
+                .max_by_key(|r| (r.class.index(), r.id))
+                .map(|r| r.id);
+            let Some(id) = victim else {
+                // Nothing left to reclaim: the remaining demand is
+                // interactive (or stateless). Serve it anyway — the
+                // budget sheds sheddable memory; capping interactive
+                // admission is `max_in_flight`'s job.
+                return;
+            };
+            self.preempt(id);
+        }
+    }
+
+    /// The planning half of [`Session::kv_byte_budget`] enforcement:
+    /// clips or defers *sheddable* planned work whose worst-case KV
+    /// growth would project past the budget. Walks the plan in its QoS
+    /// priority order, accumulating projected bytes (the live KV of
+    /// every request — planned entries included — plus each approved
+    /// take times the per-token bound). Interactive entries always pass
+    /// (irreducible demand, see [`Session::enforce_kv_budget`]); a
+    /// sheddable entry is clipped to the tokens that still fit
+    /// (chunk splits are bitwise-invisible) and returned to the front
+    /// of its class queue when none do. Deferral is free — unlike
+    /// preemption the request keeps its KV and simply waits for
+    /// occupancy to retire — so budget backpressure never wastes
+    /// recompute work. Liveness guard: when nothing else was kept, the
+    /// first plannable request proceeds with its full chunk even past
+    /// the budget — a lone request whose own working set exceeds the
+    /// budget must run (stalling it forever serves nobody), so the
+    /// budget is strict except for that irreducible single-request
+    /// overshoot.
+    fn gate_planned(&mut self, planned: Vec<(InFlight, usize)>) -> Vec<(InFlight, usize)> {
+        let Some(budget) = self.kv_byte_budget else {
+            return planned;
+        };
+        let per_token = self.kv_bytes_per_token_bound();
+        let mut projected: usize = self.kv_occupancy_bytes()
+            + planned
+                .iter()
+                .map(|(r, _)| r.state.as_ref().map_or(0, |s| s.kv_bytes()))
+                .sum::<usize>();
+        let mut kept = Vec::with_capacity(planned.len());
+        let mut deferred: Vec<InFlight> = Vec::new();
+        for (req, take) in planned {
+            let headroom = budget.saturating_sub(projected) / per_token;
+            let clipped = if req.class == QosClass::Interactive {
+                take
+            } else {
+                take.min(headroom)
+            };
+            if clipped == 0 {
+                if kept.is_empty() && deferred.is_empty() {
+                    projected = projected.saturating_add(take.saturating_mul(per_token));
+                    kept.push((req, take));
+                } else {
+                    deferred.push(req);
+                }
+            } else {
+                projected = projected.saturating_add(clipped.saturating_mul(per_token));
+                kept.push((req, clipped));
+            }
+        }
+        // Reverse order restores arrival order within each class queue.
+        for req in deferred.into_iter().rev() {
+            self.scheduler.requeue_front(req);
+        }
+        kept
+    }
+
     /// Runs one batched decode step over live requests (bounded by the
     /// batch cap and token budget): one segment-packed forward — prefill
     /// chunks for requests whose prompt is incomplete, single-token
@@ -951,7 +1212,13 @@ impl<E: PackedGemm> Session<E> {
         let mut done = std::mem::take(&mut self.finished);
         let mut emitted = Vec::new();
         let mut step_batch = None;
-        let mut batch = self.scheduler.take_planned();
+        // Memory pressure is resolved around planning: preemption first
+        // reclaims sheddable KV that interactive growth needs, then the
+        // gate clips/defers sheddable planned work so the step's actual
+        // growth fits the budget (or is irreducible demand).
+        self.enforce_kv_budget();
+        let planned = self.scheduler.take_planned();
+        let mut batch = self.gate_planned(planned);
         if !batch.is_empty() {
             let mut sb = StepBatch {
                 requests: batch.len(),
@@ -974,7 +1241,15 @@ impl<E: PackedGemm> Session<E> {
                             .expect("kv mode validated at construction"),
                     });
                 }
-                if !req.prefill_done() {
+                if req.recomputing {
+                    // A preempted request re-advancing history: counted
+                    // apart from first-time prefill so `prefill_tokens`
+                    // keeps meaning "each prompt token at most once".
+                    self.stats.recompute_tokens += *take;
+                    sb.recompute_chunks += 1;
+                    sb.recompute_tokens += *take;
+                    sb.prefilled.push((req.id, *take));
+                } else if !req.prefill_done() {
                     // Prompt tokens are counted on the step whose chunk
                     // advances them — never re-counted on resume.
                     self.stats.prefill_tokens += *take;
@@ -986,7 +1261,7 @@ impl<E: PackedGemm> Session<E> {
                     sb.decode_segments += 1;
                 }
             }
-            sb.new_tokens = sb.prefill_tokens + sb.decode_segments;
+            sb.new_tokens = sb.prefill_tokens + sb.recompute_tokens + sb.decode_segments;
             step_batch = Some(sb);
             let mut jobs: Vec<DecodeJob<'_>> = batch
                 .iter_mut()
@@ -1004,17 +1279,34 @@ impl<E: PackedGemm> Session<E> {
             drop(jobs);
             self.stats.steps += 1;
             self.stats.max_batch_used = self.stats.max_batch_used.max(batch.len());
+            // True in-step peak: caches only grow during the forward and
+            // finished requests release only at retirement below, so the
+            // high-water mark is right here. (Planned requests were
+            // popped from the queues, so sum both views.)
+            let peak = self.kv_occupancy_bytes()
+                + batch
+                    .iter()
+                    .map(|(r, _)| r.state.as_ref().map_or(0, |s| s.kv_bytes()))
+                    .sum::<usize>();
+            self.stats.peak_kv_bytes = self.stats.peak_kv_bytes.max(peak);
+            self.metrics.kv_peak_bytes.set_max(peak as i64);
             let mut generated = 0;
             for ((req, _), logit) in batch.iter_mut().zip(logits.iter()) {
                 // Sample only when every known token is in the cache —
                 // i.e. the prompt just completed (final prefill chunk)
                 // or this was a decode step. A request parked mid-prompt
                 // draws nothing, so its RNG stream is untouched and
-                // chunked outputs stay bitwise equal to whole-prompt.
+                // chunked outputs stay bitwise equal to whole-prompt —
+                // and a preempted request recomputing history draws
+                // nothing until the cache catches back up, so resumed
+                // streams stay bitwise equal to unpreempted ones.
                 let state = req.state.as_ref().expect("state created above");
                 if state.len() < req.tokens.len() {
                     continue;
                 }
+                // The cache caught up: recompute (if any) is complete
+                // and this request is back in steady-state decode.
+                req.recomputing = false;
                 // True exactly once per request: the step whose chunk
                 // completed the prompt (no continuation pushed yet).
                 let prompt_complete = req.tokens.len() == req.prompt_len;
@@ -1075,6 +1367,7 @@ impl<E: PackedGemm> Session<E> {
                                         req.state.as_ref().expect("state created above").clone(),
                                     ),
                                     attach: None,
+                                    recomputing: false,
                                 });
                             }
                         }
@@ -1117,6 +1410,9 @@ impl<E: PackedGemm> Session<E> {
             self.metrics.steps.inc();
             self.metrics.prefill_chunks.add(sb.prefill_chunks as u64);
             self.metrics.prefill_tokens.add(sb.prefill_tokens as u64);
+            self.metrics
+                .recompute_tokens
+                .add(sb.recompute_tokens as u64);
             self.metrics.tokens_generated.add(generated as u64);
             self.metrics.batch_requests.record(sb.requests as u64);
             self.metrics.step_new_tokens.record(sb.new_tokens as u64);
@@ -1853,5 +2149,143 @@ mod tests {
             best_effort: 1,
         });
         let _ = Session::with_config(packed, DequantGemm, cfg, KvMode::Exact);
+    }
+
+    #[test]
+    fn preempt_mid_decode_resumes_bitwise() {
+        let (_, packed) = packed_model(70);
+        let req = GenRequest {
+            prompt: vec![3, 1, 4, 1, 5, 9, 2, 6],
+            max_new_tokens: 10,
+            temperature: 0.8,
+            seed: 41,
+            class: QosClass::Batch,
+            ..Default::default()
+        };
+        let expected = solo_generate(&packed, &req);
+
+        let mut session = Session::with_config(
+            packed,
+            DequantGemm,
+            SchedulerConfig::new(2).prefill_chunk(4),
+            KvMode::Exact,
+        )
+        .unwrap();
+        session.enable_prefix_cache(PrefixCacheConfig::default());
+        let id = session.submit(req);
+        // Past prefill and a few sampled tokens.
+        for _ in 0..5 {
+            session.step();
+        }
+        assert!(session.kv_occupancy() > 0, "request holds KV mid-decode");
+        assert!(session.preempt(id), "live request with KV preempts");
+        assert_eq!(session.kv_occupancy(), 0, "preemption releases the KV");
+        let results = session.run_to_completion();
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].tokens, expected,
+            "preempted stream must resume bitwise"
+        );
+        let stats = session.stats();
+        assert_eq!(stats.preemptions, [0, 1, 0]);
+        assert!(
+            stats.recompute_tokens > 0,
+            "recompute segments were executed"
+        );
+        assert_eq!(
+            session.kv_occupancy(),
+            0,
+            "KV drains after the stream finishes"
+        );
+    }
+
+    #[test]
+    fn preempt_is_noop_without_kv_or_for_unknown_id() {
+        let (_, packed) = packed_model(71);
+        let mut session = Session::new(packed, DequantGemm, 2);
+        let id = session.submit(GenRequest {
+            prompt: vec![1, 2],
+            max_new_tokens: 2,
+            temperature: 0.8,
+            seed: 1,
+            ..Default::default()
+        });
+        // Never stepped: no KV held yet.
+        assert!(!session.preempt(id));
+        assert!(!session.preempt(id + 99));
+        assert_eq!(session.stats().preempted(), 0);
+        let results = session.run_to_completion();
+        assert_eq!(results.len(), 1, "no-op preempt leaves the request live");
+    }
+
+    #[test]
+    fn kv_budget_preempts_sheddable_only_and_stays_bitwise() {
+        let (_, packed) = packed_model(72);
+        let mk = |i: usize, class: QosClass| GenRequest {
+            prompt: vec![1 + i, 2, 3 + i, 4, 5 + i, 6, 7, 8 + i],
+            max_new_tokens: 6,
+            temperature: 0.8,
+            seed: 200 + i as u64,
+            class,
+            ..Default::default()
+        };
+        let reqs: Vec<GenRequest> = vec![
+            mk(0, QosClass::BestEffort),
+            mk(1, QosClass::BestEffort),
+            mk(2, QosClass::Interactive),
+        ];
+        let expected: Vec<Vec<usize>> = reqs.iter().map(|r| solo_generate(&packed, r)).collect();
+
+        let mut session = Session::with_config(
+            packed,
+            DequantGemm,
+            SchedulerConfig::new(2).prefill_chunk(4),
+            KvMode::Exact,
+        )
+        .unwrap();
+        session.enable_prefix_cache(PrefixCacheConfig::default());
+        // d_model 32, 2 layers → 1 KiB per token (exact mode). ~14
+        // tokens per finished request, two-deep batch: a 24 KiB ceiling
+        // forces best-effort out when interactive pressure arrives, with
+        // room for victims to recompute once pressure clears.
+        let budget = 24 * 1024;
+        session.set_kv_byte_budget(Some(budget));
+        // Stagger: the best-effort pair acquires KV first (two chunk
+        // steps → 16 KiB held), *then* the interactive request arrives —
+        // its growth is what forces a sheddable victim out. (Submitted
+        // all at once, the gate alone would defer best-effort from the
+        // start and nothing would ever need preempting.)
+        session.submit(reqs[0].clone());
+        session.submit(reqs[1].clone());
+        let mut results = Vec::new();
+        for _ in 0..2 {
+            results.extend(session.step());
+        }
+        assert!(session.kv_occupancy() > 0, "best-effort holds KV");
+        session.submit(reqs[2].clone());
+        for _ in 0..400 {
+            results.extend(session.step());
+            if results.len() == reqs.len() {
+                break;
+            }
+        }
+        assert_eq!(results.len(), reqs.len(), "budget squeeze must not stall");
+        results.sort_by_key(|r| r.id);
+        for (res, expect) in results.iter().zip(expected.iter()) {
+            assert_eq!(
+                &res.tokens, expect,
+                "request {} diverged under preemption",
+                res.id
+            );
+        }
+        let stats = session.stats();
+        assert!(stats.preempted() > 0, "the squeeze actually preempted");
+        assert_eq!(stats.preemptions[0], 0, "interactive is never preempted");
+        assert!(
+            stats.peak_kv_bytes <= budget,
+            "peak {} exceeded budget {budget}",
+            stats.peak_kv_bytes
+        );
+        assert_eq!(session.kv_occupancy(), 0, "KV drains after churn");
     }
 }

@@ -132,6 +132,7 @@ fn spawn_fleet(workers: usize) -> HttpServer {
                     prefix_cache: Some(PrefixCacheConfig::default()),
                     ..ServerConfig::default()
                 },
+                ..FleetConfig::default()
             },
             ..HttpConfig::default()
         },
@@ -261,12 +262,27 @@ fn metrics_and_healthz_routes() {
     let health = client.get("/healthz").expect("healthz");
     assert_eq!(health.status, 200);
     let health_json = Json::parse(&health.text()).expect("healthz JSON");
-    assert_eq!(health_json.get("workers").and_then(Json::as_usize), Some(2));
-    assert_eq!(health_json.get("alive").and_then(Json::as_usize), Some(2));
+    assert_eq!(health_json.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        health_json.get("workers_total").and_then(Json::as_usize),
+        Some(2)
+    );
+    assert_eq!(
+        health_json.get("workers_alive").and_then(Json::as_usize),
+        Some(2)
+    );
+    assert_eq!(
+        health_json.get("respawns").and_then(Json::as_usize),
+        Some(0)
+    );
 
     let metrics = client.get("/metrics").expect("metrics");
     assert_eq!(metrics.status, 200);
     let text = metrics.text();
+    assert!(text.contains("# ---- fleet ----"));
+    assert!(text.contains("microscopiq_fleet_workers_alive 2"));
+    assert!(text.contains("microscopiq_fleet_respawns_total 0"));
+    assert!(text.contains("microscopiq_fleet_failovers_total 0"));
     assert!(text.contains("# ---- worker 0 ----"));
     assert!(text.contains("# ---- worker 1 ----"));
     assert!(text.contains("microscopiq_requests_admitted_total"));

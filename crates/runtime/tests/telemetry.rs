@@ -223,6 +223,7 @@ fn metrics_identity_holds_under_submit_cancel_deadline_churn() {
                     let opts = if i % 4 == 3 {
                         RequestOptions {
                             deadline: Some(Deadline::Steps(0)),
+                            ..RequestOptions::default()
                         }
                     } else {
                         RequestOptions::default()

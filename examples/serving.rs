@@ -115,6 +115,7 @@ fn main() {
             },
             RequestOptions {
                 deadline: Some(Deadline::Steps(4)),
+                ..RequestOptions::default()
             },
         )
         .unwrap();

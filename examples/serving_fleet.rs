@@ -52,6 +52,7 @@ fn main() {
                     queue_capacity: 32,
                     ..ServerConfig::default()
                 },
+                ..FleetConfig::default()
             },
             ..HttpConfig::default()
         },

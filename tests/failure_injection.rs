@@ -261,6 +261,7 @@ fn deadline_expires_mid_prefill_without_consuming_compute() {
             },
             RequestOptions {
                 deadline: Some(Deadline::Steps(0)),
+                ..RequestOptions::default()
             },
         )
         .unwrap();
@@ -315,6 +316,7 @@ fn deadline_expires_mid_chunked_prefill_and_reclaims_partial_kv() {
             },
             RequestOptions {
                 deadline: Some(Deadline::Steps(2)),
+                ..RequestOptions::default()
             },
         )
         .unwrap();
@@ -455,6 +457,7 @@ fn tcp_disconnect_mid_stream_cancels_only_that_request() {
                     pace: Duration::from_millis(2),
                     ..ServerConfig::default()
                 },
+                ..FleetConfig::default()
             },
             ..HttpConfig::default()
         },
@@ -546,6 +549,7 @@ fn fleet_worker_panic_is_removed_from_rotation() {
         FleetConfig {
             workers: 2,
             server: ServerConfig::default(),
+            ..FleetConfig::default()
         },
     )
     .expect("spawn fleet");
